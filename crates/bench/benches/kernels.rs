@@ -1,0 +1,57 @@
+//! Solve-phase kernel microbenchmarks: SpMV (sequential, parallel,
+//! fused with the residual norm — §3.3), transpose (sequential vs the
+//! §3.3 parallel counting sort).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use famg_bench::rap_fixture_2d;
+use famg_matgen::laplace2d;
+use famg_sparse::spmv::{
+    residual_norm_sq, residual_norm_sq_unfused, spmv, spmv_seq, spmv_unrolled,
+};
+use famg_sparse::transpose::{transpose, transpose_par};
+use std::hint::black_box;
+
+fn bench_spmv(c: &mut Criterion) {
+    let a = laplace2d(256, 256);
+    let n = a.nrows();
+    let x: Vec<f64> = (0..n).map(|i| (i % 13) as f64 * 0.1).collect();
+    let b: Vec<f64> = vec![1.0; n];
+    let mut y = vec![0.0; n];
+    let mut g = c.benchmark_group("spmv");
+    g.bench_function("sequential", |bch| {
+        bch.iter(|| spmv_seq(black_box(&a), black_box(&x), &mut y))
+    });
+    g.bench_function("parallel", |bch| {
+        bch.iter(|| spmv(black_box(&a), black_box(&x), &mut y))
+    });
+    g.bench_function("unrolled_8wide", |bch| {
+        bch.iter(|| spmv_unrolled(black_box(&a), black_box(&x), &mut y))
+    });
+    g.bench_function("residual_norm_unfused", |bch| {
+        bch.iter(|| black_box(residual_norm_sq_unfused(&a, &x, &b, &mut y)))
+    });
+    g.bench_function("residual_norm_fused", |bch| {
+        bch.iter(|| black_box(residual_norm_sq(&a, &x, &b, &mut y)))
+    });
+    g.finish();
+}
+
+fn bench_transpose(c: &mut Criterion) {
+    let f = rap_fixture_2d(192, 7);
+    let mut g = c.benchmark_group("transpose");
+    g.bench_function("sequential", |bch| bch.iter(|| black_box(transpose(&f.p))));
+    g.bench_function("parallel_counting_sort", |bch| {
+        bch.iter(|| black_box(transpose_par(&f.p)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_spmv, bench_transpose
+}
+criterion_main!(benches);

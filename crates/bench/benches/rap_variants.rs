@@ -1,0 +1,61 @@
+//! Galerkin triple-product variants (§3.1.1): unfused, scalar-fused
+//! (Fig. 1b, the HYPRE baseline), row-fused (Fig. 1a, the paper's
+//! kernel), and the CF-block decomposition that multiplies only the
+//! fine-fine block.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use famg_bench::rap_fixture_2d;
+use famg_core::coarsen::pmis;
+use famg_core::interp::{extended_i, CfMap, TruncParams};
+use famg_core::reorder::cf_reorder;
+use famg_core::strength::strength;
+use famg_matgen::laplace2d;
+use famg_sparse::triple::{rap_cf_from_parts, rap_row_fused, rap_scalar_fused, rap_unfused};
+use std::hint::black_box;
+
+fn bench_rap(c: &mut Criterion) {
+    let f = rap_fixture_2d(160, 5);
+    let mut g = c.benchmark_group("rap");
+    g.bench_function("unfused", |bch| {
+        bch.iter(|| black_box(rap_unfused(&f.r, &f.a, &f.p)))
+    });
+    g.bench_function("scalar_fused_fig1b", |bch| {
+        bch.iter(|| black_box(rap_scalar_fused(&f.r, &f.a, &f.p)))
+    });
+    g.bench_function("row_fused_fig1a", |bch| {
+        bch.iter(|| black_box(rap_row_fused(&f.r, &f.a, &f.p)))
+    });
+    // CF-block variant needs the permuted operator and the fine block.
+    let a = laplace2d(160, 160);
+    let s = strength(&a, 0.25, 0.8);
+    let coarse = pmis(&s, 5);
+    let (ap, ord) = cf_reorder(&a, &coarse.is_coarse);
+    let sp = famg_sparse::permute::permute_symmetric(&s, &ord.perm);
+    let cf = CfMap::new((0..a.nrows()).map(|i| i < ord.nc).collect());
+    let pfull = extended_i(&ap, &sp, &cf, Some(&TruncParams::paper()));
+    let pf = {
+        let lo = pfull.rowptr()[ord.nc];
+        let rp: Vec<usize> = pfull.rowptr()[ord.nc..].iter().map(|&x| x - lo).collect();
+        famg_sparse::Csr::from_parts_unchecked(
+            pfull.nrows() - ord.nc,
+            pfull.ncols(),
+            rp,
+            pfull.colidx()[lo..].to_vec(),
+            pfull.values()[lo..].to_vec(),
+        )
+    };
+    g.bench_function("cf_block", |bch| {
+        bch.iter(|| black_box(rap_cf_from_parts(&ap, ord.nc, &pf)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_rap
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! SpGEMM microbenchmarks (§3.1.1): the two-pass baseline, the one-pass
+//! per-thread-chunk kernel, and the numeric-only re-run over a frozen
+//! pattern (the paper's branch-overhead bound, measured at 2.1×).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use famg_bench::rap_fixture_2d;
+use famg_sparse::spgemm::{numeric_only, spgemm_one_pass, spgemm_two_pass};
+use std::hint::black_box;
+
+fn bench_spgemm(c: &mut Criterion) {
+    let f = rap_fixture_2d(192, 3);
+    let mut g = c.benchmark_group("spgemm_RA");
+    g.bench_function("two_pass", |bch| {
+        bch.iter(|| black_box(spgemm_two_pass(&f.r, &f.a)))
+    });
+    g.bench_function("one_pass_chunked", |bch| {
+        bch.iter(|| black_box(spgemm_one_pass(&f.r, &f.a)))
+    });
+    let mut cmat = spgemm_one_pass(&f.r, &f.a);
+    g.bench_function("numeric_only_frozen_pattern", |bch| {
+        bch.iter(|| numeric_only(&f.r, &f.a, black_box(&mut cmat)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_spgemm
+}
+criterion_main!(benches);

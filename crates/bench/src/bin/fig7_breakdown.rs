@@ -1,0 +1,72 @@
+//! Fig. 7: breakdown of total (setup + solve) time at the largest rank
+//! count, per interpolation scheme, including the communication share
+//! (the paper's `Solve_MPI` bar).
+//!
+//! Usage: `cargo run --release -p famg-bench --bin fig7_breakdown --
+//!         [--ranks 8] [--per-rank 24] [laplace27|amg2013]`
+
+use famg_bench::{arg_value, fmt_secs};
+use famg_core::params::AmgConfig;
+use famg_dist::comm::run_ranks;
+use famg_dist::hierarchy::{DistHierarchy, DistOptFlags};
+use famg_dist::parcsr::{default_partition, ParCsr};
+use famg_dist::solve::dist_fgmres_amg;
+use famg_matgen::{amg2013_like, laplace3d_27pt, rhs};
+
+fn main() {
+    let input = std::env::args()
+        .nth(1)
+        .filter(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "laplace27".into());
+    let nranks: usize = arg_value("--ranks")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let per_rank: usize = arg_value("--per-rank")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24);
+    let a = match input.as_str() {
+        "laplace27" => laplace3d_27pt(per_rank, per_rank, per_rank * nranks),
+        "amg2013" => amg2013_like(per_rank, per_rank, per_rank * nranks, 2, 2.0, 17),
+        other => panic!("unknown input {other}"),
+    };
+    let n = a.nrows();
+    let starts = default_partition(n, nranks);
+    println!("== Fig. 7: total-time breakdown on {nranks} ranks, input `{input}` ({n} rows) ==\n");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "scheme", "S+Coarsen", "Interp", "RAP", "Setup*", "Smooth", "SpMV+B1", "Comm"
+    );
+
+    for (scheme, cfg) in [
+        ("mp", AmgConfig::multi_node_mp()),
+        ("ei(4)", AmgConfig::multi_node_ei4()),
+        ("2s-ei(444)", AmgConfig::multi_node_2s_ei444()),
+    ] {
+        let b = rhs::ones(n);
+        let (parts, _) = run_ranks(nranks, |c| {
+            let r = c.rank();
+            let pa = ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
+            let h = DistHierarchy::build(c, pa, &cfg, DistOptFlags::all());
+            let bl = b[starts[r]..starts[r + 1]].to_vec();
+            let mut xl = vec![0.0; bl.len()];
+            let res = dist_fgmres_amg(c, &h, &bl, &mut xl, 1e-7, 300, 50);
+            assert!(res.converged);
+            (h.times.clone(), h.setup_comm_time, res.times.clone(), res.solve_comm_time)
+        });
+        // Rank 0's breakdown is representative (slab partition is even).
+        let (setup, setup_comm, solve, solve_comm) = &parts[0];
+        println!(
+            "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            scheme,
+            fmt_secs(setup.strength_coarsen),
+            fmt_secs(setup.interp),
+            fmt_secs(setup.rap),
+            fmt_secs(setup.setup_etc),
+            fmt_secs(solve.gs),
+            fmt_secs(solve.spmv + solve.blas1),
+            fmt_secs(*setup_comm + *solve_comm),
+        );
+    }
+    println!("\nPaper shape: 2-stage aggressive coarsening trades longer Interp for");
+    println!("shorter RAP and solve; communication (Solve_MPI) dominates at scale.");
+}

@@ -1,0 +1,85 @@
+//! Fig. 8: strong scaling on the reservoir problem.
+//!
+//! A fixed-size ill-conditioned pressure system (highly discontinuous
+//! permeability; see `famg_matgen::reservoir`) is solved with
+//! FGMRES + AMG at tolerance 1e-5 across growing rank counts. Series, as
+//! in the paper: the baseline with multipass interpolation (`base-mp`,
+//! all §4 optimizations off) and the optimized build with `mp`, `ei(4)`,
+//! and `2s-ei(444)`.
+//!
+//! Usage: `cargo run --release -p famg-bench --bin fig8_strong_scaling --
+//!         [--ranks 1,2,4,8] [--size 32]` (grid is size×size×size/2)
+
+use famg_bench::{arg_ranks, arg_value, fmt_secs};
+use famg_core::params::AmgConfig;
+use famg_dist::comm::run_ranks;
+use famg_dist::hierarchy::{DistHierarchy, DistOptFlags};
+use famg_dist::parcsr::{default_partition, ParCsr};
+use famg_dist::solve::dist_fgmres_amg;
+use famg_matgen::{reservoir_matrix, rhs};
+
+fn main() {
+    let ranks_list = arg_ranks(&[1, 2, 4, 8]);
+    let size: usize = arg_value("--size")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32);
+    let a = reservoir_matrix(size, size, (size / 2).max(4), 7);
+    let n = a.nrows();
+    println!("== Fig. 8 strong scaling: reservoir problem, {n} rows, tol 1e-5 ==\n");
+    println!(
+        "{:<6} {:<12} {:>10} {:>10} {:>10} {:>6}",
+        "ranks", "series", "setup", "solve", "total", "iters"
+    );
+
+    let series: Vec<(&str, AmgConfig, DistOptFlags)> = vec![
+        (
+            "base-mp",
+            AmgConfig::multi_node_mp(),
+            DistOptFlags::none(),
+        ),
+        ("opt-mp", AmgConfig::multi_node_mp(), DistOptFlags::all()),
+        ("opt-ei(4)", AmgConfig::multi_node_ei4(), DistOptFlags::all()),
+        (
+            "opt-2s-ei(444)",
+            AmgConfig::multi_node_2s_ei444(),
+            DistOptFlags::all(),
+        ),
+    ];
+
+    for &nranks in &ranks_list {
+        let starts = default_partition(n, nranks);
+        for (name, cfg, dopt) in &series {
+            let b = rhs::ones(n);
+            let (parts, _) = run_ranks(nranks, |c| {
+                let r = c.rank();
+                let pa =
+                    ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
+                let h = DistHierarchy::build(c, pa, cfg, *dopt);
+                let bl = b[starts[r]..starts[r + 1]].to_vec();
+                let mut xl = vec![0.0; bl.len()];
+                let res = dist_fgmres_amg(c, &h, &bl, &mut xl, 1e-5, 400, 50);
+                assert!(res.converged, "{name} at {nranks} ranks stalled");
+                (
+                    h.times.setup_total() + h.setup_comm_time,
+                    res.times.solve_total() + res.solve_comm_time,
+                    res.iterations,
+                )
+            });
+            let setup = parts.iter().map(|p| p.0).max().unwrap();
+            let solve = parts.iter().map(|p| p.1).max().unwrap();
+            println!(
+                "{:<6} {:<12} {:>10} {:>10} {:>10} {:>6}",
+                nranks,
+                name,
+                fmt_secs(setup),
+                fmt_secs(solve),
+                fmt_secs(setup + solve),
+                parts[0].2
+            );
+        }
+        println!();
+    }
+    println!("Paper shape: iteration counts stay constant per scheme (8/10/14 for");
+    println!("ei(4)/2s-ei(444)/mp); the optimized build beats base-mp everywhere;");
+    println!("setup scales worse than solve.");
+}

@@ -1,0 +1,82 @@
+//! Table 1 analogue: the evaluation environment.
+//!
+//! The paper's Table 1 lists the Xeon E5-2697 v3 / K40c test beds; this
+//! harness prints the machine famg actually runs on next to the paper's
+//! values, plus the solver settings of Tables 3 and 4.
+
+use famg_core::params::AmgConfig;
+
+fn read_cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .map(|l| l.split_once(':').map(|x| x.1).unwrap_or("?").trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".into())
+}
+
+fn main() {
+    println!("== Table 1: evaluation settings (paper vs. this run) ==\n");
+    println!("{:<18} {:<38} this run", "", "paper (HYPRE column)");
+    println!(
+        "{:<18} {:<38} famg (this repository)",
+        "Version", "HYPRE 2.10.0b (2015.1.22)"
+    );
+    let compiler = format!("rustc (cargo {})", env!("CARGO_PKG_VERSION"));
+    println!(
+        "{:<18} {:<38} {}",
+        "Compiler", "Intel compiler 15.0.2", compiler
+    );
+    println!(
+        "{:<18} {:<38} {}",
+        "Processor",
+        "Xeon E5-2697 v3 (HSW), 14C @ 2.6 GHz",
+        read_cpu_model()
+    );
+    println!(
+        "{:<18} {:<38} {}",
+        "Parallelism",
+        "1 socket x 14 cores x 4-wide SIMD",
+        format_args!(
+            "{} hw threads (rayon uses {})",
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0),
+            rayon::current_num_threads()
+        )
+    );
+    println!(
+        "{:<18} {:<38} shared memory; simulated ranks for multi-node",
+        "Memory model",
+        "54 GB/s STREAM triad"
+    );
+
+    let t3 = AmgConfig::single_node_paper();
+    println!("\n== Table 3: single-node AMG parameters ==");
+    println!("solver        standalone AMG (not a preconditioner)");
+    println!("cycle         V, max_levels={}", t3.max_levels);
+    println!(
+        "coarsening    classical PMIS, str_thr={}, max_row_sum={}",
+        t3.strength_threshold, t3.max_row_sum
+    );
+    println!(
+        "interpolation extended+i, trunc_fact={}, max_elmts={}",
+        t3.trunc_factor, t3.max_elements
+    );
+    println!("smoother      hybrid Gauss-Seidel (C-F relaxation)");
+    println!("tolerance     {:.0e}", t3.tolerance);
+
+    println!("\n== Table 4: multi-node AMG parameters ==");
+    for (name, cfg) in [
+        ("ei(4)", AmgConfig::multi_node_ei4()),
+        ("mp", AmgConfig::multi_node_mp()),
+        ("2s-ei(444)", AmgConfig::multi_node_2s_ei444()),
+    ] {
+        println!(
+            "{:<12} coarsen={:?} aggressive_levels={} interp={:?} max_levels={}",
+            name, cfg.coarsen, cfg.aggressive_levels, cfg.interp, cfg.max_levels
+        );
+    }
+    println!("solver        flexible GMRES + AMG V-cycle preconditioner");
+    println!("tolerance     1e-7 (weak scaling), 1e-5 (strong scaling)");
+}

@@ -1,0 +1,30 @@
+//! Table 2 analogue: the single-node matrix suite.
+//!
+//! Prints each matrix of the paper's Table 2 with the paper's size, the
+//! proxy famg generates in its place (see DESIGN.md §2), and the size at
+//! the requested `--scale` (default 0.25 of paper scale per dimension).
+
+use famg_bench::arg_scale;
+use famg_matgen::suite;
+
+fn main() {
+    let scale = arg_scale(0.25);
+    println!("== Table 2: matrix suite (scale = {scale}) ==\n");
+    println!(
+        "{:<16} {:>11} {:>8} | {:>11} {:>8}  proxy",
+        "matrix", "paper rows", "nnz/row", "gen rows", "nnz/row"
+    );
+    for m in suite() {
+        let a = (m.gen)(scale);
+        println!(
+            "{:<16} {:>11} {:>8} | {:>11} {:>8.1}  {}",
+            m.name,
+            m.paper_rows,
+            m.paper_nnz_per_row,
+            a.nrows(),
+            a.nnz() as f64 / a.nrows() as f64,
+            m.proxy_note
+        );
+    }
+    println!("\nAt --scale 1.0 generated row counts match the paper's Table 2.");
+}

@@ -1,0 +1,92 @@
+//! §5.1 bandwidth-bound analysis: the paper uses STREAM triad bandwidth
+//! as the first-order performance bound for AMG and reports how
+//! efficiently each implementation uses it. This harness measures the
+//! *effective* bandwidth (compulsory traffic / wall time) of the main
+//! solve-phase kernels, alongside a STREAM-triad-like measurement of the
+//! host so the two are comparable (the Table 1 bottom-row analogue).
+//!
+//! Usage: `cargo run --release -p famg-bench --bin text_bandwidth
+//!         [--scale 0.3]`
+
+use famg_bench::{arg_scale, best_of};
+use famg_core::coarsen::pmis;
+use famg_core::reorder::cf_reorder;
+use famg_core::smoother::{Smoother, Workspace};
+use famg_core::strength::strength;
+use famg_matgen::laplace2d;
+use famg_sparse::spmv::{residual_norm_sq, spmv, spmv_unrolled};
+use famg_sparse::traffic;
+use std::hint::black_box;
+
+/// STREAM-triad-like measurement: `a = b + s*c` over large buffers.
+fn stream_triad_gbs() -> f64 {
+    let n = 8_000_000usize;
+    let b = vec![1.0f64; n];
+    let c = vec![2.0f64; n];
+    let mut a = vec![0.0f64; n];
+    let (_, dt) = best_of(5, || {
+        for i in 0..n {
+            a[i] = b[i] + 3.0 * c[i];
+        }
+        black_box(a[n / 2]);
+    });
+    // 3 vectors * 8 bytes each.
+    traffic::effective_bandwidth_gbs(3 * 8 * n, dt.as_secs_f64())
+}
+
+fn main() {
+    let scale = arg_scale(0.3);
+    let n = (2000.0 * scale) as usize;
+    let a = laplace2d(n, n);
+    println!(
+        "== §5.1 bandwidth analysis: {}x{} Laplacian ({} rows) ==\n",
+        n,
+        n,
+        a.nrows()
+    );
+    let stream = stream_triad_gbs();
+    println!("host STREAM-triad-like bandwidth: {stream:.2} GB/s\n");
+    println!("{:<28} {:>10} {:>12} {:>10}", "kernel", "time", "GB moved", "eff GB/s");
+
+    let x: Vec<f64> = (0..a.nrows()).map(|i| (i % 7) as f64).collect();
+    let b: Vec<f64> = vec![1.0; a.nrows()];
+    let mut y = vec![0.0; a.nrows()];
+    let spmv_traffic = traffic::spmv_bytes(&a);
+
+    let (_, t) = best_of(5, || spmv(&a, &x, &mut y));
+    report("SpMV", t, spmv_traffic, stream);
+    let (_, t) = best_of(5, || spmv_unrolled(&a, &x, &mut y));
+    report("SpMV (8-wide unrolled)", t, spmv_traffic, stream);
+    let (_, t) = best_of(5, || black_box(residual_norm_sq(&a, &x, &b, &mut y)));
+    report(
+        "fused residual+norm",
+        t,
+        spmv_traffic + a.nrows() * 8,
+        stream,
+    );
+
+    // Hybrid GS sweep (optimized kernel).
+    let s = strength(&a, 0.25, 0.8);
+    let coarse = pmis(&s, 1);
+    let (mut ap, ord) = cf_reorder(&a, &coarse.is_coarse);
+    let sm = Smoother::hybrid_opt(&mut ap, ord.nc, rayon::current_num_threads());
+    let mut ws = Workspace::new();
+    let mut xs = vec![0.0; a.nrows()];
+    let (_, t) = best_of(5, || sm.pre_smooth(&ap, &b, &mut xs, &mut ws, false));
+    report("hybrid GS C+F sweep", t, traffic::gs_sweep_bytes(&ap), stream);
+
+    println!("\nThe paper's premise: these kernels should run near the STREAM");
+    println!("bound; the ratio column is the bandwidth efficiency it optimizes.");
+}
+
+fn report(name: &str, t: std::time::Duration, bytes: usize, stream: f64) {
+    let gbs = traffic::effective_bandwidth_gbs(bytes, t.as_secs_f64());
+    println!(
+        "{:<28} {:>10} {:>12.3} {:>7.2} ({:.0}% of STREAM)",
+        name,
+        famg_bench::fmt_secs(t),
+        bytes as f64 / 1e9,
+        gbs,
+        100.0 * gbs / stream.max(1e-9)
+    );
+}

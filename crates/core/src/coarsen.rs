@@ -1,0 +1,295 @@
+//! PMIS coarsening (De Sterck–Yang–Heys) and its aggressive variant.
+//!
+//! PMIS selects the coarse grid as a maximal independent set in the
+//! symmetrized strength graph, weighted by how many points each point
+//! strongly influences plus a random tie-breaker. The paper uses PMIS for
+//! its high parallelism (Table 3) and, for the multi-node configurations,
+//! *aggressive* coarsening — a second PMIS pass over the distance-two
+//! strength graph of the first pass's C-points (Table 4).
+//!
+//! Random weights come from the counter-based generator in [`crate::rng`],
+//! so the C/F splitting is identical for any thread count (the paper's
+//! reason for switching to MKL's parallel RNG in §3.3).
+
+use crate::rng::uniform01;
+use famg_sparse::transpose::transpose_par;
+use famg_sparse::Csr;
+use rayon::prelude::*;
+
+/// Result of a coarsening pass.
+#[derive(Debug, Clone)]
+pub struct Coarsening {
+    /// `true` for C-points.
+    pub is_coarse: Vec<bool>,
+    /// Number of C-points.
+    pub ncoarse: usize,
+}
+
+impl Coarsening {
+    fn from_marker(is_coarse: Vec<bool>) -> Self {
+        let ncoarse = is_coarse.iter().filter(|&&c| c).count();
+        Coarsening { is_coarse, ncoarse }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum State {
+    Undecided,
+    Coarse,
+    Fine,
+}
+
+/// PMIS coarsening over strength matrix `s` (row `i` = points `i`
+/// strongly depends on).
+pub fn pmis(s: &Csr, seed: u64) -> Coarsening {
+    let n = s.nrows();
+    assert_eq!(n, s.ncols());
+    let st = transpose_par(s);
+
+    // measure(i) = |{j : j depends on i}| + rand[0,1).
+    let measure: Vec<f64> = (0..n)
+        .into_par_iter()
+        .map(|i| st.row_nnz(i) as f64 + uniform01(seed, i as u64))
+        .collect();
+
+    let mut state: Vec<State> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            if st.row_nnz(i) == 0 {
+                // Nobody depends on i: it can never be a useful C-point.
+                State::Fine
+            } else {
+                State::Undecided
+            }
+        })
+        .collect();
+
+    // Round-based parallel MIS.
+    loop {
+        // Selection: i joins C iff its measure beats every undecided
+        // neighbour in the symmetrized graph S_i ∪ Sᵀ_i.
+        let selected: Vec<usize> = (0..n)
+            .into_par_iter()
+            .filter(|&i| {
+                if state[i] != State::Undecided {
+                    return false;
+                }
+                let wins = |j: usize| state[j] != State::Undecided || measure[i] > measure[j];
+                s.row_cols(i).iter().all(|&j| wins(j))
+                    && st.row_cols(i).iter().all(|&j| wins(j))
+            })
+            .collect();
+        if selected.is_empty() {
+            // No undecided point can win => no undecided points remain
+            // (in any component the max-measure point always wins).
+            debug_assert!(state.iter().all(|&s| s != State::Undecided));
+            break;
+        }
+        for &i in &selected {
+            state[i] = State::Coarse;
+        }
+        // Demotion: undecided points that strongly depend on a C-point
+        // become F (they will interpolate from it).
+        let demoted: Vec<usize> = (0..n)
+            .into_par_iter()
+            .filter(|&i| {
+                state[i] == State::Undecided
+                    && s.row_cols(i).iter().any(|&j| state[j] == State::Coarse)
+            })
+            .collect();
+        for &i in &demoted {
+            state[i] = State::Fine;
+        }
+    }
+
+    Coarsening::from_marker(state.into_iter().map(|s| s == State::Coarse).collect())
+}
+
+/// Aggressive coarsening: a second PMIS pass over the distance-≤2
+/// strength graph restricted to the first pass's C-points. Produces a much
+/// smaller coarse grid (the paper pairs it with long-range interpolation:
+/// multipass or 2-stage extended+i).
+pub fn aggressive_pmis(s: &Csr, seed: u64) -> Coarsening {
+    aggressive_pmis_stages(s, seed).1
+}
+
+/// Aggressive coarsening returning both stages: the first-pass PMIS
+/// splitting (needed by 2-stage extended+i interpolation) and the final
+/// splitting (a subset of the first-pass C-points).
+pub fn aggressive_pmis_stages(s: &Csr, seed: u64) -> (Coarsening, Coarsening) {
+    let first = pmis(s, seed);
+    let n = s.nrows();
+    // Map C-points to compact indices.
+    let mut cidx = vec![usize::MAX; n];
+    let mut cpts = Vec::with_capacity(first.ncoarse);
+    for i in 0..n {
+        if first.is_coarse[i] {
+            cidx[i] = cpts.len();
+            cpts.push(i);
+        }
+    }
+    // Build S2 over C-points: c ~ d iff d reachable from c within two
+    // strength edges (c→d or c→x→d).
+    let mut trips: Vec<(usize, usize, f64)> = Vec::new();
+    for (ci, &i) in cpts.iter().enumerate() {
+        let mut push = |j: usize| {
+            if j != i && cidx[j] != usize::MAX {
+                trips.push((ci, cidx[j], 1.0));
+            }
+        };
+        for &j in s.row_cols(i) {
+            push(j);
+            for &k in s.row_cols(j) {
+                push(k);
+            }
+        }
+    }
+    let s2 = Csr::from_triplets(cpts.len(), cpts.len(), trips);
+    let second = pmis(&s2, seed.wrapping_add(1));
+    let mut is_coarse = vec![false; n];
+    for (ci, &i) in cpts.iter().enumerate() {
+        if second.is_coarse[ci] {
+            is_coarse[i] = true;
+        }
+    }
+    (first, Coarsening::from_marker(is_coarse))
+}
+
+/// Validates the PMIS invariants for testing: (1) no two C-points are
+/// strength-graph neighbours, and (2) every F-point with strong
+/// dependencies has at least one C-point within distance `dist` in the
+/// strength graph.
+pub fn validate_cf(s: &Csr, c: &Coarsening, dist: usize) -> Result<(), String> {
+    let n = s.nrows();
+    let st = famg_sparse::transpose::transpose(s);
+    // Independence over the symmetrized graph.
+    for i in 0..n {
+        if !c.is_coarse[i] {
+            continue;
+        }
+        for &j in s.row_cols(i).iter().chain(st.row_cols(i)) {
+            if c.is_coarse[j] {
+                return Err(format!("C-points {i} and {j} are neighbours"));
+            }
+        }
+    }
+    // Coverage within `dist` hops along dependencies.
+    for i in 0..n {
+        if c.is_coarse[i] || s.row_nnz(i) == 0 {
+            continue;
+        }
+        let mut frontier = vec![i];
+        let mut found = false;
+        'bfs: for _ in 0..dist {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for &v in s.row_cols(u) {
+                    if c.is_coarse[v] {
+                        found = true;
+                        break 'bfs;
+                    }
+                    next.push(v);
+                }
+            }
+            frontier = next;
+        }
+        if !found {
+            return Err(format!("F-point {i} has no C-point within {dist} hops"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strength::strength;
+    use famg_matgen::{laplace2d, laplace3d_7pt};
+
+    #[test]
+    fn pmis_on_laplace2d_is_valid() {
+        let a = laplace2d(20, 20);
+        let s = strength(&a, 0.25, 0.8);
+        let c = pmis(&s, 1);
+        assert!(c.ncoarse > 0 && c.ncoarse < a.nrows());
+        validate_cf(&s, &c, 1).unwrap();
+    }
+
+    #[test]
+    fn pmis_coarsening_ratio_reasonable_2d() {
+        // 5-point Laplacian: PMIS typically keeps ~1/4 of the points.
+        let a = laplace2d(50, 50);
+        let s = strength(&a, 0.25, 0.8);
+        let c = pmis(&s, 2);
+        let ratio = c.ncoarse as f64 / a.nrows() as f64;
+        assert!(ratio > 0.1 && ratio < 0.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn pmis_deterministic_per_seed() {
+        let a = laplace3d_7pt(8, 8, 8);
+        let s = strength(&a, 0.25, 0.8);
+        let c1 = pmis(&s, 7);
+        let c2 = pmis(&s, 7);
+        assert_eq!(c1.is_coarse, c2.is_coarse);
+        let c3 = pmis(&s, 8);
+        assert_ne!(c1.is_coarse, c3.is_coarse);
+    }
+
+    #[test]
+    fn isolated_points_become_fine() {
+        // Empty strength matrix: every point isolated -> all F.
+        let s = Csr::zero(5, 5);
+        let c = pmis(&s, 1);
+        assert_eq!(c.ncoarse, 0);
+    }
+
+    #[test]
+    fn two_connected_points_one_coarse() {
+        let s = Csr::from_triplets(2, 2, vec![(0, 1, -1.0), (1, 0, -1.0)]);
+        let c = pmis(&s, 3);
+        assert_eq!(c.ncoarse, 1);
+    }
+
+    #[test]
+    fn aggressive_coarsens_harder() {
+        let a = laplace2d(40, 40);
+        let s = strength(&a, 0.25, 0.8);
+        let std = pmis(&s, 5);
+        let agg = aggressive_pmis(&s, 5);
+        assert!(agg.ncoarse > 0);
+        assert!(
+            agg.ncoarse < std.ncoarse / 2,
+            "aggressive {} vs standard {}",
+            agg.ncoarse,
+            std.ncoarse
+        );
+        // Aggressive C-points are a subset of the first-pass C-points.
+        for i in 0..a.nrows() {
+            if agg.is_coarse[i] {
+                assert!(std.is_coarse[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn aggressive_coverage_within_distance_four() {
+        // Aggressive PMIS guarantees every F-point reaches a C-point
+        // within ~2 first-pass hops each of which is ≤2 strength edges.
+        let a = laplace2d(30, 30);
+        let s = strength(&a, 0.25, 0.8);
+        let agg = aggressive_pmis(&s, 9);
+        validate_cf(&s, &agg, 4).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn directed_strength_handled() {
+        // Asymmetric strength: 0 depends on 1 but not vice versa.
+        let s = Csr::from_triplets(3, 3, vec![(0, 1, -1.0), (2, 1, -1.0)]);
+        let c = pmis(&s, 11);
+        // Point 1 is depended on by 0 and 2 -> highest measure -> C.
+        assert!(c.is_coarse[1]);
+        assert!(!c.is_coarse[0]);
+        assert!(!c.is_coarse[2]);
+    }
+}

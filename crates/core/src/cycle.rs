@@ -1,0 +1,298 @@
+//! V-cycle application (the AMG solve-phase kernel).
+//!
+//! Per level: pre-smooth (C then F), restrict the residual, recurse with a
+//! zero initial guess, prolongate-and-correct, post-smooth (F then C).
+//! The coarsest level is solved directly (dense LU) when small enough,
+//! otherwise relaxed with extra smoothing sweeps.
+//!
+//! Optimized-path levels store CF-permuted operators; restriction output
+//! is scattered through the child level's permutation and prolongation
+//! input gathered back, so each level works entirely in its own stored
+//! ordering.
+
+use crate::hierarchy::{Hierarchy, TransferOps};
+use crate::smoother::Workspace;
+use crate::stats::PhaseTimes;
+use famg_sparse::spmv::{interp_apply_add, restrict_apply, spmv};
+use famg_sparse::transpose::transpose_par;
+use famg_sparse::Csr;
+use std::time::Instant;
+
+/// Reusable per-level buffers for V-cycles.
+#[derive(Debug, Default)]
+pub struct CycleWorkspace {
+    /// Residual per level.
+    r: Vec<Vec<f64>>,
+    /// Coarse right-hand side per level.
+    bc: Vec<Vec<f64>>,
+    /// Coarse correction per level.
+    xc: Vec<Vec<f64>>,
+    /// Scratch for permutation scatter/gather.
+    scratch: Vec<Vec<f64>>,
+    /// Smoother workspace shared across levels.
+    pub smoother_ws: Workspace,
+}
+
+impl CycleWorkspace {
+    /// Allocates buffers sized for `h`.
+    pub fn for_hierarchy(h: &Hierarchy) -> Self {
+        let mut ws = CycleWorkspace::default();
+        for l in &h.levels {
+            let n = l.a.nrows();
+            let nc = l.nc;
+            ws.r.push(vec![0.0; n]);
+            ws.bc.push(vec![0.0; nc]);
+            ws.xc.push(vec![0.0; nc]);
+            ws.scratch.push(vec![0.0; n.max(nc)]);
+        }
+        ws
+    }
+}
+
+/// Applies one V-cycle: `x <- Vcycle(b, x)` at the finest stored level.
+///
+/// `x` and `b` are in the finest level's *stored* ordering (the solver
+/// wrapper handles the external permutation). `x_is_zero` enables the
+/// zero-guess smoothing skip on the way down.
+pub fn vcycle(h: &Hierarchy, b: &[f64], x: &mut [f64], ws: &mut CycleWorkspace, times: &mut PhaseTimes) {
+    cycle_level(h, 0, b, x, ws, times, false, h.config.cycle)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn cycle_level(
+    h: &Hierarchy,
+    level: usize,
+    b: &[f64],
+    x: &mut [f64],
+    ws: &mut CycleWorkspace,
+    times: &mut PhaseTimes,
+    x_is_zero: bool,
+    kind: crate::params::CycleKind,
+) {
+    let lvl = &h.levels[level];
+    let a = &lvl.a;
+    let n = a.nrows();
+    debug_assert_eq!(b.len(), n);
+    debug_assert_eq!(x.len(), n);
+
+    // Coarsest level: direct solve or heavy smoothing.
+    if lvl.ops.is_none() {
+        let t0 = Instant::now();
+        if let Some(lu) = &h.coarse_lu {
+            let sol = lu.solve(b);
+            x.copy_from_slice(&sol);
+        } else {
+            for s in 0..4 * h.config.num_sweeps {
+                lvl.smoother
+                    .pre_smooth(a, b, x, &mut ws.smoother_ws, x_is_zero && s == 0);
+            }
+        }
+        times.solve_etc += t0.elapsed();
+        return;
+    }
+
+    // Pre-smoothing: C then F.
+    let t0 = Instant::now();
+    for s in 0..h.config.num_sweeps {
+        lvl.smoother
+            .pre_smooth(a, b, x, &mut ws.smoother_ws, x_is_zero && s == 0);
+    }
+    times.gs += t0.elapsed();
+
+    // Residual.
+    let t0 = Instant::now();
+    {
+        // Split borrows: take the residual buffer out to appease aliasing.
+        let mut r = std::mem::take(&mut ws.r[level]);
+        spmv(a, x, &mut r);
+        for (ri, bi) in r.iter_mut().zip(b) {
+            *ri = bi - *ri;
+        }
+        ws.r[level] = r;
+    }
+    times.spmv += t0.elapsed();
+
+    // Restrict into the child's stored ordering.
+    let nc = lvl.nc;
+    let mut bc = std::mem::take(&mut ws.bc[level]);
+    let t0 = Instant::now();
+    match lvl.ops.as_ref().unwrap() {
+        TransferOps::CfBlock { pft, .. } => {
+            restrict_apply(pft, nc, &ws.r[level], &mut bc);
+        }
+        TransferOps::Full { p, r } => {
+            match r {
+                Some(rt) => spmv(rt, &ws.r[level], &mut bc),
+                None => {
+                    // Baseline: transpose P on every restriction.
+                    let rt = transpose_par(p);
+                    spmv(&rt, &ws.r[level], &mut bc);
+                }
+            }
+        }
+    }
+    times.spmv += t0.elapsed();
+    // Scatter through the child's permutation, if any.
+    let child_perm = h.levels[level + 1].perm.as_ref();
+    if let Some(q) = child_perm {
+        let t0 = Instant::now();
+        let scratch = &mut ws.scratch[level + 1];
+        for (j, &v) in bc.iter().enumerate() {
+            scratch[q.forward[j]] = v;
+        }
+        bc.copy_from_slice(&scratch[..nc]);
+        times.solve_etc += t0.elapsed();
+    }
+
+    // Recurse with zero guess; W/F cycles revisit the coarse level.
+    let mut xc = std::mem::take(&mut ws.xc[level]);
+    xc.fill(0.0);
+    match kind {
+        crate::params::CycleKind::V => {
+            cycle_level(h, level + 1, &bc, &mut xc, ws, times, true, kind);
+        }
+        crate::params::CycleKind::W => {
+            cycle_level(h, level + 1, &bc, &mut xc, ws, times, true, kind);
+            cycle_level(h, level + 1, &bc, &mut xc, ws, times, false, kind);
+        }
+        crate::params::CycleKind::F => {
+            // F-cycle: an F-recursion followed by a V-recursion.
+            cycle_level(h, level + 1, &bc, &mut xc, ws, times, true, kind);
+            cycle_level(
+                h,
+                level + 1,
+                &bc,
+                &mut xc,
+                ws,
+                times,
+                false,
+                crate::params::CycleKind::V,
+            );
+        }
+    }
+
+    // Gather back out of the child's ordering.
+    if let Some(q) = h.levels[level + 1].perm.as_ref() {
+        let t0 = Instant::now();
+        let scratch = &mut ws.scratch[level + 1];
+        scratch[..nc].copy_from_slice(&xc);
+        for (j, xj) in xc.iter_mut().enumerate() {
+            *xj = scratch[q.forward[j]];
+        }
+        times.solve_etc += t0.elapsed();
+    }
+
+    // Prolongate and correct.
+    let t0 = Instant::now();
+    match lvl.ops.as_ref().unwrap() {
+        TransferOps::CfBlock { pf, .. } => {
+            interp_apply_add(pf, nc, &xc, x);
+        }
+        TransferOps::Full { p, .. } => {
+            add_spmv(p, &xc, x);
+        }
+    }
+    times.spmv += t0.elapsed();
+    ws.bc[level] = bc;
+    ws.xc[level] = xc;
+
+    // Post-smoothing: F then C.
+    let t0 = Instant::now();
+    for _ in 0..h.config.num_sweeps {
+        lvl.smoother.post_smooth(a, b, x, &mut ws.smoother_ws);
+    }
+    times.gs += t0.elapsed();
+}
+
+/// `x += P * xc` for the full-operator (baseline) representation.
+fn add_spmv(p: &Csr, xc: &[f64], x: &mut [f64]) {
+    famg_sparse::spmv::spmv_axpby(p, 1.0, xc, 1.0, x);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::AmgConfig;
+    use famg_matgen::{laplace2d, rhs};
+    use famg_sparse::spmv::residual_norm_sq;
+
+    fn rel_residual(a: &Csr, b: &[f64], x: &[f64]) -> f64 {
+        let mut r = vec![0.0; b.len()];
+        let rn = residual_norm_sq(a, x, b, &mut r).sqrt();
+        let bn = famg_sparse::vecops::norm2(b);
+        rn / bn
+    }
+
+    /// Runs `cycles` V-cycles handling the finest-level permutation the
+    /// way the solver wrapper does; returns relative residuals after each.
+    fn run_cycles(a: &Csr, cfg: &AmgConfig, b: &[f64], cycles: usize) -> Vec<f64> {
+        let h = Hierarchy::build(a, cfg);
+        let (pb, mut px) = match &h.levels[0].perm {
+            Some(q) => (q.apply_vec(b), vec![0.0; b.len()]),
+            None => (b.to_vec(), vec![0.0; b.len()]),
+        };
+        let pa = &h.levels[0].a;
+        let mut ws = CycleWorkspace::for_hierarchy(&h);
+        let mut t = PhaseTimes::default();
+        let mut out = Vec::new();
+        for _ in 0..cycles {
+            vcycle(&h, &pb, &mut px, &mut ws, &mut t);
+            out.push(rel_residual(pa, &pb, &px));
+        }
+        out
+    }
+
+    #[test]
+    fn single_vcycle_reduces_residual_strongly() {
+        let a = laplace2d(24, 24);
+        let b = rhs::ones(a.nrows());
+        for cfg in [
+            AmgConfig::single_node_paper(),
+            AmgConfig::single_node_baseline(),
+        ] {
+            let res = run_cycles(&a, &cfg, &b, 1);
+            // PMIS + extended+i V(1,1) factors are typically 0.1–0.4.
+            assert!(
+                res[0] < 0.45,
+                "V-cycle left relative residual {} (opt={})",
+                res[0],
+                cfg.opt.cf_reorder
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_vcycles_converge_geometrically() {
+        let a = laplace2d(32, 32);
+        let b = rhs::random(a.nrows(), 1);
+        let res = run_cycles(&a, &AmgConfig::single_node_paper(), &b, 8);
+        let mut prev = 1.0f64;
+        for &cur in &res {
+            assert!(cur < 0.55 * prev, "convergence factor too weak: {cur}/{prev}");
+            prev = cur;
+        }
+        assert!(prev < 1e-4);
+    }
+
+    #[test]
+    fn w_and_f_cycles_converge_at_least_as_fast() {
+        use crate::params::CycleKind;
+        let a = laplace2d(24, 24);
+        let b = rhs::ones(a.nrows());
+        let res_of = |kind: CycleKind| {
+            let cfg = AmgConfig {
+                cycle: kind,
+                ..AmgConfig::single_node_paper()
+            };
+            run_cycles(&a, &cfg, &b, 4)
+        };
+        let v = res_of(CycleKind::V);
+        let w = res_of(CycleKind::W);
+        let f = res_of(CycleKind::F);
+        // Per-cycle, W and F do strictly more coarse work and must not be
+        // meaningfully worse than V.
+        assert!(w[3] <= v[3] * 1.2, "W {} vs V {}", w[3], v[3]);
+        assert!(f[3] <= v[3] * 1.2, "F {} vs V {}", f[3], v[3]);
+        assert!(w.iter().all(|&r| r.is_finite()));
+    }
+}

@@ -1,0 +1,439 @@
+//! Multigrid hierarchy construction — the AMG setup phase.
+//!
+//! Per level: strength matrix → coarsening → (optional CF permutation) →
+//! interpolation → Galerkin RAP → smoother setup. Every step dispatches
+//! between the baseline and optimized kernels according to
+//! [`crate::params::OptFlags`], so the paper's Fig. 5 component speedups
+//! can be measured on identical hierarchies.
+
+use crate::coarsen::{aggressive_pmis_stages, pmis, Coarsening};
+use crate::interp::{
+    direct, extended_i, multipass, truncate_matrix, two_stage_extended_i, CfMap, TruncParams,
+};
+use crate::params::{AmgConfig, CoarsenKind, InterpKind, SmootherKind};
+use crate::reorder::cf_reorder;
+use crate::smoother::Smoother;
+use crate::stats::{PhaseTimes, SetupStats};
+use crate::strength::strength;
+use famg_sparse::dense::{DenseMatrix, LuFactor};
+use famg_sparse::permute::Permutation;
+use famg_sparse::transpose::transpose_par;
+use famg_sparse::triple::{rap_cf_from_parts, rap_row_fused, rap_scalar_fused};
+use famg_sparse::Csr;
+use std::time::Instant;
+
+/// Grid-transfer operators between a level and the next coarser one.
+#[derive(Debug)]
+pub enum TransferOps {
+    /// Baseline representation: the full `n × nc` interpolation operator
+    /// (identity rows interleaved). `r` is `Pᵀ`, kept only under the
+    /// `keep_transpose` optimization; otherwise restriction re-transposes
+    /// `P` on every application, as baseline HYPRE did.
+    Full {
+        /// Interpolation operator.
+        p: Csr,
+        /// Cached transpose, if `keep_transpose` is on.
+        r: Option<Csr>,
+    },
+    /// Optimized representation over the CF-permuted level: only the fine
+    /// block `P_F` of `P = [I; P_F]` plus its transpose (kept from setup).
+    CfBlock {
+        /// Fine rows of the interpolation operator (`nf × nc`).
+        pf: Csr,
+        /// `P_Fᵀ` (`nc × nf`).
+        pft: Csr,
+    },
+}
+
+/// One multigrid level.
+#[derive(Debug)]
+pub struct Level {
+    /// The operator (CF-permuted when the level was built with
+    /// `cf_reorder`; row-internally reordered when the optimized smoother
+    /// is active — neither affects SpMV semantics).
+    pub a: Csr,
+    /// The permutation mapping this level's raw index space (as produced
+    /// by the parent's RAP) to the stored ordering. `None` = identity.
+    pub perm: Option<Permutation>,
+    /// Number of coarse points (rows of the next level); 0 at the
+    /// coarsest level.
+    pub nc: usize,
+    /// Transfer operators to the next level (`None` at the coarsest).
+    pub ops: Option<TransferOps>,
+    /// The level smoother.
+    pub smoother: Smoother,
+}
+
+/// The assembled AMG hierarchy.
+#[derive(Debug)]
+pub struct Hierarchy {
+    /// Levels, finest first.
+    pub levels: Vec<Level>,
+    /// Dense factorization of the coarsest operator, when small enough.
+    pub coarse_lu: Option<LuFactor>,
+    /// Solver configuration the hierarchy was built with.
+    pub config: AmgConfig,
+    /// Per-level size statistics.
+    pub stats: SetupStats,
+    /// Setup-phase timing breakdown (Fig. 5 categories).
+    pub times: PhaseTimes,
+}
+
+fn build_smoother(
+    a: &mut Csr,
+    nc: usize,
+    is_coarse: Option<&[bool]>,
+    cfg: &AmgConfig,
+) -> Smoother {
+    let nthreads = famg_sparse::partition::num_threads();
+    match cfg.smoother {
+        SmootherKind::Jacobi => Smoother::jacobi(a, 2.0 / 3.0),
+        SmootherKind::HybridGs => {
+            if cfg.opt.reordered_smoother {
+                Smoother::hybrid_opt(a, nc, nthreads)
+            } else {
+                let marker = match is_coarse {
+                    Some(m) => m.to_vec(),
+                    None => vec![false; a.nrows()],
+                };
+                Smoother::hybrid_base(a, marker, nthreads)
+            }
+        }
+        SmootherKind::LexicographicGs => Smoother::lexicographic(a),
+        SmootherKind::MulticolorGs => Smoother::multicolor(a),
+        SmootherKind::L1Jacobi => {
+            Smoother::L1Jacobi(crate::smoother_ext::L1Jacobi::new(a, nthreads))
+        }
+        SmootherKind::L1HybridGs => {
+            Smoother::L1HybridGs(crate::smoother_ext::L1HybridGs::new(a, nthreads))
+        }
+        SmootherKind::Chebyshev => {
+            Smoother::Chebyshev(crate::smoother_ext::Chebyshev::new(a, 2, 30.0, 15))
+        }
+    }
+}
+
+/// Builds the interpolation operator for one level according to the
+/// configured scheme. Returns the full `n × nc` operator.
+#[allow(clippy::too_many_arguments)]
+fn build_interp(
+    a: &Csr,
+    s: &Csr,
+    cf: &CfMap,
+    stage1: Option<&Coarsening>,
+    final_c: &Coarsening,
+    kind: InterpKind,
+    cfg: &AmgConfig,
+) -> Csr {
+    let t = TruncParams {
+        factor: cfg.trunc_factor,
+        max_elements: cfg.max_elements,
+    };
+    let fused = cfg.opt.fused_truncation;
+    let trunc_arg = if fused { Some(&t) } else { None };
+    let p = match kind {
+        InterpKind::Direct => direct(a, s, cf, trunc_arg),
+        InterpKind::Classical => crate::interp::classical(a, s, cf, trunc_arg),
+        InterpKind::ExtendedI => extended_i(a, s, cf, trunc_arg),
+        InterpKind::Multipass => multipass(a, s, cf, trunc_arg),
+        InterpKind::TwoStageExtendedI => {
+            let stage1 = stage1.expect("two-stage interpolation requires aggressive coarsening");
+            // Two-stage truncates at every stage by definition.
+            return two_stage_extended_i(
+                a,
+                s,
+                stage1,
+                final_c,
+                cfg.strength_threshold,
+                cfg.max_row_sum,
+                Some(&t),
+            );
+        }
+    };
+    if fused {
+        p
+    } else {
+        // Baseline path: truncate as a separate pass over the full matrix.
+        truncate_matrix(&p, &t)
+    }
+}
+
+impl Hierarchy {
+    /// Runs the AMG setup phase on `a`.
+    pub fn build(a: &Csr, cfg: &AmgConfig) -> Hierarchy {
+        assert_eq!(a.nrows(), a.ncols(), "AMG needs a square operator");
+        let mut times = PhaseTimes::default();
+        let mut stats = SetupStats::default();
+        let mut levels: Vec<Level> = Vec::new();
+        let mut current: Csr = a.clone();
+
+        loop {
+            let n = current.nrows();
+            stats.level_rows.push(n);
+            stats.level_nnz.push(current.nnz());
+            let at_capacity = levels.len() + 1 >= cfg.max_levels;
+            if n <= cfg.coarse_solve_size || at_capacity {
+                break;
+            }
+
+            // --- Strength + coarsening. ---
+            let t0 = Instant::now();
+            let s = strength(&current, cfg.strength_threshold, cfg.max_row_sum);
+            let (ckind, ikind) = cfg.level_scheme(levels.len());
+            let (stage1, coarsening) = match ckind {
+                CoarsenKind::Pmis => (None, pmis(&s, cfg.seed.wrapping_add(levels.len() as u64))),
+                CoarsenKind::AggressivePmis => {
+                    let (first, fin) =
+                        aggressive_pmis_stages(&s, cfg.seed.wrapping_add(levels.len() as u64));
+                    (Some(first), fin)
+                }
+            };
+            times.strength_coarsen += t0.elapsed();
+            if coarsening.ncoarse == 0 || coarsening.ncoarse == n {
+                break; // cannot coarsen further
+            }
+
+            if cfg.opt.cf_reorder {
+                // --- Optimized path: permute coarse-first. ---
+                let t0 = Instant::now();
+                let (ap, ord) = cf_reorder(&current, &coarsening.is_coarse);
+                let sp = famg_sparse::permute::permute_symmetric(&s, &ord.perm);
+                // Permute the coarsening metadata into the new ordering.
+                let is_coarse_p: Vec<bool> = (0..n).map(|i| i < ord.nc).collect();
+                let permute_stage = |st: &Coarsening| Coarsening {
+                    is_coarse: {
+                        let mut v = vec![false; n];
+                        for i in 0..n {
+                            v[ord.perm.forward[i]] = st.is_coarse[i];
+                        }
+                        v
+                    },
+                    ncoarse: st.ncoarse,
+                };
+                let stage1_p = stage1.as_ref().map(&permute_stage);
+                let final_p = permute_stage(&coarsening);
+                times.setup_etc += t0.elapsed();
+
+                // --- Interpolation. ---
+                let t0 = Instant::now();
+                let cf = CfMap::new(is_coarse_p);
+                let p_full = build_interp(&ap, &sp, &cf, stage1_p.as_ref(), &final_p, ikind, cfg);
+                times.interp += t0.elapsed();
+
+                // --- Split into [I; P_F] and keep the transpose. ---
+                let t0 = Instant::now();
+                let nc = ord.nc;
+                let pf = extract_fine_block(&p_full, nc);
+                let pft = transpose_par(&pf);
+                times.setup_etc += t0.elapsed();
+
+                // --- RAP over the CF blocks. ---
+                let t0 = Instant::now();
+                let next = rap_cf_from_parts(&ap, nc, &pf);
+                times.rap += t0.elapsed();
+
+                // --- Smoother (reorders rows of `ap` in place). ---
+                let t0 = Instant::now();
+                let mut ap = ap;
+                let smoother = build_smoother(&mut ap, nc, None, cfg);
+                times.setup_etc += t0.elapsed();
+
+                levels.push(Level {
+                    a: ap,
+                    perm: Some(ord.perm),
+                    nc,
+                    ops: Some(TransferOps::CfBlock { pf, pft }),
+                    smoother,
+                });
+                stats.interp_nnz.push(p_full.nnz());
+                current = next;
+            } else {
+                // --- Baseline path: original ordering throughout. ---
+                let t0 = Instant::now();
+                let cf = CfMap::new(coarsening.is_coarse.clone());
+                let p = build_interp(&current, &s, &cf, stage1.as_ref(), &coarsening, ikind, cfg);
+                times.interp += t0.elapsed();
+
+                let t0 = Instant::now();
+                let r = transpose_par(&p);
+                let next = if cfg.opt.row_fused_rap {
+                    rap_row_fused(&r, &current, &p)
+                } else {
+                    rap_scalar_fused(&r, &current, &p)
+                };
+                times.rap += t0.elapsed();
+
+                let t0 = Instant::now();
+                let mut cur = current;
+                let smoother =
+                    build_smoother(&mut cur, coarsening.ncoarse, Some(&coarsening.is_coarse), cfg);
+                let r_kept = cfg.opt.keep_transpose.then_some(r);
+                times.setup_etc += t0.elapsed();
+
+                stats.interp_nnz.push(p.nnz());
+                levels.push(Level {
+                    a: cur,
+                    perm: None,
+                    nc: coarsening.ncoarse,
+                    ops: Some(TransferOps::Full { p, r: r_kept }),
+                    smoother,
+                });
+                current = next;
+            }
+        }
+
+        // --- Coarsest level. ---
+        let t0 = Instant::now();
+        let coarse_lu = if current.nrows() <= cfg.coarse_solve_size && current.nrows() > 0 {
+            LuFactor::new(&DenseMatrix::from_csr(&current))
+        } else {
+            None
+        };
+        let mut cur = current;
+        let smoother = build_smoother(&mut cur, 0, None, cfg);
+        levels.push(Level {
+            a: cur,
+            perm: None,
+            nc: 0,
+            ops: None,
+            smoother,
+        });
+        times.setup_etc += t0.elapsed();
+
+        Hierarchy {
+            levels,
+            coarse_lu,
+            config: cfg.clone(),
+            stats,
+            times,
+        }
+    }
+
+    /// Number of levels.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Rows at the finest level.
+    pub fn n(&self) -> usize {
+        self.levels[0].a.nrows()
+    }
+}
+
+/// Extracts rows `nc..n` of a full interpolation operator (whose first
+/// `nc` rows must be the identity) as the `P_F` block.
+fn extract_fine_block(p: &Csr, nc: usize) -> Csr {
+    let n = p.nrows();
+    debug_assert!(
+        (0..nc).all(|i| p.row_nnz(i) == 1 && p.row_cols(i)[0] == i && p.row_vals(i)[0] == 1.0),
+        "top block of CF-permuted P must be the identity"
+    );
+    let rowptr: Vec<usize> = p.rowptr()[nc..=n]
+        .iter()
+        .map(|&x| x - p.rowptr()[nc])
+        .collect();
+    let lo = p.rowptr()[nc];
+    Csr::from_parts_unchecked(
+        n - nc,
+        p.ncols(),
+        rowptr,
+        p.colidx()[lo..].to_vec(),
+        p.values()[lo..].to_vec(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use famg_matgen::{laplace2d, laplace3d_7pt};
+
+    #[test]
+    fn builds_multiple_levels_opt() {
+        let a = laplace2d(32, 32);
+        let h = Hierarchy::build(&a, &AmgConfig::single_node_paper());
+        assert!(h.num_levels() >= 3, "levels: {}", h.num_levels());
+        // Levels shrink.
+        for w in h.stats.level_rows.windows(2) {
+            assert!(w[1] < w[0]);
+        }
+        // Coarsest small enough for LU.
+        assert!(h.coarse_lu.is_some());
+    }
+
+    #[test]
+    fn builds_multiple_levels_baseline() {
+        let a = laplace2d(32, 32);
+        let h = Hierarchy::build(&a, &AmgConfig::single_node_baseline());
+        assert!(h.num_levels() >= 3);
+        assert!(h.coarse_lu.is_some());
+        // Baseline keeps full P.
+        match h.levels[0].ops.as_ref().unwrap() {
+            TransferOps::Full { p, r } => {
+                assert_eq!(p.nrows(), a.nrows());
+                assert!(r.is_none(), "baseline must not keep the transpose");
+            }
+            _ => panic!("baseline should use Full ops"),
+        }
+    }
+
+    #[test]
+    fn operator_complexity_bounded() {
+        // With ei(4) truncation the paper keeps operator complexity
+        // small; ours must stay well below 3 on a 2D Laplacian.
+        let a = laplace2d(40, 40);
+        let h = Hierarchy::build(&a, &AmgConfig::single_node_paper());
+        let oc = h.stats.operator_complexity();
+        assert!(oc > 1.0 && oc < 3.0, "operator complexity {oc}");
+    }
+
+    #[test]
+    fn baseline_and_opt_same_grid_sizes() {
+        // Same seed, same coarsening -> identical level dimensions.
+        let a = laplace3d_7pt(10, 10, 10);
+        let hb = Hierarchy::build(&a, &AmgConfig::single_node_baseline());
+        let ho = Hierarchy::build(&a, &AmgConfig::single_node_paper());
+        assert_eq!(hb.stats.level_rows, ho.stats.level_rows);
+    }
+
+    #[test]
+    fn max_levels_respected() {
+        let a = laplace2d(64, 64);
+        let mut cfg = AmgConfig::single_node_paper();
+        cfg.max_levels = 3;
+        let h = Hierarchy::build(&a, &cfg);
+        assert!(h.num_levels() <= 3);
+    }
+
+    #[test]
+    fn coarse_block_identity_extraction() {
+        let p = Csr::from_triplets(
+            4,
+            2,
+            vec![(0, 0, 1.0), (1, 1, 1.0), (2, 0, 0.5), (3, 1, 0.25)],
+        );
+        let pf = extract_fine_block(&p, 2);
+        assert_eq!(pf.nrows(), 2);
+        assert_eq!(pf.get(0, 0), Some(0.5));
+        assert_eq!(pf.get(1, 1), Some(0.25));
+    }
+
+    #[test]
+    fn tiny_matrix_single_level() {
+        let a = laplace2d(4, 4); // 16 <= coarse_solve_size
+        let h = Hierarchy::build(&a, &AmgConfig::single_node_paper());
+        assert_eq!(h.num_levels(), 1);
+        assert!(h.coarse_lu.is_some());
+    }
+
+    #[test]
+    fn aggressive_configs_build() {
+        let a = laplace2d(32, 32);
+        for cfg in [AmgConfig::multi_node_mp(), AmgConfig::multi_node_2s_ei444()] {
+            let h = Hierarchy::build(&a, &cfg);
+            assert!(h.num_levels() >= 2, "{:?}", cfg.interp);
+            // Aggressive coarsening shrinks level 1 harder than standard.
+            let ratio = h.stats.level_rows[1] as f64 / h.stats.level_rows[0] as f64;
+            assert!(ratio < 0.2, "ratio {ratio} for {:?}", cfg.interp);
+        }
+    }
+}

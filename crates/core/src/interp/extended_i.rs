@@ -1,0 +1,337 @@
+//! Extended+i (distance-2) interpolation — Eq. 1 of the paper
+//! (De Sterck, Falgout, Nolting, Yang 2008).
+//!
+//! Each F-point `i` interpolates from
+//! `Ĉ_i = C_i^s ∪ ⋃_{j∈F_i^s} C_j^s` — its strong coarse neighbours plus
+//! the strong coarse neighbours of its strong *fine* neighbours:
+//!
+//! ```text
+//! w_ij = -(1/ã_ii) (a_ij + Σ_{k∈F_i^s} a_ik ā_kj / b_ik),   j ∈ Ĉ_i
+//! ã_ii = a_ii + Σ_{n∈N_i^w \ Ĉ_i} a_in + Σ_{k∈F_i^s} a_ik ā_ki / b_ik
+//! b_ik = Σ_{l∈Ĉ_i∪{i}} ā_kl,   ā_kl = a_kl when sign(a_kl) ≠ sign(a_kk), else 0
+//! ```
+//!
+//! Like SpGEMM, the construction touches neighbours-of-neighbours, and
+//! the output size is unknown a priori; the same chunked assembly used by
+//! the one-pass SpGEMM is used here. Truncation is fused into row
+//! construction when requested (§3.1.2).
+
+use super::common::{CfMap, TruncParams};
+use famg_sparse::partition::split_evenly;
+use famg_sparse::Csr;
+use rayon::prelude::*;
+
+/// Builds the extended+i interpolation operator (`n × nc`).
+///
+/// `trunc = Some(p)` applies fused per-row truncation; `None` returns the
+/// untruncated operator (the baseline then truncates as a separate pass).
+pub fn extended_i(a: &Csr, s: &Csr, cf: &CfMap, trunc: Option<&TruncParams>) -> Csr {
+    let n = a.nrows();
+    assert_eq!(s.nrows(), n);
+    assert_eq!(cf.len(), n);
+    if n == 0 {
+        return Csr::zero(0, 0);
+    }
+    let nthreads = famg_sparse::partition::num_threads();
+    let blocks = split_evenly(n, nthreads * 4);
+
+    struct Chunk {
+        row_nnz: Vec<usize>,
+        colidx: Vec<usize>,
+        values: Vec<f64>,
+    }
+
+    let chunks: Vec<Chunk> = blocks
+        .par_iter()
+        .map(|range| {
+            let mut ch = Chunk {
+                row_nnz: Vec::with_capacity(range.len()),
+                colidx: Vec::new(),
+                values: Vec::new(),
+            };
+            // Per-thread markers, epoch-stamped by row index.
+            let mut chat_row = vec![usize::MAX; n]; // membership stamp
+            let mut chat_pos = vec![0usize; n]; // position in chat list
+            let mut strong_row = vec![usize::MAX; n]; // S_i membership
+            let mut chat: Vec<usize> = Vec::new();
+            let mut num: Vec<f64> = Vec::new();
+            let mut out_cols: Vec<usize> = Vec::new();
+            let mut out_vals: Vec<f64> = Vec::new();
+
+            for i in range.clone() {
+                if cf.is_coarse[i] {
+                    out_cols.push(cf.cmap[i]);
+                    out_vals.push(1.0);
+                    ch.row_nnz.push(1);
+                    ch.colidx.append(&mut out_cols);
+                    ch.values.append(&mut out_vals);
+                    continue;
+                }
+                chat.clear();
+                num.clear();
+                // --- Step 1: mark S_i and build Ĉ_i. ---
+                for &j in s.row_cols(i) {
+                    strong_row[j] = i;
+                }
+                let add_chat = |c: usize,
+                                    chat: &mut Vec<usize>,
+                                    num: &mut Vec<f64>,
+                                    chat_row: &mut [usize],
+                                    chat_pos: &mut [usize]| {
+                    if chat_row[c] != i {
+                        chat_row[c] = i;
+                        chat_pos[c] = chat.len();
+                        chat.push(c);
+                        num.push(0.0);
+                    }
+                };
+                for &j in s.row_cols(i) {
+                    if cf.is_coarse[j] {
+                        add_chat(j, &mut chat, &mut num, &mut chat_row, &mut chat_pos);
+                    } else {
+                        for &k in s.row_cols(j) {
+                            if cf.is_coarse[k] {
+                                add_chat(k, &mut chat, &mut num, &mut chat_row, &mut chat_pos);
+                            }
+                        }
+                    }
+                }
+                if chat.is_empty() {
+                    // No interpolatory set: empty row, smoother-only point.
+                    ch.row_nnz.push(0);
+                    continue;
+                }
+                // --- Steps 2–4: diagonal, numerators, distribution. ---
+                let mut atilde = 0.0f64;
+                // First pass over A_i: diagonal, weak lumping, direct
+                // numerator contributions.
+                for (j, v) in a.row_iter(i) {
+                    if j == i {
+                        atilde += v;
+                    } else if chat_row[j] == i {
+                        num[chat_pos[j]] += v;
+                    } else if strong_row[j] != i {
+                        // Weak neighbour outside Ĉ_i: lump into diagonal.
+                        atilde += v;
+                    }
+                    // Strong fine neighbours handled below; strong coarse
+                    // neighbours are in Ĉ_i (handled above).
+                }
+                // Distribution through strong fine neighbours.
+                for (k, aik) in a.row_iter(i) {
+                    if k == i || strong_row[k] != i || cf.is_coarse[k] {
+                        continue;
+                    }
+                    let akk = a.diag(k);
+                    // b_ik and ā_ki in one sweep of row k.
+                    let mut bik = 0.0f64;
+                    let mut abar_ki = 0.0f64;
+                    for (l, v) in a.row_iter(k) {
+                        if v * akk < 0.0 {
+                            if l == i {
+                                bik += v;
+                                abar_ki = v;
+                            } else if chat_row[l] == i {
+                                bik += v;
+                            }
+                        }
+                    }
+                    if bik == 0.0 {
+                        // Nothing to distribute to: lump a_ik (HYPRE's
+                        // guard against zero denominators).
+                        atilde += aik;
+                        continue;
+                    }
+                    let coef = aik / bik;
+                    atilde += coef * abar_ki;
+                    for (l, v) in a.row_iter(k) {
+                        if l != i && v * akk < 0.0 && chat_row[l] == i {
+                            num[chat_pos[l]] += coef * v;
+                        }
+                    }
+                }
+                if atilde == 0.0 {
+                    ch.row_nnz.push(0);
+                    continue;
+                }
+                // --- Step 5: weights. ---
+                for (pos, &c) in chat.iter().enumerate() {
+                    let w = -num[pos] / atilde;
+                    if w != 0.0 {
+                        out_cols.push(cf.cmap[c]);
+                        out_vals.push(w);
+                    }
+                }
+                if let Some(t) = trunc {
+                    super::common::truncate_row(&mut out_cols, &mut out_vals, t);
+                }
+                ch.row_nnz.push(out_cols.len());
+                ch.colidx.append(&mut out_cols);
+                ch.values.append(&mut out_vals);
+            }
+            ch
+        })
+        .collect();
+
+    // Stitch chunks.
+    let mut rowptr = vec![0usize; n + 1];
+    let mut idx = 0usize;
+    let mut acc = 0usize;
+    for c in &chunks {
+        for &k in &c.row_nnz {
+            rowptr[idx] = acc;
+            acc += k;
+            idx += 1;
+        }
+    }
+    rowptr[n] = acc;
+    let mut colidx = vec![0usize; acc];
+    let mut values = vec![0.0f64; acc];
+    let mut dst = 0usize;
+    for c in &chunks {
+        colidx[dst..dst + c.colidx.len()].copy_from_slice(&c.colidx);
+        values[dst..dst + c.values.len()].copy_from_slice(&c.values);
+        dst += c.colidx.len();
+    }
+    Csr::from_parts_unchecked(n, cf.nc, rowptr, colidx, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coarsen::pmis;
+    use crate::strength::strength;
+    use famg_matgen::{laplace2d, laplace3d_7pt};
+
+    #[test]
+    fn hand_computed_1d_example() {
+        // 1D tridiag(-1, 2, -1), n = 5, C = {0, 3}.
+        // For F-point 1: Ĉ = {0, 3}, b_{1,2} = -2, ã = 1.5,
+        // w_0 = 2/3, w_3 = 1/3 (see module docs derivation).
+        let mut trips = Vec::new();
+        for i in 0..5usize {
+            trips.push((i, i, 2.0));
+            if i > 0 {
+                trips.push((i, i - 1, -1.0));
+            }
+            if i < 4 {
+                trips.push((i, i + 1, -1.0));
+            }
+        }
+        let a = Csr::from_triplets(5, 5, trips);
+        let s = strength(&a, 0.25, 10.0);
+        let cf = CfMap::new(vec![true, false, false, true, false]);
+        let p = extended_i(&a, &s, &cf, None);
+        assert_eq!(p.ncols(), 2);
+        // Row 1: w(col 0) = 2/3, w(col 1 = point 3) = 1/3.
+        assert!((p.get(1, 0).unwrap() - 2.0 / 3.0).abs() < 1e-14);
+        assert!((p.get(1, 1).unwrap() - 1.0 / 3.0).abs() < 1e-14);
+        // Row 2 (F between 1 and 3): symmetric problem, Ĉ = {0, 3}.
+        let w: f64 = p.row_vals(2).iter().sum();
+        assert!((w - 1.0).abs() < 1e-12);
+        // Coarse rows identity.
+        assert_eq!(p.row_cols(0), &[0]);
+        assert_eq!(p.row_vals(0), &[1.0]);
+        assert_eq!(p.row_cols(3), &[1]);
+    }
+
+    fn setup(a: &Csr, seed: u64) -> (Csr, CfMap) {
+        let s = strength(a, 0.25, 0.8);
+        let c = pmis(&s, seed);
+        (s, CfMap::new(c.is_coarse))
+    }
+
+    #[test]
+    fn constant_preserved_on_interior_rows() {
+        let a = laplace2d(15, 15);
+        let (s, cf) = setup(&a, 3);
+        let p = extended_i(&a, &s, &cf, None);
+        for i in 0..a.nrows() {
+            let row_sum: f64 = a.row_vals(i).iter().sum();
+            if row_sum.abs() < 1e-12 && p.row_nnz(i) > 0 {
+                let w: f64 = p.row_vals(i).iter().sum();
+                assert!((w - 1.0).abs() < 1e-10, "row {i}: Σw = {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_rows_capped_and_sum_preserved() {
+        let a = laplace3d_7pt(8, 8, 8);
+        let (s, cf) = setup(&a, 5);
+        let t = TruncParams::paper();
+        let p = extended_i(&a, &s, &cf, Some(&t));
+        for i in 0..a.nrows() {
+            if !cf.is_coarse[i] {
+                assert!(p.row_nnz(i) <= 4, "row {i} has {} entries", p.row_nnz(i));
+            }
+        }
+    }
+
+    #[test]
+    fn fused_truncation_equals_post_truncation() {
+        // The optimized (fused) and baseline (separate-pass) truncation
+        // must produce identical operators.
+        let a = laplace3d_7pt(6, 6, 6);
+        let (s, cf) = setup(&a, 7);
+        let t = TruncParams::paper();
+        let fused = extended_i(&a, &s, &cf, Some(&t));
+        let post = super::super::common::truncate_matrix(&extended_i(&a, &s, &cf, None), &t);
+        assert_eq!(fused, post);
+    }
+
+    #[test]
+    fn every_fine_point_with_strong_neighbours_interpolates() {
+        let a = laplace2d(20, 20);
+        let (s, cf) = setup(&a, 11);
+        let p = extended_i(&a, &s, &cf, None);
+        for i in 0..a.nrows() {
+            if !cf.is_coarse[i] && s.row_nnz(i) > 0 {
+                assert!(p.row_nnz(i) > 0, "fine point {i} has empty row");
+            }
+        }
+    }
+
+    #[test]
+    fn weights_reference_valid_coarse_columns() {
+        let a = laplace2d(13, 9);
+        let (s, cf) = setup(&a, 13);
+        let p = extended_i(&a, &s, &cf, Some(&TruncParams::paper()));
+        assert_eq!(p.ncols(), cf.nc);
+        assert!(p.no_duplicate_cols());
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let a = laplace3d_7pt(7, 7, 7);
+        let (s, cf) = setup(&a, 17);
+        let p1 = extended_i(&a, &s, &cf, Some(&TruncParams::paper()));
+        let p2 = extended_i(&a, &s, &cf, Some(&TruncParams::paper()));
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn distance_two_reach() {
+        // 1D chain with C = {0, 4}: point 2 has no coarse neighbour at
+        // distance one — the extended set must reach {0, 4} through its
+        // strong fine neighbours, and by symmetry give weights 1/2, 1/2.
+        let mut trips = Vec::new();
+        for i in 0..5usize {
+            trips.push((i, i, 2.0));
+            if i > 0 {
+                trips.push((i, i - 1, -1.0));
+            }
+            if i < 4 {
+                trips.push((i, i + 1, -1.0));
+            }
+        }
+        let a = Csr::from_triplets(5, 5, trips);
+        let s = strength(&a, 0.25, 10.0);
+        let cf = CfMap::new(vec![true, false, false, false, true]);
+        assert!(!s.row_cols(2).iter().any(|&j| cf.is_coarse[j]));
+        let p = extended_i(&a, &s, &cf, None);
+        assert_eq!(p.row_nnz(2), 2, "point 2 must interpolate at distance 2");
+        assert!((p.get(2, 0).unwrap() - 0.5).abs() < 1e-12);
+        assert!((p.get(2, 1).unwrap() - 0.5).abs() < 1e-12);
+    }
+}

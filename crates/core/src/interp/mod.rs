@@ -1,0 +1,31 @@
+//! Interpolation operator construction (§3.1.2).
+//!
+//! Four operators, matching Tables 3/4:
+//!
+//! * [`direct`] — textbook direct (distance-1) interpolation,
+//! * [`extended_i`] — extended+i distance-2 interpolation (Eq. 1 of the
+//!   paper), the single-node default (`ei(4)`),
+//! * [`multipass`] — Stüben's multipass interpolation for aggressive
+//!   coarsening (`mp`),
+//! * [`two_stage_extended_i`] — extended+i composed across the two PMIS
+//!   stages of aggressive coarsening with truncation at every stage
+//!   (`2s-ei(444)`).
+//!
+//! Every builder returns a full `n × nc` operator whose coarse rows are
+//! identity rows; the optimized solver path permutes points coarse-first
+//! so the operator takes the `[I; P_F]` form exploited by the CF-block
+//! RAP and the interpolation/restriction SpMVs.
+
+mod classical;
+mod common;
+mod direct;
+mod extended_i;
+mod multipass;
+mod two_stage;
+
+pub use classical::classical;
+pub use common::{truncate_matrix, truncate_row, CfMap, TruncParams};
+pub use direct::direct;
+pub use extended_i::extended_i;
+pub use multipass::multipass;
+pub use two_stage::two_stage_extended_i;

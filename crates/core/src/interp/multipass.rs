@@ -1,0 +1,213 @@
+//! Multipass interpolation (Stüben 1999) — the `mp` scheme of Fig. 6/8.
+//!
+//! Designed for aggressive coarsening, where many F-points have no coarse
+//! point within distance one: F-points adjacent to C-points get direct
+//! interpolation (pass 1); every later pass interpolates the F-points
+//! whose strong neighbours were assigned in earlier passes by composing
+//! their weights. Cheap to build (the paper's fastest setup) but less
+//! accurate than 2-stage extended+i.
+
+use super::common::{CfMap, TruncParams};
+use famg_sparse::Csr;
+
+/// Builds the multipass interpolation operator (`n × nc`).
+pub fn multipass(a: &Csr, s: &Csr, cf: &CfMap, trunc: Option<&TruncParams>) -> Csr {
+    let n = a.nrows();
+    assert_eq!(s.nrows(), n);
+    // Per-row assembled weights (point space): built pass by pass.
+    let mut rows: Vec<Option<(Vec<usize>, Vec<f64>)>> = vec![None; n];
+    // Pass 0: C-points are identity.
+    for i in 0..n {
+        if cf.is_coarse[i] {
+            rows[i] = Some((vec![cf.cmap[i]], vec![1.0]));
+        }
+    }
+    // Pass 1: F-points with strong coarse neighbours -> direct interp.
+    let direct_p = super::direct::direct(a, s, cf, None);
+    for i in 0..n {
+        if !cf.is_coarse[i] && direct_p.row_nnz(i) > 0 {
+            rows[i] = Some((
+                direct_p.row_cols(i).to_vec(),
+                direct_p.row_vals(i).to_vec(),
+            ));
+        }
+    }
+    // Later passes: compose weights of already-assigned strong neighbours.
+    let mut marker = vec![usize::MAX; cf.nc];
+    let mut pass = 2usize;
+    loop {
+        let todo: Vec<usize> = (0..n)
+            .filter(|&i| {
+                rows[i].is_none() && s.row_cols(i).iter().any(|&j| rows[j].is_some())
+            })
+            .collect();
+        if todo.is_empty() {
+            break;
+        }
+        // Snapshot which rows are assigned so this pass only reads prior
+        // passes (order independence within a pass).
+        let assigned: Vec<bool> = rows.iter().map(|r| r.is_some()).collect();
+        let mut new_rows: Vec<(usize, Vec<usize>, Vec<f64>)> = Vec::with_capacity(todo.len());
+        for &i in &todo {
+            let diag = a.diag(i);
+            // Scale so the full row of A is represented by the assigned
+            // strong neighbours (direct-interpolation style lumping).
+            let all_sum: f64 = a
+                .row_iter(i)
+                .filter(|&(c, _)| c != i)
+                .map(|(_, v)| v)
+                .sum();
+            let strong_done_sum: f64 = a
+                .row_iter(i)
+                .filter(|&(c, _)| {
+                    c != i && assigned[c] && s.row_cols(i).contains(&c)
+                })
+                .map(|(_, v)| v)
+                .sum();
+            if strong_done_sum == 0.0 || diag == 0.0 {
+                continue; // try again next pass (or stay empty)
+            }
+            let alpha = all_sum / strong_done_sum;
+            let mut cols: Vec<usize> = Vec::new();
+            let mut vals: Vec<f64> = Vec::new();
+            for (k, v) in a.row_iter(i) {
+                if k == i || !assigned[k] || !s.row_cols(i).contains(&k) {
+                    continue;
+                }
+                let (pc, pv) = rows[k].as_ref().unwrap();
+                let coef = -alpha * v / diag;
+                for (c, w) in pc.iter().zip(pv) {
+                    if marker[*c] == usize::MAX || marker[*c] >= cols.len() || cols[marker[*c]] != *c
+                    {
+                        marker[*c] = cols.len();
+                        cols.push(*c);
+                        vals.push(coef * w);
+                    } else {
+                        vals[marker[*c]] += coef * w;
+                    }
+                }
+            }
+            // Reset marker entries used by this row.
+            for &c in &cols {
+                marker[c] = usize::MAX;
+            }
+            if !cols.is_empty() {
+                new_rows.push((i, cols, vals));
+            }
+        }
+        if new_rows.is_empty() {
+            break;
+        }
+        for (i, cols, vals) in new_rows {
+            rows[i] = Some((cols, vals));
+        }
+        pass += 1;
+        if pass > n {
+            break; // safety net; cannot happen on finite graphs
+        }
+    }
+    // Assemble, truncating fine rows.
+    let mut rowptr = Vec::with_capacity(n + 1);
+    let mut colidx = Vec::new();
+    let mut values = Vec::new();
+    rowptr.push(0);
+    let mut tc = Vec::new();
+    let mut tv = Vec::new();
+    for i in 0..n {
+        if let Some((cols, vals)) = &rows[i] {
+            tc.clear();
+            tv.clear();
+            tc.extend_from_slice(cols);
+            tv.extend_from_slice(vals);
+            if !cf.is_coarse[i] {
+                if let Some(t) = trunc {
+                    super::common::truncate_row(&mut tc, &mut tv, t);
+                }
+            }
+            colidx.extend_from_slice(&tc);
+            values.extend_from_slice(&tv);
+        }
+        rowptr.push(colidx.len());
+    }
+    Csr::from_parts_unchecked(n, cf.nc, rowptr, colidx, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coarsen::{aggressive_pmis, pmis};
+    use crate::strength::strength;
+    use famg_matgen::laplace2d;
+
+    fn setup_aggressive(nx: usize, ny: usize, seed: u64) -> (Csr, Csr, CfMap) {
+        let a = laplace2d(nx, ny);
+        let s = strength(&a, 0.25, 0.8);
+        let c = aggressive_pmis(&s, seed);
+        let cf = CfMap::new(c.is_coarse);
+        (a, s, cf)
+    }
+
+    #[test]
+    fn covers_distant_fine_points() {
+        let (a, s, cf) = setup_aggressive(20, 20, 1);
+        let p = multipass(&a, &s, &cf, None);
+        // With aggressive coarsening many F-points are 2+ hops from any
+        // C-point; multipass must still interpolate them all (points
+        // with strong connections, that is).
+        for i in 0..a.nrows() {
+            if !cf.is_coarse[i] && s.row_nnz(i) > 0 {
+                assert!(p.row_nnz(i) > 0, "fine point {i} uncovered");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_preserved_exactly_on_neumann_operator() {
+        // With all row sums zero (pure Neumann), every interpolation row
+        // must sum to exactly 1 — no boundary contamination.
+        let a = famg_matgen::laplace2d_neumann(16, 16);
+        let s = strength(&a, 0.25, 10.0);
+        let c = aggressive_pmis(&s, 3);
+        let cf = CfMap::new(c.is_coarse);
+        let p = multipass(&a, &s, &cf, None);
+        for i in 0..a.nrows() {
+            if p.row_nnz(i) > 0 {
+                let w: f64 = p.row_vals(i).iter().sum();
+                assert!((w - 1.0).abs() < 1e-9, "row {i}: Σw = {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_direct_when_coarsening_standard() {
+        // With ordinary PMIS, every F-point has a strong C neighbour, so
+        // multipass stops after pass 1 and equals direct interpolation.
+        let a = laplace2d(12, 12);
+        let s = strength(&a, 0.25, 0.8);
+        let c = pmis(&s, 5);
+        let cf = CfMap::new(c.is_coarse);
+        let mp = multipass(&a, &s, &cf, None);
+        let d = super::super::direct::direct(&a, &s, &cf, None);
+        // Identical where direct has entries (pass-1 rows).
+        for i in 0..a.nrows() {
+            if d.row_nnz(i) > 0 {
+                assert_eq!(mp.row_cols(i), d.row_cols(i), "row {i}");
+                for (x, y) in mp.row_vals(i).iter().zip(d.row_vals(i)) {
+                    assert!((x - y).abs() < 1e-14);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_respected() {
+        let (a, s, cf) = setup_aggressive(24, 24, 7);
+        let t = TruncParams::paper();
+        let p = multipass(&a, &s, &cf, Some(&t));
+        for i in 0..a.nrows() {
+            if !cf.is_coarse[i] {
+                assert!(p.row_nnz(i) <= 4);
+            }
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Solver configuration, mirroring the paper's Tables 3 and 4.
+
+/// Multigrid cycle type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CycleKind {
+    /// One coarse-grid correction per level (the paper's cycle).
+    V,
+    /// Two coarse-grid corrections per level (more robust, more work).
+    W,
+    /// Full-multigrid style: an F-recursion followed by a V-recursion at
+    /// each level.
+    F,
+}
+
+/// Coarsening algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoarsenKind {
+    /// Parallel Modified Independent Set (De Sterck–Yang–Heys), the
+    /// paper's single-node choice (Table 3).
+    Pmis,
+    /// Aggressive coarsening: PMIS applied twice (a second pass over the
+    /// distance-2 strength graph of the first pass's C-points), used on
+    /// the top levels of the multi-node configurations (Table 4).
+    AggressivePmis,
+}
+
+/// Interpolation operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterpKind {
+    /// Direct interpolation (distance-1, textbook baseline).
+    Direct,
+    /// Classical Ruge–Stüben interpolation (distance-1 with F-F
+    /// distribution through common coarse points).
+    Classical,
+    /// Extended+i (distance-2) interpolation [De Sterck et al. 2008] —
+    /// the paper's single-node default, `ei(4)` in Fig. 6/8.
+    ExtendedI,
+    /// Multipass interpolation [Stüben 1999] for aggressive coarsening —
+    /// `mp` in Fig. 6/8.
+    Multipass,
+    /// Two-stage extended+i for aggressive coarsening [Yang 2010] —
+    /// `2s-ei(444)` in Fig. 6/8.
+    TwoStageExtendedI,
+}
+
+/// Smoother used in the V-cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmootherKind {
+    /// Weighted Jacobi (fully parallel).
+    Jacobi,
+    /// Hybrid Gauss-Seidel: GS within a parallel task, Jacobi across
+    /// tasks — the paper's default.
+    HybridGs,
+    /// Lexicographic Gauss-Seidel with level scheduling (wavefront
+    /// parallelism over the dependency DAG).
+    LexicographicGs,
+    /// Multi-color Gauss-Seidel (greedy coloring, color-parallel sweeps).
+    MulticolorGs,
+    /// ℓ1-Jacobi (reference \[26\]): unconditionally SPD-convergent.
+    L1Jacobi,
+    /// ℓ1-scaled hybrid Gauss-Seidel (reference \[26\]).
+    L1HybridGs,
+    /// Chebyshev polynomial smoothing (degree 2, reference \[26\]).
+    Chebyshev,
+}
+
+/// Per-optimization switches so each paper optimization can be ablated
+/// independently. `OptFlags::all()` is the paper's `HYPRE_opt`,
+/// `OptFlags::none()` is `HYPRE_base`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptFlags {
+    /// One-pass SpGEMM with per-thread chunks instead of two-pass (§3.1.1).
+    pub one_pass_spgemm: bool,
+    /// Row-fused RAP (Fig. 1a) instead of scalar-fused (Fig. 1b).
+    pub row_fused_rap: bool,
+    /// CF permutation + identity-block RAP and interpolation/restriction.
+    pub cf_reorder: bool,
+    /// Keep `R = Pᵀ` from setup instead of transposing per restriction.
+    pub keep_transpose: bool,
+    /// Reordered hybrid GS (Fig. 2b) instead of branchy baseline (Fig. 2a).
+    pub reordered_smoother: bool,
+    /// Fused SpMV + inner product for residual norms (§3.3).
+    pub fused_residual_norm: bool,
+    /// Fuse interpolation truncation into row construction (§3.1.2).
+    pub fused_truncation: bool,
+}
+
+impl OptFlags {
+    /// Every optimization enabled — the paper's `HYPRE_opt`.
+    pub const fn all() -> Self {
+        OptFlags {
+            one_pass_spgemm: true,
+            row_fused_rap: true,
+            cf_reorder: true,
+            keep_transpose: true,
+            reordered_smoother: true,
+            fused_residual_norm: true,
+            fused_truncation: true,
+        }
+    }
+
+    /// Every optimization disabled — the paper's `HYPRE_base`.
+    pub const fn none() -> Self {
+        OptFlags {
+            one_pass_spgemm: false,
+            row_fused_rap: false,
+            cf_reorder: false,
+            keep_transpose: false,
+            reordered_smoother: false,
+            fused_residual_norm: false,
+            fused_truncation: false,
+        }
+    }
+}
+
+impl Default for OptFlags {
+    fn default() -> Self {
+        OptFlags::all()
+    }
+}
+
+/// Full AMG configuration.
+#[derive(Debug, Clone)]
+pub struct AmgConfig {
+    /// Strength threshold `α` (Table 3 uses 0.25 or 0.6 per matrix).
+    pub strength_threshold: f64,
+    /// Rows whose `|Σ_j a_ij| / |a_ii|` exceeds this are treated as having
+    /// no strong connections (Table 3: 0.8).
+    pub max_row_sum: f64,
+    /// Maximum number of multigrid levels (Table 3: 7; Table 4: 16).
+    pub max_levels: usize,
+    /// Stop coarsening when a level has at most this many rows; that
+    /// level is solved directly with dense LU.
+    pub coarse_solve_size: usize,
+    /// Coarsening on the top `aggressive_levels` levels (Table 4 applies
+    /// aggressive coarsening to the top level only).
+    pub coarsen: CoarsenKind,
+    /// Number of levels that use `coarsen`/`interp`; deeper levels fall
+    /// back to PMIS + extended+i (the Table 4 "other levels: ei(4)" rule).
+    pub aggressive_levels: usize,
+    /// Interpolation used on the aggressive levels.
+    pub interp: InterpKind,
+    /// Interpolation truncation factor (Table 3: 0.1).
+    pub trunc_factor: f64,
+    /// Maximum interpolation entries per row (Table 3: 4).
+    pub max_elements: usize,
+    /// Cycle type (Table 3: V).
+    pub cycle: CycleKind,
+    /// Smoother (Table 3: hybrid GS).
+    pub smoother: SmootherKind,
+    /// Pre/post smoothing sweeps per level (HYPRE default: 1 each).
+    pub num_sweeps: usize,
+    /// Relative residual reduction target (Table 3: 1e-7).
+    pub tolerance: f64,
+    /// Iteration cap for standalone AMG.
+    pub max_iterations: usize,
+    /// Seed for the PMIS random weights.
+    pub seed: u64,
+    /// Which paper optimizations are active.
+    pub opt: OptFlags,
+}
+
+impl Default for AmgConfig {
+    fn default() -> Self {
+        AmgConfig::single_node_paper()
+    }
+}
+
+impl AmgConfig {
+    /// Table 3: the single-node evaluation settings (standalone AMG,
+    /// V-cycle, `max_levels = 7`, PMIS, extended+i with `trunc = 0.1`,
+    /// `max_elmts = 4`, hybrid GS, relative tolerance 1e-7).
+    pub fn single_node_paper() -> Self {
+        AmgConfig {
+            strength_threshold: 0.25,
+            max_row_sum: 0.8,
+            max_levels: 7,
+            coarse_solve_size: 64,
+            coarsen: CoarsenKind::Pmis,
+            aggressive_levels: 0,
+            interp: InterpKind::ExtendedI,
+            trunc_factor: 0.1,
+            max_elements: 4,
+            cycle: CycleKind::V,
+            smoother: SmootherKind::HybridGs,
+            num_sweeps: 1,
+            tolerance: 1e-7,
+            max_iterations: 200,
+            seed: 0xFA6,
+            opt: OptFlags::all(),
+        }
+    }
+
+    /// The same settings with every optimization disabled (`HYPRE_base`).
+    pub fn single_node_baseline() -> Self {
+        AmgConfig {
+            opt: OptFlags::none(),
+            ..AmgConfig::single_node_paper()
+        }
+    }
+
+    /// Table 4 `ei(4)`: extended+i on every level, `max_levels = 16`.
+    pub fn multi_node_ei4() -> Self {
+        AmgConfig {
+            max_levels: 16,
+            ..AmgConfig::single_node_paper()
+        }
+    }
+
+    /// Table 4 `mp`: aggressive PMIS + multipass interpolation on the top
+    /// level, `ei(4)` below.
+    pub fn multi_node_mp() -> Self {
+        AmgConfig {
+            max_levels: 16,
+            coarsen: CoarsenKind::AggressivePmis,
+            aggressive_levels: 1,
+            interp: InterpKind::Multipass,
+            ..AmgConfig::single_node_paper()
+        }
+    }
+
+    /// Table 4 `2s-ei(444)`: aggressive PMIS + 2-stage extended+i with
+    /// truncation at every stage on the top level, `ei(4)` below.
+    pub fn multi_node_2s_ei444() -> Self {
+        AmgConfig {
+            max_levels: 16,
+            coarsen: CoarsenKind::AggressivePmis,
+            aggressive_levels: 1,
+            interp: InterpKind::TwoStageExtendedI,
+            ..AmgConfig::single_node_paper()
+        }
+    }
+
+    /// Effective (coarsen, interp) pair at multigrid level `level`.
+    pub fn level_scheme(&self, level: usize) -> (CoarsenKind, InterpKind) {
+        if level < self.aggressive_levels {
+            (self.coarsen, self.interp)
+        } else if self.aggressive_levels > 0 {
+            // "Other levels: ei(4)" per Table 4.
+            (CoarsenKind::Pmis, InterpKind::ExtendedI)
+        } else {
+            (self.coarsen, self.interp)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table3() {
+        let c = AmgConfig::single_node_paper();
+        assert_eq!(c.strength_threshold, 0.25);
+        assert_eq!(c.max_row_sum, 0.8);
+        assert_eq!(c.max_levels, 7);
+        assert_eq!(c.trunc_factor, 0.1);
+        assert_eq!(c.max_elements, 4);
+        assert_eq!(c.tolerance, 1e-7);
+        assert_eq!(c.interp, InterpKind::ExtendedI);
+        assert_eq!(c.smoother, SmootherKind::HybridGs);
+    }
+
+    #[test]
+    fn baseline_disables_everything() {
+        let c = AmgConfig::single_node_baseline();
+        assert_eq!(c.opt, OptFlags::none());
+        assert!(!c.opt.row_fused_rap);
+    }
+
+    #[test]
+    fn level_scheme_falls_back_below_aggressive_levels() {
+        let c = AmgConfig::multi_node_mp();
+        assert_eq!(
+            c.level_scheme(0),
+            (CoarsenKind::AggressivePmis, InterpKind::Multipass)
+        );
+        assert_eq!(c.level_scheme(1), (CoarsenKind::Pmis, InterpKind::ExtendedI));
+        let e = AmgConfig::multi_node_ei4();
+        assert_eq!(e.level_scheme(3), (CoarsenKind::Pmis, InterpKind::ExtendedI));
+    }
+}

@@ -1,0 +1,379 @@
+//! CF reordering plumbing (§3.1.2, §3.2).
+//!
+//! After coarsening, the optimized path renumbers points so C-points
+//! precede F-points, permutes the operator symmetrically, and partitions
+//! the entries *within* each row:
+//!
+//! * [`partition_rows_cf_sign`] — the interpolation-construction
+//!   partition: `[coarse same-sign-as-diagonal | coarse opposite-sign |
+//!   fine]`, computed with a single O(nnz) sweep per row (the paper's
+//!   "partial sorting"). Extended+i needs exactly these three classes.
+//! * [`partition_rows_gs`] — the smoothing partition of Fig. 2(b):
+//!   `[diagonal | own-thread lower | own-thread upper | other-thread]`,
+//!   which removes the per-nonzero ownership branch from hybrid GS and
+//!   enables the zero-initial-guess skip.
+//!
+//! Both partitions only reorder entries within rows, so SpMV and any
+//! other row-order-insensitive kernel keep working on the same matrix.
+
+use famg_sparse::permute::{cf_permutation, permute_symmetric, Permutation};
+use famg_sparse::Csr;
+use std::ops::Range;
+
+/// The CF ordering of one level: permutation plus coarse count.
+#[derive(Debug, Clone)]
+pub struct CfOrdering {
+    /// Old-to-new point permutation (coarse first).
+    pub perm: Permutation,
+    /// Number of coarse points (they occupy `0..nc` after permutation).
+    pub nc: usize,
+}
+
+/// Builds the CF ordering and the permuted operator in one call.
+pub fn cf_reorder(a: &Csr, is_coarse: &[bool]) -> (Csr, CfOrdering) {
+    let (perm, nc) = cf_permutation(is_coarse);
+    let ap = permute_symmetric(a, &perm);
+    (ap, CfOrdering { perm, nc })
+}
+
+/// Row-internal partition boundaries produced by
+/// [`partition_rows_cf_sign`].
+#[derive(Debug, Clone)]
+pub struct CfSignPartition {
+    /// Start of the coarse opposite-sign segment of each row.
+    pub opp_start: Vec<usize>,
+    /// Start of the fine segment of each row (= end of opposite-sign).
+    pub fine_start: Vec<usize>,
+}
+
+/// Partitions each row of a CF-permuted matrix (coarse columns `< nc`)
+/// into `[coarse same-sign | coarse opposite-sign | fine]`, where "sign"
+/// is relative to the row's diagonal. One O(nnz) sweep per row — the
+/// paper's partial sort replacing a full O(n log n) sort.
+#[allow(clippy::explicit_counter_loop)] // cursor spans three source buffers
+pub fn partition_rows_cf_sign(a: &mut Csr, nc: usize) -> CfSignPartition {
+    let n = a.nrows();
+    let rowptr = a.rowptr().to_vec();
+    let mut opp_start = vec![0usize; n];
+    let mut fine_start = vec![0usize; n];
+    let diag: Vec<f64> = (0..n).map(|i| a.diag(i)).collect();
+    let (colidx, values) = a.colidx_values_mut();
+    let mut tmp_c: Vec<(usize, f64)> = Vec::new();
+    let mut tmp_o: Vec<(usize, f64)> = Vec::new();
+    let mut tmp_f: Vec<(usize, f64)> = Vec::new();
+    for i in 0..n {
+        let r = rowptr[i]..rowptr[i + 1];
+        tmp_c.clear();
+        tmp_o.clear();
+        tmp_f.clear();
+        let dsign = diag[i] >= 0.0;
+        for k in r.clone() {
+            let (c, v) = (colidx[k], values[k]);
+            if c >= nc {
+                tmp_f.push((c, v));
+            } else if (v >= 0.0) == dsign {
+                tmp_c.push((c, v));
+            } else {
+                tmp_o.push((c, v));
+            }
+        }
+        let mut k = r.start;
+        for &(c, v) in tmp_c.iter().chain(&tmp_o).chain(&tmp_f) {
+            colidx[k] = c;
+            values[k] = v;
+            k += 1;
+        }
+        opp_start[i] = r.start + tmp_c.len();
+        fine_start[i] = r.start + tmp_c.len() + tmp_o.len();
+    }
+    CfSignPartition {
+        opp_start,
+        fine_start,
+    }
+}
+
+/// Thread ownership for the optimized hybrid GS: following Fig. 2(b),
+/// each parallel task owns one contiguous range of coarse rows and one of
+/// fine rows (so both the C-sweep and the F-sweep are load-balanced).
+#[derive(Debug, Clone)]
+pub struct ThreadOwnership {
+    /// Per-thread coarse row range (subset of `0..nc`).
+    pub coarse: Vec<Range<usize>>,
+    /// Per-thread fine row range (subset of `nc..n`).
+    pub fine: Vec<Range<usize>>,
+}
+
+impl ThreadOwnership {
+    /// Splits the coarse rows `0..nc` and fine rows `nc..n` of a
+    /// CF-permuted matrix into `nthreads` nnz-balanced ranges each.
+    pub fn build(a: &Csr, nc: usize, nthreads: usize) -> Self {
+        let n = a.nrows();
+        let rowptr = a.rowptr();
+        let nthreads = nthreads.max(1);
+        let coarse = if nc == 0 {
+            vec![0..0; nthreads]
+        } else {
+            pad(
+                famg_sparse::partition::split_rows_by_nnz(&rowptr[..=nc], nthreads),
+                nthreads,
+                nc,
+            )
+        };
+        let fine = if n == nc {
+            vec![n..n; nthreads]
+        } else {
+            // Shift the fine sub-rowptr to start at 0 for the splitter.
+            let sub: Vec<usize> = rowptr[nc..=n].iter().map(|&p| p - rowptr[nc]).collect();
+            pad(
+                famg_sparse::partition::split_rows_by_nnz(&sub, nthreads)
+                    .into_iter()
+                    .map(|r| r.start + nc..r.end + nc)
+                    .collect(),
+                nthreads,
+                n,
+            )
+        };
+        ThreadOwnership { coarse, fine }
+    }
+
+    /// Number of parallel tasks.
+    pub fn nthreads(&self) -> usize {
+        self.coarse.len()
+    }
+
+    /// The thread owning row `i` (rows below `nc` looked up in the coarse
+    /// ranges, others in the fine ranges).
+    pub fn owner_of(&self, i: usize, nc: usize) -> usize {
+        let set = if i < nc { &self.coarse } else { &self.fine };
+        set.iter()
+            .position(|r| r.contains(&i))
+            .expect("row not covered by ownership")
+    }
+}
+
+/// Pads a possibly-short range list to exactly `nthreads` entries with
+/// empty ranges at `end`.
+fn pad(mut v: Vec<Range<usize>>, nthreads: usize, end: usize) -> Vec<Range<usize>> {
+    while v.len() < nthreads {
+        v.push(end..end);
+    }
+    v
+}
+
+/// Row-internal partition for the optimized hybrid GS (Fig. 2b).
+#[derive(Debug, Clone)]
+pub struct GsPartition {
+    /// Thread ownership the partition was computed against.
+    pub own: ThreadOwnership,
+    /// For each row: start of the own-thread upper segment.
+    pub up_start: Vec<usize>,
+    /// For each row: start of the other-thread (external) segment
+    /// (`extptr` in Fig. 2b).
+    pub ext_start: Vec<usize>,
+    /// Reciprocal diagonal of each row.
+    pub dinv: Vec<f64>,
+}
+
+/// Reorders each row of `a` into `[diag | own-lower | own-upper | ext]`
+/// relative to the thread ownership, returning the segment boundaries and
+/// the inverse diagonal. The diagonal entry is placed first in the row
+/// (it stays in the matrix so SpMV is unaffected). "Own" means the column
+/// lies in either of the row-owner's two ranges (coarse or fine).
+///
+/// # Panics
+/// Panics when a row has no diagonal entry or the diagonal is zero.
+pub fn partition_rows_gs(a: &mut Csr, nc: usize, own: &ThreadOwnership) -> GsPartition {
+    let n = a.nrows();
+    let rowptr = a.rowptr().to_vec();
+    let mut up_start = vec![0usize; n];
+    let mut ext_start = vec![0usize; n];
+    let mut dinv = vec![0.0f64; n];
+    let (colidx, values) = a.colidx_values_mut();
+    let mut low: Vec<(usize, f64)> = Vec::new();
+    let mut up: Vec<(usize, f64)> = Vec::new();
+    let mut ext: Vec<(usize, f64)> = Vec::new();
+    for i in 0..n {
+        let r = rowptr[i]..rowptr[i + 1];
+        let t = own.owner_of(i, nc);
+        let my_c = own.coarse[t].clone();
+        let my_f = own.fine[t].clone();
+        low.clear();
+        up.clear();
+        ext.clear();
+        let mut diag = None;
+        for k in r.clone() {
+            let (c, v) = (colidx[k], values[k]);
+            if c == i {
+                diag = Some(v);
+            } else if my_c.contains(&c) || my_f.contains(&c) {
+                if c < i {
+                    low.push((c, v));
+                } else {
+                    up.push((c, v));
+                }
+            } else {
+                ext.push((c, v));
+            }
+        }
+        let d = diag.unwrap_or_else(|| panic!("row {i} has no diagonal"));
+        assert!(d != 0.0, "zero diagonal in row {i}");
+        dinv[i] = 1.0 / d;
+        let mut k = r.start;
+        colidx[k] = i;
+        values[k] = d;
+        k += 1;
+        for &(c, v) in low.iter().chain(&up).chain(&ext) {
+            colidx[k] = c;
+            values[k] = v;
+            k += 1;
+        }
+        up_start[i] = r.start + 1 + low.len();
+        ext_start[i] = r.start + 1 + low.len() + up.len();
+    }
+    GsPartition {
+        own: own.clone(),
+        up_start,
+        ext_start,
+        dinv,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use famg_matgen::laplace2d;
+    use famg_sparse::spmv::spmv_seq;
+
+    #[test]
+    fn cf_reorder_moves_coarse_first() {
+        let a = laplace2d(4, 4);
+        let is_coarse: Vec<bool> = (0..16).map(|i| i % 3 == 0).collect();
+        let (ap, ord) = cf_reorder(&a, &is_coarse);
+        assert_eq!(ord.nc, 6);
+        assert_eq!(ap.nnz(), a.nnz());
+        // Diagonal values survive the permutation.
+        for i in 0..16 {
+            assert_eq!(ap.diag(ord.perm.forward[i]), a.diag(i));
+        }
+    }
+
+    #[test]
+    fn cf_sign_partition_classifies() {
+        // Row 0 (diag +2): coarse cols {0, 1}, fine col {2}.
+        let mut a = Csr::from_triplets(
+            3,
+            3,
+            vec![
+                (0, 0, 2.0),
+                (0, 1, -1.0),
+                (0, 2, 0.5),
+                (1, 1, 1.0),
+                (2, 2, 1.0),
+            ],
+        );
+        let p = partition_rows_cf_sign(&mut a, 2);
+        // Row 0: same-sign coarse = {(0, 2.0)}, opp = {(1, -1.0)},
+        // fine = {(2, 0.5)}.
+        assert_eq!(p.opp_start[0], 1);
+        assert_eq!(p.fine_start[0], 2);
+        assert_eq!(a.row_cols(0), &[0, 1, 2]);
+        assert_eq!(a.row_vals(0), &[2.0, -1.0, 0.5]);
+    }
+
+    #[test]
+    fn cf_sign_partition_preserves_spmv() {
+        let mut a = laplace2d(8, 8);
+        let before = a.clone();
+        let _ = partition_rows_cf_sign(&mut a, 20);
+        let x: Vec<f64> = (0..64).map(|i| (i % 5) as f64).collect();
+        let mut y1 = vec![0.0; 64];
+        let mut y2 = vec![0.0; 64];
+        spmv_seq(&before, &x, &mut y1);
+        spmv_seq(&a, &x, &mut y2);
+        for (u, v) in y1.iter().zip(&y2) {
+            assert!((u - v).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn ownership_covers_all_rows() {
+        let a = laplace2d(8, 8);
+        let nc = 20;
+        let own = ThreadOwnership::build(&a, nc, 3);
+        assert_eq!(own.nthreads(), 3);
+        let mut covered = [false; 64];
+        for r in own.coarse.iter().chain(&own.fine) {
+            for i in r.clone() {
+                assert!(!covered[i], "row {i} double-covered");
+                covered[i] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+        // Coarse ranges stay below nc, fine ranges at/above.
+        assert!(own.coarse.iter().all(|r| r.end <= nc));
+        assert!(own.fine.iter().all(|r| r.start >= nc));
+    }
+
+    #[test]
+    fn ownership_edge_cases() {
+        let a = laplace2d(4, 4);
+        let all_coarse = ThreadOwnership::build(&a, 16, 2);
+        assert!(all_coarse.fine.iter().all(|r| r.is_empty()));
+        let all_fine = ThreadOwnership::build(&a, 0, 2);
+        assert!(all_fine.coarse.iter().all(|r| r.is_empty()));
+        assert_eq!(all_fine.owner_of(0, 0), 0);
+    }
+
+    #[test]
+    fn gs_partition_segments_correct() {
+        let mut a = laplace2d(6, 6);
+        let nc = 14;
+        let own = ThreadOwnership::build(&a, nc, 3);
+        let g = partition_rows_gs(&mut a, nc, &own);
+        for i in 0..a.nrows() {
+            let r = a.row_range(i);
+            // Diagonal first.
+            assert_eq!(a.colidx()[r.start], i);
+            assert_eq!(g.dinv[i], 1.0 / 4.0);
+            let t = own.owner_of(i, nc);
+            let mine =
+                |c: usize| own.coarse[t].contains(&c) || own.fine[t].contains(&c);
+            for k in r.start + 1..g.up_start[i] {
+                let c = a.colidx()[k];
+                assert!(mine(c) && c < i, "row {i} lower seg");
+            }
+            for k in g.up_start[i]..g.ext_start[i] {
+                let c = a.colidx()[k];
+                assert!(mine(c) && c > i, "row {i} upper seg");
+            }
+            for k in g.ext_start[i]..r.end {
+                let c = a.colidx()[k];
+                assert!(!mine(c), "row {i} ext seg");
+            }
+        }
+    }
+
+    #[test]
+    fn gs_partition_preserves_spmv() {
+        let mut a = laplace2d(7, 5);
+        let before = a.clone();
+        let own = ThreadOwnership::build(&a, 10, 4);
+        let _ = partition_rows_gs(&mut a, 10, &own);
+        let x: Vec<f64> = (0..35).map(|i| (i % 7) as f64 - 3.0).collect();
+        let mut y1 = vec![0.0; 35];
+        let mut y2 = vec![0.0; 35];
+        spmv_seq(&before, &x, &mut y1);
+        spmv_seq(&a, &x, &mut y2);
+        for (u, v) in y1.iter().zip(&y2) {
+            assert!((u - v).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no diagonal")]
+    fn gs_partition_requires_diagonal() {
+        let mut a = Csr::from_triplets(2, 2, vec![(0, 1, 1.0), (1, 0, 1.0), (1, 1, 1.0)]);
+        let own = ThreadOwnership::build(&a, 0, 1);
+        partition_rows_gs(&mut a, 0, &own);
+    }
+}

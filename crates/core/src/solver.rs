@@ -1,0 +1,357 @@
+//! The user-facing standalone AMG solver.
+//!
+//! Wraps [`Hierarchy`] + V-cycles into an iterate-to-tolerance loop with
+//! the paper's stopping criterion (relative residual 2-norm reduction,
+//! Table 3: 1e-7) and the Fig. 5 timing breakdown. Also usable as a
+//! preconditioner: [`AmgSolver::apply`] runs a single V-cycle from a zero
+//! guess, which is how the multi-node evaluation wraps AMG inside
+//! flexible GMRES (Table 4).
+
+use crate::cycle::{vcycle, CycleWorkspace};
+use crate::hierarchy::Hierarchy;
+use crate::params::AmgConfig;
+use crate::stats::PhaseTimes;
+use famg_sparse::spmv::{residual_norm_sq, residual_norm_sq_unfused};
+use famg_sparse::vecops;
+use famg_sparse::Csr;
+use parking_lot_free::Mutex;
+use std::time::Instant;
+
+/// Minimal internal mutex alias so the cycle workspace can be reused
+/// behind `&self` without taking a `parking_lot` dependency here.
+mod parking_lot_free {
+    pub use std::sync::Mutex;
+}
+
+/// Outcome of [`AmgSolver::solve`].
+#[derive(Debug, Clone)]
+pub struct SolveResult {
+    /// Number of V-cycles performed.
+    pub iterations: usize,
+    /// Final relative residual.
+    pub final_relres: f64,
+    /// Whether the tolerance was reached within the iteration cap.
+    pub converged: bool,
+    /// Relative residual after every cycle.
+    pub history: Vec<f64>,
+    /// Solve-phase timing breakdown.
+    pub times: PhaseTimes,
+}
+
+/// A ready-to-solve AMG instance (setup already performed).
+///
+/// ```
+/// use famg_core::{AmgConfig, AmgSolver};
+/// let a = famg_matgen::laplace2d(32, 32);
+/// let solver = AmgSolver::setup(&a, &AmgConfig::single_node_paper());
+/// let b = vec![1.0; a.nrows()];
+/// let mut x = vec![0.0; a.nrows()];
+/// let result = solver.solve(&b, &mut x);
+/// assert!(result.converged);
+/// assert!(result.final_relres <= 1e-7);
+/// ```
+#[derive(Debug)]
+pub struct AmgSolver {
+    hierarchy: Hierarchy,
+    ws: Mutex<CycleWorkspace>,
+}
+
+impl AmgSolver {
+    /// Runs the setup phase on `a`.
+    pub fn setup(a: &Csr, cfg: &AmgConfig) -> Self {
+        let hierarchy = Hierarchy::build(a, cfg);
+        let ws = Mutex::new(CycleWorkspace::for_hierarchy(&hierarchy));
+        AmgSolver { hierarchy, ws }
+    }
+
+    /// The underlying hierarchy (level sizes, setup times, complexities).
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// Finest-level unknown count.
+    pub fn n(&self) -> usize {
+        self.hierarchy.n()
+    }
+
+    /// Solves `A x = b` to the configured tolerance, starting from the
+    /// initial guess already in `x`.
+    pub fn solve(&self, b: &[f64], x: &mut [f64]) -> SolveResult {
+        let h = &self.hierarchy;
+        let cfg = &h.config;
+        let n = h.n();
+        assert_eq!(b.len(), n);
+        assert_eq!(x.len(), n);
+        let mut times = PhaseTimes::default();
+        let mut ws = self.ws.lock().unwrap();
+
+        // Move into the stored (possibly CF-permuted) ordering.
+        let t0 = Instant::now();
+        let perm = h.levels[0].perm.as_ref();
+        let pb: Vec<f64> = match perm {
+            Some(q) => q.apply_vec(b),
+            None => b.to_vec(),
+        };
+        let mut px: Vec<f64> = match perm {
+            Some(q) => q.apply_vec(x),
+            None => x.to_vec(),
+        };
+        times.solve_etc += t0.elapsed();
+
+        let a = &h.levels[0].a;
+        let t0 = Instant::now();
+        let bnorm = vecops::norm2(&pb).max(f64::MIN_POSITIVE);
+        times.blas1 += t0.elapsed();
+
+        let mut r = vec![0.0; n];
+        let mut history = Vec::new();
+        let mut relres = {
+            let t0 = Instant::now();
+            let rr = if cfg.opt.fused_residual_norm {
+                residual_norm_sq(a, &px, &pb, &mut r).sqrt() / bnorm
+            } else {
+                residual_norm_sq_unfused(a, &px, &pb, &mut r).sqrt() / bnorm
+            };
+            times.blas1 += t0.elapsed();
+            rr
+        };
+        let mut iterations = 0usize;
+        while relres > cfg.tolerance && iterations < cfg.max_iterations {
+            vcycle(h, &pb, &mut px, &mut ws, &mut times);
+            iterations += 1;
+            let t0 = Instant::now();
+            relres = if cfg.opt.fused_residual_norm {
+                residual_norm_sq(a, &px, &pb, &mut r).sqrt() / bnorm
+            } else {
+                residual_norm_sq_unfused(a, &px, &pb, &mut r).sqrt() / bnorm
+            };
+            times.blas1 += t0.elapsed();
+            history.push(relres);
+        }
+
+        let t0 = Instant::now();
+        match perm {
+            Some(q) => x.copy_from_slice(&q.unapply_vec(&px)),
+            None => x.copy_from_slice(&px),
+        }
+        times.solve_etc += t0.elapsed();
+
+        SolveResult {
+            iterations,
+            final_relres: relres,
+            converged: relres <= cfg.tolerance,
+            history,
+            times,
+        }
+    }
+
+    /// Applies one V-cycle from a zero initial guess: `z ≈ A⁻¹ r`.
+    /// This is the preconditioner interface used by FGMRES.
+    pub fn apply(&self, rin: &[f64], z: &mut [f64]) {
+        let h = &self.hierarchy;
+        let mut ws = self.ws.lock().unwrap();
+        let mut times = PhaseTimes::default();
+        let perm = h.levels[0].perm.as_ref();
+        let pb: Vec<f64> = match perm {
+            Some(q) => q.apply_vec(rin),
+            None => rin.to_vec(),
+        };
+        let mut px = vec![0.0; rin.len()];
+        vcycle(h, &pb, &mut px, &mut ws, &mut times);
+        match perm {
+            Some(q) => z.copy_from_slice(&q.unapply_vec(&px)),
+            None => z.copy_from_slice(&px),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{AmgConfig, SmootherKind};
+    use famg_matgen::{amg2013_like, laplace2d, laplace3d_7pt, rhs};
+
+    fn check_solution(a: &Csr, b: &[f64], x: &[f64], tol: f64) {
+        let mut r = vec![0.0; b.len()];
+        let rn = residual_norm_sq(a, x, b, &mut r).sqrt();
+        let bn = vecops::norm2(b);
+        assert!(rn / bn <= tol * 1.01, "relres {} > {tol}", rn / bn);
+    }
+
+    #[test]
+    fn solves_laplace2d_optimized() {
+        let a = laplace2d(48, 48);
+        let b = rhs::ones(a.nrows());
+        let solver = AmgSolver::setup(&a, &AmgConfig::single_node_paper());
+        let mut x = vec![0.0; a.nrows()];
+        let res = solver.solve(&b, &mut x);
+        assert!(res.converged, "relres {}", res.final_relres);
+        assert!(res.iterations < 30, "iterations {}", res.iterations);
+        check_solution(&a, &b, &x, 1e-7);
+    }
+
+    #[test]
+    fn solves_laplace2d_baseline() {
+        let a = laplace2d(48, 48);
+        let b = rhs::ones(a.nrows());
+        let solver = AmgSolver::setup(&a, &AmgConfig::single_node_baseline());
+        let mut x = vec![0.0; a.nrows()];
+        let res = solver.solve(&b, &mut x);
+        assert!(res.converged);
+        check_solution(&a, &b, &x, 1e-7);
+    }
+
+    #[test]
+    fn baseline_and_optimized_same_convergence_class() {
+        // The paper verifies (with matched RNG) identical iteration
+        // counts; our base/opt paths differ only in smoother task
+        // geometry, so iteration counts must be very close.
+        let a = laplace3d_7pt(12, 12, 12);
+        let b = rhs::random(a.nrows(), 3);
+        let so = AmgSolver::setup(&a, &AmgConfig::single_node_paper());
+        let sb = AmgSolver::setup(&a, &AmgConfig::single_node_baseline());
+        let mut xo = vec![0.0; a.nrows()];
+        let mut xb = vec![0.0; a.nrows()];
+        let ro = so.solve(&b, &mut xo);
+        let rb = sb.solve(&b, &mut xb);
+        assert!(ro.converged && rb.converged);
+        let diff = ro.iterations.abs_diff(rb.iterations);
+        assert!(
+            diff <= 2,
+            "iterations diverged: opt {} vs base {}",
+            ro.iterations,
+            rb.iterations
+        );
+    }
+
+    #[test]
+    fn solves_known_solution() {
+        let a = laplace2d(30, 30);
+        let x_true = rhs::random(a.nrows(), 9);
+        let b = rhs::rhs_for_solution(&a, &x_true);
+        let solver = AmgSolver::setup(&a, &AmgConfig::single_node_paper());
+        let mut x = vec![0.0; a.nrows()];
+        let res = solver.solve(&b, &mut x);
+        assert!(res.converged);
+        // Solution error tracks the residual tolerance (well-conditioned
+        // at this size).
+        let err: f64 = x
+            .iter()
+            .zip(&x_true)
+            .map(|(u, v)| (u - v) * (u - v))
+            .sum::<f64>()
+            .sqrt();
+        assert!(err < 1e-4, "error {err}");
+    }
+
+    #[test]
+    fn nonzero_initial_guess_supported() {
+        let a = laplace2d(20, 20);
+        let b = rhs::ones(a.nrows());
+        let solver = AmgSolver::setup(&a, &AmgConfig::single_node_paper());
+        let mut x = rhs::random(a.nrows(), 17);
+        let res = solver.solve(&b, &mut x);
+        assert!(res.converged);
+        check_solution(&a, &b, &x, 1e-7);
+    }
+
+    #[test]
+    fn iteration_count_grid_independent() {
+        // The multigrid promise: iterations stay O(1) as n grows.
+        let mut iters = Vec::new();
+        for n in [16usize, 32, 48] {
+            let a = laplace2d(n, n);
+            let b = rhs::ones(a.nrows());
+            let solver = AmgSolver::setup(&a, &AmgConfig::single_node_paper());
+            let mut x = vec![0.0; a.nrows()];
+            let res = solver.solve(&b, &mut x);
+            assert!(res.converged);
+            iters.push(res.iterations);
+        }
+        let max = *iters.iter().max().unwrap();
+        let min = *iters.iter().min().unwrap();
+        assert!(
+            max <= min + 4,
+            "iterations grew with n: {iters:?}"
+        );
+    }
+
+    #[test]
+    fn history_is_monotone_ish() {
+        let a = laplace2d(32, 32);
+        let b = rhs::ones(a.nrows());
+        let solver = AmgSolver::setup(&a, &AmgConfig::single_node_paper());
+        let mut x = vec![0.0; a.nrows()];
+        let res = solver.solve(&b, &mut x);
+        for w in res.history.windows(2) {
+            assert!(w[1] < w[0], "residual increased: {:?}", res.history);
+        }
+    }
+
+    #[test]
+    fn apply_is_a_contraction() {
+        let a = laplace2d(24, 24);
+        let solver = AmgSolver::setup(&a, &AmgConfig::single_node_paper());
+        let r = rhs::random(a.nrows(), 5);
+        let mut z = vec![0.0; a.nrows()];
+        solver.apply(&r, &mut z);
+        // z should approximately solve A z = r (one V-cycle).
+        let mut res = vec![0.0; r.len()];
+        let rn = residual_norm_sq(&a, &z, &r, &mut res).sqrt();
+        assert!(rn < 0.2 * vecops::norm2(&r));
+    }
+
+    #[test]
+    fn jumpy_coefficients_converge() {
+        let a = amg2013_like(12, 12, 12, 2, 2.0, 7);
+        let b = rhs::ones(a.nrows());
+        let solver = AmgSolver::setup(&a, &AmgConfig::single_node_paper());
+        let mut x = vec![0.0; a.nrows()];
+        let res = solver.solve(&b, &mut x);
+        assert!(res.converged, "relres {}", res.final_relres);
+    }
+
+    #[test]
+    fn alternative_smoothers_solve() {
+        let a = laplace2d(24, 24);
+        let b = rhs::ones(a.nrows());
+        for sm in [
+            SmootherKind::Jacobi,
+            SmootherKind::LexicographicGs,
+            SmootherKind::MulticolorGs,
+            SmootherKind::L1Jacobi,
+            SmootherKind::L1HybridGs,
+            SmootherKind::Chebyshev,
+        ] {
+            let cfg = AmgConfig {
+                smoother: sm,
+                max_iterations: 400,
+                ..AmgConfig::single_node_paper()
+            };
+            let solver = AmgSolver::setup(&a, &cfg);
+            let mut x = vec![0.0; a.nrows()];
+            let res = solver.solve(&b, &mut x);
+            assert!(res.converged, "{sm:?} did not converge");
+        }
+    }
+
+    #[test]
+    fn multi_node_presets_solve() {
+        let a = laplace2d(40, 40);
+        let b = rhs::ones(a.nrows());
+        for cfg in [
+            AmgConfig::multi_node_ei4(),
+            AmgConfig::multi_node_mp(),
+            AmgConfig::multi_node_2s_ei444(),
+        ] {
+            let solver = AmgSolver::setup(&a, &cfg);
+            let mut x = vec![0.0; a.nrows()];
+            let res = solver.solve(&b, &mut x);
+            assert!(
+                res.converged,
+                "{:?} stalled at {}",
+                cfg.interp, res.final_relres
+            );
+        }
+    }
+}

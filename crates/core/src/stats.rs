@@ -1,0 +1,136 @@
+//! Timing and complexity statistics matching the paper's reporting.
+//!
+//! [`PhaseTimes`] buckets match the Fig. 5 legend: `Strength+Coarsen`,
+//! `Interp`, `RAP`, `Setup_etc` for the setup phase; `GS`, `SpMV`,
+//! `BLAS1`, `Solve_etc` for the solve phase. [`SetupStats`] reports the
+//! operator and grid complexities that the paper uses to argue the
+//! fairness of its comparisons (§5.1.1).
+
+use std::time::Duration;
+
+/// Wall-clock time per component, in the paper's Fig. 5 categories.
+#[derive(Debug, Default, Clone)]
+pub struct PhaseTimes {
+    /// Strength matrix creation + PMIS coarsening.
+    pub strength_coarsen: Duration,
+    /// Interpolation operator construction.
+    pub interp: Duration,
+    /// Galerkin triple product.
+    pub rap: Duration,
+    /// Other setup work (permutations, smoother setup, transposes, ...).
+    pub setup_etc: Duration,
+    /// Gauss-Seidel (or other) smoothing.
+    pub gs: Duration,
+    /// Interpolation/restriction and residual SpMVs.
+    pub spmv: Duration,
+    /// Vector ops: dots, axpys, norms.
+    pub blas1: Duration,
+    /// Other solve work (coarse solve, vector permutes, ...).
+    pub solve_etc: Duration,
+}
+
+impl PhaseTimes {
+    /// Total setup time.
+    pub fn setup_total(&self) -> Duration {
+        self.strength_coarsen + self.interp + self.rap + self.setup_etc
+    }
+
+    /// Total solve time.
+    pub fn solve_total(&self) -> Duration {
+        self.gs + self.spmv + self.blas1 + self.solve_etc
+    }
+
+    /// Setup + solve.
+    pub fn total(&self) -> Duration {
+        self.setup_total() + self.solve_total()
+    }
+
+    /// Adds another breakdown into this one.
+    pub fn accumulate(&mut self, o: &PhaseTimes) {
+        self.strength_coarsen += o.strength_coarsen;
+        self.interp += o.interp;
+        self.rap += o.rap;
+        self.setup_etc += o.setup_etc;
+        self.gs += o.gs;
+        self.spmv += o.spmv;
+        self.blas1 += o.blas1;
+        self.solve_etc += o.solve_etc;
+    }
+}
+
+/// Per-level sizes and the derived complexity measures.
+#[derive(Debug, Default, Clone)]
+pub struct SetupStats {
+    /// Rows per level, finest first.
+    pub level_rows: Vec<usize>,
+    /// Stored non-zeros per level, finest first.
+    pub level_nnz: Vec<usize>,
+    /// Average interpolation entries per fine row, per level.
+    pub interp_nnz: Vec<usize>,
+}
+
+impl SetupStats {
+    /// Operator complexity: `Σ_l nnz(A_l) / nnz(A_0)` — the paper's
+    /// primary fairness measure.
+    pub fn operator_complexity(&self) -> f64 {
+        if self.level_nnz.is_empty() || self.level_nnz[0] == 0 {
+            return 0.0;
+        }
+        self.level_nnz.iter().sum::<usize>() as f64 / self.level_nnz[0] as f64
+    }
+
+    /// Grid complexity: `Σ_l n_l / n_0`.
+    pub fn grid_complexity(&self) -> f64 {
+        if self.level_rows.is_empty() || self.level_rows[0] == 0 {
+            return 0.0;
+        }
+        self.level_rows.iter().sum::<usize>() as f64 / self.level_rows[0] as f64
+    }
+
+    /// Number of levels built.
+    pub fn num_levels(&self) -> usize {
+        self.level_rows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complexities() {
+        let s = SetupStats {
+            level_rows: vec![100, 25, 6],
+            level_nnz: vec![500, 200, 30],
+            interp_nnz: vec![300, 60],
+        };
+        assert!((s.operator_complexity() - 730.0 / 500.0).abs() < 1e-12);
+        assert!((s.grid_complexity() - 131.0 / 100.0).abs() < 1e-12);
+        assert_eq!(s.num_levels(), 3);
+    }
+
+    #[test]
+    fn empty_stats_safe() {
+        let s = SetupStats::default();
+        assert_eq!(s.operator_complexity(), 0.0);
+        assert_eq!(s.grid_complexity(), 0.0);
+    }
+
+    #[test]
+    fn phase_times_accumulate() {
+        let mut a = PhaseTimes {
+            gs: Duration::from_millis(5),
+            ..PhaseTimes::default()
+        };
+        let b = PhaseTimes {
+            gs: Duration::from_millis(7),
+            rap: Duration::from_millis(3),
+            ..PhaseTimes::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.gs, Duration::from_millis(12));
+        assert_eq!(a.setup_total(), Duration::from_millis(3));
+        assert_eq!(a.solve_total(), Duration::from_millis(12));
+        assert_eq!(a.total(), Duration::from_millis(15));
+    }
+}

@@ -1,0 +1,204 @@
+//! Classical strength-of-connection matrix.
+//!
+//! Point `j` *strongly influences* `i` iff
+//! `-a_ij >= α · max_{k≠i}(-a_ik)` (§2 of the paper). Row `i` of the
+//! strength matrix `S` holds `i`'s strong neighbours — the points `i`
+//! *depends* on. Rows whose ratio `|Σ_j a_ij| / |a_ii|` exceeds
+//! `max_row_sum` are treated as having no strong connections (they are
+//! strongly diagonally dominant and the smoother handles them alone); this
+//! mirrors HYPRE's `max_row_sum` parameter used in Table 3.
+//!
+//! Two implementations: a sequential baseline and the paper's §3.3
+//! parallel version (per-row counts, prefix sum, parallel fill).
+
+use famg_sparse::partition::exclusive_prefix_sum;
+use famg_sparse::Csr;
+use rayon::prelude::*;
+
+/// Decides which entries of row `i` are strong; invokes `emit(k, a_ik)`
+/// for each strong neighbour in row order.
+#[inline]
+fn row_strong(a: &Csr, i: usize, threshold: f64, max_row_sum: f64, mut emit: impl FnMut(usize, f64)) {
+    let mut max_off = 0.0f64;
+    let mut row_sum = 0.0f64;
+    let mut diag = 0.0f64;
+    for (k, v) in a.row_iter(i) {
+        row_sum += v;
+        if k == i {
+            diag = v;
+        } else {
+            max_off = max_off.max(-v);
+        }
+    }
+    if max_off <= 0.0 {
+        return; // no negative off-diagonals -> nothing is strong
+    }
+    if diag != 0.0 && (row_sum / diag).abs() > max_row_sum {
+        return; // strongly diagonally dominant row: no strong connections
+    }
+    let cut = threshold * max_off;
+    for (k, v) in a.row_iter(i) {
+        if k != i && -v >= cut {
+            emit(k, v);
+        }
+    }
+}
+
+/// Sequential strength matrix (values carry the originating `a_ij`).
+pub fn strength_seq(a: &Csr, threshold: f64, max_row_sum: f64) -> Csr {
+    assert_eq!(a.nrows(), a.ncols());
+    let n = a.nrows();
+    let mut rowptr = Vec::with_capacity(n + 1);
+    let mut colidx = Vec::new();
+    let mut values = Vec::new();
+    rowptr.push(0);
+    for i in 0..n {
+        row_strong(a, i, threshold, max_row_sum, |k, v| {
+            colidx.push(k);
+            values.push(v);
+        });
+        rowptr.push(colidx.len());
+    }
+    Csr::from_parts_unchecked(n, n, rowptr, colidx, values)
+}
+
+/// Parallel strength matrix: count pass → prefix sum → fill pass (§3.3).
+/// Bitwise identical to [`strength_seq`].
+pub fn strength_par(a: &Csr, threshold: f64, max_row_sum: f64) -> Csr {
+    assert_eq!(a.nrows(), a.ncols());
+    let n = a.nrows();
+    if n < 2048 {
+        return strength_seq(a, threshold, max_row_sum);
+    }
+    // Pass 1: per-row strong counts.
+    let mut counts: Vec<usize> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let mut c = 0usize;
+            row_strong(a, i, threshold, max_row_sum, |_, _| c += 1);
+            c
+        })
+        .collect();
+    let nnz = exclusive_prefix_sum(&mut counts);
+    let mut rowptr = counts;
+    rowptr.push(nnz);
+    // Pass 2: fill into disjoint row slices.
+    let mut colidx = vec![0usize; nnz];
+    let mut values = vec![0.0f64; nnz];
+    {
+        struct Ptr(*mut usize, *mut f64);
+        unsafe impl Sync for Ptr {}
+        let p = Ptr(colidx.as_mut_ptr(), values.as_mut_ptr());
+        let p = &p;
+        let rowptr_ref = &rowptr;
+        (0..n).into_par_iter().for_each(|i| {
+            let mut dst = rowptr_ref[i];
+            row_strong(a, i, threshold, max_row_sum, |k, v| {
+                // SAFETY: rows write disjoint [rowptr[i], rowptr[i+1]) slices.
+                unsafe {
+                    *p.0.add(dst) = k;
+                    *p.1.add(dst) = v;
+                }
+                dst += 1;
+            });
+            debug_assert_eq!(dst, rowptr_ref[i + 1]);
+        });
+    }
+    Csr::from_parts_unchecked(n, n, rowptr, colidx, values)
+}
+
+/// Production entry point.
+pub fn strength(a: &Csr, threshold: f64, max_row_sum: f64) -> Csr {
+    strength_par(a, threshold, max_row_sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use famg_matgen::{laplace2d, laplace2d_aniso};
+
+    #[test]
+    fn laplacian_all_neighbours_strong() {
+        // Uniform -1 off-diagonals: every neighbour ties the max, so all
+        // are strong at any threshold <= 1.
+        let a = laplace2d(4, 4);
+        let s = strength_seq(&a, 0.25, 0.9);
+        for i in 0..a.nrows() {
+            assert_eq!(s.row_nnz(i), a.row_nnz(i) - 1); // all but diagonal
+        }
+    }
+
+    #[test]
+    fn anisotropy_filters_weak_direction() {
+        // eps = 0.01 << 0.25: y-neighbours are weak, x-neighbours strong.
+        let a = laplace2d_aniso(5, 5, 0.01);
+        let s = strength_seq(&a, 0.25, 0.9);
+        let i = 12; // interior
+        assert_eq!(s.row_nnz(i), 2); // left/right only
+        assert!(s.row_cols(i).contains(&11));
+        assert!(s.row_cols(i).contains(&13));
+    }
+
+    #[test]
+    fn threshold_zero_keeps_all_negative() {
+        let a = laplace2d_aniso(5, 5, 0.01);
+        let s = strength_seq(&a, 0.0, 10.0);
+        let i = 12;
+        assert_eq!(s.row_nnz(i), 4);
+    }
+
+    #[test]
+    fn positive_offdiagonals_never_strong() {
+        let a = Csr::from_triplets(
+            2,
+            2,
+            vec![(0, 0, 2.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 2.0)],
+        );
+        let s = strength_seq(&a, 0.25, 0.9);
+        assert_eq!(s.nnz(), 0);
+    }
+
+    #[test]
+    fn max_row_sum_drops_dominant_rows() {
+        // Row 0: diag 10, off -1 -> row_sum/diag = 0.9 > 0.8 -> dropped.
+        let a = Csr::from_triplets(
+            2,
+            2,
+            vec![(0, 0, 10.0), (0, 1, -1.0), (1, 0, -1.0), (1, 1, 1.5)],
+        );
+        let s = strength_seq(&a, 0.25, 0.8);
+        assert_eq!(s.row_nnz(0), 0);
+        // Row 1: row_sum/diag = 0.5/1.5 = 0.33 <= 0.8 -> kept.
+        assert_eq!(s.row_nnz(1), 1);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let a = laplace2d(80, 80); // 6400 rows -> parallel path
+        let s1 = strength_seq(&a, 0.25, 0.8);
+        let s2 = strength_par(&a, 0.25, 0.8);
+        assert_eq!(s1, s2);
+        let b = laplace2d_aniso(70, 90, 0.05);
+        assert_eq!(strength_seq(&b, 0.25, 0.8), strength_par(&b, 0.25, 0.8));
+    }
+
+    #[test]
+    fn values_carry_matrix_entries() {
+        let a = laplace2d(4, 4);
+        let s = strength_seq(&a, 0.25, 0.9);
+        for i in 0..s.nrows() {
+            for (c, v) in s.row_iter(i) {
+                assert_eq!(Some(v), a.get(i, c));
+            }
+        }
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let a = laplace2d(6, 6);
+        let s = strength(&a, 0.25, 0.8);
+        for i in 0..s.nrows() {
+            assert!(!s.row_cols(i).contains(&i));
+        }
+    }
+}

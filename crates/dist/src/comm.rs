@@ -1,0 +1,382 @@
+//! The simulated message-passing runtime.
+//!
+//! Each rank is an OS thread running the same SPMD closure. Point-to-point
+//! messages travel over crossbeam channels as type-erased payloads tagged
+//! with `(src, tag)`; a per-rank pending buffer reorders out-of-order
+//! arrivals, so `send`/`recv` semantics match tagged MPI. Every inter-rank
+//! message is accounted (bytes + count + wall time blocked in recv), which
+//! is how the paper's communication-volume numbers (§4.3, §5.4) are
+//! reproduced without real network hardware (see DESIGN.md §2).
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// How long a blocking `recv` waits before declaring a deadlock.
+const RECV_TIMEOUT: Duration = Duration::from_secs(120);
+
+struct Envelope {
+    src: usize,
+    tag: u64,
+    bytes: usize,
+    payload: Box<dyn Any + Send>,
+}
+
+/// Per-rank communication counters (shared, atomically updated).
+#[derive(Debug, Default)]
+pub struct RankCounters {
+    /// Bytes sent to other ranks (self-sends excluded).
+    pub bytes_sent: AtomicU64,
+    /// Messages sent to other ranks.
+    pub messages_sent: AtomicU64,
+}
+
+/// Aggregate statistics for a finished run.
+#[derive(Debug, Clone, Default)]
+pub struct CommReport {
+    /// Bytes sent per rank.
+    pub bytes_per_rank: Vec<u64>,
+    /// Messages sent per rank.
+    pub messages_per_rank: Vec<u64>,
+}
+
+impl CommReport {
+    /// Total bytes across ranks.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_per_rank.iter().sum()
+    }
+
+    /// Total messages across ranks.
+    pub fn total_messages(&self) -> u64 {
+        self.messages_per_rank.iter().sum()
+    }
+}
+
+/// A rank's endpoint in the simulated world.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Envelope>>,
+    receiver: Receiver<Envelope>,
+    pending: RefCell<HashMap<(usize, u64), VecDeque<Envelope>>>,
+    barrier: Arc<Barrier>,
+    counters: Arc<Vec<RankCounters>>,
+    /// Wall time this rank has spent blocked in `recv`/`barrier`.
+    comm_time: Cell<Duration>,
+}
+
+impl Comm {
+    /// This rank's id.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Wall time spent blocked on communication so far.
+    pub fn comm_time(&self) -> Duration {
+        self.comm_time.get()
+    }
+
+    /// Bytes this rank has sent so far.
+    pub fn bytes_sent(&self) -> u64 {
+        self.counters[self.rank].bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Sends `payload` (`bytes` on the wire) to `dst` under `tag`.
+    pub fn send<T: Send + 'static>(&self, dst: usize, tag: u64, payload: T, bytes: usize) {
+        if dst != self.rank {
+            let c = &self.counters[self.rank];
+            c.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+            c.messages_sent.fetch_add(1, Ordering::Relaxed);
+        }
+        self.senders[dst]
+            .send(Envelope {
+                src: self.rank,
+                tag,
+                bytes,
+                payload: Box::new(payload),
+            })
+            .expect("rank hung up");
+    }
+
+    /// Blocking receive of the message sent by `src` under `tag`.
+    ///
+    /// # Panics
+    /// Panics on type mismatch or after `RECV_TIMEOUT` (120 s) (deadlock guard).
+    pub fn recv<T: 'static>(&self, src: usize, tag: u64) -> T {
+        let key = (src, tag);
+        // Check the pending buffer first.
+        if let Some(q) = self.pending.borrow_mut().get_mut(&key) {
+            if let Some(env) = q.pop_front() {
+                return Self::unpack(env);
+            }
+        }
+        let t0 = Instant::now();
+        loop {
+            let env = self
+                .receiver
+                .recv_timeout(RECV_TIMEOUT)
+                .unwrap_or_else(|_| {
+                    panic!(
+                        "rank {} timed out waiting for (src {}, tag {})",
+                        self.rank, src, tag
+                    )
+                });
+            if env.src == src && env.tag == tag {
+                self.comm_time.set(self.comm_time.get() + t0.elapsed());
+                return Self::unpack(env);
+            }
+            self.pending
+                .borrow_mut()
+                .entry((env.src, env.tag))
+                .or_default()
+                .push_back(env);
+        }
+    }
+
+    fn unpack<T: 'static>(env: Envelope) -> T {
+        let _ = env.bytes;
+        *env.payload
+            .downcast::<T>()
+            .expect("message type mismatch for (src, tag)")
+    }
+
+    /// Synchronizes all ranks.
+    pub fn barrier(&self) {
+        let t0 = Instant::now();
+        self.barrier.wait();
+        self.comm_time.set(self.comm_time.get() + t0.elapsed());
+    }
+
+    /// All-to-all: `sends[dst]` goes to rank `dst`; returns `recv[src]`.
+    /// `bytes(payload)` accounts the wire size.
+    pub fn alltoall<T: Send + 'static>(
+        &self,
+        mut sends: Vec<T>,
+        tag: u64,
+        bytes: impl Fn(&T) -> usize,
+    ) -> Vec<T> {
+        assert_eq!(sends.len(), self.size);
+        // Take out our own slot without communication.
+        let mine = sends.remove(self.rank);
+        for (dst, payload) in sends.into_iter().enumerate() {
+            let dst = if dst >= self.rank { dst + 1 } else { dst };
+            let b = bytes(&payload);
+            self.send(dst, tag, payload, b);
+        }
+        let mut out: Vec<Option<T>> = (0..self.size).map(|_| None).collect();
+        out[self.rank] = Some(mine);
+        for src in 0..self.size {
+            if src != self.rank {
+                out[src] = Some(self.recv(src, tag));
+            }
+        }
+        out.into_iter().map(|o| o.unwrap()).collect()
+    }
+
+    /// All-gather of one value per rank.
+    pub fn allgather<T: Clone + Send + 'static>(&self, v: T, tag: u64, bytes: usize) -> Vec<T> {
+        let sends: Vec<T> = (0..self.size).map(|_| v.clone()).collect();
+        self.alltoall(sends, tag, |_| bytes)
+    }
+
+    /// Global sum of a scalar (the all-reduce the paper's §1 discusses).
+    pub fn allreduce_sum(&self, v: f64, tag: u64) -> f64 {
+        self.allgather(v, tag, 8).into_iter().sum()
+    }
+
+    /// Global max of a scalar.
+    pub fn allreduce_max(&self, v: f64, tag: u64) -> f64 {
+        self.allgather(v, tag, 8)
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Global sum of a usize.
+    pub fn allreduce_sum_usize(&self, v: usize, tag: u64) -> usize {
+        self.allgather(v, tag, 8).into_iter().sum()
+    }
+
+    /// Global logical-or.
+    pub fn allreduce_or(&self, v: bool, tag: u64) -> bool {
+        self.allgather(v, tag, 1).into_iter().any(|b| b)
+    }
+
+    /// Exclusive prefix sum across ranks (rank r gets Σ_{r'<r} v_{r'});
+    /// also returns the global total.
+    pub fn exscan_sum(&self, v: usize, tag: u64) -> (usize, usize) {
+        let all = self.allgather(v, tag, 8);
+        let before: usize = all[..self.rank].iter().sum();
+        let total: usize = all.iter().sum();
+        (before, total)
+    }
+}
+
+/// Runs `nranks` copies of `f` as SPMD threads; returns each rank's value
+/// (index = rank) plus the communication report.
+pub fn run_ranks<T: Send>(
+    nranks: usize,
+    f: impl Fn(&Comm) -> T + Sync,
+) -> (Vec<T>, CommReport) {
+    assert!(nranks > 0);
+    let mut senders = Vec::with_capacity(nranks);
+    let mut receivers = Vec::with_capacity(nranks);
+    for _ in 0..nranks {
+        let (s, r) = unbounded();
+        senders.push(s);
+        receivers.push(r);
+    }
+    let barrier = Arc::new(Barrier::new(nranks));
+    let counters: Arc<Vec<RankCounters>> =
+        Arc::new((0..nranks).map(|_| RankCounters::default()).collect());
+
+    let mut results: Vec<Option<T>> = (0..nranks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (rank, receiver) in receivers.into_iter().enumerate() {
+            let comm = Comm {
+                rank,
+                size: nranks,
+                senders: senders.clone(),
+                receiver,
+                pending: RefCell::new(HashMap::new()),
+                barrier: Arc::clone(&barrier),
+                counters: Arc::clone(&counters),
+                comm_time: Cell::new(Duration::ZERO),
+            };
+            let f = &f;
+            handles.push(scope.spawn(move || f(&comm)));
+        }
+        for (rank, h) in handles.into_iter().enumerate() {
+            results[rank] = Some(h.join().expect("rank panicked"));
+        }
+    });
+
+    let report = CommReport {
+        bytes_per_rank: counters
+            .iter()
+            .map(|c| c.bytes_sent.load(Ordering::Relaxed))
+            .collect(),
+        messages_per_rank: counters
+            .iter()
+            .map(|c| c.messages_sent.load(Ordering::Relaxed))
+            .collect(),
+    };
+    (
+        results.into_iter().map(|o| o.unwrap()).collect(),
+        report,
+    )
+}
+
+/// Wire size helpers.
+pub mod wire {
+    /// Bytes of a `f64` slice.
+    pub fn f64s(n: usize) -> usize {
+        8 * n
+    }
+    /// Bytes of an index slice (indices travel as 64-bit).
+    pub fn idxs(n: usize) -> usize {
+        8 * n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pass() {
+        let (vals, report) = run_ranks(4, |c| {
+            let next = (c.rank() + 1) % 4;
+            let prev = (c.rank() + 3) % 4;
+            c.send(next, 1, c.rank() as u64, 8);
+            c.recv::<u64>(prev, 1)
+        });
+        assert_eq!(vals, vec![3, 0, 1, 2]);
+        assert_eq!(report.total_messages(), 4);
+        assert_eq!(report.total_bytes(), 32);
+    }
+
+    #[test]
+    fn out_of_order_tags() {
+        let (vals, _) = run_ranks(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 7, 70u32, 4);
+                c.send(1, 8, 80u32, 4);
+                0u32
+            } else {
+                // Receive in reverse tag order: buffering must reorder.
+                let b = c.recv::<u32>(0, 8);
+                let a = c.recv::<u32>(0, 7);
+                a + b
+            }
+        });
+        assert_eq!(vals[1], 150);
+    }
+
+    #[test]
+    fn collectives() {
+        let (vals, _) = run_ranks(3, |c| {
+            let s = c.allreduce_sum((c.rank() + 1) as f64, 2);
+            let m = c.allreduce_max(c.rank() as f64, 3);
+            let (before, total) = c.exscan_sum(10 * (c.rank() + 1), 4);
+            (s, m, before, total)
+        });
+        for (s, m, _, total) in &vals {
+            assert_eq!(*s, 6.0);
+            assert_eq!(*m, 2.0);
+            assert_eq!(*total, 60);
+        }
+        assert_eq!(vals[0].2, 0);
+        assert_eq!(vals[1].2, 10);
+        assert_eq!(vals[2].2, 30);
+    }
+
+    #[test]
+    fn alltoall_routes_correctly() {
+        let (vals, report) = run_ranks(3, |c| {
+            let sends: Vec<u64> = (0..3).map(|d| (10 * c.rank() + d) as u64).collect();
+            c.alltoall(sends, 5, |_| 8)
+        });
+        // vals[r][s] = 10*s + r
+        for r in 0..3 {
+            for s in 0..3 {
+                assert_eq!(vals[r][s], (10 * s + r) as u64);
+            }
+        }
+        // 6 inter-rank messages (self slots don't hit the wire).
+        assert_eq!(report.total_messages(), 6);
+    }
+
+    #[test]
+    fn self_sends_free() {
+        let (_, report) = run_ranks(1, |c| {
+            c.send(0, 1, 42u8, 1000);
+            assert_eq!(c.recv::<u8>(0, 1), 42);
+        });
+        assert_eq!(report.total_bytes(), 0);
+        assert_eq!(report.total_messages(), 0);
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        run_ranks(4, |c| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            c.barrier();
+            // After the barrier every rank must observe all increments.
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+        });
+    }
+}

@@ -1,0 +1,402 @@
+//! Halo exchanges: vector-element gathering for SpMV (Fig. 3b) and
+//! matrix-row gathering for SpGEMM-like operations (Fig. 3c).
+//!
+//! [`VectorExchange`] separates *planning* (who needs what — the paper's
+//! persistent-communication setup, §4.4) from *execution*, so the
+//! persistent path plans once per operator while the ad-hoc baseline
+//! re-plans on every call. [`gather_rows`] fetches remote matrix rows,
+//! optionally applying a caller-side filter — the §4.3 optimization that
+//! strips entries the interpolation will never read before they hit the
+//! wire.
+
+use crate::comm::{wire, Comm};
+use crate::parcsr::owner_of;
+
+/// Tags are namespaced per module to avoid collisions between concurrent
+/// exchange phases.
+const TAG_REQ: u64 = 0x10;
+const TAG_VAL: u64 = 0x11;
+const TAG_ROW_REQ: u64 = 0x20;
+const TAG_ROW_DATA: u64 = 0x21;
+const TAG_FETCH_REQ: u64 = 0x30;
+const TAG_FETCH_VAL: u64 = 0x31;
+
+/// A reusable plan for exchanging the vector elements behind a `colmap`.
+#[derive(Debug, Clone)]
+pub struct VectorExchange {
+    /// Per peer rank: local indices this rank must send.
+    send_idx: Vec<Vec<usize>>,
+    /// Per peer rank: destination range in the external buffer.
+    recv_range: Vec<(usize, usize)>,
+    /// External buffer length (= colmap length).
+    ext_len: usize,
+}
+
+impl VectorExchange {
+    /// Plans the exchange for `colmap` under the ownership partition
+    /// `starts`. Involves one request round (this is the setup cost that
+    /// persistent communication amortizes).
+    pub fn plan(comm: &Comm, colmap: &[usize], starts: &[usize]) -> VectorExchange {
+        let nranks = comm.size();
+        debug_assert!(colmap.windows(2).all(|w| w[0] < w[1]));
+        // Group the (sorted) colmap by owner.
+        let mut requests: Vec<Vec<usize>> = vec![Vec::new(); nranks];
+        let mut recv_range = vec![(0usize, 0usize); nranks];
+        let mut k = 0usize;
+        while k < colmap.len() {
+            let owner = owner_of(starts, colmap[k]);
+            let start = k;
+            while k < colmap.len() && colmap[k] < starts[owner + 1] {
+                k += 1;
+            }
+            recv_range[owner] = (start, k);
+            requests[owner] = colmap[start..k]
+                .iter()
+                .map(|&g| g - starts[owner])
+                .collect();
+        }
+        // Tell each owner which of its locals we need.
+        let incoming = comm.alltoall(requests, TAG_REQ, |r| wire::idxs(r.len()));
+        VectorExchange {
+            send_idx: incoming,
+            recv_range,
+            ext_len: colmap.len(),
+        }
+    }
+
+    /// Executes the exchange: gathers owned values from `x_local` into
+    /// every requester's external buffer; returns this rank's external
+    /// vector (parallel to its colmap).
+    pub fn exchange(&self, comm: &Comm, x_local: &[f64]) -> Vec<f64> {
+        let payloads: Vec<Vec<f64>> = self
+            .send_idx
+            .iter()
+            .map(|idx| idx.iter().map(|&i| x_local[i]).collect())
+            .collect();
+        let received = comm.alltoall(payloads, TAG_VAL, |p| wire::f64s(p.len()));
+        let mut ext = vec![0.0f64; self.ext_len];
+        for (src, vals) in received.into_iter().enumerate() {
+            let (s, e) = self.recv_range[src];
+            debug_assert_eq!(vals.len(), e - s);
+            ext[s..e].copy_from_slice(&vals);
+        }
+        ext
+    }
+
+    /// External buffer length.
+    pub fn ext_len(&self) -> usize {
+        self.ext_len
+    }
+}
+
+/// Ad-hoc exchange: plans and executes in one call — the baseline the
+/// paper replaces with persistent requests (§4.4 measures 1.7–1.8×).
+pub fn exchange_adhoc(
+    comm: &Comm,
+    colmap: &[usize],
+    starts: &[usize],
+    x_local: &[f64],
+) -> Vec<f64> {
+    VectorExchange::plan(comm, colmap, starts).exchange(comm, x_local)
+}
+
+/// Rows gathered from other ranks, with global column indices.
+#[derive(Debug, Clone)]
+pub struct GatheredRows {
+    /// Requested global row ids (sorted — mirrors the request list).
+    pub rows: Vec<usize>,
+    /// Entries per row: `(global_col, value)`.
+    pub data: Vec<Vec<(usize, f64)>>,
+}
+
+impl GatheredRows {
+    /// Locates a gathered row by global id.
+    pub fn get(&self, global_row: usize) -> Option<&[(usize, f64)]> {
+        self.rows
+            .binary_search(&global_row)
+            .ok()
+            .map(|k| self.data[k].as_slice())
+    }
+
+    /// Total gathered entries.
+    pub fn nnz(&self) -> usize {
+        self.data.iter().map(|d| d.len()).sum()
+    }
+}
+
+/// Serialized row bundle travelling between ranks.
+type RowBundle = (Vec<usize>, Vec<usize>, Vec<f64>); // row_nnz, cols, vals
+
+/// Gathers the rows of the distributed matrix represented by
+/// `local_row(local_idx) -> Vec<(global_col, value)>` for the sorted
+/// global row list `needed`. `filter(local_row, global_col, value,
+/// requester)` decides which entries hit the wire (§4.3); pass
+/// `|_, _, _, _| true` for full rows.
+pub fn gather_rows(
+    comm: &Comm,
+    needed: &[usize],
+    row_starts: &[usize],
+    local_row: impl Fn(usize) -> Vec<(usize, f64)>,
+    filter: impl Fn(usize, usize, f64, usize) -> bool,
+) -> GatheredRows {
+    let nranks = comm.size();
+    debug_assert!(needed.windows(2).all(|w| w[0] < w[1]));
+    // Request lists per owner.
+    let mut requests: Vec<Vec<usize>> = vec![Vec::new(); nranks];
+    for &g in needed {
+        requests[owner_of(row_starts, g)].push(g);
+    }
+    let incoming = comm.alltoall(requests.clone(), TAG_ROW_REQ, |r| wire::idxs(r.len()));
+    // Serve: build one bundle per requester.
+    let my_start = row_starts[comm.rank()];
+    let bundles: Vec<RowBundle> = incoming
+        .iter()
+        .enumerate()
+        .map(|(requester, rows)| {
+            let mut row_nnz = Vec::with_capacity(rows.len());
+            let mut cols = Vec::new();
+            let mut vals = Vec::new();
+            for &g in rows {
+                let li = g - my_start;
+                let mut cnt = 0usize;
+                for (c, v) in local_row(li) {
+                    if filter(li, c, v, requester) {
+                        cols.push(c);
+                        vals.push(v);
+                        cnt += 1;
+                    }
+                }
+                row_nnz.push(cnt);
+            }
+            (row_nnz, cols, vals)
+        })
+        .collect();
+    let responses = comm.alltoall(bundles, TAG_ROW_DATA, |(rn, c, v)| {
+        wire::idxs(rn.len()) + wire::idxs(c.len()) + wire::f64s(v.len())
+    });
+    // Reassemble in `needed` order.
+    let mut per_owner_cursor = vec![(0usize, 0usize); nranks]; // (row idx, nnz offset)
+    let mut data: Vec<Vec<(usize, f64)>> = Vec::with_capacity(needed.len());
+    for &g in needed {
+        let owner = owner_of(row_starts, g);
+        let (ri, off) = per_owner_cursor[owner];
+        let (row_nnz, cols, vals) = &responses[owner];
+        debug_assert_eq!(requests[owner][ri], g);
+        let n = row_nnz[ri];
+        let entries: Vec<(usize, f64)> = cols[off..off + n]
+            .iter()
+            .copied()
+            .zip(vals[off..off + n].iter().copied())
+            .collect();
+        per_owner_cursor[owner] = (ri + 1, off + n);
+        data.push(entries);
+    }
+    GatheredRows {
+        rows: needed.to_vec(),
+        data,
+    }
+}
+
+/// Fetches one `f64` per global index from the owning ranks:
+/// `local_value(local_idx)` provides the owner-side values. Used to look
+/// up C/F state and coarse numbering for extended halos.
+pub fn fetch_values(
+    comm: &Comm,
+    needed: &[usize],
+    starts: &[usize],
+    local_value: impl Fn(usize) -> f64,
+) -> Vec<f64> {
+    let nranks = comm.size();
+    let mut requests: Vec<Vec<usize>> = vec![Vec::new(); nranks];
+    for &g in needed {
+        requests[owner_of(starts, g)].push(g);
+    }
+    let incoming = comm.alltoall(requests.clone(), TAG_FETCH_REQ, |r| wire::idxs(r.len()));
+    let my_start = starts[comm.rank()];
+    let replies: Vec<Vec<f64>> = incoming
+        .iter()
+        .map(|rows| rows.iter().map(|&g| local_value(g - my_start)).collect())
+        .collect();
+    let responses = comm.alltoall(replies, TAG_FETCH_VAL, |v| wire::f64s(v.len()));
+    let mut cursor = vec![0usize; nranks];
+    needed
+        .iter()
+        .map(|&g| {
+            let owner = owner_of(starts, g);
+            let v = responses[owner][cursor[owner]];
+            cursor[owner] += 1;
+            v
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::run_ranks;
+    use crate::parcsr::{default_partition, ParCsr};
+    use famg_matgen::laplace2d;
+
+    #[test]
+    fn vector_exchange_gathers_correct_elements() {
+        let a = laplace2d(8, 8);
+        let starts = default_partition(64, 4);
+        let (results, _) = run_ranks(4, |c| {
+            let r = c.rank();
+            let p = ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
+            // x[global i] = 100 + i
+            let x_local: Vec<f64> = (starts[r]..starts[r + 1]).map(|i| 100.0 + i as f64).collect();
+            let plan = VectorExchange::plan(c, &p.colmap, &starts);
+            let ext = plan.exchange(c, &x_local);
+            (p.colmap.clone(), ext)
+        });
+        for (colmap, ext) in results {
+            for (k, &g) in colmap.iter().enumerate() {
+                assert_eq!(ext[k], 100.0 + g as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn adhoc_matches_persistent() {
+        let a = laplace2d(6, 6);
+        let starts = default_partition(36, 3);
+        let (results, _) = run_ranks(3, |c| {
+            let r = c.rank();
+            let p = ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
+            let x_local: Vec<f64> = (starts[r]..starts[r + 1]).map(|i| i as f64 * 0.5).collect();
+            let plan = VectorExchange::plan(c, &p.colmap, &starts);
+            let e1 = plan.exchange(c, &x_local);
+            let e2 = exchange_adhoc(c, &p.colmap, &starts, &x_local);
+            (e1, e2)
+        });
+        for (e1, e2) in results {
+            assert_eq!(e1, e2);
+        }
+    }
+
+    #[test]
+    fn persistent_fewer_bytes_than_adhoc() {
+        let a = laplace2d(16, 16);
+        let starts = default_partition(256, 4);
+        let exchanges = 10;
+        let run = |persistent: bool| {
+            let (_, report) = run_ranks(4, |c| {
+                let r = c.rank();
+                let p =
+                    ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
+                let x: Vec<f64> = vec![1.0; starts[r + 1] - starts[r]];
+                if persistent {
+                    let plan = VectorExchange::plan(c, &p.colmap, &starts);
+                    for _ in 0..exchanges {
+                        plan.exchange(c, &x);
+                    }
+                } else {
+                    for _ in 0..exchanges {
+                        exchange_adhoc(c, &p.colmap, &starts, &x);
+                    }
+                }
+            });
+            report.total_bytes()
+        };
+        let persistent = run(true);
+        let adhoc = run(false);
+        assert!(
+            persistent < adhoc,
+            "persistent {persistent} >= adhoc {adhoc}"
+        );
+    }
+
+    #[test]
+    fn row_gather_full_rows() {
+        let a = laplace2d(8, 8);
+        let starts = default_partition(64, 4);
+        let (results, _) = run_ranks(4, |c| {
+            let r = c.rank();
+            let p = ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
+            let needed = p.colmap.clone();
+            let local = |li: usize| p.global_row(li, r);
+            let g = gather_rows(c, &needed, &starts, local, |_, _, _, _| true);
+            (needed, g)
+        });
+        for (needed, g) in results {
+            for &row in &needed {
+                let got = g.get(row).unwrap();
+                let expect: Vec<(usize, f64)> = a.row_iter(row).collect();
+                assert_eq!(got, expect.as_slice(), "row {row}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_gather_filter_reduces_bytes() {
+        let a = laplace2d(12, 12);
+        let starts = default_partition(144, 4);
+        let run = |filtered: bool| {
+            let (_, report) = run_ranks(4, |c| {
+                let r = c.rank();
+                let p =
+                    ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
+                let local = |li: usize| p.global_row(li, r);
+                let needed = p.colmap.clone();
+                if filtered {
+                    // Keep only negative entries (sign filter of §4.3).
+                    gather_rows(c, &needed, &starts, local, |_, _, v, _| v < 0.0)
+                } else {
+                    gather_rows(c, &needed, &starts, local, |_, _, _, _| true)
+                }
+            });
+            report.total_bytes()
+        };
+        let full = run(false);
+        let filtered = run(true);
+        assert!(filtered < full, "filter did not reduce bytes: {filtered} vs {full}");
+    }
+
+    #[test]
+    fn gather_rows_empty_request_participates() {
+        // A rank with nothing to request must still serve others.
+        let a = laplace2d(6, 6);
+        let starts = default_partition(36, 3);
+        let (results, _) = run_ranks(3, |c| {
+            let r = c.rank();
+            let p = ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
+            let needed: Vec<usize> = if r == 1 { Vec::new() } else { p.colmap.clone() };
+            let local = |li: usize| p.global_row(li, r);
+            gather_rows(c, &needed, &starts, local, |_, _, _, _| true).rows.len()
+        });
+        assert_eq!(results[1], 0);
+        assert!(results[0] > 0 && results[2] > 0);
+    }
+
+    #[test]
+    fn fetch_values_with_duplicates() {
+        let starts = default_partition(12, 3);
+        let (results, _) = run_ranks(3, |c| {
+            let needed = vec![5, 5, 1, 5]; // duplicates allowed
+            fetch_values(c, &needed, &starts, |li| li as f64 * 10.0)
+        });
+        for vals in results {
+            // global 5 is local 1 on rank 1 -> 10.0; global 1 local 1 on
+            // rank 0 -> 10.0.
+            assert_eq!(vals, vec![10.0, 10.0, 10.0, 10.0]);
+        }
+    }
+
+    #[test]
+    fn fetch_values_roundtrip() {
+        let starts = default_partition(40, 4);
+        let (results, _) = run_ranks(4, |c| {
+            let r = c.rank();
+            // Every rank asks for values scattered across all ranks.
+            let needed: Vec<usize> = (0..40).step_by(r + 2).collect();
+            let vals = fetch_values(c, &needed, &starts, |li| (starts[r] + li) as f64 * 3.0);
+            (needed, vals)
+        });
+        for (needed, vals) in results {
+            for (g, v) in needed.iter().zip(&vals) {
+                assert_eq!(*v, *g as f64 * 3.0);
+            }
+        }
+    }
+}

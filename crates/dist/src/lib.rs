@@ -1,0 +1,48 @@
+//! # famg-dist
+//!
+//! Distributed-memory AMG over a *simulated* message-passing runtime.
+//!
+//! The paper's multi-node optimizations (§4) are algorithmic: the ParCSR
+//! distributed matrix layout, halo exchanges, gathering of remote matrix
+//! rows for SpGEMM-like operations, parallel renumbering of received
+//! column indices (Fig. 4), filtering of remote interpolation rows
+//! (§4.3), and persistent communication. This crate implements all of
+//! them against [`comm`] — an in-process SPMD runtime where every "rank"
+//! is an OS thread and every message is accounted byte-for-byte — so the
+//! paper's communication-volume results reproduce exactly while the
+//! transport (InfiniBand vs. channels) is the documented substitution.
+//!
+//! Modules:
+//! * [`comm`] — the SPMD runtime: ranks, point-to-point sends, barriers,
+//!   collectives, byte/message accounting,
+//! * [`parcsr`] — HYPRE's distributed matrix: per-rank `diag`/`offd`
+//!   blocks with compressed off-diagonal columns and `colmap` (Fig. 3a),
+//! * [`renumber`] — sequential and parallel column-index renumbering for
+//!   received rows (§4.2, Fig. 4),
+//! * [`halo`] — vector halo exchange (Fig. 3b), ad-hoc and persistent
+//!   (§4.4), and matrix-row gathering (Fig. 3c) with optional §4.3
+//!   filtering,
+//! * [`spmv`] — distributed SpMV and fused residual norms,
+//! * [`spgemm`] — distributed SpGEMM and transpose,
+//! * [`coarsen`] — distributed PMIS (+ aggressive second pass),
+//! * [`interp`] — distributed direct / extended+i / multipass /
+//!   2-stage extended+i interpolation,
+//! * [`hierarchy`] — the distributed setup phase,
+//! * [`solve`] — distributed V-cycle, standalone AMG and FGMRES+AMG.
+
+// Kernels index several parallel arrays in lockstep; indexed loops are
+// the clearest expression of that and match the reference implementations.
+#![allow(clippy::needless_range_loop)]
+pub mod coarsen;
+pub mod comm;
+pub mod halo;
+pub mod hierarchy;
+pub mod interp;
+pub mod parcsr;
+pub mod renumber;
+pub mod solve;
+pub mod spgemm;
+pub mod spmv;
+
+pub use comm::{run_ranks, Comm};
+pub use parcsr::ParCsr;

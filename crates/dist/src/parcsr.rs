@@ -1,0 +1,326 @@
+//! The ParCSR distributed matrix (Fig. 3a).
+//!
+//! Rows are partitioned among ranks by contiguous ranges. Each rank
+//! stores its block-diagonal part (`diag`, local columns) and its
+//! off-diagonal part (`offd`) whose column indices are *compressed*:
+//! `offd` column `k` corresponds to global column `colmap[k]`, and
+//! `colmap` is kept sorted so gathered halo elements land in a
+//! contiguous, binary-searchable external vector.
+
+use famg_sparse::Csr;
+
+/// One rank's share of a distributed matrix.
+#[derive(Debug, Clone)]
+pub struct ParCsr {
+    /// Global row range start (inclusive).
+    pub row_start: usize,
+    /// Global row range end (exclusive).
+    pub row_end: usize,
+    /// Global column count.
+    pub global_cols: usize,
+    /// Row-range starts of the *column* partition, length `nranks + 1`
+    /// (for square operators this equals the row partition).
+    pub col_starts: Vec<usize>,
+    /// Block-diagonal part; columns are local (`global - col_start`).
+    pub diag: Csr,
+    /// Off-diagonal part; columns are compressed via `colmap`.
+    pub offd: Csr,
+    /// Sorted map from compressed off-diagonal column to global column.
+    pub colmap: Vec<usize>,
+}
+
+impl ParCsr {
+    /// Number of local rows.
+    pub fn local_rows(&self) -> usize {
+        self.row_end - self.row_start
+    }
+
+    /// This rank's owned column range (square-partition convention).
+    pub fn col_range(&self, rank: usize) -> (usize, usize) {
+        (self.col_starts[rank], self.col_starts[rank + 1])
+    }
+
+    /// Local nnz (diag + offd).
+    pub fn local_nnz(&self) -> usize {
+        self.diag.nnz() + self.offd.nnz()
+    }
+
+    /// The rank owning global column `c` under `col_starts`.
+    pub fn owner_of_col(&self, c: usize) -> usize {
+        owner_of(&self.col_starts, c)
+    }
+
+    /// Splits rows `[row_start, row_end)` of a global matrix into the
+    /// ParCSR layout for one rank. `col_starts` defines the column
+    /// ownership (usually the same partition as rows).
+    pub fn from_global_rows(
+        a: &Csr,
+        row_start: usize,
+        row_end: usize,
+        col_starts: Vec<usize>,
+        my_rank: usize,
+    ) -> ParCsr {
+        assert!(row_end <= a.nrows());
+        let (c0, c1) = (col_starts[my_rank], col_starts[my_rank + 1]);
+        // Collect the global off-diagonal columns present, sorted.
+        let mut ext: Vec<usize> = Vec::new();
+        for i in row_start..row_end {
+            for &c in a.row_cols(i) {
+                if c < c0 || c >= c1 {
+                    ext.push(c);
+                }
+            }
+        }
+        ext.sort_unstable();
+        ext.dedup();
+        let colmap = ext;
+
+        let nl = row_end - row_start;
+        let mut d_rp = Vec::with_capacity(nl + 1);
+        let mut d_ci = Vec::new();
+        let mut d_v = Vec::new();
+        let mut o_rp = Vec::with_capacity(nl + 1);
+        let mut o_ci = Vec::new();
+        let mut o_v = Vec::new();
+        d_rp.push(0);
+        o_rp.push(0);
+        for i in row_start..row_end {
+            for (c, v) in a.row_iter(i) {
+                if c >= c0 && c < c1 {
+                    d_ci.push(c - c0);
+                    d_v.push(v);
+                } else {
+                    let k = colmap.binary_search(&c).unwrap();
+                    o_ci.push(k);
+                    o_v.push(v);
+                }
+            }
+            d_rp.push(d_ci.len());
+            o_rp.push(o_ci.len());
+        }
+        ParCsr {
+            row_start,
+            row_end,
+            global_cols: a.ncols(),
+            diag: Csr::from_parts_unchecked(nl, c1 - c0, d_rp, d_ci, d_v),
+            offd: Csr::from_parts_unchecked(nl, colmap.len(), o_rp, o_ci, o_v),
+            colmap,
+            col_starts,
+        }
+    }
+
+    /// Builds from per-row global `(col, val)` triplet lists produced by a
+    /// distributed kernel. `row_start/row_end` give this rank's rows,
+    /// `col_starts` the column ownership.
+    pub fn from_local_rows_global_cols(
+        row_start: usize,
+        row_end: usize,
+        global_cols: usize,
+        col_starts: Vec<usize>,
+        my_rank: usize,
+        rows: &[Vec<(usize, f64)>],
+    ) -> ParCsr {
+        assert_eq!(rows.len(), row_end - row_start);
+        let (c0, c1) = (col_starts[my_rank], col_starts[my_rank + 1]);
+        let mut ext: Vec<usize> = rows
+            .iter()
+            .flat_map(|r| r.iter().map(|&(c, _)| c))
+            .filter(|&c| c < c0 || c >= c1)
+            .collect();
+        ext.sort_unstable();
+        ext.dedup();
+        let colmap = ext;
+        let nl = rows.len();
+        let mut d_rp = vec![0usize];
+        let mut d_ci = Vec::new();
+        let mut d_v = Vec::new();
+        let mut o_rp = vec![0usize];
+        let mut o_ci = Vec::new();
+        let mut o_v = Vec::new();
+        for r in rows {
+            for &(c, v) in r {
+                if c >= c0 && c < c1 {
+                    d_ci.push(c - c0);
+                    d_v.push(v);
+                } else {
+                    o_ci.push(colmap.binary_search(&c).unwrap());
+                    o_v.push(v);
+                }
+            }
+            d_rp.push(d_ci.len());
+            o_rp.push(o_ci.len());
+        }
+        ParCsr {
+            row_start,
+            row_end,
+            global_cols,
+            diag: Csr::from_parts_unchecked(nl, c1 - c0, d_rp, d_ci, d_v),
+            offd: Csr::from_parts_unchecked(nl, colmap.len(), o_rp, o_ci, o_v),
+            colmap,
+            col_starts,
+        }
+    }
+
+    /// Iterates local row `i`'s entries with *global* column indices.
+    pub fn global_row(&self, i: usize, my_rank: usize) -> Vec<(usize, f64)> {
+        let c0 = self.col_starts[my_rank];
+        let mut out: Vec<(usize, f64)> = self
+            .diag
+            .row_iter(i)
+            .map(|(c, v)| (c + c0, v))
+            .chain(self.offd.row_iter(i).map(|(c, v)| (self.colmap[c], v)))
+            .collect();
+        out.sort_unstable_by_key(|&(c, _)| c);
+        out
+    }
+
+    /// Diagonal entry of local row `i` (square partition convention).
+    pub fn diag_entry(&self, i: usize) -> f64 {
+        self.diag.get(i, i + self.row_start - self.col_starts_offset()).unwrap_or(0.0)
+    }
+
+    fn col_starts_offset(&self) -> usize {
+        // For square operators row_start equals the owned col start.
+        self.row_start
+    }
+}
+
+/// The rank owning index `g` under partition `starts`. Handles empty
+/// ranks (duplicate boundaries): the owner is the rank whose non-empty
+/// range actually contains `g`.
+pub fn owner_of(starts: &[usize], g: usize) -> usize {
+    debug_assert!(g < *starts.last().unwrap());
+    let mut r = match starts.binary_search(&g) {
+        Ok(r) => r,
+        Err(r) => r - 1,
+    };
+    // Skip over empty ranks sharing the boundary.
+    while starts[r + 1] <= g {
+        r += 1;
+    }
+    r
+}
+
+/// Splits `n` rows into `nranks` contiguous near-equal ranges; returns
+/// the `nranks + 1` start offsets.
+pub fn default_partition(n: usize, nranks: usize) -> Vec<usize> {
+    (0..=nranks).map(|r| n * r / nranks).collect()
+}
+
+/// Reassembles a global matrix from all ranks' pieces (test helper).
+pub fn to_global(parts: &[ParCsr]) -> Csr {
+    let n = parts.last().map(|p| p.row_end).unwrap_or(0);
+    let ncols = parts.first().map(|p| p.global_cols).unwrap_or(0);
+    let mut trips = Vec::new();
+    for (rank, p) in parts.iter().enumerate() {
+        for i in 0..p.local_rows() {
+            for (c, v) in p.global_row(i, rank) {
+                trips.push((p.row_start + i, c, v));
+            }
+        }
+    }
+    Csr::from_triplets(n, ncols, trips)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use famg_matgen::laplace2d;
+
+    #[test]
+    fn partition_covers() {
+        let s = default_partition(10, 3);
+        assert_eq!(s, vec![0, 3, 6, 10]);
+        assert_eq!(owner_of(&s, 0), 0);
+        assert_eq!(owner_of(&s, 3), 1);
+        assert_eq!(owner_of(&s, 9), 2);
+    }
+
+    #[test]
+    fn owner_of_skips_empty_ranks() {
+        // Ranks 1 and 3 are empty.
+        let s = vec![0, 2, 2, 5, 5, 8];
+        assert_eq!(owner_of(&s, 0), 0);
+        assert_eq!(owner_of(&s, 2), 2);
+        assert_eq!(owner_of(&s, 4), 2);
+        assert_eq!(owner_of(&s, 5), 4);
+        assert_eq!(owner_of(&s, 7), 4);
+    }
+
+    #[test]
+    fn split_and_reassemble() {
+        let a = laplace2d(8, 8);
+        let starts = default_partition(64, 3);
+        let parts: Vec<ParCsr> = (0..3)
+            .map(|r| ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r))
+            .collect();
+        let b = to_global(&parts);
+        assert_eq!(a.to_dense(), b.to_dense());
+        // nnz conserved.
+        let total: usize = parts.iter().map(|p| p.local_nnz()).sum();
+        assert_eq!(total, a.nnz());
+    }
+
+    #[test]
+    fn colmap_sorted_and_minimal() {
+        let a = laplace2d(6, 6);
+        let starts = default_partition(36, 4);
+        for r in 0..4 {
+            let p = ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
+            assert!(p.colmap.windows(2).all(|w| w[0] < w[1]));
+            // Every colmap entry is actually referenced.
+            let mut used = vec![false; p.colmap.len()];
+            for &c in p.offd.colidx() {
+                used[c] = true;
+            }
+            assert!(used.iter().all(|&u| u));
+            // No colmap entry lies in the owned range.
+            let (c0, c1) = p.col_range(r);
+            assert!(p.colmap.iter().all(|&c| c < c0 || c >= c1));
+        }
+    }
+
+    #[test]
+    fn global_row_roundtrip() {
+        let a = laplace2d(5, 5);
+        let starts = default_partition(25, 2);
+        let p = ParCsr::from_global_rows(&a, starts[1], starts[2], starts.clone(), 1);
+        for i in 0..p.local_rows() {
+            let g = p.global_row(i, 1);
+            let expect: Vec<(usize, f64)> = a.row_iter(starts[1] + i).collect();
+            assert_eq!(g, expect);
+        }
+    }
+
+    #[test]
+    fn from_local_rows_matches_from_global() {
+        let a = laplace2d(6, 4);
+        let starts = default_partition(24, 3);
+        for r in 0..3 {
+            let rows: Vec<Vec<(usize, f64)>> = (starts[r]..starts[r + 1])
+                .map(|i| a.row_iter(i).collect())
+                .collect();
+            let p1 = ParCsr::from_local_rows_global_cols(
+                starts[r],
+                starts[r + 1],
+                24,
+                starts.clone(),
+                r,
+                &rows,
+            );
+            let p2 = ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
+            assert_eq!(p1.diag, p2.diag);
+            assert_eq!(p1.offd, p2.offd);
+            assert_eq!(p1.colmap, p2.colmap);
+        }
+    }
+
+    #[test]
+    fn single_rank_has_empty_offd() {
+        let a = laplace2d(4, 4);
+        let p = ParCsr::from_global_rows(&a, 0, 16, vec![0, 16], 0);
+        assert_eq!(p.offd.nnz(), 0);
+        assert!(p.colmap.is_empty());
+        assert_eq!(p.diag.to_dense(), a.to_dense());
+    }
+}

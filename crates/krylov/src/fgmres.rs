@@ -1,0 +1,292 @@
+//! Flexible GMRES (Saad 1993) with right preconditioning.
+//!
+//! The paper's multi-node configuration (Table 4) wraps the AMG V-cycle
+//! inside flexible GMRES: the "flexible" variant stores the
+//! preconditioned vectors `Z` so the preconditioner may vary between
+//! iterations, as an AMG cycle does.
+
+use crate::precond::Preconditioner;
+use crate::KrylovResult;
+use famg_sparse::spmv::spmv;
+use famg_sparse::vecops;
+use famg_sparse::Csr;
+
+/// FGMRES options.
+#[derive(Debug, Clone)]
+pub struct FgmresOptions {
+    /// Relative residual target.
+    pub tolerance: f64,
+    /// Maximum total iterations.
+    pub max_iterations: usize,
+    /// Restart length (Krylov basis size).
+    pub restart: usize,
+}
+
+impl Default for FgmresOptions {
+    fn default() -> Self {
+        FgmresOptions {
+            tolerance: 1e-7,
+            max_iterations: 500,
+            restart: 50,
+        }
+    }
+}
+
+/// Solves `A x = b` with right-preconditioned flexible GMRES.
+///
+/// ```
+/// use famg_krylov::{fgmres, FgmresOptions, IdentityPrecond};
+/// let a = famg_matgen::laplace2d(12, 12);
+/// let b = vec![1.0; a.nrows()];
+/// let mut x = vec![0.0; a.nrows()];
+/// let res = fgmres(&a, &b, &mut x, &IdentityPrecond, &FgmresOptions::default());
+/// assert!(res.converged);
+/// ```
+pub fn fgmres(
+    a: &Csr,
+    b: &[f64],
+    x: &mut [f64],
+    precond: &impl Preconditioner,
+    opts: &FgmresOptions,
+) -> KrylovResult {
+    let n = a.nrows();
+    assert_eq!(b.len(), n);
+    assert_eq!(x.len(), n);
+    let m = opts.restart.max(1);
+    let bnorm = vecops::norm2(b).max(f64::MIN_POSITIVE);
+
+    let mut history = Vec::new();
+    let mut total_iters = 0usize;
+    let mut relres;
+
+    // Krylov basis V, preconditioned basis Z, Hessenberg H (column major:
+    // h[j] has j+2 entries), Givens rotations.
+    let mut v: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
+    let mut z: Vec<Vec<f64>> = Vec::with_capacity(m);
+
+    'outer: loop {
+        // r = b - A x
+        let mut r = vec![0.0; n];
+        spmv(a, x, &mut r);
+        for (ri, bi) in r.iter_mut().zip(b) {
+            *ri = bi - *ri;
+        }
+        let beta = vecops::norm2(&r);
+        relres = beta / bnorm;
+        if relres <= opts.tolerance || total_iters >= opts.max_iterations {
+            break;
+        }
+        v.clear();
+        z.clear();
+        vecops::scale(1.0 / beta, &mut r);
+        v.push(r);
+        let mut g = vec![0.0f64; m + 1];
+        g[0] = beta;
+        let mut h: Vec<Vec<f64>> = Vec::with_capacity(m);
+        let mut cs: Vec<f64> = Vec::with_capacity(m);
+        let mut sn: Vec<f64> = Vec::with_capacity(m);
+        let mut inner = 0usize;
+
+        while inner < m && total_iters < opts.max_iterations {
+            // z_j = M⁻¹ v_j ; w = A z_j
+            let mut zj = vec![0.0; n];
+            precond.apply(&v[inner], &mut zj);
+            let mut w = vec![0.0; n];
+            spmv(a, &zj, &mut w);
+            z.push(zj);
+            // Modified Gram-Schmidt.
+            let mut hj = vec![0.0f64; inner + 2];
+            for (i, vi) in v.iter().enumerate() {
+                let hij = vecops::dot(&w, vi);
+                hj[i] = hij;
+                vecops::axpy(-hij, vi, &mut w);
+            }
+            let wnorm = vecops::norm2(&w);
+            hj[inner + 1] = wnorm;
+            // Apply existing Givens rotations to the new column.
+            for i in 0..inner {
+                let t = cs[i] * hj[i] + sn[i] * hj[i + 1];
+                hj[i + 1] = -sn[i] * hj[i] + cs[i] * hj[i + 1];
+                hj[i] = t;
+            }
+            // New rotation to annihilate hj[inner+1].
+            let (c, s) = givens(hj[inner], hj[inner + 1]);
+            cs.push(c);
+            sn.push(s);
+            hj[inner] = c * hj[inner] + s * hj[inner + 1];
+            hj[inner + 1] = 0.0;
+            g[inner + 1] = -s * g[inner];
+            g[inner] *= c;
+            h.push(hj);
+
+            total_iters += 1;
+            inner += 1;
+            relres = g[inner].abs() / bnorm;
+            history.push(relres);
+
+            if relres <= opts.tolerance {
+                update_solution(x, &h, &g, &z, inner);
+                continue 'outer; // recompute the true residual and re-test
+            }
+            if wnorm <= f64::MIN_POSITIVE {
+                // Lucky breakdown: exact solution in the current space.
+                update_solution(x, &h, &g, &z, inner);
+                continue 'outer;
+            }
+            let mut vnext = w;
+            vecops::scale(1.0 / wnorm, &mut vnext);
+            v.push(vnext);
+        }
+        // Restart (or iteration cap): fold the correction into x.
+        update_solution(x, &h, &g, &z, inner);
+        if total_iters >= opts.max_iterations {
+            // Recompute the exact residual for the report.
+            let mut r = vec![0.0; n];
+            spmv(a, x, &mut r);
+            for (ri, bi) in r.iter_mut().zip(b) {
+                *ri = bi - *ri;
+            }
+            relres = vecops::norm2(&r) / bnorm;
+            break;
+        }
+    }
+
+    KrylovResult {
+        iterations: total_iters,
+        final_relres: relres,
+        converged: relres <= opts.tolerance,
+        history,
+    }
+}
+
+/// Solves the small triangular system and applies `x += Z y`.
+fn update_solution(x: &mut [f64], h: &[Vec<f64>], g: &[f64], z: &[Vec<f64>], k: usize) {
+    if k == 0 {
+        return;
+    }
+    let mut y = vec![0.0f64; k];
+    for i in (0..k).rev() {
+        let mut acc = g[i];
+        for j in i + 1..k {
+            acc -= h[j][i] * y[j];
+        }
+        y[i] = acc / h[i][i];
+    }
+    for (j, yj) in y.iter().enumerate() {
+        vecops::axpy(*yj, &z[j], x);
+    }
+}
+
+/// Stable Givens rotation coefficients.
+fn givens(a: f64, b: f64) -> (f64, f64) {
+    if b == 0.0 {
+        (1.0, 0.0)
+    } else if a.abs() > b.abs() {
+        let t = b / a;
+        let c = 1.0 / (1.0 + t * t).sqrt();
+        (c, c * t)
+    } else {
+        let t = a / b;
+        let s = 1.0 / (1.0 + t * t).sqrt();
+        (s * t, s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precond::IdentityPrecond;
+    use famg_matgen::{laplace2d, rhs};
+
+    fn relres(a: &Csr, b: &[f64], x: &[f64]) -> f64 {
+        let mut r = vec![0.0; b.len()];
+        spmv(a, x, &mut r);
+        for (ri, bi) in r.iter_mut().zip(b) {
+            *ri = bi - *ri;
+        }
+        vecops::norm2(&r) / vecops::norm2(b)
+    }
+
+    #[test]
+    fn unpreconditioned_solves_small_laplacian() {
+        let a = laplace2d(10, 10);
+        let b = rhs::ones(100);
+        let mut x = vec![0.0; 100];
+        let res = fgmres(&a, &b, &mut x, &IdentityPrecond, &FgmresOptions::default());
+        assert!(res.converged, "relres {}", res.final_relres);
+        assert!(relres(&a, &b, &x) <= 1.1e-7);
+    }
+
+    #[test]
+    fn restart_path_exercised() {
+        let a = laplace2d(16, 16);
+        let b = rhs::random(256, 1);
+        let mut x = vec![0.0; 256];
+        let opts = FgmresOptions {
+            restart: 5,
+            max_iterations: 2000,
+            ..FgmresOptions::default()
+        };
+        let res = fgmres(&a, &b, &mut x, &IdentityPrecond, &opts);
+        assert!(res.converged);
+        assert!(res.iterations > 5, "restart never triggered");
+        assert!(relres(&a, &b, &x) <= 1.1e-7);
+    }
+
+    #[test]
+    fn jacobi_preconditioner_helps() {
+        let a = laplace2d(14, 14);
+        let n = a.nrows();
+        let dinv: Vec<f64> = (0..n).map(|i| 1.0 / a.diag(i)).collect();
+        let pre = move |r: &[f64], z: &mut [f64]| {
+            for i in 0..r.len() {
+                z[i] = dinv[i] * r[i];
+            }
+        };
+        let b = rhs::ones(n);
+        let mut x1 = vec![0.0; n];
+        let mut x2 = vec![0.0; n];
+        let r1 = fgmres(&a, &b, &mut x1, &IdentityPrecond, &FgmresOptions::default());
+        let r2 = fgmres(&a, &b, &mut x2, &pre, &FgmresOptions::default());
+        assert!(r1.converged && r2.converged);
+        // Jacobi on the scaled Laplacian is equivalent up to scaling, so
+        // just sanity-check both solve and the history is monotone-ish.
+        assert!(relres(&a, &b, &x2) <= 1.1e-7);
+    }
+
+    #[test]
+    fn nonzero_initial_guess() {
+        let a = laplace2d(12, 12);
+        let b = rhs::ones(144);
+        let mut x = rhs::random(144, 7);
+        let res = fgmres(&a, &b, &mut x, &IdentityPrecond, &FgmresOptions::default());
+        assert!(res.converged);
+        assert!(relres(&a, &b, &x) <= 1.1e-7);
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let a = laplace2d(20, 20);
+        let b = rhs::ones(400);
+        let mut x = vec![0.0; 400];
+        let opts = FgmresOptions {
+            max_iterations: 3,
+            ..FgmresOptions::default()
+        };
+        let res = fgmres(&a, &b, &mut x, &IdentityPrecond, &opts);
+        assert!(!res.converged);
+        assert_eq!(res.iterations, 3);
+    }
+
+    #[test]
+    fn exact_solution_returns_immediately() {
+        let a = laplace2d(8, 8);
+        let x_true = rhs::random(64, 3);
+        let b = rhs::rhs_for_solution(&a, &x_true);
+        let mut x = x_true.clone();
+        let res = fgmres(&a, &b, &mut x, &IdentityPrecond, &FgmresOptions::default());
+        assert!(res.converged);
+        assert_eq!(res.iterations, 0);
+        assert_eq!(x, x_true);
+    }
+}

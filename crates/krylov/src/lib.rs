@@ -1,0 +1,30 @@
+//! # famg-krylov
+//!
+//! Krylov solvers used by the paper's multi-node evaluation: a flexible
+//! (right-preconditioned) GMRES — Table 4's outer solver — and conjugate
+//! gradients, both generic over a [`Preconditioner`].
+//!
+//! Flexible GMRES [Saad 1993] allows the preconditioner to change between
+//! iterations, which is required when the preconditioner is itself an
+//! iterative method like an AMG V-cycle.
+
+pub mod cg;
+pub mod fgmres;
+pub mod precond;
+
+pub use cg::{cg, CgOptions};
+pub use fgmres::{fgmres, FgmresOptions};
+pub use precond::{IdentityPrecond, Preconditioner};
+
+/// Convergence report shared by the Krylov solvers.
+#[derive(Debug, Clone)]
+pub struct KrylovResult {
+    /// Iterations performed (preconditioner applications).
+    pub iterations: usize,
+    /// Final relative residual (recomputed exactly at exit).
+    pub final_relres: f64,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+    /// Relative residual history, one entry per iteration.
+    pub history: Vec<f64>,
+}

@@ -1,0 +1,59 @@
+//! Preconditioner abstraction.
+
+/// A (possibly nonlinear / iteration-varying) preconditioner:
+/// `apply` computes `z ≈ M⁻¹ r`.
+///
+/// Implemented for closures so an AMG solver can be plugged in without a
+/// dependency cycle:
+///
+/// ```ignore
+/// let pre = |r: &[f64], z: &mut [f64]| amg.apply(r, z);
+/// fgmres(&a, &b, &mut x, &pre, &FgmresOptions::default());
+/// ```
+pub trait Preconditioner {
+    /// Computes `z ≈ M⁻¹ r`. `z` arrives zeroed.
+    fn apply(&self, r: &[f64], z: &mut [f64]);
+}
+
+/// No-op preconditioner (`M = I`).
+pub struct IdentityPrecond;
+
+impl Preconditioner for IdentityPrecond {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        z.copy_from_slice(r);
+    }
+}
+
+impl<F> Preconditioner for F
+where
+    F: Fn(&[f64], &mut [f64]),
+{
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        self(r, z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_copies() {
+        let r = vec![1.0, -2.0];
+        let mut z = vec![0.0; 2];
+        IdentityPrecond.apply(&r, &mut z);
+        assert_eq!(z, r);
+    }
+
+    #[test]
+    fn closure_impl() {
+        let scale = |r: &[f64], z: &mut [f64]| {
+            for (zi, ri) in z.iter_mut().zip(r) {
+                *zi = 0.5 * ri;
+            }
+        };
+        let mut z = vec![0.0; 2];
+        Preconditioner::apply(&scale, &[2.0, 4.0], &mut z);
+        assert_eq!(z, vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,97 @@
+//! AMG2013-like semi-structured input (Fig. 6 d–f workload).
+//!
+//! The AMG2013 benchmark's default problem assembles a 3D diffusion
+//! operator over a grid of processor sub-boxes whose material coefficient
+//! is drawn per "pool" of sub-boxes (`pooldist` controls the pool layout),
+//! producing ~8 nonzeros/row with coefficient contrast across sub-box
+//! boundaries. We reproduce that structure directly: the domain is split
+//! into `pool × pool × pool` sub-boxes, each assigned a coefficient drawn
+//! log-uniformly from `[10^-contrast, 10^contrast]`, and discretized with
+//! the harmonic-averaged 7-point operator.
+
+use crate::varcoef::varcoef3d_7pt;
+use famg_sparse::Csr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds the semi-structured problem: `nx × ny × nz` cells, `pool³`
+/// coefficient pools, coefficient contrast `10^±contrast` between pools.
+pub fn amg2013_like(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    pool: usize,
+    contrast: f64,
+    seed: u64,
+) -> Csr {
+    assert!(pool > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let npools = pool * pool * pool;
+    assert!(contrast >= 0.0);
+    let coefs: Vec<f64> = (0..npools)
+        .map(|_| {
+            if contrast == 0.0 {
+                1.0
+            } else {
+                10f64.powf(rng.gen_range(-contrast..contrast))
+            }
+        })
+        .collect();
+    let k: Vec<f64> = (0..nx * ny * nz)
+        .map(|i| {
+            let x = i % nx;
+            let y = (i / nx) % ny;
+            let z = i / (nx * ny);
+            let px = x * pool / nx;
+            let py = y * pool / ny;
+            let pz = z * pool / nz;
+            coefs[pz * pool * pool + py * pool + px]
+        })
+        .collect();
+    varcoef3d_7pt(nx, ny, nz, &k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nnz_per_row_near_seven() {
+        let a = amg2013_like(12, 12, 12, 2, 2.0, 5);
+        let avg = a.nnz() as f64 / a.nrows() as f64;
+        assert!(avg > 6.0 && avg <= 7.0, "avg nnz/row = {avg}");
+    }
+
+    #[test]
+    fn symmetric_spd_structure() {
+        let a = amg2013_like(8, 8, 8, 2, 2.0, 1);
+        assert!(a.is_symmetric(1e-12));
+        for i in 0..a.nrows() {
+            assert!(a.diag(i) > 0.0);
+        }
+    }
+
+    #[test]
+    fn pools_create_contrast() {
+        let a = amg2013_like(8, 8, 8, 2, 3.0, 9);
+        // Off-diagonal magnitudes should span orders of magnitude.
+        let mut min = f64::MAX;
+        let mut max: f64 = 0.0;
+        for i in 0..a.nrows() {
+            for (c, v) in a.row_iter(i) {
+                if c != i {
+                    min = min.min(v.abs());
+                    max = max.max(v.abs());
+                }
+            }
+        }
+        assert!(max / min > 100.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = amg2013_like(6, 6, 6, 2, 2.0, 3);
+        let b = amg2013_like(6, 6, 6, 2, 2.0, 3);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,36 @@
+//! # famg-matgen
+//!
+//! Problem generators for every workload in the SC '15 paper's evaluation:
+//!
+//! * [`laplace`] — constant-coefficient Laplacians: 2D 5-point (the
+//!   `lap2d_2000` matrix from AMG2013), 3D 7-point, and 3D 27-point (the
+//!   `lap3d_128` matrix from HPCG),
+//! * [`varcoef`] — variable-coefficient 3D diffusion with harmonic face
+//!   averaging (SPD M-matrices),
+//! * [`amg2013`] — a semi-structured-like problem approximating the
+//!   AMG2013 default input (coefficient pools, ~7–8 nnz/row),
+//! * [`reservoir`] — the strong-scaling reservoir problem: a Poisson-like
+//!   operator with a highly discontinuous, spatially correlated lognormal
+//!   permeability field (substitution for the paper's SGeMS-generated
+//!   field, see DESIGN.md),
+//! * [`mod@suite`] — synthetic proxies for the 14 single-node matrices of
+//!   Table 2 (University of Florida collection substitutes),
+//! * [`mmio`] — Matrix Market coordinate-format reader/writer,
+//! * [`rhs`] — right-hand-side and initial-guess helpers.
+
+pub mod amg2013;
+pub mod laplace;
+pub mod mmio;
+pub mod reservoir;
+pub mod rhs;
+pub mod suite;
+pub mod varcoef;
+
+pub use amg2013::amg2013_like;
+pub use laplace::{
+    laplace2d, laplace2d_aniso, laplace2d_neumann, laplace2d_rotated_aniso, laplace3d_27pt,
+    laplace3d_7pt, stencil3d_13pt,
+};
+pub use reservoir::{reservoir_field, reservoir_matrix};
+pub use suite::{suite, SuiteMatrix};
+pub use varcoef::varcoef3d_7pt;

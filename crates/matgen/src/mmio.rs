@@ -1,0 +1,296 @@
+//! Matrix Market coordinate-format IO.
+//!
+//! Supports `matrix coordinate real {general|symmetric}` — enough to
+//! exchange problems with other AMG packages and to load University of
+//! Florida matrices when the user has them locally.
+
+use famg_sparse::Csr;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors from Matrix Market parsing.
+#[derive(Debug)]
+pub enum MmError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// Structural / syntax problem with the file.
+    Parse(String),
+}
+
+impl std::fmt::Display for MmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "io error: {e}"),
+            MmError::Parse(m) => write!(f, "matrix market parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+impl From<std::io::Error> for MmError {
+    fn from(e: std::io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+/// Reads a Matrix Market coordinate file from any reader.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<Csr, MmError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| MmError::Parse("empty file".into()))??;
+    let h: Vec<&str> = header.split_whitespace().collect();
+    if h.len() < 5 || !h[0].starts_with("%%MatrixMarket") {
+        return Err(MmError::Parse("missing %%MatrixMarket header".into()));
+    }
+    if h[1] != "matrix" || h[2] != "coordinate" {
+        return Err(MmError::Parse(format!(
+            "unsupported object/format: {} {}",
+            h[1], h[2]
+        )));
+    }
+    let field = h[3];
+    if field != "real" && field != "integer" && field != "pattern" {
+        return Err(MmError::Parse(format!("unsupported field: {field}")));
+    }
+    let sym = match h[4] {
+        "general" => false,
+        "symmetric" => true,
+        s => return Err(MmError::Parse(format!("unsupported symmetry: {s}"))),
+    };
+
+    // Skip comments, find the size line.
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some(t.to_string());
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| MmError::Parse("missing size line".into()))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| MmError::Parse(format!("bad size line: {e}")))?;
+    if dims.len() != 3 {
+        return Err(MmError::Parse("size line must have 3 fields".into()));
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut trips = Vec::with_capacity(if sym { 2 * nnz } else { nnz });
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let i: usize = it
+            .next()
+            .ok_or_else(|| MmError::Parse("short entry".into()))?
+            .parse()
+            .map_err(|e| MmError::Parse(format!("bad row index: {e}")))?;
+        let j: usize = it
+            .next()
+            .ok_or_else(|| MmError::Parse("short entry".into()))?
+            .parse()
+            .map_err(|e| MmError::Parse(format!("bad col index: {e}")))?;
+        let v: f64 = if field == "pattern" {
+            1.0
+        } else {
+            it.next()
+                .ok_or_else(|| MmError::Parse("missing value".into()))?
+                .parse()
+                .map_err(|e| MmError::Parse(format!("bad value: {e}")))?
+        };
+        if i == 0 || j == 0 || i > nrows || j > ncols {
+            return Err(MmError::Parse(format!("entry ({i},{j}) out of bounds")));
+        }
+        trips.push((i - 1, j - 1, v));
+        if sym && i != j {
+            trips.push((j - 1, i - 1, v));
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(MmError::Parse(format!(
+            "expected {nnz} entries, found {seen}"
+        )));
+    }
+    Ok(Csr::from_triplets(nrows, ncols, trips))
+}
+
+/// Loads a Matrix Market file from disk.
+pub fn load_matrix_market(path: impl AsRef<Path>) -> Result<Csr, MmError> {
+    read_matrix_market(std::fs::File::open(path)?)
+}
+
+/// Writes `a` as `matrix coordinate real general`.
+pub fn write_matrix_market<W: Write>(a: &Csr, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by famg-matgen")?;
+    writeln!(w, "{} {} {}", a.nrows(), a.ncols(), a.nnz())?;
+    for i in 0..a.nrows() {
+        for (c, v) in a.row_iter(i) {
+            writeln!(w, "{} {} {:.17e}", i + 1, c + 1, v)?;
+        }
+    }
+    w.flush()
+}
+
+/// Saves `a` to disk in Matrix Market format.
+pub fn save_matrix_market(a: &Csr, path: impl AsRef<Path>) -> std::io::Result<()> {
+    write_matrix_market(a, std::fs::File::create(path)?)
+}
+
+/// Reads a Matrix Market dense-array vector (`matrix array real general`,
+/// single column).
+pub fn read_vector<R: Read>(reader: R) -> Result<Vec<f64>, MmError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| MmError::Parse("empty file".into()))??;
+    let h: Vec<&str> = header.split_whitespace().collect();
+    if h.len() < 5 || h[1] != "matrix" || h[2] != "array" || h[3] != "real" {
+        return Err(MmError::Parse("expected a real array header".into()));
+    }
+    let mut dims = None;
+    let mut values = Vec::new();
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        if dims.is_none() {
+            let d: Vec<usize> = t
+                .split_whitespace()
+                .map(|x| x.parse::<usize>())
+                .collect::<Result<_, _>>()
+                .map_err(|e| MmError::Parse(format!("bad size line: {e}")))?;
+            if d.len() != 2 || d[1] != 1 {
+                return Err(MmError::Parse("expected an n x 1 array".into()));
+            }
+            dims = Some(d[0]);
+            values.reserve(d[0]);
+        } else {
+            values.push(
+                t.parse::<f64>()
+                    .map_err(|e| MmError::Parse(format!("bad value: {e}")))?,
+            );
+        }
+    }
+    let n = dims.ok_or_else(|| MmError::Parse("missing size line".into()))?;
+    if values.len() != n {
+        return Err(MmError::Parse(format!(
+            "expected {n} values, found {}",
+            values.len()
+        )));
+    }
+    Ok(values)
+}
+
+/// Writes a vector as a Matrix Market dense array.
+pub fn write_vector<W: Write>(v: &[f64], writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "%%MatrixMarket matrix array real general")?;
+    writeln!(w, "{} 1", v.len())?;
+    for x in v {
+        writeln!(w, "{x:.17e}")?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_general() {
+        let a = crate::laplace::laplace2d(5, 4);
+        let mut buf = Vec::new();
+        write_matrix_market(&a, &mut buf).unwrap();
+        let b = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(a.to_dense(), b.to_dense());
+    }
+
+    #[test]
+    fn reads_symmetric_storage() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    % comment\n\
+                    2 2 3\n\
+                    1 1 2.0\n\
+                    2 1 -1.0\n\
+                    2 2 2.0\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.get(0, 1), Some(-1.0));
+        assert_eq!(a.get(1, 0), Some(-1.0));
+        assert_eq!(a.nnz(), 4);
+    }
+
+    #[test]
+    fn reads_pattern() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    2 3 2\n\
+                    1 3\n\
+                    2 1\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.get(0, 2), Some(1.0));
+        assert_eq!(a.get(1, 0), Some(1.0));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(read_matrix_market("garbage\n1 1 0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_count() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 5\n1 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_bounds() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn vector_roundtrip() {
+        let v = vec![1.5, -2.25, 0.0, 1e-30];
+        let mut buf = Vec::new();
+        write_vector(&v, &mut buf).unwrap();
+        let back = read_vector(buf.as_slice()).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn vector_rejects_matrix_shape() {
+        let text = "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n";
+        assert!(read_vector(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn vector_rejects_wrong_count() {
+        let text = "%%MatrixMarket matrix array real general\n3 1\n1.0\n2.0\n";
+        assert!(read_vector(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let a = crate::laplace::laplace3d_7pt(3, 3, 3);
+        let dir = std::env::temp_dir().join("famg_mmio_test.mtx");
+        save_matrix_market(&a, &dir).unwrap();
+        let b = load_matrix_market(&dir).unwrap();
+        assert_eq!(a.to_dense(), b.to_dense());
+        let _ = std::fs::remove_file(&dir);
+    }
+}

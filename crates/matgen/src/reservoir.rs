@@ -1,0 +1,164 @@
+//! The strong-scaling reservoir problem (§5.1.2, Fig. 8).
+//!
+//! The paper uses a permeability field generated geostatistically with
+//! sequential Gaussian simulation (SGeMS). We substitute a layered
+//! lognormal random field with spatial correlation imposed by repeated
+//! box-blur smoothing of white noise (a moving-average random field):
+//! the resulting operator preserves the property that matters to the
+//! solver — a Poisson-like equation with coefficient jumps spanning many
+//! orders of magnitude, hence badly conditioned and requiring a
+//! Krylov-wrapped AMG (FGMRES + AMG, tol 1e-5) rather than standalone AMG.
+
+use crate::varcoef::varcoef3d_7pt;
+use famg_sparse::Csr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a spatially correlated lognormal permeability field.
+///
+/// * `sigma` — standard deviation of log-permeability (paper-like fields
+///   use 2–4, i.e. jumps of several orders of magnitude),
+/// * `layers` — number of horizontal geological layers; each layer gets
+///   an independent mean log-permeability, producing the strong vertical
+///   discontinuities typical of reservoir models,
+/// * `smooth_passes` — box-blur passes controlling in-layer correlation.
+pub fn reservoir_field(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    layers: usize,
+    sigma: f64,
+    smooth_passes: usize,
+    seed: u64,
+) -> Vec<f64> {
+    assert!(nx > 0 && ny > 0 && nz > 0 && layers > 0);
+    let n = nx * ny * nz;
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Per-layer mean log-permeability: deterministically spread across
+    // [-sigma, sigma] (so the extreme layers always contrast by 2*sigma),
+    // then shuffled so the vertical ordering is random.
+    let mut layer_means: Vec<f64> = (0..layers)
+        .map(|l| {
+            if layers == 1 {
+                0.0
+            } else {
+                sigma * (2.0 * l as f64 / (layers - 1) as f64 - 1.0)
+            }
+        })
+        .collect();
+    for i in (1..layer_means.len()).rev() {
+        layer_means.swap(i, rng.gen_range(0..=i));
+    }
+    // White noise.
+    let mut logk: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    // In-plane box blur (x and y only — layers stay sharp in z).
+    let idx = |x: usize, y: usize, z: usize| z * nx * ny + y * nx + x;
+    let mut tmp = vec![0.0; n];
+    for _ in 0..smooth_passes {
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let mut acc = 0.0;
+                    let mut cnt = 0.0;
+                    for dy in -1i64..=1 {
+                        for dx in -1i64..=1 {
+                            let xx = x as i64 + dx;
+                            let yy = y as i64 + dy;
+                            if xx >= 0 && yy >= 0 && (xx as usize) < nx && (yy as usize) < ny {
+                                acc += logk[idx(xx as usize, yy as usize, z)];
+                                cnt += 1.0;
+                            }
+                        }
+                    }
+                    tmp[idx(x, y, z)] = acc / cnt;
+                }
+            }
+        }
+        std::mem::swap(&mut logk, &mut tmp);
+    }
+    // Normalize the smoothed noise back to unit spread, add layer means,
+    // exponentiate.
+    let max_abs = logk.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1e-30);
+    for z in 0..nz {
+        let layer = z * layers / nz;
+        for y in 0..ny {
+            for x in 0..nx {
+                let i = idx(x, y, z);
+                logk[i] = layer_means[layer] + sigma * logk[i] / max_abs;
+            }
+        }
+    }
+    logk.iter().map(|&v| v.exp()).collect()
+}
+
+/// Assembles the reservoir pressure operator on an `nx × ny × nz` grid.
+/// Deterministic for a given seed.
+pub fn reservoir_matrix(nx: usize, ny: usize, nz: usize, seed: u64) -> Csr {
+    let k = reservoir_field(nx, ny, nz, 8.min(nz.max(1)), 3.0, 2, seed);
+    varcoef3d_7pt(nx, ny, nz, &k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_is_positive_and_jumpy() {
+        let k = reservoir_field(16, 16, 16, 4, 3.0, 2, 42);
+        assert!(k.iter().all(|&v| v > 0.0));
+        let kmax = k.iter().cloned().fold(f64::MIN, f64::max);
+        let kmin = k.iter().cloned().fold(f64::MAX, f64::min);
+        // Several orders of magnitude contrast.
+        assert!(
+            kmax / kmin > 1e3,
+            "contrast only {:.1e}",
+            kmax / kmin
+        );
+    }
+
+    #[test]
+    fn field_deterministic_per_seed() {
+        let a = reservoir_field(8, 8, 8, 4, 3.0, 2, 7);
+        let b = reservoir_field(8, 8, 8, 4, 3.0, 2, 7);
+        let c = reservoir_field(8, 8, 8, 4, 3.0, 2, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn matrix_is_spd_structured() {
+        let a = reservoir_matrix(8, 8, 8, 1);
+        assert_eq!(a.nrows(), 512);
+        assert!(a.is_symmetric(1e-12));
+        for i in 0..a.nrows() {
+            assert!(a.diag(i) > 0.0);
+        }
+    }
+
+    #[test]
+    fn layers_produce_vertical_discontinuity() {
+        let (nx, ny, nz) = (8, 8, 16);
+        let k = reservoir_field(nx, ny, nz, 4, 3.0, 2, 3);
+        // Mean |log K| jump across a layer boundary should exceed the
+        // within-layer jump on average.
+        let idx = |x: usize, y: usize, z: usize| z * nx * ny + y * nx + x;
+        let mut within = (0.0, 0usize);
+        let mut across = (0.0, 0usize);
+        for z in 0..nz - 1 {
+            let boundary = (z + 1) % (nz / 4) == 0;
+            for y in 0..ny {
+                for x in 0..nx {
+                    let d = (k[idx(x, y, z)].ln() - k[idx(x, y, z + 1)].ln()).abs();
+                    if boundary {
+                        across = (across.0 + d, across.1 + 1);
+                    } else {
+                        within = (within.0 + d, within.1 + 1);
+                    }
+                }
+            }
+        }
+        let mean_within = within.0 / within.1 as f64;
+        let mean_across = across.0 / across.1 as f64;
+        assert!(mean_across > mean_within);
+    }
+}

@@ -1,0 +1,51 @@
+//! Right-hand-side and test-vector helpers.
+
+use famg_sparse::Csr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// All-ones right-hand side (the AMG2013 convention).
+pub fn ones(n: usize) -> Vec<f64> {
+    vec![1.0; n]
+}
+
+/// Deterministic uniform random vector in `[-1, 1)`.
+pub fn random(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+/// Builds `b = A x*` for a known solution `x*` so tests can verify the
+/// solver against the exact answer.
+pub fn rhs_for_solution(a: &Csr, x_true: &[f64]) -> Vec<f64> {
+    let mut b = vec![0.0; a.nrows()];
+    famg_sparse::spmv::spmv(a, x_true, &mut b);
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ones_and_random() {
+        assert_eq!(ones(3), vec![1.0, 1.0, 1.0]);
+        let r1 = random(10, 1);
+        let r2 = random(10, 1);
+        let r3 = random(10, 2);
+        assert_eq!(r1, r2);
+        assert_ne!(r1, r3);
+        assert!(r1.iter().all(|v| (-1.0..1.0).contains(v)));
+    }
+
+    #[test]
+    fn manufactured_rhs() {
+        let a = crate::laplace::laplace2d(3, 3);
+        let x = vec![1.0; 9];
+        let b = rhs_for_solution(&a, &x);
+        // Interior row of the Dirichlet Laplacian: 4 - 4 = 0.
+        assert_eq!(b[4], 0.0);
+        // Corner row: 4 - 2 = 2.
+        assert_eq!(b[0], 2.0);
+    }
+}

@@ -1,0 +1,343 @@
+//! Row/column permutations and the CF (coarse-first) reordering of §3.1.2.
+//!
+//! The paper renumbers grid points so all coarse points precede all fine
+//! points, permuting `A` symmetrically and `P` by rows. With that ordering:
+//!
+//! * `P = [I; P_F]` — its top block is the identity (coarse error
+//!   interpolates to itself in classical AMG), so triple products and
+//!   interpolation/restriction SpMVs can skip the identity block,
+//! * C-F relaxation sweeps become two loops over contiguous ranges instead
+//!   of a per-row `is_coarse` branch,
+//! * within each permuted row, columns can be *partially sorted* into the
+//!   three groups extended+i interpolation distinguishes (coarse with
+//!   non-negative coefficient / coarse with negative coefficient / fine)
+//!   in one O(nnz) sweep.
+
+use crate::csr::Csr;
+
+/// A permutation `new_index = perm[old_index]` together with its inverse.
+#[derive(Debug, Clone)]
+pub struct Permutation {
+    /// `old -> new`.
+    pub forward: Vec<usize>,
+    /// `new -> old`.
+    pub inverse: Vec<usize>,
+}
+
+impl Permutation {
+    /// Builds from an `old -> new` map, validating bijectivity.
+    pub fn from_forward(forward: Vec<usize>) -> Self {
+        let n = forward.len();
+        let mut inverse = vec![usize::MAX; n];
+        for (old, &new) in forward.iter().enumerate() {
+            assert!(new < n, "permutation target out of range");
+            assert_eq!(inverse[new], usize::MAX, "permutation not injective");
+            inverse[new] = old;
+        }
+        Permutation { forward, inverse }
+    }
+
+    /// The identity permutation on `n` points.
+    pub fn identity(n: usize) -> Self {
+        Permutation {
+            forward: (0..n).collect(),
+            inverse: (0..n).collect(),
+        }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// True when the permutation is over zero points.
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// Permutes a vector: `out[perm[i]] = v[i]`.
+    pub fn apply_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.len());
+        let mut out = vec![0.0; v.len()];
+        for (old, &new) in self.forward.iter().enumerate() {
+            out[new] = v[old];
+        }
+        out
+    }
+
+    /// Un-permutes a vector: `out[i] = v[perm[i]]`.
+    pub fn unapply_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.len());
+        let mut out = vec![0.0; v.len()];
+        for (old, &new) in self.forward.iter().enumerate() {
+            out[old] = v[new];
+        }
+        out
+    }
+}
+
+/// Builds the coarse-first permutation from a CF marker array
+/// (`true` = coarse). Coarse points keep their relative order and map to
+/// `0..ncoarse`; fine points follow. Returns the permutation and `ncoarse`.
+pub fn cf_permutation(is_coarse: &[bool]) -> (Permutation, usize) {
+    let n = is_coarse.len();
+    let ncoarse = is_coarse.iter().filter(|&&c| c).count();
+    let mut forward = vec![0usize; n];
+    let mut next_c = 0usize;
+    let mut next_f = ncoarse;
+    for (i, &c) in is_coarse.iter().enumerate() {
+        if c {
+            forward[i] = next_c;
+            next_c += 1;
+        } else {
+            forward[i] = next_f;
+            next_f += 1;
+        }
+    }
+    (Permutation::from_forward(forward), ncoarse)
+}
+
+/// Symmetric permutation `B = Q A Qᵀ`, i.e. `B[p(i), p(j)] = A[i, j]`.
+/// Rows of `B` come out in the column order of the originating rows of `A`
+/// (column indices are remapped, not re-sorted — downstream kernels
+/// re-partition rows anyway).
+pub fn permute_symmetric(a: &Csr, perm: &Permutation) -> Csr {
+    assert_eq!(a.nrows(), a.ncols());
+    assert_eq!(a.nrows(), perm.len());
+    let n = a.nrows();
+    let mut rowptr = vec![0usize; n + 1];
+    for new in 0..n {
+        let old = perm.inverse[new];
+        rowptr[new + 1] = rowptr[new] + a.row_nnz(old);
+    }
+    let nnz = rowptr[n];
+    let mut colidx = vec![0usize; nnz];
+    let mut values = vec![0.0f64; nnz];
+    for new in 0..n {
+        let old = perm.inverse[new];
+        let dst = rowptr[new];
+        for (k, (c, v)) in a.row_iter(old).enumerate() {
+            colidx[dst + k] = perm.forward[c];
+            values[dst + k] = v;
+        }
+    }
+    Csr::from_parts_unchecked(n, n, rowptr, colidx, values)
+}
+
+/// Permutes only the rows of `a`: `B[p(i), j] = A[i, j]`.
+pub fn permute_rows(a: &Csr, perm: &Permutation) -> Csr {
+    assert_eq!(a.nrows(), perm.len());
+    let n = a.nrows();
+    let mut rowptr = vec![0usize; n + 1];
+    for new in 0..n {
+        let old = perm.inverse[new];
+        rowptr[new + 1] = rowptr[new] + a.row_nnz(old);
+    }
+    let nnz = rowptr[n];
+    let mut colidx = vec![0usize; nnz];
+    let mut values = vec![0.0f64; nnz];
+    for new in 0..n {
+        let old = perm.inverse[new];
+        let dst = rowptr[new];
+        colidx[dst..dst + a.row_nnz(old)].copy_from_slice(a.row_cols(old));
+        values[dst..dst + a.row_nnz(old)].copy_from_slice(a.row_vals(old));
+    }
+    Csr::from_parts_unchecked(n, a.ncols(), rowptr, colidx, values)
+}
+
+/// Permutes only the columns of `a`: `B[i, p(j)] = A[i, j]`.
+pub fn permute_cols(a: &Csr, perm: &Permutation) -> Csr {
+    assert_eq!(a.ncols(), perm.len());
+    let colidx: Vec<usize> = a.colidx().iter().map(|&c| perm.forward[c]).collect();
+    Csr::from_parts_unchecked(
+        a.nrows(),
+        a.ncols(),
+        a.rowptr().to_vec(),
+        colidx,
+        a.values().to_vec(),
+    )
+}
+
+/// Splits a CF-permuted square matrix into its four blocks
+/// `[A_CC A_CF; A_FC A_FF]` where the first `nc` indices are coarse.
+/// Single sweep; entries keep their within-row order.
+pub fn split_cf_blocks(a: &Csr, nc: usize) -> (Csr, Csr, Csr, Csr) {
+    let n = a.nrows();
+    assert_eq!(n, a.ncols());
+    assert!(nc <= n);
+    let nf = n - nc;
+
+    /// Incremental CSR assembler for one block.
+    struct Block {
+        rowptr: Vec<usize>,
+        colidx: Vec<usize>,
+        values: Vec<f64>,
+    }
+    impl Block {
+        fn new(nrows: usize) -> Self {
+            let mut rowptr = Vec::with_capacity(nrows + 1);
+            rowptr.push(0);
+            Block {
+                rowptr,
+                colidx: Vec::new(),
+                values: Vec::new(),
+            }
+        }
+        fn close_row(&mut self) {
+            self.rowptr.push(self.colidx.len());
+        }
+        fn finish(self, nrows: usize, ncols: usize) -> Csr {
+            debug_assert_eq!(self.rowptr.len(), nrows + 1);
+            Csr::from_parts_unchecked(nrows, ncols, self.rowptr, self.colidx, self.values)
+        }
+    }
+
+    let mut cc = Block::new(nc);
+    let mut cf = Block::new(nc);
+    let mut fc = Block::new(nf);
+    let mut ff = Block::new(nf);
+    for i in 0..n {
+        let (left, right) = if i < nc {
+            (&mut cc, &mut cf)
+        } else {
+            (&mut fc, &mut ff)
+        };
+        for (c, v) in a.row_iter(i) {
+            if c < nc {
+                left.colidx.push(c);
+                left.values.push(v);
+            } else {
+                right.colidx.push(c - nc);
+                right.values.push(v);
+            }
+        }
+        left.close_row();
+        right.close_row();
+    }
+    (
+        cc.finish(nc, nc),
+        cf.finish(nc, nf),
+        fc.finish(nf, nc),
+        ff.finish(nf, nf),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_roundtrip() {
+        let p = Permutation::from_forward(vec![2, 0, 1]);
+        let v = vec![10.0, 20.0, 30.0];
+        let w = p.apply_vec(&v);
+        assert_eq!(w, vec![20.0, 30.0, 10.0]);
+        assert_eq!(p.unapply_vec(&w), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "not injective")]
+    fn non_bijective_rejected() {
+        Permutation::from_forward(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn cf_permutation_orders_coarse_first() {
+        let is_coarse = vec![false, true, false, true, true];
+        let (p, nc) = cf_permutation(&is_coarse);
+        assert_eq!(nc, 3);
+        // Coarse points 1, 3, 4 -> 0, 1, 2; fine points 0, 2 -> 3, 4.
+        assert_eq!(p.forward, vec![3, 0, 4, 1, 2]);
+    }
+
+    #[test]
+    fn symmetric_permutation_preserves_entries() {
+        let a = Csr::from_triplets(
+            3,
+            3,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0)],
+        );
+        let p = Permutation::from_forward(vec![2, 0, 1]);
+        let b = permute_symmetric(&a, &p);
+        // B[p(i), p(j)] = A[i, j]
+        assert_eq!(b.get(2, 2), Some(1.0));
+        assert_eq!(b.get(2, 1), Some(2.0));
+        assert_eq!(b.get(0, 0), Some(3.0));
+        assert_eq!(b.get(1, 2), Some(4.0));
+        assert_eq!(b.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn symmetric_permutation_identity_is_noop() {
+        let a = Csr::from_triplets(3, 3, vec![(0, 1, 1.0), (2, 2, 5.0)]);
+        let p = Permutation::identity(3);
+        assert_eq!(permute_symmetric(&a, &p).to_dense(), a.to_dense());
+    }
+
+    #[test]
+    fn row_and_col_permutations_compose_to_symmetric() {
+        let a = Csr::from_triplets(
+            3,
+            3,
+            vec![(0, 0, 1.0), (1, 2, 2.0), (2, 1, 3.0)],
+        );
+        let p = Permutation::from_forward(vec![1, 2, 0]);
+        let via_blocks = permute_cols(&permute_rows(&a, &p), &p);
+        let direct = permute_symmetric(&a, &p);
+        assert_eq!(via_blocks.to_dense(), direct.to_dense());
+    }
+
+    #[test]
+    fn spmv_commutes_with_permutation() {
+        // (QAQᵀ)(Qx) = Q(Ax)
+        let a = Csr::from_triplets(
+            4,
+            4,
+            vec![
+                (0, 0, 2.0),
+                (0, 1, -1.0),
+                (1, 1, 2.0),
+                (2, 3, 1.5),
+                (3, 2, 0.5),
+            ],
+        );
+        let p = Permutation::from_forward(vec![3, 1, 0, 2]);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let pa = permute_symmetric(&a, &p);
+        let px = p.apply_vec(&x);
+        let mut y1 = vec![0.0; 4];
+        crate::spmv::spmv_seq(&pa, &px, &mut y1);
+        let mut y = vec![0.0; 4];
+        crate::spmv::spmv_seq(&a, &x, &mut y);
+        let py = p.apply_vec(&y);
+        for (u, v) in y1.iter().zip(&py) {
+            assert!((u - v).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn cf_blocks_reassemble() {
+        let a = Csr::from_triplets(
+            4,
+            4,
+            vec![
+                (0, 0, 1.0),
+                (0, 3, 2.0),
+                (1, 1, 3.0),
+                (2, 2, 4.0),
+                (3, 0, 5.0),
+                (3, 3, 6.0),
+            ],
+        );
+        let (cc, cf, fc, ff) = split_cf_blocks(&a, 2);
+        assert_eq!(cc.get(0, 0), Some(1.0));
+        assert_eq!(cf.get(0, 1), Some(2.0)); // A[0,3] -> CF[0,1]
+        assert_eq!(ff.get(0, 0), Some(4.0)); // A[2,2] -> FF[0,0]
+        assert_eq!(fc.get(1, 0), Some(5.0)); // A[3,0] -> FC[1,0]
+        assert_eq!(ff.get(1, 1), Some(6.0));
+        assert_eq!(
+            cc.nnz() + cf.nnz() + fc.nnz() + ff.nnz(),
+            a.nnz()
+        );
+    }
+}

@@ -1,0 +1,376 @@
+//! Sparse matrix–vector products.
+//!
+//! Beyond the plain kernel this module implements two solve-phase
+//! optimizations from §3.2/§3.3 of the paper:
+//!
+//! * **Fused SpMV + inner product** (`spmv_dot`, `residual_norm`): when the
+//!   output vector of an SpMV is consumed only by a dot product (the
+//!   residual-norm check every iteration), fusing the two saves one full
+//!   write + read of the output vector.
+//! * **Identity-block skipping** (`interp_apply`, `restrict_apply`): after
+//!   CF permutation the interpolation operator has the form `[I; P_F]`, so
+//!   prolongation copies the coarse part and multiplies only the fine rows,
+//!   and restriction starts from the coarse part of the input.
+
+use crate::csr::Csr;
+use rayon::prelude::*;
+
+/// Minimum rows before a kernel goes parallel.
+const PAR_THRESHOLD: usize = 512;
+
+#[inline]
+fn row_dot(a: &Csr, i: usize, x: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (c, v) in a.row_iter(i) {
+        acc += v * x[c];
+    }
+    acc
+}
+
+/// `y = A * x`, sequential.
+pub fn spmv_seq(a: &Csr, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), a.ncols());
+    assert_eq!(y.len(), a.nrows());
+    for i in 0..a.nrows() {
+        y[i] = row_dot(a, i, x);
+    }
+}
+
+/// `y = A * x`, parallel over row blocks.
+pub fn spmv(a: &Csr, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), a.ncols());
+    assert_eq!(y.len(), a.nrows());
+    if a.nrows() < PAR_THRESHOLD {
+        return spmv_seq(a, x, y);
+    }
+    y.par_iter_mut()
+        .enumerate()
+        .for_each(|(i, yi)| *yi = row_dot(a, i, x));
+}
+
+/// `y = alpha * A * x + beta * y`.
+pub fn spmv_axpby(a: &Csr, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), a.ncols());
+    assert_eq!(y.len(), a.nrows());
+    let body = |i: usize, yi: &mut f64| {
+        let v = row_dot(a, i, x);
+        *yi = alpha * v + beta * *yi;
+    };
+    if a.nrows() < PAR_THRESHOLD {
+        for (i, yi) in y.iter_mut().enumerate() {
+            body(i, yi);
+        }
+    } else {
+        y.par_iter_mut().enumerate().for_each(|(i, yi)| body(i, yi));
+    }
+}
+
+/// Fused `y = A*x` and `y . z` in one sweep; returns the dot product.
+///
+/// The paper fuses SpMV with the inner product that follows it so the
+/// output vector is produced and consumed while still in registers/cache.
+pub fn spmv_dot(a: &Csr, x: &[f64], y: &mut [f64], z: &[f64]) -> f64 {
+    assert_eq!(x.len(), a.ncols());
+    assert_eq!(y.len(), a.nrows());
+    assert_eq!(z.len(), a.nrows());
+    if a.nrows() < PAR_THRESHOLD {
+        let mut acc = 0.0;
+        for i in 0..a.nrows() {
+            let v = row_dot(a, i, x);
+            y[i] = v;
+            acc += v * z[i];
+        }
+        return acc;
+    }
+    // Fixed row-chunking keeps the reduction deterministic.
+    let chunk = 4096;
+    y.par_chunks_mut(chunk)
+        .enumerate()
+        .map(|(ci, yc)| {
+            let base = ci * chunk;
+            let mut acc = 0.0;
+            for (k, yk) in yc.iter_mut().enumerate() {
+                let i = base + k;
+                let v = row_dot(a, i, x);
+                *yk = v;
+                acc += v * z[i];
+            }
+            acc
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .sum()
+}
+
+/// Fused residual `r = b - A*x` with `||r||^2` returned in one sweep.
+pub fn residual_norm_sq(a: &Csr, x: &[f64], b: &[f64], r: &mut [f64]) -> f64 {
+    assert_eq!(x.len(), a.ncols());
+    assert_eq!(b.len(), a.nrows());
+    assert_eq!(r.len(), a.nrows());
+    if a.nrows() < PAR_THRESHOLD {
+        let mut acc = 0.0;
+        for i in 0..a.nrows() {
+            let v = b[i] - row_dot(a, i, x);
+            r[i] = v;
+            acc += v * v;
+        }
+        return acc;
+    }
+    let chunk = 4096;
+    r.par_chunks_mut(chunk)
+        .enumerate()
+        .map(|(ci, rc)| {
+            let base = ci * chunk;
+            let mut acc = 0.0;
+            for (k, rk) in rc.iter_mut().enumerate() {
+                let i = base + k;
+                let v = b[i] - row_dot(a, i, x);
+                *rk = v;
+                acc += v * v;
+            }
+            acc
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .sum()
+}
+
+/// Unfused reference: computes `r = b - A*x` then `||r||^2` in two sweeps.
+/// Kept as the baseline twin of [`residual_norm_sq`] for the ablation bench.
+pub fn residual_norm_sq_unfused(a: &Csr, x: &[f64], b: &[f64], r: &mut [f64]) -> f64 {
+    spmv(a, x, r);
+    for (ri, bi) in r.iter_mut().zip(b) {
+        *ri = bi - *ri;
+    }
+    crate::vecops::dot(r, r)
+}
+
+/// SpMV with an 8-way unrolled inner accumulator.
+///
+/// The paper combines software prefetching with an 8× inner-loop unroll
+/// (§3.1.1) to expose instruction-level parallelism; explicit prefetch
+/// intrinsics are not available in stable safe Rust, so this kernel keeps
+/// the unroll (eight independent partial sums that LLVM can schedule and
+/// vectorize) as the portable substitute — benchmarked as an ablation in
+/// `famg-bench`.
+pub fn spmv_unrolled(a: &Csr, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), a.ncols());
+    assert_eq!(y.len(), a.nrows());
+    let body = |i: usize, yi: &mut f64| {
+        let cols = a.row_cols(i);
+        let vals = a.row_vals(i);
+        let mut acc = [0.0f64; 8];
+        let chunks = cols.len() / 8;
+        for k in 0..chunks {
+            let base = k * 8;
+            for u in 0..8 {
+                acc[u] += vals[base + u] * x[cols[base + u]];
+            }
+        }
+        let mut tail = 0.0;
+        for k in chunks * 8..cols.len() {
+            tail += vals[k] * x[cols[k]];
+        }
+        *yi = acc.iter().sum::<f64>() + tail;
+    };
+    if a.nrows() < PAR_THRESHOLD {
+        for (i, yi) in y.iter_mut().enumerate() {
+            body(i, yi);
+        }
+    } else {
+        y.par_iter_mut().enumerate().for_each(|(i, yi)| body(i, yi));
+    }
+}
+
+/// Prolongation with a CF-permuted `P = [I; P_F]`.
+///
+/// `xc` has `nc` coarse entries; the output fine-level vector `xf` gets
+/// `xf[0..nc] = xc` (identity block) and `xf[nc..] = P_F * xc`. `pf` is the
+/// fine-rows-only block with `nrows = n - nc`.
+pub fn interp_apply(pf: &Csr, nc: usize, xc: &[f64], xf: &mut [f64]) {
+    assert_eq!(xc.len(), nc);
+    assert_eq!(pf.ncols(), nc);
+    assert_eq!(xf.len(), nc + pf.nrows());
+    xf[..nc].copy_from_slice(xc);
+    let (_, fine) = xf.split_at_mut(nc);
+    spmv(pf, xc, fine);
+}
+
+/// Prolongation-and-correct: `xf += [I; P_F] * xc` (the V-cycle update).
+pub fn interp_apply_add(pf: &Csr, nc: usize, xc: &[f64], xf: &mut [f64]) {
+    assert_eq!(xc.len(), nc);
+    assert_eq!(pf.ncols(), nc);
+    assert_eq!(xf.len(), nc + pf.nrows());
+    for (o, c) in xf[..nc].iter_mut().zip(xc) {
+        *o += c;
+    }
+    let (_, fine) = xf.split_at_mut(nc);
+    spmv_axpby(pf, 1.0, xc, 1.0, fine);
+}
+
+/// Restriction with a CF-permuted `R = Pᵀ = [I  P_Fᵀ]`.
+///
+/// `rf` must be `P_Fᵀ` stored explicitly (kept from the setup phase — the
+/// paper's "keep the transpose" optimization); the result is
+/// `xc = xf[0..nc] + P_Fᵀ * xf[nc..]`.
+pub fn restrict_apply(rf: &Csr, nc: usize, xf: &[f64], xc: &mut [f64]) {
+    assert_eq!(rf.nrows(), nc);
+    assert_eq!(xf.len(), nc + rf.ncols());
+    assert_eq!(xc.len(), nc);
+    xc.copy_from_slice(&xf[..nc]);
+    let fine = &xf[nc..];
+    spmv_axpby(rf, 1.0, fine, 1.0, xc);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vecops;
+
+    fn dense_mv(d: &[f64], nrows: usize, ncols: usize, x: &[f64]) -> Vec<f64> {
+        (0..nrows)
+            .map(|i| (0..ncols).map(|j| d[i * ncols + j] * x[j]).sum())
+            .collect()
+    }
+
+    fn random_csr(nrows: usize, ncols: usize, seed: u64) -> Csr {
+        // Simple LCG-based deterministic sparse matrix.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut trips = Vec::new();
+        for i in 0..nrows {
+            for _ in 0..3 {
+                let j = (next() as usize) % ncols;
+                let v = ((next() % 100) as f64 - 50.0) / 10.0;
+                trips.push((i, j, v));
+            }
+        }
+        Csr::from_triplets(nrows, ncols, trips)
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = random_csr(20, 15, 7);
+        let x: Vec<f64> = (0..15).map(|i| i as f64 * 0.3 - 1.0).collect();
+        let mut y = vec![0.0; 20];
+        spmv(&a, &x, &mut y);
+        let expect = dense_mv(&a.to_dense(), 20, 15, &x);
+        for (a, b) in y.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn spmv_parallel_matches_sequential() {
+        let n = 2000;
+        let a = random_csr(n, n, 42);
+        let x: Vec<f64> = (0..n).map(|i| ((i * 31) % 17) as f64 * 0.1).collect();
+        let mut y1 = vec![0.0; n];
+        let mut y2 = vec![0.0; n];
+        spmv_seq(&a, &x, &mut y1);
+        spmv(&a, &x, &mut y2);
+        assert_eq!(y1, y2); // bitwise: same per-row accumulation order
+    }
+
+    #[test]
+    fn unrolled_matches_plain() {
+        // Rows with 11 entries so the 8-wide unroll plus tail both run.
+        let trips: Vec<(usize, usize, f64)> = (0..300)
+            .flat_map(|i| {
+                (0..11).map(move |k| ((i * 7 + k * 13) % 300, (i + k * 27) % 300, 0.3 * k as f64 - 1.0))
+            })
+            .collect();
+        let a = Csr::from_triplets(300, 300, trips);
+        let x: Vec<f64> = (0..300).map(|i| (i % 9) as f64 * 0.25 - 1.0).collect();
+        let mut y1 = vec![0.0; 300];
+        let mut y2 = vec![0.0; 300];
+        spmv_seq(&a, &x, &mut y1);
+        spmv_unrolled(&a, &x, &mut y2);
+        for (u, v) in y1.iter().zip(&y2) {
+            assert!((u - v).abs() <= 1e-12 * u.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn unrolled_handles_short_rows() {
+        let a = Csr::from_triplets(3, 3, vec![(0, 0, 2.0), (1, 2, 3.0)]);
+        let x = vec![1.0, 1.0, 1.0];
+        let mut y = vec![0.0; 3];
+        spmv_unrolled(&a, &x, &mut y);
+        assert_eq!(y, vec![2.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn spmv_axpby_scales() {
+        let a = Csr::identity(4);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let mut y = vec![1.0; 4];
+        spmv_axpby(&a, 2.0, &x, -1.0, &mut y);
+        assert_eq!(y, vec![1.0, 3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn fused_dot_matches_unfused() {
+        let n = 1500;
+        let a = random_csr(n, n, 3);
+        let x: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+        let z: Vec<f64> = (0..n).map(|i| ((i + 3) % 5) as f64 - 2.0).collect();
+        let mut y1 = vec![0.0; n];
+        let mut y2 = vec![0.0; n];
+        let d_fused = spmv_dot(&a, &x, &mut y1, &z);
+        spmv(&a, &x, &mut y2);
+        let d_ref = vecops::dot_seq(&y2, &z);
+        assert_eq!(y1, y2);
+        assert!((d_fused - d_ref).abs() <= 1e-9 * d_ref.abs().max(1.0));
+    }
+
+    #[test]
+    fn fused_residual_matches_unfused() {
+        let n = 1200;
+        let a = random_csr(n, n, 9);
+        let x: Vec<f64> = (0..n).map(|i| (i % 3) as f64).collect();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 5) % 11) as f64).collect();
+        let mut r1 = vec![0.0; n];
+        let mut r2 = vec![0.0; n];
+        let n1 = residual_norm_sq(&a, &x, &b, &mut r1);
+        let n2 = residual_norm_sq_unfused(&a, &x, &b, &mut r2);
+        assert_eq!(r1, r2);
+        assert!((n1 - n2).abs() <= 1e-9 * n2.abs().max(1.0));
+    }
+
+    #[test]
+    fn interp_identity_block() {
+        // P = [I2; P_F] with P_F = [0.5 0.5; 1 0]
+        let pf = Csr::from_dense(2, 2, &[0.5, 0.5, 1.0, 0.0]);
+        let xc = vec![2.0, 4.0];
+        let mut xf = vec![0.0; 4];
+        interp_apply(&pf, 2, &xc, &mut xf);
+        assert_eq!(xf, vec![2.0, 4.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn interp_add_accumulates() {
+        let pf = Csr::from_dense(1, 2, &[1.0, 1.0]);
+        let xc = vec![1.0, 2.0];
+        let mut xf = vec![10.0, 10.0, 10.0];
+        interp_apply_add(&pf, 2, &xc, &mut xf);
+        assert_eq!(xf, vec![11.0, 12.0, 13.0]);
+    }
+
+    #[test]
+    fn restrict_is_transpose_of_interp() {
+        let pf = Csr::from_dense(2, 2, &[0.5, 0.5, 1.0, 0.0]);
+        let rf = crate::transpose::transpose(&pf); // P_Fᵀ: 2x2
+        let xf = vec![1.0, 2.0, 3.0, 4.0];
+        let mut xc = vec![0.0; 2];
+        restrict_apply(&rf, 2, &xf, &mut xc);
+        // xc = xf[0..2] + P_Fᵀ * xf[2..4]
+        // P_Fᵀ = [0.5 1; 0.5 0] => [0.5*3+1*4, 0.5*3] = [5.5, 1.5]
+        assert_eq!(xc, vec![6.5, 3.5]);
+    }
+}

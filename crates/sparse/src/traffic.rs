@@ -1,0 +1,82 @@
+//! Memory-traffic estimates for the bandwidth-bound analysis of §5.1.
+//!
+//! The paper argues AMG performance is bounded by STREAM bandwidth and
+//! compares *achieved* effective bandwidth against the hardware bound
+//! (Table 1's last row). These estimators count the compulsory bytes each
+//! kernel must move (matrix structure + values once, vectors once per
+//! logical access), so a measured runtime converts into an effective
+//! bandwidth figure: `traffic / time`, to be read against the host's
+//! STREAM number.
+
+use crate::csr::Csr;
+
+/// Bytes per index (stored as 64-bit here; HYPRE uses 32-bit locals).
+pub const IDX_BYTES: usize = 8;
+/// Bytes per value.
+pub const VAL_BYTES: usize = 8;
+
+/// Compulsory traffic of one `y = A x` (read A once, x once, write y).
+pub fn spmv_bytes(a: &Csr) -> usize {
+    let nnz = a.nnz();
+    let structure = (a.nrows() + 1) * IDX_BYTES + nnz * IDX_BYTES;
+    let values = nnz * VAL_BYTES;
+    let vectors = (a.ncols() + a.nrows()) * VAL_BYTES;
+    structure + values + vectors
+}
+
+/// Compulsory traffic of one hybrid GS half-sweep (reads A, b, x and the
+/// snapshot; writes x).
+pub fn gs_sweep_bytes(a: &Csr) -> usize {
+    spmv_bytes(a) + 2 * a.nrows() * VAL_BYTES
+}
+
+/// Compulsory traffic of `C = A·B` counting each input read once and the
+/// output written once (the one-pass kernel's model; the two-pass
+/// baseline reads the inputs twice — multiply input terms accordingly).
+pub fn spgemm_bytes(a: &Csr, b: &Csr, c: &Csr) -> usize {
+    matrix_bytes(a) + matrix_bytes(b) + matrix_bytes(c)
+}
+
+/// Bytes of one full read (or write) of a CSR matrix.
+pub fn matrix_bytes(m: &Csr) -> usize {
+    (m.nrows() + 1) * IDX_BYTES + m.nnz() * (IDX_BYTES + VAL_BYTES)
+}
+
+/// Effective bandwidth in GB/s for `bytes` moved in `seconds`.
+pub fn effective_bandwidth_gbs(bytes: usize, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        return 0.0;
+    }
+    bytes as f64 / seconds / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spmv_traffic_counts_everything_once() {
+        let a = Csr::from_triplets(2, 3, vec![(0, 0, 1.0), (1, 2, 2.0)]);
+        // rowptr 3*8 + colidx 2*8 + vals 2*8 + x 3*8 + y 2*8
+        assert_eq!(spmv_bytes(&a), 24 + 16 + 16 + 24 + 16);
+    }
+
+    #[test]
+    fn matrix_bytes_scale_with_nnz() {
+        let a = Csr::identity(10);
+        let b = Csr::identity(100);
+        assert!(matrix_bytes(&b) > 9 * matrix_bytes(&a));
+    }
+
+    #[test]
+    fn bandwidth_math() {
+        assert_eq!(effective_bandwidth_gbs(2_000_000_000, 1.0), 2.0);
+        assert_eq!(effective_bandwidth_gbs(100, 0.0), 0.0);
+    }
+
+    #[test]
+    fn gs_heavier_than_spmv() {
+        let a = Csr::identity(100);
+        assert!(gs_sweep_bytes(&a) > spmv_bytes(&a));
+    }
+}

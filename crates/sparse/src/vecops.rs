@@ -1,0 +1,183 @@
+//! Level-1 vector kernels (the paper's "BLAS1" solve-phase component).
+//!
+//! Sequential and rayon-parallel versions are provided. Parallel reductions
+//! reassociate floating-point additions; famg uses fixed chunking so the
+//! result is deterministic for a given thread count.
+
+use rayon::prelude::*;
+
+/// Chunk length used by the deterministic parallel reductions. Fixed (not
+/// thread-count dependent) so results are reproducible across pool sizes.
+const CHUNK: usize = 4096;
+
+/// Sequential dot product.
+pub fn dot_seq(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Deterministic parallel dot product (fixed-chunk tree reduction).
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    if x.len() < 2 * CHUNK {
+        return dot_seq(x, y);
+    }
+    x.par_chunks(CHUNK)
+        .zip(y.par_chunks(CHUNK))
+        .map(|(cx, cy)| dot_seq(cx, cy))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .sum()
+}
+
+/// Euclidean norm.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// `y += alpha * x`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    if x.len() < 2 * CHUNK {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += alpha * xi;
+        }
+    } else {
+        y.par_chunks_mut(CHUNK)
+            .zip(x.par_chunks(CHUNK))
+            .for_each(|(cy, cx)| {
+                for (yi, xi) in cy.iter_mut().zip(cx) {
+                    *yi += alpha * xi;
+                }
+            });
+    }
+}
+
+/// `y = x + beta * y` (scaled update used by residual corrections).
+pub fn xpby(x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    if x.len() < 2 * CHUNK {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi = xi + beta * *yi;
+        }
+    } else {
+        y.par_chunks_mut(CHUNK)
+            .zip(x.par_chunks(CHUNK))
+            .for_each(|(cy, cx)| {
+                for (yi, xi) in cy.iter_mut().zip(cx) {
+                    *yi = xi + beta * *yi;
+                }
+            });
+    }
+}
+
+/// `x *= alpha`.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    if x.len() < 2 * CHUNK {
+        for xi in x.iter_mut() {
+            *xi *= alpha;
+        }
+    } else {
+        x.par_chunks_mut(CHUNK).for_each(|c| {
+            for xi in c {
+                *xi *= alpha;
+            }
+        });
+    }
+}
+
+/// Copies `src` into `dst` (parallel memcpy for large vectors).
+pub fn copy(src: &[f64], dst: &mut [f64]) {
+    assert_eq!(src.len(), dst.len());
+    if src.len() < 4 * CHUNK {
+        dst.copy_from_slice(src);
+    } else {
+        dst.par_chunks_mut(CHUNK)
+            .zip(src.par_chunks(CHUNK))
+            .for_each(|(d, s)| d.copy_from_slice(s));
+    }
+}
+
+/// Sets every element to `v`.
+pub fn fill(x: &mut [f64], v: f64) {
+    if x.len() < 4 * CHUNK {
+        x.fill(v);
+    } else {
+        x.par_chunks_mut(CHUNK).for_each(|c| c.fill(v));
+    }
+}
+
+/// `z = x - y` into a fresh vector.
+pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a - b).collect()
+}
+
+/// Maximum absolute entry.
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_sequential_on_large_input() {
+        let n = 3 * CHUNK + 17;
+        let x: Vec<f64> = (0..n).map(|i| (i % 13) as f64 * 0.25).collect();
+        let y: Vec<f64> = (0..n).map(|i| ((i * 7) % 11) as f64 - 5.0).collect();
+        let a = dot_seq(&x, &y);
+        let b = dot(&x, &y);
+        assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+    }
+
+    #[test]
+    fn axpy_small_and_large() {
+        for n in [5usize, 3 * CHUNK] {
+            let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let mut y = vec![1.0; n];
+            axpy(2.0, &x, &mut y);
+            assert_eq!(y[0], 1.0);
+            assert_eq!(y[n - 1], 1.0 + 2.0 * (n - 1) as f64);
+        }
+    }
+
+    #[test]
+    fn xpby_combines() {
+        let x = vec![1.0, 2.0];
+        let mut y = vec![10.0, 20.0];
+        xpby(&x, 0.5, &mut y);
+        assert_eq!(y, vec![6.0, 12.0]);
+    }
+
+    #[test]
+    fn scale_and_fill() {
+        let mut x = vec![2.0; 10];
+        scale(0.5, &mut x);
+        assert!(x.iter().all(|&v| v == 1.0));
+        fill(&mut x, -3.0);
+        assert!(x.iter().all(|&v| v == -3.0));
+    }
+
+    #[test]
+    fn norms() {
+        let x = vec![3.0, -4.0];
+        assert_eq!(norm2(&x), 5.0);
+        assert_eq!(norm_inf(&x), 4.0);
+    }
+
+    #[test]
+    fn sub_elementwise() {
+        assert_eq!(sub(&[3.0, 1.0], &[1.0, 1.0]), vec![2.0, 0.0]);
+    }
+
+    #[test]
+    fn copy_large() {
+        let n = 5 * CHUNK;
+        let src: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut dst = vec![0.0; n];
+        copy(&src, &mut dst);
+        assert_eq!(src, dst);
+    }
+}

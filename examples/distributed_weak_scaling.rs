@@ -1,0 +1,59 @@
+//! Distributed AMG on the simulated message-passing runtime: weak-scales
+//! a 3D Laplacian over 1, 2 and 4 ranks and reports setup/solve times,
+//! iteration counts, and measured communication volume.
+//!
+//! ```sh
+//! cargo run --release --example distributed_weak_scaling
+//! ```
+
+use famg::core::AmgConfig;
+use famg::dist::comm::run_ranks;
+use famg::dist::hierarchy::{DistHierarchy, DistOptFlags};
+use famg::dist::parcsr::{default_partition, ParCsr};
+use famg::dist::solve::dist_fgmres_amg;
+use famg::matgen::{laplace3d_27pt, rhs};
+
+fn main() {
+    let per_rank = 20usize; // 20^3 rows per rank
+    println!("weak scaling a 27-point 3D Laplacian, {per_rank}^3 rows/rank\n");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>6} {:>14}",
+        "ranks", "rows", "setup", "solve", "iters", "comm bytes"
+    );
+    for nranks in [1usize, 2, 4] {
+        let a = laplace3d_27pt(per_rank, per_rank, per_rank * nranks);
+        let n = a.nrows();
+        let b = rhs::ones(n);
+        let starts = default_partition(n, nranks);
+        let cfg = AmgConfig::multi_node_ei4();
+        let (parts, report) = run_ranks(nranks, |c| {
+            let r = c.rank();
+            // Each rank owns a contiguous slab of rows (Fig. 3a layout).
+            let pa = ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
+            let h = DistHierarchy::build(c, pa, &cfg, DistOptFlags::all());
+            let bl = b[starts[r]..starts[r + 1]].to_vec();
+            let mut xl = vec![0.0; bl.len()];
+            let res = dist_fgmres_amg(c, &h, &bl, &mut xl, 1e-7, 200, 50);
+            assert!(res.converged);
+            (
+                h.times.setup_total() + h.setup_comm_time,
+                res.times.solve_total() + res.solve_comm_time,
+                res.iterations,
+            )
+        });
+        let setup = parts.iter().map(|p| p.0).max().unwrap();
+        let solve = parts.iter().map(|p| p.1).max().unwrap();
+        println!(
+            "{:>6} {:>10} {:>9.1}ms {:>9.1}ms {:>6} {:>14}",
+            nranks,
+            n,
+            setup.as_secs_f64() * 1e3,
+            solve.as_secs_f64() * 1e3,
+            parts[0].2,
+            report.total_bytes()
+        );
+    }
+    println!("\nFor ideal weak scaling times stay flat; communication grows with");
+    println!("the halo surface. Compare `--bin fig6_weak_scaling` for the full");
+    println!("three-scheme version of this experiment.");
+}

@@ -1,0 +1,175 @@
+//! Edge cases and failure injection across the public API: degenerate
+//! sizes, pathological matrices, and misuse that must fail loudly.
+
+use famg::core::{AmgConfig, AmgSolver};
+use famg::matgen::rhs;
+use famg::sparse::Csr;
+
+#[test]
+fn one_by_one_system() {
+    let a = Csr::from_triplets(1, 1, vec![(0, 0, 4.0)]);
+    let solver = AmgSolver::setup(&a, &AmgConfig::single_node_paper());
+    let mut x = vec![0.0];
+    let res = solver.solve(&[8.0], &mut x);
+    assert!(res.converged);
+    assert!((x[0] - 2.0).abs() < 1e-12);
+}
+
+#[test]
+fn diagonal_system_solves_in_one_cycle_or_less() {
+    let n = 50;
+    let a = Csr::from_triplets(n, n, (0..n).map(|i| (i, i, 2.0 + i as f64)).collect::<Vec<_>>());
+    let solver = AmgSolver::setup(&a, &AmgConfig::single_node_paper());
+    // No off-diagonals: strength is empty, everything is F, a single
+    // level handles it via the direct coarse solve or smoothing.
+    let b: Vec<f64> = (0..n).map(|i| (2.0 + i as f64) * 3.0).collect();
+    let mut x = vec![0.0; n];
+    let res = solver.solve(&b, &mut x);
+    assert!(res.converged);
+    for xi in &x {
+        assert!((xi - 3.0).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn already_converged_initial_guess() {
+    let a = famg::matgen::laplace2d(10, 10);
+    let x_true = rhs::random(100, 3);
+    let b = rhs::rhs_for_solution(&a, &x_true);
+    let solver = AmgSolver::setup(&a, &AmgConfig::single_node_paper());
+    let mut x = x_true.clone();
+    let res = solver.solve(&b, &mut x);
+    assert!(res.converged);
+    assert_eq!(res.iterations, 0, "no cycle needed for an exact guess");
+    assert_eq!(x, x_true);
+}
+
+#[test]
+fn zero_rhs_gives_zero_solution() {
+    let a = famg::matgen::laplace2d(12, 12);
+    let solver = AmgSolver::setup(&a, &AmgConfig::single_node_paper());
+    let mut x = vec![0.0; a.nrows()];
+    let res = solver.solve(&vec![0.0; a.nrows()], &mut x);
+    assert!(res.converged);
+    assert!(x.iter().all(|&v| v == 0.0));
+}
+
+#[test]
+#[should_panic(expected = "zero diagonal")]
+fn zero_diagonal_rejected_by_smoother_setup() {
+    let a = Csr::from_triplets(
+        2,
+        2,
+        vec![(0, 1, 1.0), (1, 0, 1.0), (1, 1, 1.0), (0, 0, 0.0)],
+    );
+    // Explicit structural zero on the diagonal of row 0.
+    let _ = AmgSolver::setup(&a, &AmgConfig::single_node_paper());
+}
+
+#[test]
+#[should_panic(expected = "square")]
+fn rectangular_operator_rejected() {
+    let a = Csr::from_triplets(2, 3, vec![(0, 0, 1.0), (1, 1, 1.0)]);
+    let _ = AmgSolver::setup(&a, &AmgConfig::single_node_paper());
+}
+
+#[test]
+fn wildly_scaled_rows_still_converge() {
+    // Symmetric diagonal scaling over many orders of magnitude (D A D
+    // stays SPD): strength thresholds are row-relative, so coarsening
+    // must stay sensible.
+    let base = famg::matgen::laplace2d(16, 16);
+    let n = base.nrows();
+    let scale: Vec<f64> = (0..n).map(|i| 10f64.powi((i % 7) as i32 - 3)).collect();
+    let mut trips = Vec::new();
+    for i in 0..n {
+        for (j, v) in base.row_iter(i) {
+            trips.push((i, j, scale[i] * v * scale[j]));
+        }
+    }
+    let a = Csr::from_triplets(n, n, trips);
+    let b = rhs::ones(n);
+    let cfg = AmgConfig {
+        max_iterations: 400,
+        ..AmgConfig::single_node_paper()
+    };
+    let solver = AmgSolver::setup(&a, &cfg);
+    let mut x = vec![0.0; n];
+    let res = solver.solve(&b, &mut x);
+    assert!(res.converged, "stalled at {:.2e}", res.final_relres);
+}
+
+#[test]
+fn max_iterations_zero_reports_unconverged() {
+    let a = famg::matgen::laplace2d(8, 8);
+    let cfg = AmgConfig {
+        max_iterations: 0,
+        ..AmgConfig::single_node_paper()
+    };
+    let solver = AmgSolver::setup(&a, &cfg);
+    let mut x = vec![0.0; a.nrows()];
+    let res = solver.solve(&rhs::ones(a.nrows()), &mut x);
+    assert!(!res.converged);
+    assert_eq!(res.iterations, 0);
+}
+
+#[test]
+fn disconnected_components_handled() {
+    // Two independent 1D chains: coarsening must treat each component.
+    let mut trips = Vec::new();
+    for block in 0..2usize {
+        let off = block * 10;
+        for i in 0..10usize {
+            trips.push((off + i, off + i, 2.0));
+            if i > 0 {
+                trips.push((off + i, off + i - 1, -1.0));
+            }
+            if i < 9 {
+                trips.push((off + i, off + i + 1, -1.0));
+            }
+        }
+    }
+    let a = Csr::from_triplets(20, 20, trips);
+    let solver = AmgSolver::setup(&a, &AmgConfig::single_node_paper());
+    let b = rhs::ones(20);
+    let mut x = vec![0.0; 20];
+    let res = solver.solve(&b, &mut x);
+    assert!(res.converged);
+}
+
+#[test]
+fn extreme_truncation_still_converges() {
+    // max_elmts = 1: each fine point interpolates from a single coarse
+    // point (pure aggregation-like transfer) — convergence degrades but
+    // the method must remain sound.
+    let a = famg::matgen::laplace2d(20, 20);
+    let cfg = AmgConfig {
+        max_elements: 1,
+        max_iterations: 500,
+        ..AmgConfig::single_node_paper()
+    };
+    let solver = AmgSolver::setup(&a, &cfg);
+    let b = rhs::ones(a.nrows());
+    let mut x = vec![0.0; a.nrows()];
+    let res = solver.solve(&b, &mut x);
+    assert!(res.converged);
+}
+
+#[test]
+fn single_level_cap_degrades_to_smoother_iteration() {
+    let a = famg::matgen::laplace2d(10, 10);
+    let cfg = AmgConfig {
+        max_levels: 1,
+        coarse_solve_size: 0,
+        max_iterations: 4000,
+        ..AmgConfig::single_node_paper()
+    };
+    let solver = AmgSolver::setup(&a, &cfg);
+    assert_eq!(solver.hierarchy().num_levels(), 1);
+    let b = rhs::ones(a.nrows());
+    let mut x = vec![0.0; a.nrows()];
+    let res = solver.solve(&b, &mut x);
+    // Smoothing alone converges on this small SPD system, just slowly.
+    assert!(res.converged);
+    assert!(res.iterations > 10, "suspiciously fast for smoothing only");
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the AMG components: coarsening validity,
+//! interpolation invariants, and end-to-end convergence on random
+//! diagonally dominant SPD systems.
+
+use famg::core::coarsen::{pmis, validate_cf};
+use famg::core::interp::{extended_i, truncate_row, CfMap, TruncParams};
+use famg::core::strength::strength;
+use famg::core::{AmgConfig, AmgSolver};
+use famg::sparse::Csr;
+use proptest::prelude::*;
+
+/// Strategy: a random connected-ish graph Laplacian with unit weights,
+/// shifted to be strictly diagonally dominant (SPD).
+fn graph_laplacian(max_n: usize, shift: f64) -> impl Strategy<Value = Csr> {
+    (4..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n), n..4 * n).prop_map(move |edges| {
+            let mut trips = Vec::new();
+            let mut degree = vec![0.0f64; n];
+            // Chain backbone guarantees connectivity.
+            let mut all_edges: Vec<(usize, usize)> =
+                (1..n).map(|i| (i - 1, i)).collect();
+            all_edges.extend(edges.into_iter().filter(|&(i, j)| i != j));
+            all_edges.sort_unstable();
+            all_edges.dedup();
+            for (i, j) in all_edges {
+                trips.push((i, j, -1.0));
+                trips.push((j, i, -1.0));
+                degree[i] += 1.0;
+                degree[j] += 1.0;
+            }
+            for (i, d) in degree.iter().enumerate() {
+                trips.push((i, i, d + shift));
+            }
+            Csr::from_triplets(n, n, trips)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn pmis_always_valid(a in graph_laplacian(60, 0.0), seed in 0u64..100) {
+        let s = strength(&a, 0.25, 10.0);
+        let c = pmis(&s, seed);
+        prop_assert!(validate_cf(&s, &c, 1).is_ok());
+        // Non-trivial coarsening on non-trivial graphs.
+        if s.nnz() > 0 {
+            prop_assert!(c.ncoarse > 0);
+            prop_assert!(c.ncoarse < a.nrows());
+        }
+    }
+
+    #[test]
+    fn extended_i_rows_sum_to_one_on_zero_rowsum_operators(
+        a in graph_laplacian(40, 0.0),
+        seed in 0u64..50,
+    ) {
+        // Pure graph Laplacian: every row sums to zero, so interpolation
+        // must reproduce constants exactly.
+        let s = strength(&a, 0.25, 10.0);
+        let c = pmis(&s, seed);
+        let cf = CfMap::new(c.is_coarse);
+        let p = extended_i(&a, &s, &cf, None);
+        for i in 0..p.nrows() {
+            if p.row_nnz(i) > 0 {
+                let w: f64 = p.row_vals(i).iter().sum();
+                prop_assert!((w - 1.0).abs() < 1e-9, "row {} sums to {}", i, w);
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_preserves_row_sum_and_caps_length(
+        vals in proptest::collection::vec(-3.0f64..3.0, 1..20),
+        factor in 0.0f64..0.5,
+        max_el in 0usize..8,
+    ) {
+        let mut cols: Vec<usize> = (0..vals.len()).collect();
+        let mut v = vals.clone();
+        let before: f64 = v.iter().sum();
+        truncate_row(&mut cols, &mut v, &TruncParams { factor, max_elements: max_el });
+        if max_el > 0 {
+            prop_assert!(v.len() <= max_el.max(1));
+        }
+        let after: f64 = v.iter().sum();
+        if after != 0.0 && before != 0.0 && !v.is_empty() {
+            prop_assert!((after - before).abs() < 1e-9 * before.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn amg_converges_on_random_dominant_systems(
+        a in graph_laplacian(50, 0.5),
+        seed in 0u64..20,
+    ) {
+        let b = famg::matgen::rhs::random(a.nrows(), seed);
+        let cfg = AmgConfig {
+            max_iterations: 300,
+            coarse_solve_size: 16,
+            ..AmgConfig::single_node_paper()
+        };
+        let solver = AmgSolver::setup(&a, &cfg);
+        let mut x = vec![0.0; a.nrows()];
+        let res = solver.solve(&b, &mut x);
+        prop_assert!(res.converged, "stalled at {:e}", res.final_relres);
+    }
+
+    #[test]
+    fn hierarchy_levels_strictly_shrink(a in graph_laplacian(80, 0.0)) {
+        let h = famg::core::Hierarchy::build(&a, &AmgConfig::single_node_paper());
+        for w in h.stats.level_rows.windows(2) {
+            prop_assert!(w[1] < w[0]);
+        }
+        prop_assert!(h.stats.operator_complexity() < 6.0);
+    }
+}

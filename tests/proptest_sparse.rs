@@ -1,0 +1,187 @@
+//! Property-based tests for the sparse-kernel substrate.
+
+use famg::sparse::permute::{cf_permutation, permute_symmetric, Permutation};
+use famg::sparse::spgemm::{numeric_only, spgemm_one_pass, spgemm_two_pass};
+use famg::sparse::transpose::{transpose, transpose_par};
+use famg::sparse::triple::{csr_add, rap_row_fused, rap_scalar_fused, rap_unfused};
+use famg::sparse::Csr;
+use proptest::prelude::*;
+
+/// Strategy: a random sparse matrix with the given shape bounds.
+fn csr_strategy(
+    max_rows: usize,
+    max_cols: usize,
+) -> impl Strategy<Value = Csr> {
+    (1..max_rows, 1..max_cols).prop_flat_map(|(nr, nc)| {
+        let entry = (0..nr, 0..nc, -4.0f64..4.0);
+        proptest::collection::vec(entry, 0..nr * 3).prop_map(move |trips| {
+            Csr::from_triplets(
+                nr,
+                nc,
+                trips.into_iter().filter(|&(_, _, v)| v != 0.0),
+            )
+        })
+    })
+}
+
+/// Strategy: a square matrix paired with a random permutation of its size.
+fn square_with_perm() -> impl Strategy<Value = (Csr, Permutation)> {
+    (2usize..20).prop_flat_map(|n| {
+        let mat = proptest::collection::vec((0..n, 0..n, -4.0f64..4.0), 0..n * 3)
+            .prop_map(move |t| {
+                Csr::from_triplets(n, n, t.into_iter().filter(|&(_, _, v)| v != 0.0))
+            });
+        let perm = Just(()).prop_perturb(move |_, mut rng| {
+            let mut fwd: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                let j = (rng.next_u64() as usize) % (i + 1);
+                fwd.swap(i, j);
+            }
+            Permutation::from_forward(fwd)
+        });
+        (mat, perm)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_involution(a in csr_strategy(24, 24)) {
+        let tt = transpose(&transpose(&a));
+        prop_assert_eq!(a.to_dense(), tt.to_dense());
+    }
+
+    #[test]
+    fn parallel_transpose_matches_sequential(a in csr_strategy(24, 24)) {
+        prop_assert_eq!(transpose(&a), transpose_par(&a));
+    }
+
+    #[test]
+    fn transpose_reverses_products(a in csr_strategy(14, 10)) {
+        // (A·Aᵀ)ᵀ = A·Aᵀ and (Aᵀ·A)ᵀ = Aᵀ·A; also (A·B)ᵀ = Bᵀ·Aᵀ with
+        // B = Aᵀ, which always has a compatible inner dimension.
+        let b = transpose(&a);
+        let ab = spgemm_one_pass(&a, &b);
+        let btat = spgemm_one_pass(&transpose(&b), &transpose(&a));
+        prop_assert!(transpose(&ab).frob_diff(&btat) < 1e-9);
+    }
+
+    #[test]
+    fn spgemm_variants_agree(a in csr_strategy(16, 16)) {
+        // Use A·Aᵀ so the shapes always match.
+        let at = transpose(&a);
+        let c1 = spgemm_two_pass(&a, &at);
+        let c2 = spgemm_one_pass(&a, &at);
+        prop_assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn numeric_only_reproduces_values(a in csr_strategy(14, 14)) {
+        let at = transpose(&a);
+        let mut c = spgemm_one_pass(&a, &at);
+        let expect = c.clone();
+        for v in c.values_mut() {
+            *v = -7.5;
+        }
+        numeric_only(&a, &at, &mut c);
+        prop_assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn rap_variants_agree(a in csr_strategy(18, 18)) {
+        let n = a.nrows().min(a.ncols());
+        if n < 2 {
+            return Ok(());
+        }
+        // Square it up and build a fake P by pairing points.
+        let sq = csr_add(0.5, &Csr::identity(a.nrows()), 1.0, &{
+            // zero-pad A to square via triplets
+            let mut t = Vec::new();
+            for i in 0..a.nrows() {
+                for (c, v) in a.row_iter(i) {
+                    if c < a.nrows() {
+                        t.push((i, c, v));
+                    }
+                }
+            }
+            Csr::from_triplets(a.nrows(), a.nrows(), t)
+        });
+        let nc = a.nrows().div_ceil(2);
+        let p = Csr::from_triplets(
+            a.nrows(),
+            nc,
+            (0..a.nrows()).map(|i| (i, i / 2, 1.0)).collect::<Vec<_>>(),
+        );
+        let r = transpose(&p);
+        let c0 = rap_unfused(&r, &sq, &p);
+        let c1 = rap_row_fused(&r, &sq, &p);
+        let c2 = rap_scalar_fused(&r, &sq, &p);
+        prop_assert!(c0.frob_diff(&c1) < 1e-9);
+        prop_assert!(c0.frob_diff(&c2) < 1e-9);
+    }
+
+    #[test]
+    fn symmetric_permutation_preserves_spectrum_proxy(
+        (a, p) in square_with_perm()
+    ) {
+        // Permutation preserves the multiset of matrix entries, the
+        // diagonal multiset, and SpMV results up to reordering.
+        let ap = permute_symmetric(&a, &p);
+        prop_assert_eq!(a.nnz(), ap.nnz());
+        let mut d1 = a.diagonal();
+        let mut d2 = ap.diagonal();
+        d1.sort_by(f64::total_cmp);
+        d2.sort_by(f64::total_cmp);
+        prop_assert_eq!(d1, d2);
+        let x: Vec<f64> = (0..a.nrows()).map(|i| (i % 5) as f64 - 2.0).collect();
+        let mut y = vec![0.0; a.nrows()];
+        famg::sparse::spmv::spmv_seq(&a, &x, &mut y);
+        let mut yp = vec![0.0; a.nrows()];
+        famg::sparse::spmv::spmv_seq(&ap, &p.apply_vec(&x), &mut yp);
+        let back = p.unapply_vec(&yp);
+        for (u, v) in y.iter().zip(&back) {
+            prop_assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn cf_permutation_is_stable_partition(marker in proptest::collection::vec(any::<bool>(), 1..60)) {
+        let (p, nc) = cf_permutation(&marker);
+        // Coarse points map to [0, nc) preserving relative order.
+        let mut last_c = None;
+        let mut last_f = None;
+        for (i, &c) in marker.iter().enumerate() {
+            let img = p.forward[i];
+            if c {
+                prop_assert!(img < nc);
+                if let Some(prev) = last_c {
+                    prop_assert!(img > prev);
+                }
+                last_c = Some(img);
+            } else {
+                prop_assert!(img >= nc);
+                if let Some(prev) = last_f {
+                    prop_assert!(img > prev);
+                }
+                last_f = Some(img);
+            }
+        }
+    }
+
+    #[test]
+    fn csr_add_linear(a in csr_strategy(12, 12)) {
+        // a + (-1)*a = 0 and 2a = a + a.
+        let zero = csr_add(1.0, &a, -1.0, &a);
+        prop_assert!(zero.to_dense().iter().all(|&v| v.abs() < 1e-12));
+        let two = csr_add(1.0, &a, 1.0, &a);
+        let scaled = {
+            let mut s = a.clone();
+            for v in s.values_mut() {
+                *v *= 2.0;
+            }
+            s
+        };
+        prop_assert!(two.frob_diff(&scaled) < 1e-12);
+    }
+}

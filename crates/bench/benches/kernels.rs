@@ -19,19 +19,19 @@ fn bench_spmv(c: &mut Criterion) {
     let mut y = vec![0.0; n];
     let mut g = c.benchmark_group("spmv");
     g.bench_function("sequential", |bch| {
-        bch.iter(|| spmv_seq(black_box(&a), black_box(&x), &mut y))
+        bch.iter(|| spmv_seq(black_box(&a), black_box(&x), &mut y));
     });
     g.bench_function("parallel", |bch| {
-        bch.iter(|| spmv(black_box(&a), black_box(&x), &mut y))
+        bch.iter(|| spmv(black_box(&a), black_box(&x), &mut y));
     });
     g.bench_function("unrolled_8wide", |bch| {
-        bch.iter(|| spmv_unrolled(black_box(&a), black_box(&x), &mut y))
+        bch.iter(|| spmv_unrolled(black_box(&a), black_box(&x), &mut y));
     });
     g.bench_function("residual_norm_unfused", |bch| {
-        bch.iter(|| black_box(residual_norm_sq_unfused(&a, &x, &b, &mut y)))
+        bch.iter(|| black_box(residual_norm_sq_unfused(&a, &x, &b, &mut y)));
     });
     g.bench_function("residual_norm_fused", |bch| {
-        bch.iter(|| black_box(residual_norm_sq(&a, &x, &b, &mut y)))
+        bch.iter(|| black_box(residual_norm_sq(&a, &x, &b, &mut y)));
     });
     g.finish();
 }
@@ -41,7 +41,7 @@ fn bench_transpose(c: &mut Criterion) {
     let mut g = c.benchmark_group("transpose");
     g.bench_function("sequential", |bch| bch.iter(|| black_box(transpose(&f.p))));
     g.bench_function("parallel_counting_sort", |bch| {
-        bch.iter(|| black_box(transpose_par(&f.p)))
+        bch.iter(|| black_box(transpose_par(&f.p)));
     });
     g.finish();
 }

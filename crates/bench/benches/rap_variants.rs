@@ -17,13 +17,13 @@ fn bench_rap(c: &mut Criterion) {
     let f = rap_fixture_2d(160, 5);
     let mut g = c.benchmark_group("rap");
     g.bench_function("unfused", |bch| {
-        bch.iter(|| black_box(rap_unfused(&f.r, &f.a, &f.p)))
+        bch.iter(|| black_box(rap_unfused(&f.r, &f.a, &f.p)));
     });
     g.bench_function("scalar_fused_fig1b", |bch| {
-        bch.iter(|| black_box(rap_scalar_fused(&f.r, &f.a, &f.p)))
+        bch.iter(|| black_box(rap_scalar_fused(&f.r, &f.a, &f.p)));
     });
     g.bench_function("row_fused_fig1a", |bch| {
-        bch.iter(|| black_box(rap_row_fused(&f.r, &f.a, &f.p)))
+        bch.iter(|| black_box(rap_row_fused(&f.r, &f.a, &f.p)));
     });
     // CF-block variant needs the permuted operator and the fine block.
     let a = laplace2d(160, 160);
@@ -45,7 +45,7 @@ fn bench_rap(c: &mut Criterion) {
         )
     };
     g.bench_function("cf_block", |bch| {
-        bch.iter(|| black_box(rap_cf_from_parts(&ap, ord.nc, &pf)))
+        bch.iter(|| black_box(rap_cf_from_parts(&ap, ord.nc, &pf)));
     });
     g.finish();
 }

@@ -19,11 +19,7 @@ fn bench_smoothers(c: &mut Criterion) {
     let ap_for_base = ap.clone();
     let nthreads = rayon::current_num_threads();
 
-    let base = Smoother::hybrid_base(
-        &ap_for_base,
-        (0..n).map(|i| i < ord.nc).collect(),
-        nthreads,
-    );
+    let base = Smoother::hybrid_base(&ap_for_base, (0..n).map(|i| i < ord.nc).collect(), nthreads);
     let opt = Smoother::hybrid_opt(&mut ap, ord.nc, nthreads);
     let jac = Smoother::jacobi(&ap_for_base, 2.0 / 3.0);
     let lex = Smoother::lexicographic(&ap_for_base);
@@ -34,19 +30,19 @@ fn bench_smoothers(c: &mut Criterion) {
     let mut ws = Workspace::new();
     let mut g = c.benchmark_group("smoother_cf_sweep");
     g.bench_function("hybrid_base_fig2a", |bch| {
-        bch.iter(|| base.pre_smooth(&ap_for_base, &b, black_box(&mut x), &mut ws, false))
+        bch.iter(|| base.pre_smooth(&ap_for_base, &b, black_box(&mut x), &mut ws, false));
     });
     g.bench_function("hybrid_opt_fig2b", |bch| {
-        bch.iter(|| opt.pre_smooth(&ap, &b, black_box(&mut x), &mut ws, false))
+        bch.iter(|| opt.pre_smooth(&ap, &b, black_box(&mut x), &mut ws, false));
     });
     g.bench_function("jacobi", |bch| {
-        bch.iter(|| jac.pre_smooth(&ap_for_base, &b, black_box(&mut x), &mut ws, false))
+        bch.iter(|| jac.pre_smooth(&ap_for_base, &b, black_box(&mut x), &mut ws, false));
     });
     g.bench_function("lexicographic_level_scheduled", |bch| {
-        bch.iter(|| lex.pre_smooth(&ap_for_base, &b, black_box(&mut x), &mut ws, false))
+        bch.iter(|| lex.pre_smooth(&ap_for_base, &b, black_box(&mut x), &mut ws, false));
     });
     g.bench_function("multicolor", |bch| {
-        bch.iter(|| mc.pre_smooth(&ap_for_base, &b, black_box(&mut x), &mut ws, false))
+        bch.iter(|| mc.pre_smooth(&ap_for_base, &b, black_box(&mut x), &mut ws, false));
     });
     g.finish();
 }

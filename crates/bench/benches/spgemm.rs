@@ -11,14 +11,14 @@ fn bench_spgemm(c: &mut Criterion) {
     let f = rap_fixture_2d(192, 3);
     let mut g = c.benchmark_group("spgemm_RA");
     g.bench_function("two_pass", |bch| {
-        bch.iter(|| black_box(spgemm_two_pass(&f.r, &f.a)))
+        bch.iter(|| black_box(spgemm_two_pass(&f.r, &f.a)));
     });
     g.bench_function("one_pass_chunked", |bch| {
-        bch.iter(|| black_box(spgemm_one_pass(&f.r, &f.a)))
+        bch.iter(|| black_box(spgemm_one_pass(&f.r, &f.a)));
     });
     let mut cmat = spgemm_one_pass(&f.r, &f.a);
     g.bench_function("numeric_only_frozen_pattern", |bch| {
-        bch.iter(|| numeric_only(&f.r, &f.a, black_box(&mut cmat)))
+        bch.iter(|| numeric_only(&f.r, &f.a, black_box(&mut cmat)));
     });
     g.finish();
 }

@@ -81,9 +81,18 @@ fn main() {
         ("- row_fused_rap", Box::new(|f| f.row_fused_rap = false)),
         ("- cf_reorder", Box::new(|f| f.cf_reorder = false)),
         ("- keep_transpose", Box::new(|f| f.keep_transpose = false)),
-        ("- reordered_smoother", Box::new(|f| f.reordered_smoother = false)),
-        ("- fused_residual_norm", Box::new(|f| f.fused_residual_norm = false)),
-        ("- fused_truncation", Box::new(|f| f.fused_truncation = false)),
+        (
+            "- reordered_smoother",
+            Box::new(|f| f.reordered_smoother = false),
+        ),
+        (
+            "- fused_residual_norm",
+            Box::new(|f| f.fused_residual_norm = false),
+        ),
+        (
+            "- fused_truncation",
+            Box::new(|f| f.fused_truncation = false),
+        ),
         ("none (HYPRE_base)", Box::new(|f| *f = OptFlags::none())),
     ];
     for (name, apply) in knobs {

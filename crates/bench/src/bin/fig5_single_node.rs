@@ -74,8 +74,17 @@ fn main() {
     println!("== Fig. 5: single-node HYPRE_base vs HYPRE_opt (scale {scale}) ==\n");
     println!(
         "{:<16} {:>6} | {:>9} {:>9} {:>7} | {:>9} {:>9} {:>7} | {:>7} {:>6} {:>6}",
-        "matrix", "rows/k", "base_set", "base_sol", "b_iter", "opt_set", "opt_sol", "o_iter",
-        "speedup", "opcB", "opcO"
+        "matrix",
+        "rows/k",
+        "base_set",
+        "base_sol",
+        "b_iter",
+        "opt_set",
+        "opt_sol",
+        "o_iter",
+        "speedup",
+        "opcB",
+        "opcO"
     );
 
     let mut sum_speedup = 0.0f64;

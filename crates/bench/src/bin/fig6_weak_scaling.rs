@@ -60,8 +60,7 @@ fn main() {
             let b = rhs::ones(n);
             let (parts, report) = run_ranks(nranks, |c| {
                 let r = c.rank();
-                let pa =
-                    ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
+                let pa = ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
                 let h = DistHierarchy::build(c, pa, &cfg, DistOptFlags::all());
                 let bl = b[starts[r]..starts[r + 1]].to_vec();
                 let mut xl = vec![0.0; bl.len()];

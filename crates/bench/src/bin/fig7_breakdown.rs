@@ -51,7 +51,12 @@ fn main() {
             let mut xl = vec![0.0; bl.len()];
             let res = dist_fgmres_amg(c, &h, &bl, &mut xl, 1e-7, 300, 50);
             assert!(res.converged);
-            (h.times.clone(), h.setup_comm_time, res.times.clone(), res.solve_comm_time)
+            (
+                h.times.clone(),
+                h.setup_comm_time,
+                res.times.clone(),
+                res.solve_comm_time,
+            )
         });
         // Rank 0's breakdown is representative (slab partition is even).
         let (setup, setup_comm, solve, solve_comm) = &parts[0];

@@ -32,13 +32,13 @@ fn main() {
     );
 
     let series: Vec<(&str, AmgConfig, DistOptFlags)> = vec![
-        (
-            "base-mp",
-            AmgConfig::multi_node_mp(),
-            DistOptFlags::none(),
-        ),
+        ("base-mp", AmgConfig::multi_node_mp(), DistOptFlags::none()),
         ("opt-mp", AmgConfig::multi_node_mp(), DistOptFlags::all()),
-        ("opt-ei(4)", AmgConfig::multi_node_ei4(), DistOptFlags::all()),
+        (
+            "opt-ei(4)",
+            AmgConfig::multi_node_ei4(),
+            DistOptFlags::all(),
+        ),
         (
             "opt-2s-ei(444)",
             AmgConfig::multi_node_2s_ei444(),
@@ -52,8 +52,7 @@ fn main() {
             let b = rhs::ones(n);
             let (parts, _) = run_ranks(nranks, |c| {
                 let r = c.rank();
-                let pa =
-                    ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
+                let pa = ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
                 let h = DistHierarchy::build(c, pa, cfg, *dopt);
                 let bl = b[starts[r]..starts[r + 1]].to_vec();
                 let mut xl = vec![0.0; bl.len()];

@@ -12,7 +12,7 @@ fn read_cpu_model() -> String {
         .and_then(|s| {
             s.lines()
                 .find(|l| l.starts_with("model name"))
-                .map(|l| l.split_once(':').map(|x| x.1).unwrap_or("?").trim().to_string())
+                .map(|l| l.split_once(':').map_or("?", |x| x.1).trim().to_string())
         })
         .unwrap_or_else(|| "unknown".into())
 }
@@ -41,14 +41,13 @@ fn main() {
         "1 socket x 14 cores x 4-wide SIMD",
         format_args!(
             "{} hw threads (rayon uses {})",
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0),
+            std::thread::available_parallelism().map_or(0, std::num::NonZero::get),
             rayon::current_num_threads()
         )
     );
     println!(
         "{:<18} {:<38} shared memory; simulated ranks for multi-node",
-        "Memory model",
-        "54 GB/s STREAM triad"
+        "Memory model", "54 GB/s STREAM triad"
     );
 
     let t3 = AmgConfig::single_node_paper();

@@ -24,7 +24,7 @@ fn stream_triad_gbs() -> f64 {
     let b = vec![1.0f64; n];
     let c = vec![2.0f64; n];
     let mut a = vec![0.0f64; n];
-    let (_, dt) = best_of(5, || {
+    let ((), dt) = best_of(5, || {
         for i in 0..n {
             a[i] = b[i] + 3.0 * c[i];
         }
@@ -46,16 +46,19 @@ fn main() {
     );
     let stream = stream_triad_gbs();
     println!("host STREAM-triad-like bandwidth: {stream:.2} GB/s\n");
-    println!("{:<28} {:>10} {:>12} {:>10}", "kernel", "time", "GB moved", "eff GB/s");
+    println!(
+        "{:<28} {:>10} {:>12} {:>10}",
+        "kernel", "time", "GB moved", "eff GB/s"
+    );
 
     let x: Vec<f64> = (0..a.nrows()).map(|i| (i % 7) as f64).collect();
     let b: Vec<f64> = vec![1.0; a.nrows()];
     let mut y = vec![0.0; a.nrows()];
     let spmv_traffic = traffic::spmv_bytes(&a);
 
-    let (_, t) = best_of(5, || spmv(&a, &x, &mut y));
+    let ((), t) = best_of(5, || spmv(&a, &x, &mut y));
     report("SpMV", t, spmv_traffic, stream);
-    let (_, t) = best_of(5, || spmv_unrolled(&a, &x, &mut y));
+    let ((), t) = best_of(5, || spmv_unrolled(&a, &x, &mut y));
     report("SpMV (8-wide unrolled)", t, spmv_traffic, stream);
     let (_, t) = best_of(5, || black_box(residual_norm_sq(&a, &x, &b, &mut y)));
     report(
@@ -72,8 +75,13 @@ fn main() {
     let sm = Smoother::hybrid_opt(&mut ap, ord.nc, rayon::current_num_threads());
     let mut ws = Workspace::new();
     let mut xs = vec![0.0; a.nrows()];
-    let (_, t) = best_of(5, || sm.pre_smooth(&ap, &b, &mut xs, &mut ws, false));
-    report("hybrid GS C+F sweep", t, traffic::gs_sweep_bytes(&ap), stream);
+    let ((), t) = best_of(5, || sm.pre_smooth(&ap, &b, &mut xs, &mut ws, false));
+    report(
+        "hybrid GS C+F sweep",
+        t,
+        traffic::gs_sweep_bytes(&ap),
+        stream,
+    );
 
     println!("\nThe paper's premise: these kernels should run near the STREAM");
     println!("bound; the ratio column is the bandwidth efficiency it optimizes.");

@@ -11,10 +11,10 @@
 //!         [--ranks 8] [--size 48]`
 
 use famg_bench::{arg_value, fmt_secs, timed};
+use famg_dist::coarsen::dist_pmis;
 use famg_dist::comm::run_ranks;
 use famg_dist::halo::{exchange_adhoc, VectorExchange};
 use famg_dist::interp::{dist_extended_i, dist_strength};
-use famg_dist::coarsen::dist_pmis;
 use famg_dist::parcsr::{default_partition, ParCsr};
 use famg_dist::spgemm::{dist_spgemm, dist_transpose};
 use famg_matgen::{laplace3d_7pt, rhs};
@@ -36,8 +36,7 @@ fn main() {
         let ((), dt) = timed(|| {
             let (_, _) = run_ranks(nranks, |c| {
                 let r = c.rank();
-                let pa =
-                    ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
+                let pa = ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
                 let ps = dist_strength(&pa, 0.25, 0.8, r);
                 let dc = dist_pmis(c, &ps, 3, None);
                 let p = dist_extended_i(c, &pa, &ps, &dc, None, true);
@@ -88,8 +87,7 @@ fn main() {
         let ((), dt) = timed(|| {
             let (_, _) = run_ranks(nranks, |c| {
                 let r = c.rank();
-                let pa =
-                    ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
+                let pa = ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
                 let xl = x[starts[r]..starts[r + 1]].to_vec();
                 if persistent {
                     let plan = VectorExchange::plan(c, &pa.colmap, &starts);

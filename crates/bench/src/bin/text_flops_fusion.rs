@@ -33,7 +33,7 @@ fn main() {
         let ratio = fs.total() as f64 / fr.total() as f64;
         // Branch-overhead bound on the building-block SpGEMM (R·A).
         let (mut c, t_full) = best_of(3, || spgemm_one_pass(&f.r, &f.a));
-        let (_, t_numeric) = best_of(3, || numeric_only(&f.r, &f.a, &mut c));
+        let ((), t_numeric) = best_of(3, || numeric_only(&f.r, &f.a, &mut c));
         let branch = t_full.as_secs_f64() / t_numeric.as_secs_f64();
         ratio_sum += ratio;
         branch_sum += branch;

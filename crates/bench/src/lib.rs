@@ -108,13 +108,14 @@ pub fn arg_scale(default: f64) -> f64 {
 
 /// Parses `--ranks` as a comma list (default given).
 pub fn arg_ranks(default: &[usize]) -> Vec<usize> {
-    arg_value("--ranks")
-        .map(|v| {
+    arg_value("--ranks").map_or_else(
+        || default.to_vec(),
+        |v| {
             v.split(',')
                 .map(|t| t.parse().expect("bad --ranks entry"))
                 .collect()
-        })
-        .unwrap_or_else(|| default.to_vec())
+        },
+    )
 }
 
 #[cfg(test)]

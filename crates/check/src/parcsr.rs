@@ -1,0 +1,223 @@
+//! Per-rank validators for distributed (ParCSR) matrix parts.
+//!
+//! `famg-check` cannot depend on `famg-dist` (which depends on
+//! `famg-core`, which optionally depends on this crate), so the checks
+//! take the raw parts of a ParCSR matrix instead of the type itself.
+
+use crate::{fail, structure::check_csr, CheckResult, Violation};
+use famg_sparse::Csr;
+
+/// Borrowed view of one rank's ParCSR matrix.
+///
+/// Rows and columns are partitioned independently: for a square level
+/// operator the owned column range equals the owned row range, but for
+/// interpolation/restriction it is the rank's slice of the *other*
+/// grid's partition.
+pub struct ParCsrParts<'a> {
+    /// First owned global row (inclusive).
+    pub row_start: usize,
+    /// Last owned global row (exclusive).
+    pub row_end: usize,
+    /// First owned global column (inclusive).
+    pub col_start: usize,
+    /// Last owned global column (exclusive).
+    pub col_end: usize,
+    /// Global column count.
+    pub global_cols: usize,
+    /// Owned-column block, local indices, `col_end - col_start` columns.
+    pub diag: &'a Csr,
+    /// Off-owned block, columns compressed through `colmap`.
+    pub offd: &'a Csr,
+    /// Sorted global column ids for `offd`'s compressed columns.
+    pub colmap: &'a [usize],
+}
+
+/// Validates one rank's ParCSR parts: block shapes, structural CSR
+/// invariants of both blocks, and the column map (sorted, unique, only
+/// non-owned global columns, in global bounds).
+pub fn check_parcsr(p: &ParCsrParts<'_>) -> CheckResult {
+    if p.row_start > p.row_end {
+        return fail(
+            "parcsr_row_range",
+            format!("row_start {} > row_end {}", p.row_start, p.row_end),
+        );
+    }
+    if p.col_start > p.col_end || p.col_end > p.global_cols {
+        return fail(
+            "parcsr_col_range",
+            format!(
+                "owned column range [{}, {}) invalid for {} global columns",
+                p.col_start, p.col_end, p.global_cols
+            ),
+        );
+    }
+    let nlocal = p.row_end - p.row_start;
+    if p.diag.nrows() != nlocal || p.offd.nrows() != nlocal {
+        return fail(
+            "parcsr_block_rows",
+            format!(
+                "diag has {} rows, offd has {} rows, want {nlocal}",
+                p.diag.nrows(),
+                p.offd.nrows()
+            ),
+        );
+    }
+    let ncols_owned = p.col_end - p.col_start;
+    if p.diag.ncols() != ncols_owned {
+        return fail(
+            "parcsr_diag_cols",
+            format!("diag has {} columns, want {ncols_owned}", p.diag.ncols()),
+        );
+    }
+    if p.offd.ncols() != p.colmap.len() {
+        return fail(
+            "parcsr_colmap_len",
+            format!(
+                "offd has {} columns but colmap has {} entries",
+                p.offd.ncols(),
+                p.colmap.len()
+            ),
+        );
+    }
+    let tag = |block: &str, v: Violation| -> CheckResult {
+        fail("parcsr_block_structure", format!("{block}: {v}"))
+    };
+    if let Err(v) = check_csr(p.diag) {
+        return tag("diag", v);
+    }
+    if let Err(v) = check_csr(p.offd) {
+        return tag("offd", v);
+    }
+    for (k, &g) in p.colmap.iter().enumerate() {
+        if g >= p.global_cols {
+            return fail(
+                "parcsr_colmap_bounds",
+                format!(
+                    "colmap[{k}] = {g} out of bounds for {} global columns",
+                    p.global_cols
+                ),
+            );
+        }
+        if (p.col_start..p.col_end).contains(&g) {
+            return fail(
+                "parcsr_colmap_owned",
+                format!(
+                    "colmap[{k}] = {g} lies in the owned range [{}, {})",
+                    p.col_start, p.col_end
+                ),
+            );
+        }
+        if k > 0 && p.colmap[k - 1] >= g {
+            return fail(
+                "parcsr_colmap_sorted",
+                format!(
+                    "colmap not strictly increasing at {k}: {} >= {g}",
+                    p.colmap[k - 1]
+                ),
+            );
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parts() -> (Csr, Csr, Vec<usize>) {
+        // Rank owning global rows [2, 4) of a 6-column matrix.
+        let diag = Csr::from_triplets(2, 2, vec![(0, 0, 2.0), (0, 1, -1.0), (1, 1, 2.0)]);
+        let offd = Csr::from_triplets(2, 2, vec![(0, 0, -1.0), (1, 1, -1.0)]);
+        (diag, offd, vec![1, 4])
+    }
+
+    #[test]
+    fn valid_parts_pass() {
+        let (diag, offd, colmap) = parts();
+        let p = ParCsrParts {
+            row_start: 2,
+            row_end: 4,
+            col_start: 2,
+            col_end: 4,
+            global_cols: 6,
+            diag: &diag,
+            offd: &offd,
+            colmap: &colmap,
+        };
+        assert!(check_parcsr(&p).is_ok());
+    }
+
+    #[test]
+    fn rectangular_parts_pass() {
+        // Interpolation-shaped block: 3 local fine rows, 1 owned coarse
+        // column (global column 1 of 3), one remote coarse column.
+        let diag = Csr::from_triplets(3, 1, vec![(0, 0, 1.0), (1, 0, 0.5)]);
+        let offd = Csr::from_triplets(3, 1, vec![(1, 0, 0.5), (2, 0, 1.0)]);
+        let p = ParCsrParts {
+            row_start: 4,
+            row_end: 7,
+            col_start: 1,
+            col_end: 2,
+            global_cols: 3,
+            diag: &diag,
+            offd: &offd,
+            colmap: &[2],
+        };
+        assert!(check_parcsr(&p).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_colmap() {
+        let (diag, offd, _) = parts();
+        for (colmap, want) in [
+            (vec![4, 1], "parcsr_colmap_sorted"),
+            (vec![1, 9], "parcsr_colmap_bounds"),
+            (vec![1, 2], "parcsr_colmap_owned"),
+            (vec![1], "parcsr_colmap_len"),
+        ] {
+            let p = ParCsrParts {
+                row_start: 2,
+                row_end: 4,
+                col_start: 2,
+                col_end: 4,
+                global_cols: 6,
+                diag: &diag,
+                offd: &offd,
+                colmap: &colmap,
+            };
+            assert_eq!(check_parcsr(&p).unwrap_err().check, want, "case {colmap:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_corrupt_block_and_bad_col_range() {
+        let (diag, mut offd, colmap) = parts();
+        offd.values_mut()[0] = f64::INFINITY;
+        let p = ParCsrParts {
+            row_start: 2,
+            row_end: 4,
+            col_start: 2,
+            col_end: 4,
+            global_cols: 6,
+            diag: &diag,
+            offd: &offd,
+            colmap: &colmap,
+        };
+        assert_eq!(
+            check_parcsr(&p).unwrap_err().check,
+            "parcsr_block_structure"
+        );
+        let (diag, offd, colmap) = parts();
+        let p = ParCsrParts {
+            row_start: 2,
+            row_end: 4,
+            col_start: 2,
+            col_end: 9,
+            global_cols: 6,
+            diag: &diag,
+            offd: &offd,
+            colmap: &colmap,
+        };
+        assert_eq!(check_parcsr(&p).unwrap_err().check, "parcsr_col_range");
+    }
+}

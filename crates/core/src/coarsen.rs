@@ -75,8 +75,7 @@ pub fn pmis(s: &Csr, seed: u64) -> Coarsening {
                     return false;
                 }
                 let wins = |j: usize| state[j] != State::Undecided || measure[i] > measure[j];
-                s.row_cols(i).iter().all(|&j| wins(j))
-                    && st.row_cols(i).iter().all(|&j| wins(j))
+                s.row_cols(i).iter().all(|&j| wins(j)) && st.row_cols(i).iter().all(|&j| wins(j))
             })
             .collect();
         if selected.is_empty() {
@@ -88,13 +87,17 @@ pub fn pmis(s: &Csr, seed: u64) -> Coarsening {
         for &i in &selected {
             state[i] = State::Coarse;
         }
-        // Demotion: undecided points that strongly depend on a C-point
-        // become F (they will interpolate from it).
+        // Demotion: undecided points adjacent to a C-point in the
+        // *symmetrized* graph become F. Checking only `s` rows (as
+        // early BoomerAMG did) breaks independence on asymmetric
+        // strength patterns: a point nobody was demoted for can win a
+        // later round while already neighbouring a C-point.
         let demoted: Vec<usize> = (0..n)
             .into_par_iter()
             .filter(|&i| {
                 state[i] == State::Undecided
-                    && s.row_cols(i).iter().any(|&j| state[j] == State::Coarse)
+                    && (s.row_cols(i).iter().any(|&j| state[j] == State::Coarse)
+                        || st.row_cols(i).iter().any(|&j| state[j] == State::Coarse))
             })
             .collect();
         for &i in &demoted {

@@ -54,8 +54,14 @@ impl CycleWorkspace {
 /// `x` and `b` are in the finest level's *stored* ordering (the solver
 /// wrapper handles the external permutation). `x_is_zero` enables the
 /// zero-guess smoothing skip on the way down.
-pub fn vcycle(h: &Hierarchy, b: &[f64], x: &mut [f64], ws: &mut CycleWorkspace, times: &mut PhaseTimes) {
-    cycle_level(h, 0, b, x, ws, times, false, h.config.cycle)
+pub fn vcycle(
+    h: &Hierarchy,
+    b: &[f64],
+    x: &mut [f64],
+    ws: &mut CycleWorkspace,
+    times: &mut PhaseTimes,
+) {
+    cycle_level(h, 0, b, x, ws, times, false, h.config.cycle);
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -121,13 +127,12 @@ fn cycle_level(
             restrict_apply(pft, nc, &ws.r[level], &mut bc);
         }
         TransferOps::Full { p, r } => {
-            match r {
-                Some(rt) => spmv(rt, &ws.r[level], &mut bc),
-                None => {
-                    // Baseline: transpose P on every restriction.
-                    let rt = transpose_par(p);
-                    spmv(&rt, &ws.r[level], &mut bc);
-                }
+            if let Some(rt) = r {
+                spmv(rt, &ws.r[level], &mut bc);
+            } else {
+                // Baseline: transpose P on every restriction.
+                let rt = transpose_par(p);
+                spmv(&rt, &ws.r[level], &mut bc);
             }
         }
     }
@@ -268,7 +273,10 @@ mod tests {
         let res = run_cycles(&a, &AmgConfig::single_node_paper(), &b, 8);
         let mut prev = 1.0f64;
         for &cur in &res {
-            assert!(cur < 0.55 * prev, "convergence factor too weak: {cur}/{prev}");
+            assert!(
+                cur < 0.55 * prev,
+                "convergence factor too weak: {cur}/{prev}"
+            );
             prev = cur;
         }
         assert!(prev < 1e-4);

@@ -79,12 +79,7 @@ pub struct Hierarchy {
     pub times: PhaseTimes,
 }
 
-fn build_smoother(
-    a: &mut Csr,
-    nc: usize,
-    is_coarse: Option<&[bool]>,
-    cfg: &AmgConfig,
-) -> Smoother {
+fn build_smoother(a: &mut Csr, nc: usize, is_coarse: Option<&[bool]>, cfg: &AmgConfig) -> Smoother {
     let nthreads = famg_sparse::partition::num_threads();
     match cfg.smoother {
         SmootherKind::Jacobi => Smoother::jacobi(a, 2.0 / 3.0),
@@ -158,10 +153,90 @@ fn build_interp(
     }
 }
 
+/// Panics with a level-tagged report if a `famg-check` validator fails.
+#[cfg(feature = "validate")]
+fn enforce(level: usize, what: &str, result: famg_check::CheckResult) {
+    if let Err(v) = result {
+        panic!("hierarchy validation failed at level {level} ({what}): {v}");
+    }
+}
+
+/// Validates one freshly built level (either path) before the smoother
+/// reorders the operator in place. `is_coarse` is in the same ordering
+/// as `a_level` / `s` / `p_full`. `rowsum_exact` says whether the
+/// interpolation scheme reproduces constants row-locally (true for the
+/// single-hop distribution schemes: direct, classical, extended+i);
+/// multipass and two-stage compose weights through neighbours whose own
+/// row sums are legitimately ≠ 1 next to Dirichlet boundaries, so the
+/// per-row check does not apply to them.
+#[cfg(feature = "validate")]
+#[allow(clippy::too_many_arguments)]
+fn validate_level(
+    level: usize,
+    a_level: &Csr,
+    s: &Csr,
+    is_coarse: &[bool],
+    max_dist: usize,
+    p_full: &Csr,
+    a_coarse: &Csr,
+    cf_permuted: bool,
+    rowsum_exact: bool,
+) {
+    use famg_check as check;
+    enforce(level, "operator structure", check::check_csr(a_level));
+    enforce(level, "interp structure", check::check_csr(p_full));
+    enforce(
+        level,
+        "coarse operator structure",
+        check::check_csr(a_coarse),
+    );
+    // Fused RAP kernels emit first-touch column order (unsorted by
+    // design), but duplicate columns would mean a broken accumulator.
+    enforce(
+        level,
+        "coarse operator columns",
+        check::check_no_duplicates(a_coarse),
+    );
+    enforce(level, "interp columns", check::check_no_duplicates(p_full));
+    enforce(
+        level,
+        "CF splitting",
+        check::check_cf_splitting(s, is_coarse, max_dist),
+    );
+    if cf_permuted {
+        enforce(
+            level,
+            "interp identity block",
+            check::check_interp_identity_block(p_full, p_full.ncols()),
+        );
+    } else {
+        enforce(
+            level,
+            "interp C rows",
+            check::check_interp_c_identity(p_full, is_coarse),
+        );
+    }
+    if rowsum_exact {
+        enforce(
+            level,
+            "interp row sums",
+            check::check_interp_row_sums(p_full, a_level, 1e-6),
+        );
+    }
+    let sample = check::galerkin_sample_rows(a_coarse.nrows(), 32);
+    enforce(
+        level,
+        "Galerkin RAP",
+        check::check_galerkin(a_coarse, a_level, p_full, &sample, 1e-8),
+    );
+}
+
 impl Hierarchy {
     /// Runs the AMG setup phase on `a`.
     pub fn build(a: &Csr, cfg: &AmgConfig) -> Hierarchy {
         assert_eq!(a.nrows(), a.ncols(), "AMG needs a square operator");
+        #[cfg(feature = "validate")]
+        enforce(0, "input structure", famg_check::check_csr(a));
         let mut times = PhaseTimes::default();
         let mut stats = SetupStats::default();
         let mut levels: Vec<Level> = Vec::new();
@@ -232,6 +307,19 @@ impl Hierarchy {
                 let next = rap_cf_from_parts(&ap, nc, &pf);
                 times.rap += t0.elapsed();
 
+                #[cfg(feature = "validate")]
+                validate_level(
+                    levels.len(),
+                    &ap,
+                    &sp,
+                    &final_p.is_coarse,
+                    usize::from(!matches!(ckind, CoarsenKind::AggressivePmis)),
+                    &p_full,
+                    &next,
+                    true,
+                    !matches!(ikind, InterpKind::Multipass | InterpKind::TwoStageExtendedI),
+                );
+
                 // --- Smoother (reorders rows of `ap` in place). ---
                 let t0 = Instant::now();
                 let mut ap = ap;
@@ -263,10 +351,27 @@ impl Hierarchy {
                 };
                 times.rap += t0.elapsed();
 
+                #[cfg(feature = "validate")]
+                validate_level(
+                    levels.len(),
+                    &current,
+                    &s,
+                    &coarsening.is_coarse,
+                    usize::from(!matches!(ckind, CoarsenKind::AggressivePmis)),
+                    &p,
+                    &next,
+                    false,
+                    !matches!(ikind, InterpKind::Multipass | InterpKind::TwoStageExtendedI),
+                );
+
                 let t0 = Instant::now();
                 let mut cur = current;
-                let smoother =
-                    build_smoother(&mut cur, coarsening.ncoarse, Some(&coarsening.is_coarse), cfg);
+                let smoother = build_smoother(
+                    &mut cur,
+                    coarsening.ncoarse,
+                    Some(&coarsening.is_coarse),
+                    cfg,
+                );
                 let r_kept = cfg.opt.keep_transpose.then_some(r);
                 times.setup_etc += t0.elapsed();
 
@@ -372,7 +477,7 @@ mod tests {
                 assert_eq!(p.nrows(), a.nrows());
                 assert!(r.is_none(), "baseline must not keep the transpose");
             }
-            _ => panic!("baseline should use Full ops"),
+            TransferOps::CfBlock { .. } => panic!("baseline should use Full ops"),
         }
     }
 

@@ -172,7 +172,11 @@ mod tests {
         let b = famg_matgen::rhs::ones(a.nrows());
         let mut x = vec![0.0; a.nrows()];
         let res = solver.solve(&b, &mut x);
-        assert!(res.converged, "classical interp stalled at {}", res.final_relres);
+        assert!(
+            res.converged,
+            "classical interp stalled at {}",
+            res.final_relres
+        );
     }
 
     #[test]

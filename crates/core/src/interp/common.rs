@@ -24,7 +24,11 @@ impl CfMap {
                 nc += 1;
             }
         }
-        CfMap { is_coarse, cmap, nc }
+        CfMap {
+            is_coarse,
+            cmap,
+            nc,
+        }
     }
 
     /// Number of points.
@@ -255,12 +259,7 @@ mod tests {
         let p = Csr::from_triplets(
             2,
             3,
-            vec![
-                (0, 0, 0.7),
-                (0, 1, 0.02),
-                (0, 2, 0.3),
-                (1, 1, 1.0),
-            ],
+            vec![(0, 0, 0.7), (0, 1, 0.02), (0, 2, 0.3), (1, 1, 1.0)],
         );
         let t = truncate_matrix(&p, &TruncParams::paper());
         assert_eq!(t.row_nnz(0), 2);

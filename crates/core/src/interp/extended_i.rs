@@ -74,10 +74,10 @@ pub fn extended_i(a: &Csr, s: &Csr, cf: &CfMap, trunc: Option<&TruncParams>) -> 
                     strong_row[j] = i;
                 }
                 let add_chat = |c: usize,
-                                    chat: &mut Vec<usize>,
-                                    num: &mut Vec<f64>,
-                                    chat_row: &mut [usize],
-                                    chat_pos: &mut [usize]| {
+                                chat: &mut Vec<usize>,
+                                num: &mut Vec<f64>,
+                                chat_row: &mut [usize],
+                                chat_pos: &mut [usize]| {
                     if chat_row[c] != i {
                         chat_row[c] = i;
                         chat_pos[c] = chat.len();

@@ -26,10 +26,7 @@ pub fn multipass(a: &Csr, s: &Csr, cf: &CfMap, trunc: Option<&TruncParams>) -> C
     let direct_p = super::direct::direct(a, s, cf, None);
     for i in 0..n {
         if !cf.is_coarse[i] && direct_p.row_nnz(i) > 0 {
-            rows[i] = Some((
-                direct_p.row_cols(i).to_vec(),
-                direct_p.row_vals(i).to_vec(),
-            ));
+            rows[i] = Some((direct_p.row_cols(i).to_vec(), direct_p.row_vals(i).to_vec()));
         }
     }
     // Later passes: compose weights of already-assigned strong neighbours.
@@ -37,31 +34,23 @@ pub fn multipass(a: &Csr, s: &Csr, cf: &CfMap, trunc: Option<&TruncParams>) -> C
     let mut pass = 2usize;
     loop {
         let todo: Vec<usize> = (0..n)
-            .filter(|&i| {
-                rows[i].is_none() && s.row_cols(i).iter().any(|&j| rows[j].is_some())
-            })
+            .filter(|&i| rows[i].is_none() && s.row_cols(i).iter().any(|&j| rows[j].is_some()))
             .collect();
         if todo.is_empty() {
             break;
         }
         // Snapshot which rows are assigned so this pass only reads prior
         // passes (order independence within a pass).
-        let assigned: Vec<bool> = rows.iter().map(|r| r.is_some()).collect();
+        let assigned: Vec<bool> = rows.iter().map(std::option::Option::is_some).collect();
         let mut new_rows: Vec<(usize, Vec<usize>, Vec<f64>)> = Vec::with_capacity(todo.len());
         for &i in &todo {
             let diag = a.diag(i);
             // Scale so the full row of A is represented by the assigned
             // strong neighbours (direct-interpolation style lumping).
-            let all_sum: f64 = a
-                .row_iter(i)
-                .filter(|&(c, _)| c != i)
-                .map(|(_, v)| v)
-                .sum();
+            let all_sum: f64 = a.row_iter(i).filter(|&(c, _)| c != i).map(|(_, v)| v).sum();
             let strong_done_sum: f64 = a
                 .row_iter(i)
-                .filter(|&(c, _)| {
-                    c != i && assigned[c] && s.row_cols(i).contains(&c)
-                })
+                .filter(|&(c, _)| c != i && assigned[c] && s.row_cols(i).contains(&c))
                 .map(|(_, v)| v)
                 .sum();
             if strong_done_sum == 0.0 || diag == 0.0 {
@@ -77,7 +66,9 @@ pub fn multipass(a: &Csr, s: &Csr, cf: &CfMap, trunc: Option<&TruncParams>) -> C
                 let (pc, pv) = rows[k].as_ref().unwrap();
                 let coef = -alpha * v / diag;
                 for (c, w) in pc.iter().zip(pv) {
-                    if marker[*c] == usize::MAX || marker[*c] >= cols.len() || cols[marker[*c]] != *c
+                    if marker[*c] == usize::MAX
+                        || marker[*c] >= cols.len()
+                        || cols[marker[*c]] != *c
                     {
                         marker[*c] = cols.len();
                         cols.push(*c);

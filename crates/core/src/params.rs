@@ -275,8 +275,14 @@ mod tests {
             c.level_scheme(0),
             (CoarsenKind::AggressivePmis, InterpKind::Multipass)
         );
-        assert_eq!(c.level_scheme(1), (CoarsenKind::Pmis, InterpKind::ExtendedI));
+        assert_eq!(
+            c.level_scheme(1),
+            (CoarsenKind::Pmis, InterpKind::ExtendedI)
+        );
         let e = AmgConfig::multi_node_ei4();
-        assert_eq!(e.level_scheme(3), (CoarsenKind::Pmis, InterpKind::ExtendedI));
+        assert_eq!(
+            e.level_scheme(3),
+            (CoarsenKind::Pmis, InterpKind::ExtendedI)
+        );
     }
 }

@@ -285,7 +285,7 @@ mod tests {
         let mut a = laplace2d(8, 8);
         let before = a.clone();
         let _ = partition_rows_cf_sign(&mut a, 20);
-        let x: Vec<f64> = (0..64).map(|i| (i % 5) as f64).collect();
+        let x: Vec<f64> = (0..64).map(|i| f64::from(i % 5)).collect();
         let mut y1 = vec![0.0; 64];
         let mut y2 = vec![0.0; 64];
         spmv_seq(&before, &x, &mut y1);
@@ -318,9 +318,9 @@ mod tests {
     fn ownership_edge_cases() {
         let a = laplace2d(4, 4);
         let all_coarse = ThreadOwnership::build(&a, 16, 2);
-        assert!(all_coarse.fine.iter().all(|r| r.is_empty()));
+        assert!(all_coarse.fine.iter().all(std::ops::Range::is_empty));
         let all_fine = ThreadOwnership::build(&a, 0, 2);
-        assert!(all_fine.coarse.iter().all(|r| r.is_empty()));
+        assert!(all_fine.coarse.iter().all(std::ops::Range::is_empty));
         assert_eq!(all_fine.owner_of(0, 0), 0);
     }
 
@@ -336,8 +336,7 @@ mod tests {
             assert_eq!(a.colidx()[r.start], i);
             assert_eq!(g.dinv[i], 1.0 / 4.0);
             let t = own.owner_of(i, nc);
-            let mine =
-                |c: usize| own.coarse[t].contains(&c) || own.fine[t].contains(&c);
+            let mine = |c: usize| own.coarse[t].contains(&c) || own.fine[t].contains(&c);
             for k in r.start + 1..g.up_start[i] {
                 let c = a.colidx()[k];
                 assert!(mine(c) && c < i, "row {i} lower seg");
@@ -359,7 +358,7 @@ mod tests {
         let before = a.clone();
         let own = ThreadOwnership::build(&a, 10, 4);
         let _ = partition_rows_gs(&mut a, 10, &own);
-        let x: Vec<f64> = (0..35).map(|i| (i % 7) as f64 - 3.0).collect();
+        let x: Vec<f64> = (0..35).map(|i| f64::from(i % 7) - 3.0).collect();
         let mut y1 = vec![0.0; 35];
         let mut y2 = vec![0.0; 35];
         spmv_seq(&before, &x, &mut y1);

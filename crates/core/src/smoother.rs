@@ -8,6 +8,7 @@
 //! from the snapshot (honouring the write-after-read dependency across
 //! tasks). C-F relaxation smooths coarse points then fine points in
 //! pre-smoothing and the reverse in post-smoothing.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use crate::reorder::{GsPartition, ThreadOwnership};
 use famg_sparse::Csr;
@@ -37,6 +38,11 @@ impl Workspace {
 /// Raw shared pointer for disjoint-by-ownership writes to `x` across
 /// scoped threads.
 struct XPtr(*mut f64);
+// SAFETY: every kernel sharing an XPtr across threads partitions the
+// row indices so no element is written by more than one thread, and no
+// element is read by one thread while written by another within a
+// parallel phase (own-block reads are live, cross-block reads go
+// through a snapshot).
 unsafe impl Sync for XPtr {}
 
 /// Which point class a half-sweep processes.
@@ -210,7 +216,14 @@ impl Smoother {
     /// Pre-smoothing: C then F relaxation (Jacobi/Lex/Multicolor do full
     /// sweeps). `x_is_zero` enables the zero-initial-guess skip in the
     /// optimized hybrid kernel (§3.2).
-    pub fn pre_smooth(&self, a: &Csr, b: &[f64], x: &mut [f64], ws: &mut Workspace, x_is_zero: bool) {
+    pub fn pre_smooth(
+        &self,
+        a: &Csr,
+        b: &[f64],
+        x: &mut [f64],
+        ws: &mut Workspace,
+        x_is_zero: bool,
+    ) {
         match self {
             Smoother::HybridBase { .. } => {
                 self.sweep(a, b, x, ws, Class::Coarse, false);
@@ -360,6 +373,8 @@ impl Smoother {
                                         // Own upper: live x (still holds
                                         // pre-sweep values for c > i).
                                         for k in up..ext {
+                                            // SAFETY: own column, only
+                                            // this task writes it.
                                             acc -= values[k] * unsafe { *p.0.add(colidx[k]) };
                                         }
                                         // External: snapshot.
@@ -367,6 +382,8 @@ impl Smoother {
                                             acc -= values[k] * temp[colidx[k]];
                                         }
                                     }
+                                    // SAFETY: i is in this task's own
+                                    // range; no other task touches it.
                                     unsafe { *p.0.add(i) = acc * part.dinv[i] };
                                 }
                             };
@@ -394,6 +411,8 @@ impl Smoother {
                                     acc -= v * unsafe { *p.0.add(c) };
                                 }
                             }
+                            // SAFETY: each row appears in exactly one
+                            // wavefront, so i is written once per level.
                             unsafe { *p.0.add(i) = acc * dinv[i] };
                         }
                     });
@@ -422,6 +441,8 @@ impl Smoother {
                                 acc -= v * unsafe { *p.0.add(c) };
                             }
                         }
+                        // SAFETY: each row has exactly one color, so i
+                        // is written once per color phase.
                         unsafe { *p.0.add(i) = acc * dinv[i] };
                     });
                 }
@@ -499,11 +520,7 @@ mod tests {
         let n = a0.nrows();
         let is_coarse: Vec<bool> = (0..n).map(|i| i % 4 == 0).collect();
         let (mut ap, ord) = crate::reorder::cf_reorder(&a0, &is_coarse);
-        let base = Smoother::hybrid_base(
-            &ap.clone(),
-            (0..n).map(|i| i < ord.nc).collect(),
-            1,
-        );
+        let base = Smoother::hybrid_base(&ap.clone(), (0..n).map(|i| i < ord.nc).collect(), 1);
         let opt = Smoother::hybrid_opt(&mut ap, ord.nc, 1);
         let b = rhs::random(n, 7);
         let mut ws = Workspace::new();
@@ -572,7 +589,7 @@ mod tests {
     fn lex_levels_cover_all_rows() {
         let a = laplace2d(6, 6);
         if let Smoother::Lex { levels, .. } = Smoother::lexicographic(&a) {
-            let total: usize = levels.iter().map(|l| l.len()).sum();
+            let total: usize = levels.iter().map(std::vec::Vec::len).sum();
             assert_eq!(total, 36);
             // 2D 5-point: wavefronts are anti-diagonals -> 11 levels.
             assert_eq!(levels.len(), 11);

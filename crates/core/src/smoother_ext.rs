@@ -13,6 +13,7 @@
 //! Chebyshev smoothing needs no snapshot buffer or task structure at all
 //! (it is a pure SpMV polynomial), trading an eigenvalue estimate at
 //! setup for fully deterministic, reduction-free sweeps.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use famg_sparse::partition::split_rows_by_nnz;
 use famg_sparse::spmv::spmv;
@@ -107,6 +108,8 @@ impl L1HybridGs {
         temp.copy_from_slice(x);
         let temp = &temp[..];
         struct XPtr(*mut f64);
+        // SAFETY: the row ranges are disjoint; each spawned task writes
+        // only its own range and reads other ranges from the snapshot.
         unsafe impl Sync for XPtr {}
         let p = XPtr(x.as_mut_ptr());
         let p = &p;
@@ -138,6 +141,7 @@ impl L1HybridGs {
                             let l1 = diag - a_diag(a, i);
                             (acc + l1 * temp[i]) * self.dinv[i]
                         };
+                        // SAFETY: i is in this task's own range.
                         unsafe { *p.0.add(i) = a_ii_xi };
                     }
                 });
@@ -148,16 +152,13 @@ impl L1HybridGs {
 
 #[inline]
 fn a_diag(a: &Csr, i: usize) -> f64 {
-    a.row_iter(i)
-        .find(|&(c, _)| c == i)
-        .map(|(_, v)| v)
-        .unwrap_or(0.0)
+    a.row_iter(i).find(|&(c, _)| c == i).map_or(0.0, |(_, v)| v)
 }
 
 fn owner_map(n: usize, ranges: &[Range<usize>]) -> Vec<usize> {
     let mut owner = vec![0usize; n];
     for (t, r) in ranges.iter().enumerate() {
-        for o in owner[r.clone()].iter_mut() {
+        for o in &mut owner[r.clone()] {
             *o = t;
         }
     }
@@ -300,11 +301,7 @@ mod tests {
         }
         // Many tasks: boundary rows get a strictly smaller dinv.
         let many = L1Jacobi::new(&a, 8);
-        assert!(many
-            .dinv
-            .iter()
-            .zip(&one.dinv)
-            .any(|(m, o)| m < o));
+        assert!(many.dinv.iter().zip(&one.dinv).any(|(m, o)| m < o));
         assert!(many.dinv.iter().zip(&one.dinv).all(|(m, o)| m <= o));
     }
 

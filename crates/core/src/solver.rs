@@ -270,10 +270,7 @@ mod tests {
         }
         let max = *iters.iter().max().unwrap();
         let min = *iters.iter().min().unwrap();
-        assert!(
-            max <= min + 4,
-            "iterations grew with n: {iters:?}"
-        );
+        assert!(max <= min + 4, "iterations grew with n: {iters:?}");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //!
 //! Two implementations: a sequential baseline and the paper's §3.3
 //! parallel version (per-row counts, prefix sum, parallel fill).
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use famg_sparse::partition::exclusive_prefix_sum;
 use famg_sparse::Csr;
@@ -18,7 +19,13 @@ use rayon::prelude::*;
 /// Decides which entries of row `i` are strong; invokes `emit(k, a_ik)`
 /// for each strong neighbour in row order.
 #[inline]
-fn row_strong(a: &Csr, i: usize, threshold: f64, max_row_sum: f64, mut emit: impl FnMut(usize, f64)) {
+fn row_strong(
+    a: &Csr,
+    i: usize,
+    threshold: f64,
+    max_row_sum: f64,
+    mut emit: impl FnMut(usize, f64),
+) {
     let mut max_off = 0.0f64;
     let mut row_sum = 0.0f64;
     let mut diag = 0.0f64;
@@ -87,6 +94,8 @@ pub fn strength_par(a: &Csr, threshold: f64, max_row_sum: f64) -> Csr {
     let mut values = vec![0.0f64; nnz];
     {
         struct Ptr(*mut usize, *mut f64);
+        // SAFETY: row i writes only [rowptr[i], rowptr[i+1]), and those
+        // slices are disjoint across the parallel iterator.
         unsafe impl Sync for Ptr {}
         let p = Ptr(colidx.as_mut_ptr(), values.as_mut_ptr());
         let p = &p;

@@ -35,7 +35,7 @@ impl DistCoarsening {
         let mut acc = 0usize;
         for &c in &is_coarse {
             prefix.push(acc);
-            acc += c as usize;
+            acc += usize::from(c);
         }
         let (coarse_start, ncoarse_global) = comm.exscan_sum(acc, tag);
         DistCoarsening {
@@ -69,12 +69,7 @@ const FINE: f64 = 2.0;
 /// partition). `active` masks the candidate set (used by the aggressive
 /// second pass); inactive points are fine from the start. `index_of`
 /// maps local points to the global indices used for the random weights.
-pub fn dist_pmis(
-    comm: &Comm,
-    s: &ParCsr,
-    seed: u64,
-    active: Option<&[bool]>,
-) -> DistCoarsening {
+pub fn dist_pmis(comm: &Comm, s: &ParCsr, seed: u64, active: Option<&[bool]>) -> DistCoarsening {
     let _ = comm.rank();
     let nl = s.local_rows();
     let st = dist_transpose(comm, s);
@@ -82,12 +77,15 @@ pub fn dist_pmis(
 
     // Measures: |Sᵀ_i| + rand(global index).
     let measure: Vec<f64> = (0..nl)
-        .map(|i| st.diag.row_nnz(i) as f64 + st.offd.row_nnz(i) as f64
-            + uniform01(seed, (s.row_start + i) as u64))
+        .map(|i| {
+            st.diag.row_nnz(i) as f64
+                + st.offd.row_nnz(i) as f64
+                + uniform01(seed, (s.row_start + i) as u64)
+        })
         .collect();
     let mut state: Vec<f64> = (0..nl)
         .map(|i| {
-            let inactive = active.map(|a| !a[i]).unwrap_or(false);
+            let inactive = active.is_some_and(|a| !a[i]);
             if inactive || st.diag.row_nnz(i) + st.offd.row_nnz(i) == 0 {
                 FINE
             } else {
@@ -180,12 +178,7 @@ pub fn dist_aggressive_pmis(
         .colmap
         .iter()
         .copied()
-        .chain(
-            gathered
-                .data
-                .iter()
-                .flat_map(|r| r.iter().map(|&(c, _)| c)),
-        )
+        .chain(gathered.data.iter().flat_map(|r| r.iter().map(|&(c, _)| c)))
         .collect();
     extended.sort_unstable();
     extended.dedup();

@@ -17,7 +17,7 @@ use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 /// How long a blocking `recv` waits before declaring a deadlock.
-const RECV_TIMEOUT: Duration = Duration::from_secs(120);
+const RECV_TIMEOUT: Duration = Duration::from_mins(2);
 
 struct Envelope {
     src: usize,
@@ -57,6 +57,7 @@ impl CommReport {
 }
 
 /// A rank's endpoint in the simulated world.
+#[allow(clippy::struct_field_names)] // comm_time mirrors the MPI profiling name
 pub struct Comm {
     rank: usize,
     size: usize,
@@ -224,10 +225,7 @@ impl Comm {
 
 /// Runs `nranks` copies of `f` as SPMD threads; returns each rank's value
 /// (index = rank) plus the communication report.
-pub fn run_ranks<T: Send>(
-    nranks: usize,
-    f: impl Fn(&Comm) -> T + Sync,
-) -> (Vec<T>, CommReport) {
+pub fn run_ranks<T: Send>(nranks: usize, f: impl Fn(&Comm) -> T + Sync) -> (Vec<T>, CommReport) {
     assert!(nranks > 0);
     let mut senders = Vec::with_capacity(nranks);
     let mut receivers = Vec::with_capacity(nranks);
@@ -272,10 +270,7 @@ pub fn run_ranks<T: Send>(
             .map(|c| c.messages_sent.load(Ordering::Relaxed))
             .collect(),
     };
-    (
-        results.into_iter().map(|o| o.unwrap()).collect(),
-        report,
-    )
+    (results.into_iter().map(|o| o.unwrap()).collect(), report)
 }
 
 /// Wire size helpers.

@@ -120,7 +120,7 @@ impl GatheredRows {
 
     /// Total gathered entries.
     pub fn nnz(&self) -> usize {
-        self.data.iter().map(|d| d.len()).sum()
+        self.data.iter().map(std::vec::Vec::len).sum()
     }
 }
 
@@ -245,7 +245,9 @@ mod tests {
             let r = c.rank();
             let p = ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
             // x[global i] = 100 + i
-            let x_local: Vec<f64> = (starts[r]..starts[r + 1]).map(|i| 100.0 + i as f64).collect();
+            let x_local: Vec<f64> = (starts[r]..starts[r + 1])
+                .map(|i| 100.0 + i as f64)
+                .collect();
             let plan = VectorExchange::plan(c, &p.colmap, &starts);
             let ext = plan.exchange(c, &x_local);
             (p.colmap.clone(), ext)
@@ -283,8 +285,7 @@ mod tests {
         let run = |persistent: bool| {
             let (_, report) = run_ranks(4, |c| {
                 let r = c.rank();
-                let p =
-                    ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
+                let p = ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
                 let x: Vec<f64> = vec![1.0; starts[r + 1] - starts[r]];
                 if persistent {
                     let plan = VectorExchange::plan(c, &p.colmap, &starts);
@@ -335,8 +336,7 @@ mod tests {
         let run = |filtered: bool| {
             let (_, report) = run_ranks(4, |c| {
                 let r = c.rank();
-                let p =
-                    ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
+                let p = ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
                 let local = |li: usize| p.global_row(li, r);
                 let needed = p.colmap.clone();
                 if filtered {
@@ -350,7 +350,10 @@ mod tests {
         };
         let full = run(false);
         let filtered = run(true);
-        assert!(filtered < full, "filter did not reduce bytes: {filtered} vs {full}");
+        assert!(
+            filtered < full,
+            "filter did not reduce bytes: {filtered} vs {full}"
+        );
     }
 
     #[test]
@@ -363,7 +366,9 @@ mod tests {
             let p = ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
             let needed: Vec<usize> = if r == 1 { Vec::new() } else { p.colmap.clone() };
             let local = |li: usize| p.global_row(li, r);
-            gather_rows(c, &needed, &starts, local, |_, _, _, _| true).rows.len()
+            gather_rows(c, &needed, &starts, local, |_, _, _, _| true)
+                .rows
+                .len()
         });
         assert_eq!(results[1], 0);
         assert!(results[0] > 0 && results[2] > 0);

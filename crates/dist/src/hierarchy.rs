@@ -20,6 +20,90 @@ use famg_core::stats::{PhaseTimes, SetupStats};
 use famg_sparse::dense::{DenseMatrix, LuFactor};
 use std::time::Instant;
 
+/// Borrows one rank's ParCSR matrix as raw parts for `famg-check`.
+#[cfg(feature = "validate")]
+fn parcsr_parts(m: &ParCsr, rank: usize) -> famg_check::ParCsrParts<'_> {
+    let (col_start, col_end) = m.col_range(rank);
+    famg_check::ParCsrParts {
+        row_start: m.row_start,
+        row_end: m.row_end,
+        col_start,
+        col_end,
+        global_cols: m.global_cols,
+        diag: &m.diag,
+        offd: &m.offd,
+        colmap: &m.colmap,
+    }
+}
+
+#[cfg(feature = "validate")]
+fn enforce(rank: usize, level: usize, what: &str, result: famg_check::CheckResult) {
+    if let Err(v) = result {
+        panic!(
+            "distributed hierarchy validation failed on rank {rank} at level {level} ({what}): {v}"
+        );
+    }
+}
+
+/// Per-rank checks at one distributed level boundary: ParCSR structural
+/// invariants of the level operator, P, R and the Galerkin coarse
+/// operator, plus the local interpolation identity rows. Checks that
+/// need a global gather (CF independence across ranks, the Galerkin
+/// cross-check) are covered by the serial validators under
+/// `famg-core/validate`; PMIS and the interpolation schemes are
+/// rank-count invariant, so the serial run exercises the same splitting.
+#[cfg(feature = "validate")]
+fn validate_dist_level(
+    rank: usize,
+    level: usize,
+    a: &ParCsr,
+    p: &ParCsr,
+    r: &ParCsr,
+    next: &ParCsr,
+    is_coarse: &[bool],
+) {
+    enforce(
+        rank,
+        level,
+        "level operator",
+        famg_check::check_parcsr(&parcsr_parts(a, rank)),
+    );
+    enforce(
+        rank,
+        level,
+        "interpolation",
+        famg_check::check_parcsr(&parcsr_parts(p, rank)),
+    );
+    enforce(
+        rank,
+        level,
+        "restriction",
+        famg_check::check_parcsr(&parcsr_parts(r, rank)),
+    );
+    enforce(
+        rank,
+        level + 1,
+        "coarse operator",
+        famg_check::check_parcsr(&parcsr_parts(next, rank)),
+    );
+    // Each owned C-point interpolates only from itself with weight one.
+    // Coarse points keep their owning rank, so the entry must sit in the
+    // diag block and the offd row must be empty.
+    for (i, &coarse) in is_coarse.iter().enumerate() {
+        if !coarse {
+            continue;
+        }
+        assert!(
+            p.offd.row_nnz(i) == 0 && p.diag.row_nnz(i) == 1 && p.diag.row_vals(i) == [1.0],
+            "distributed hierarchy validation failed on rank {rank} at level {level} \
+             (interp C-row): local C-point {i} is not an identity row \
+             (diag nnz {}, offd nnz {})",
+            p.diag.row_nnz(i),
+            p.offd.row_nnz(i)
+        );
+    }
+}
+
 /// Multi-node optimization switches (§4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DistOptFlags {
@@ -113,9 +197,9 @@ impl DistHierarchy {
         loop {
             let n_global = *current.col_starts.last().unwrap();
             stats.level_rows.push(n_global);
-            stats.level_nnz.push(
-                comm.allreduce_sum_usize(current.local_nnz(), 0x80),
-            );
+            stats
+                .level_nnz
+                .push(comm.allreduce_sum_usize(current.local_nnz(), 0x80));
             let at_capacity = levels.len() + 1 >= cfg.max_levels;
             if n_global <= cfg.coarse_solve_size || at_capacity {
                 break;
@@ -157,9 +241,7 @@ impl DistHierarchy {
                     Some(&t),
                     dopt.filter_interp,
                 ),
-                InterpKind::Multipass => {
-                    dist_multipass(comm, &current, &s, &coarsening, Some(&t))
-                }
+                InterpKind::Multipass => dist_multipass(comm, &current, &s, &coarsening, Some(&t)),
                 InterpKind::TwoStageExtendedI => dist_two_stage_extended_i(
                     comm,
                     &current,
@@ -179,6 +261,17 @@ impl DistHierarchy {
             let ra = dist_spgemm(comm, &r, &current, dopt.parallel_renumber);
             let next = dist_spgemm(comm, &ra, &p, dopt.parallel_renumber);
             times.rap += t0.elapsed();
+
+            #[cfg(feature = "validate")]
+            validate_dist_level(
+                rank,
+                levels.len(),
+                &current,
+                &p,
+                &r,
+                &next,
+                &coarsening.is_coarse,
+            );
 
             let t0 = Instant::now();
             let plan_a = VectorExchange::plan(comm, &current.colmap, &current.col_starts);
@@ -201,6 +294,13 @@ impl DistHierarchy {
         }
 
         // Coarsest level: gather to rank 0 and factor.
+        #[cfg(feature = "validate")]
+        enforce(
+            rank,
+            levels.len(),
+            "coarsest operator",
+            famg_check::check_parcsr(&parcsr_parts(&current, rank)),
+        );
         let t0 = Instant::now();
         let coarse_starts = current.col_starts.clone();
         let n_coarse = *coarse_starts.last().unwrap();
@@ -249,7 +349,7 @@ impl DistHierarchy {
             dist_opt: dopt,
             stats,
             times,
-            setup_comm_time: comm.comm_time() - comm_t0,
+            setup_comm_time: comm.comm_time().checked_sub(comm_t0).unwrap(),
         }
     }
 
@@ -322,8 +422,7 @@ mod tests {
             assert!(*nl >= 2, "{:?}", cfg.interp);
             assert!(
                 rows[1] * 4 < rows[0],
-                "aggressive coarsening too weak: {:?}",
-                rows
+                "aggressive coarsening too weak: {rows:?}"
             );
         }
     }

@@ -36,8 +36,7 @@ pub fn dist_strength(a: &ParCsr, threshold: f64, max_row_sum: f64, rank: usize) 
                 max_off = max_off.max(-v);
             }
         }
-        let keep = max_off > 0.0
-            && !(diag != 0.0 && (row_sum / diag).abs() > max_row_sum);
+        let keep = max_off > 0.0 && !(diag != 0.0 && (row_sum / diag).abs() > max_row_sum);
         let cut = threshold * max_off;
         rows.push(if keep {
             full.into_iter()
@@ -158,7 +157,7 @@ fn build_p(
     mut rows: Vec<Vec<(usize, f64)>>,
     rank: usize,
 ) -> ParCsr {
-    for r in rows.iter_mut() {
+    for r in &mut rows {
         r.sort_unstable_by_key(|&(c, _)| c);
     }
     ParCsr::from_local_rows_global_cols(
@@ -204,8 +203,7 @@ pub fn dist_extended_i(
             } else {
                 s_colmap
                     .binary_search(&g)
-                    .map(|k| s_colmap_codes[k] >= 0.0)
-                    .unwrap_or(false)
+                    .is_ok_and(|k| s_colmap_codes[k] >= 0.0)
             }
         }
     };
@@ -226,8 +224,7 @@ pub fn dist_extended_i(
             a.global_row(i, rank)
                 .iter()
                 .find(|&&(c, _)| c == gi)
-                .map(|&(_, v)| v)
-                .unwrap_or(1.0)
+                .map_or(1.0, |&(_, v)| v)
         })
         .collect();
     let col_starts = a.col_starts.clone();
@@ -240,8 +237,7 @@ pub fn dist_extended_i(
         } else {
             colmap_for_filter
                 .binary_search(&g)
-                .map(|k| code_a_for_filter[k] >= 0.0)
-                .unwrap_or(false)
+                .is_ok_and(|k| code_a_for_filter[k] >= 0.0)
         }
     };
     let gathered_a = gather_rows(
@@ -262,8 +258,7 @@ pub fn dist_extended_i(
             }
             // Keep coarse columns and the requester's own points
             // (the `l = i` terms of b_ik).
-            is_coarse_known(g)
-                || (g >= col_starts[requester] && g < col_starts[requester + 1])
+            is_coarse_known(g) || (g >= col_starts[requester] && g < col_starts[requester + 1])
         },
     );
 
@@ -292,7 +287,10 @@ pub fn dist_extended_i(
         if g >= gi0 && g < a.row_end {
             a.global_row(g - gi0, rank)
         } else {
-            gathered_a.get(g).map(|r| r.to_vec()).unwrap_or_default()
+            gathered_a
+                .get(g)
+                .map(<[(usize, f64)]>::to_vec)
+                .unwrap_or_default()
         }
     };
     let srow_of = |g: usize| -> Vec<usize> {
@@ -305,7 +303,7 @@ pub fn dist_extended_i(
             gathered_s
                 .get(g)
                 .map(|r| r.iter().map(|&(c, _)| c).collect())
-            .unwrap_or_default()
+                .unwrap_or_default()
         }
     };
 
@@ -318,8 +316,7 @@ pub fn dist_extended_i(
         let gi = gi0 + i;
         // Sorted strong list for deterministic accumulation order, plus a
         // set for O(1) membership tests.
-        let strong_vec: Vec<usize> =
-            s.global_row(i, rank).into_iter().map(|(c, _)| c).collect();
+        let strong_vec: Vec<usize> = s.global_row(i, rank).into_iter().map(|(c, _)| c).collect();
         let strong: HashSet<usize> = strong_vec.iter().copied().collect();
         // Ĉ_i over global point ids, with coarse column indices.
         let mut chat_pos: HashMap<usize, usize> = HashMap::new();
@@ -366,11 +363,7 @@ pub fn dist_extended_i(
                 continue;
             }
             let krow = row_of(k);
-            let akk = krow
-                .iter()
-                .find(|&&(c, _)| c == k)
-                .map(|&(_, v)| v)
-                .unwrap_or(1.0);
+            let akk = krow.iter().find(|&&(c, _)| c == k).map_or(1.0, |&(_, v)| v);
             let mut bik = 0.0f64;
             let mut abar_ki = 0.0f64;
             for &(l, v) in &krow {
@@ -460,7 +453,10 @@ pub fn dist_multipass(
     let mut guard = 0usize;
     loop {
         // Exchange done flags over the strength halo.
-        let done_local: Vec<f64> = rows.iter().map(|r| r.is_some() as u8 as f64).collect();
+        let done_local: Vec<f64> = rows
+            .iter()
+            .map(|r| f64::from(u8::from(r.is_some())))
+            .collect();
         let done_ext = plan_s.exchange(comm, &done_local);
         let is_done = |g: usize| -> bool {
             if g >= gi0 && g < a.row_end {
@@ -507,7 +503,10 @@ pub fn dist_multipass(
             if g >= gi0 && g < a.row_end {
                 rows_ref[g - gi0].clone().unwrap_or_default()
             } else {
-                gathered_p.get(g).map(|r| r.to_vec()).unwrap_or_default()
+                gathered_p
+                    .get(g)
+                    .map(<[(usize, f64)]>::to_vec)
+                    .unwrap_or_default()
             }
         };
         // Compose new rows from the pass-start snapshot.
@@ -520,9 +519,12 @@ pub fn dist_multipass(
             let diag = full
                 .iter()
                 .find(|&&(c, _)| c == gi)
+                .map_or(0.0, |&(_, v)| v);
+            let all_sum: f64 = full
+                .iter()
+                .filter(|&&(c, _)| c != gi)
                 .map(|&(_, v)| v)
-                .unwrap_or(0.0);
-            let all_sum: f64 = full.iter().filter(|&&(c, _)| c != gi).map(|&(_, v)| v).sum();
+                .sum();
             let strong_done_sum: f64 = full
                 .iter()
                 .filter(|&&(c, _)| c != gi && strong.contains(&c) && is_done(c))
@@ -719,7 +721,10 @@ mod tests {
         };
         let (p_full, bytes_full) = run(false);
         let (p_filt, bytes_filt) = run(true);
-        assert!(p_full.frob_diff(&p_filt) < 1e-12, "filter changed the operator");
+        assert!(
+            p_full.frob_diff(&p_filt) < 1e-12,
+            "filter changed the operator"
+        );
         assert!(
             bytes_filt < bytes_full,
             "filter did not reduce traffic: {bytes_filt} vs {bytes_full}"

@@ -176,7 +176,9 @@ impl ParCsr {
 
     /// Diagonal entry of local row `i` (square partition convention).
     pub fn diag_entry(&self, i: usize) -> f64 {
-        self.diag.get(i, i + self.row_start - self.col_starts_offset()).unwrap_or(0.0)
+        self.diag
+            .get(i, i + self.row_start - self.col_starts_offset())
+            .unwrap_or(0.0)
     }
 
     fn col_starts_offset(&self) -> usize {
@@ -209,8 +211,8 @@ pub fn default_partition(n: usize, nranks: usize) -> Vec<usize> {
 
 /// Reassembles a global matrix from all ranks' pieces (test helper).
 pub fn to_global(parts: &[ParCsr]) -> Csr {
-    let n = parts.last().map(|p| p.row_end).unwrap_or(0);
-    let ncols = parts.first().map(|p| p.global_cols).unwrap_or(0);
+    let n = parts.last().map_or(0, |p| p.row_end);
+    let ncols = parts.first().map_or(0, |p| p.global_cols);
     let mut trips = Vec::new();
     for (rank, p) in parts.iter().enumerate() {
         for i in 0..p.local_rows() {
@@ -257,7 +259,7 @@ mod tests {
         let b = to_global(&parts);
         assert_eq!(a.to_dense(), b.to_dense());
         // nnz conserved.
-        let total: usize = parts.iter().map(|p| p.local_nnz()).sum();
+        let total: usize = parts.iter().map(super::ParCsr::local_nnz).sum();
         assert_eq!(total, a.nnz());
     }
 

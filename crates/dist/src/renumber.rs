@@ -205,7 +205,10 @@ mod tests {
                 .wrapping_add(1442695040888963407);
             cols.push(((state >> 33) % 10_000) as usize);
         }
-        let base: Vec<usize> = (0..500).map(|i| i * 7).filter(|&c| !(2000..3000).contains(&c)).collect();
+        let base: Vec<usize> = (0..500)
+            .map(|i| i * 7)
+            .filter(|&c| !(2000..3000).contains(&c))
+            .collect();
         let own = (2000, 3000);
         let a = renumber_seq(&cols, &base, own);
         let b = renumber_par(&cols, &base, own);

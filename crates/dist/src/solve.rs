@@ -53,14 +53,7 @@ fn half_sweep(
 }
 
 /// C-F smoothing (pre) or F-C smoothing (post).
-fn smooth(
-    comm: &Comm,
-    h: &DistHierarchy,
-    level: usize,
-    b: &[f64],
-    x: &mut [f64],
-    pre: bool,
-) {
+fn smooth(comm: &Comm, h: &DistHierarchy, level: usize, b: &[f64], x: &mut [f64], pre: bool) {
     if pre {
         half_sweep(comm, h, level, b, x, Class::Coarse);
         half_sweep(comm, h, level, b, x, Class::Fine);
@@ -184,12 +177,7 @@ pub struct DistSolveResult {
 }
 
 /// Standalone distributed AMG iteration to the configured tolerance.
-pub fn dist_amg_solve(
-    comm: &Comm,
-    h: &DistHierarchy,
-    b: &[f64],
-    x: &mut [f64],
-) -> DistSolveResult {
+pub fn dist_amg_solve(comm: &Comm, h: &DistHierarchy, b: &[f64], x: &mut [f64]) -> DistSolveResult {
     let comm_t0 = comm.comm_time();
     let mut times = PhaseTimes::default();
     let lvl0 = &h.levels[0];
@@ -204,8 +192,7 @@ pub fn dist_amg_solve(
         dist_vcycle(comm, h, 0, b, x, &mut times);
         iterations += 1;
         let t0 = Instant::now();
-        relres =
-            dist_residual_norm_sq(comm, &lvl0.a, &lvl0.plan_a, x, b, &mut r).sqrt() / bnorm;
+        relres = dist_residual_norm_sq(comm, &lvl0.a, &lvl0.plan_a, x, b, &mut r).sqrt() / bnorm;
         times.blas1 += t0.elapsed();
     }
     DistSolveResult {
@@ -213,7 +200,7 @@ pub fn dist_amg_solve(
         final_relres: relres,
         converged: relres <= h.config.tolerance,
         times,
-        solve_comm_time: comm.comm_time() - comm_t0,
+        solve_comm_time: comm.comm_time().checked_sub(comm_t0).unwrap(),
     }
 }
 
@@ -241,14 +228,13 @@ pub fn dist_fgmres_amg(
     'outer: loop {
         let t0 = Instant::now();
         let mut r = vec![0.0; nl];
-        let beta =
-            dist_residual_norm_sq(comm, a, &lvl0.plan_a, x, b, &mut r).sqrt();
+        let beta = dist_residual_norm_sq(comm, a, &lvl0.plan_a, x, b, &mut r).sqrt();
         times.spmv += t0.elapsed();
         relres = beta / bnorm;
         if relres <= tolerance || total_iters >= max_iterations {
             break;
         }
-        for ri in r.iter_mut() {
+        for ri in &mut r {
             *ri /= beta;
         }
         let mut v: Vec<Vec<f64>> = vec![r];
@@ -303,7 +289,7 @@ pub fn dist_fgmres_amg(
                 continue 'outer;
             }
             let mut vnext = w;
-            for vk in vnext.iter_mut() {
+            for vk in &mut vnext {
                 *vk /= wnorm;
             }
             v.push(vnext);
@@ -321,7 +307,7 @@ pub fn dist_fgmres_amg(
         final_relres: relres,
         converged: relres <= tolerance,
         times,
-        solve_comm_time: comm.comm_time() - comm_t0,
+        solve_comm_time: comm.comm_time().checked_sub(comm_t0).unwrap(),
     }
 }
 
@@ -386,7 +372,7 @@ pub fn dist_pcg_amg(
         final_relres: relres,
         converged: relres <= tolerance,
         times,
-        solve_comm_time: comm.comm_time() - comm_t0,
+        solve_comm_time: comm.comm_time().checked_sub(comm_t0).unwrap(),
     }
 }
 

@@ -17,15 +17,11 @@ use famg_sparse::spa::Spa;
 ///
 /// `parallel_renumber` selects the Fig. 4 parallel renumbering (the
 /// optimized path) or the ordered-set sequential baseline.
-pub fn dist_spgemm(
-    comm: &Comm,
-    a: &ParCsr,
-    b: &ParCsr,
-    parallel_renumber: bool,
-) -> ParCsr {
+pub fn dist_spgemm(comm: &Comm, a: &ParCsr, b: &ParCsr, parallel_renumber: bool) -> ParCsr {
     let rank = comm.rank();
     assert_eq!(
-        a.col_starts, b_row_starts(b, comm),
+        a.col_starts,
+        b_row_starts(b, comm),
         "A's column partition must match B's row partition"
     );
     // Gather the remote B rows referenced by A's off-diagonal part.
@@ -153,7 +149,7 @@ pub fn dist_transpose(comm: &Comm, a: &ParCsr) -> ParCsr {
             rows[g - t0].push((gi, v));
         }
     }
-    for r in rows.iter_mut() {
+    for r in &mut rows {
         r.sort_unstable_by_key(|&(c, _)| c);
     }
     ParCsr::from_local_rows_global_cols(
@@ -256,11 +252,7 @@ mod tests {
         // A full distributed R·A·P against the serial fused kernel.
         let a = laplace2d(6, 6);
         // P: simple aggregation of 2 points per aggregate (36 -> 18).
-        let p = Csr::from_triplets(
-            36,
-            18,
-            (0..36).map(|i| (i, i / 2, 1.0)).collect::<Vec<_>>(),
-        );
+        let p = Csr::from_triplets(36, 18, (0..36).map(|i| (i, i / 2, 1.0)).collect::<Vec<_>>());
         let r = transpose(&p);
         let c_ref = spgemm(&spgemm(&r, &a), &p);
         let starts = default_partition(36, 3);

@@ -11,13 +11,7 @@ use crate::parcsr::ParCsr;
 use famg_sparse::spmv::spmv_seq;
 
 /// `y = A x` using a pre-planned halo exchange.
-pub fn dist_spmv(
-    comm: &Comm,
-    a: &ParCsr,
-    plan: &VectorExchange,
-    x_local: &[f64],
-    y: &mut [f64],
-) {
+pub fn dist_spmv(comm: &Comm, a: &ParCsr, plan: &VectorExchange, x_local: &[f64], y: &mut [f64]) {
     assert_eq!(x_local.len(), a.diag.ncols());
     assert_eq!(y.len(), a.local_rows());
     let x_ext = plan.exchange(comm, x_local);

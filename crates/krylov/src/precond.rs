@@ -29,7 +29,7 @@ where
     F: Fn(&[f64], &mut [f64]),
 {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
-        self(r, z)
+        self(r, z);
     }
 }
 

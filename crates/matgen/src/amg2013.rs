@@ -16,14 +16,7 @@ use rand::{Rng, SeedableRng};
 
 /// Builds the semi-structured problem: `nx × ny × nz` cells, `pool³`
 /// coefficient pools, coefficient contrast `10^±contrast` between pools.
-pub fn amg2013_like(
-    nx: usize,
-    ny: usize,
-    nz: usize,
-    pool: usize,
-    contrast: f64,
-    seed: u64,
-) -> Csr {
+pub fn amg2013_like(nx: usize, ny: usize, nz: usize, pool: usize, contrast: f64, seed: u64) -> Csr {
     assert!(pool > 0);
     let mut rng = StdRng::seed_from_u64(seed);
     let npools = pool * pool * pool;

@@ -184,7 +184,7 @@ pub fn laplace3d_27pt(nx: usize, ny: usize, nz: usize) -> Csr {
 /// axis with weight `-0.25`. Used as the StocF-1465 proxy (≈14 nnz/row).
 pub fn stencil3d_13pt(nx: usize, ny: usize, nz: usize) -> Csr {
     stencil3d(nx, ny, nz, &|di, dj, dk| {
-        let on_axis = (di != 0) as u8 + (dj != 0) as u8 + (dk != 0) as u8;
+        let on_axis = u8::from(di != 0) + u8::from(dj != 0) + u8::from(dk != 0);
         let dist = di.abs().max(dj.abs()).max(dk.abs());
         match (on_axis, dist) {
             (0, 0) => Some(6.0 + 12.0 * 0.25),
@@ -339,7 +339,7 @@ mod tests {
         assert!((r0.get(i, i - 1).unwrap() + 1.0).abs() < 1e-12); // x: strong
         assert!((r0.get(i, i - 6).unwrap() + 0.1).abs() < 1e-12); // y: weak
         assert_eq!(r0.get(i, i - 7), None); // no cross terms at theta=0
-        // Rotated: cross terms appear, symmetry holds.
+                                            // Rotated: cross terms appear, symmetry holds.
         let r45 = laplace2d_rotated_aniso(8, 8, 0.01, std::f64::consts::FRAC_PI_4);
         assert!(r45.is_symmetric(1e-12));
         let j = 27;
@@ -377,7 +377,11 @@ mod tests {
 
     #[test]
     fn diagonal_dominance() {
-        for a in [laplace2d(5, 4), laplace3d_7pt(3, 4, 2), laplace3d_27pt(3, 3, 3)] {
+        for a in [
+            laplace2d(5, 4),
+            laplace3d_7pt(3, 4, 2),
+            laplace3d_27pt(3, 3, 3),
+        ] {
             for i in 0..a.nrows() {
                 let d = a.diag(i);
                 let off: f64 = a

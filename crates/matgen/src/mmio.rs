@@ -74,7 +74,7 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Csr, MmError> {
     let size_line = size_line.ok_or_else(|| MmError::Parse("missing size line".into()))?;
     let dims: Vec<usize> = size_line
         .split_whitespace()
-        .map(|t| t.parse::<usize>())
+        .map(str::parse::<usize>)
         .collect::<Result<_, _>>()
         .map_err(|e| MmError::Parse(format!("bad size line: {e}")))?;
     if dims.len() != 3 {
@@ -172,7 +172,7 @@ pub fn read_vector<R: Read>(reader: R) -> Result<Vec<f64>, MmError> {
         if dims.is_none() {
             let d: Vec<usize> = t
                 .split_whitespace()
-                .map(|x| x.parse::<usize>())
+                .map(str::parse::<usize>)
                 .collect::<Result<_, _>>()
                 .map_err(|e| MmError::Parse(format!("bad size line: {e}")))?;
             if d.len() != 2 || d[1] != 1 {

@@ -106,14 +106,10 @@ mod tests {
     fn field_is_positive_and_jumpy() {
         let k = reservoir_field(16, 16, 16, 4, 3.0, 2, 42);
         assert!(k.iter().all(|&v| v > 0.0));
-        let kmax = k.iter().cloned().fold(f64::MIN, f64::max);
-        let kmin = k.iter().cloned().fold(f64::MAX, f64::min);
+        let kmax = k.iter().copied().fold(f64::MIN, f64::max);
+        let kmin = k.iter().copied().fold(f64::MAX, f64::min);
         // Several orders of magnitude contrast.
-        assert!(
-            kmax / kmin > 1e3,
-            "contrast only {:.1e}",
-            kmax / kmin
-        );
+        assert!(kmax / kmin > 1e3, "contrast only {:.1e}", kmax / kmin);
     }
 
     #[test]

@@ -101,7 +101,7 @@ mod tests {
 
     #[test]
     fn symmetric_for_random_field() {
-        let k: Vec<f64> = (0..4 * 3 * 2).map(|i| 1.0 + (i % 7) as f64).collect();
+        let k: Vec<f64> = (0..4 * 3 * 2).map(|i| 1.0 + f64::from(i % 7)).collect();
         let a = varcoef3d_7pt(4, 3, 2, &k);
         assert!(a.is_symmetric(1e-14));
     }

@@ -21,13 +21,7 @@ pub struct Csr {
 
 impl fmt::Debug for Csr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "Csr({}x{}, nnz={})",
-            self.nrows,
-            self.ncols,
-            self.nnz()
-        )
+        write!(f, "Csr({}x{}, nnz={})", self.nrows, self.ncols, self.nnz())
     }
 }
 
@@ -440,13 +434,7 @@ mod tests {
 
     #[test]
     fn sort_rows_orders_columns() {
-        let mut a = Csr::from_parts(
-            1,
-            4,
-            vec![0, 3],
-            vec![3, 0, 2],
-            vec![3.0, 0.5, 2.0],
-        );
+        let mut a = Csr::from_parts(1, 4, vec![0, 3], vec![3, 0, 2], vec![3.0, 0.5, 2.0]);
         assert!(!a.rows_sorted());
         a.sort_rows();
         assert!(a.rows_sorted());

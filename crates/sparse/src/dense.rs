@@ -69,11 +69,7 @@ impl DenseMatrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.ncols);
         (0..self.nrows)
-            .map(|i| {
-                (0..self.ncols)
-                    .map(|j| self.get(i, j) * x[j])
-                    .sum()
-            })
+            .map(|i| (0..self.ncols).map(|j| self.get(i, j) * x[j]).sum())
             .collect()
     }
 }

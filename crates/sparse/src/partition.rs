@@ -26,8 +26,7 @@ pub fn split_rows_by_nnz(rowptr: &[usize], nparts: usize) -> Vec<std::ops::Range
         // Target cumulative nnz at the end of partition p.
         let target = (total as u128 * (p as u128 + 1) / nparts as u128) as usize;
         let mut end = match rowptr[start + 1..=nrows].binary_search(&target) {
-            Ok(k) => start + 1 + k,
-            Err(k) => start + 1 + k,
+            Ok(k) | Err(k) => start + 1 + k,
         };
         // Leave at least one row per remaining partition where possible.
         let remaining_parts = nparts - p - 1;
@@ -121,7 +120,7 @@ mod tests {
         assert_eq!(parts.len(), 3);
         assert_eq!(parts[0], 0..3);
         assert_eq!(parts[2].end, 10);
-        let total: usize = parts.iter().map(|r| r.len()).sum();
+        let total: usize = parts.iter().map(std::iter::ExactSizeIterator::len).sum();
         assert_eq!(total, 10);
     }
 
@@ -150,7 +149,7 @@ mod tests {
     fn split_by_nnz_empty_rows() {
         let rowptr = vec![0, 0, 0, 0, 5];
         let parts = split_rows_by_nnz(&rowptr, 4);
-        let total: usize = parts.iter().map(|r| r.len()).sum();
+        let total: usize = parts.iter().map(std::iter::ExactSizeIterator::len).sum();
         assert_eq!(total, 4);
         assert!(parts.iter().all(|r| !r.is_empty()));
     }

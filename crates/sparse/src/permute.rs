@@ -276,11 +276,7 @@ mod tests {
 
     #[test]
     fn row_and_col_permutations_compose_to_symmetric() {
-        let a = Csr::from_triplets(
-            3,
-            3,
-            vec![(0, 0, 1.0), (1, 2, 2.0), (2, 1, 3.0)],
-        );
+        let a = Csr::from_triplets(3, 3, vec![(0, 0, 1.0), (1, 2, 2.0), (2, 1, 3.0)]);
         let p = Permutation::from_forward(vec![1, 2, 0]);
         let via_blocks = permute_cols(&permute_rows(&a, &p), &p);
         let direct = permute_symmetric(&a, &p);
@@ -335,9 +331,6 @@ mod tests {
         assert_eq!(ff.get(0, 0), Some(4.0)); // A[2,2] -> FF[0,0]
         assert_eq!(fc.get(1, 0), Some(5.0)); // A[3,0] -> FC[1,0]
         assert_eq!(ff.get(1, 1), Some(6.0));
-        assert_eq!(
-            cc.nnz() + cf.nnz() + fc.nnz() + ff.nnz(),
-            a.nnz()
-        );
+        assert_eq!(cc.nnz() + cf.nnz() + fc.nnz() + ff.nnz(), a.nnz());
     }
 }

@@ -21,6 +21,7 @@
 //! All variants produce rows in Gustavson first-touch order (deterministic,
 //! independent of thread count because row blocks are processed in order
 //! and each row's accumulation order is fixed by the input structure).
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use crate::csr::Csr;
 use crate::partition::{num_threads, split_rows_by_nnz};
@@ -172,6 +173,9 @@ pub fn numeric_only(a: &Csr, b: &Csr, c: &mut Csr) {
     let values = c.values_mut();
 
     struct Ptr(*mut f64);
+    // SAFETY: each block writes only the value range of its own rows
+    // ([rowptr[block.start], rowptr[block.end])), and the blocks tile
+    // the row space disjointly; nobody reads until the scope joins.
     unsafe impl Sync for Ptr {}
     let p = Ptr(values.as_mut_ptr());
     let _ = nrows;
@@ -197,6 +201,8 @@ pub fn numeric_only(a: &Csr, b: &Csr, c: &mut Csr) {
                         for (k, bv) in b.row_iter(j) {
                             let pos = marker[k];
                             debug_assert!(pos >= start && pos < end, "pattern mismatch");
+                            // SAFETY: pos lies in row i's value range,
+                            // owned exclusively by this block.
                             unsafe { *p.0.add(pos) += av * bv };
                         }
                     }

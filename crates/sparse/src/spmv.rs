@@ -256,7 +256,7 @@ mod tests {
     #[test]
     fn spmv_matches_dense() {
         let a = random_csr(20, 15, 7);
-        let x: Vec<f64> = (0..15).map(|i| i as f64 * 0.3 - 1.0).collect();
+        let x: Vec<f64> = (0..15).map(|i| f64::from(i) * 0.3 - 1.0).collect();
         let mut y = vec![0.0; 20];
         spmv(&a, &x, &mut y);
         let expect = dense_mv(&a.to_dense(), 20, 15, &x);
@@ -282,11 +282,17 @@ mod tests {
         // Rows with 11 entries so the 8-wide unroll plus tail both run.
         let trips: Vec<(usize, usize, f64)> = (0..300)
             .flat_map(|i| {
-                (0..11).map(move |k| ((i * 7 + k * 13) % 300, (i + k * 27) % 300, 0.3 * k as f64 - 1.0))
+                (0..11).map(move |k| {
+                    (
+                        (i * 7 + k * 13) % 300,
+                        (i + k * 27) % 300,
+                        0.3 * k as f64 - 1.0,
+                    )
+                })
             })
             .collect();
         let a = Csr::from_triplets(300, 300, trips);
-        let x: Vec<f64> = (0..300).map(|i| (i % 9) as f64 * 0.25 - 1.0).collect();
+        let x: Vec<f64> = (0..300).map(|i| f64::from(i % 9) * 0.25 - 1.0).collect();
         let mut y1 = vec![0.0; 300];
         let mut y2 = vec![0.0; 300];
         spmv_seq(&a, &x, &mut y1);

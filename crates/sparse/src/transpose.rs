@@ -10,6 +10,7 @@
 //! Also provided: the `keep the transpose` policy helper used by the solve
 //! phase — the baseline HYPRE re-transposed `P` on every restriction; famg
 //! computes `R = Pᵀ` once during setup and reuses it.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use crate::csr::Csr;
 use crate::partition::split_rows_by_nnz;
@@ -75,7 +76,7 @@ pub fn transpose_par(a: &Csr) -> Csr {
     let mut rowptr = vec![0usize; ncols + 1];
     for c in 0..ncols {
         let mut col_total = 0usize;
-        for h in hists.iter_mut() {
+        for h in &mut hists {
             let v = h[c];
             h[c] = col_total; // becomes block-local base within row c
             col_total += v;
@@ -93,6 +94,9 @@ pub fn transpose_par(a: &Csr) -> Csr {
         // Each thread scatters into per-(block, output-row) ranges that are
         // disjoint by construction, so raw-pointer writes cannot alias.
         struct Ptr(*mut usize, *mut f64);
+        // SAFETY: threads write through the pointers only at indices in
+        // their own (block, output-row) ranges, which are disjoint by
+        // the phase-2 prefix sum; nobody reads until the scope joins.
         unsafe impl Sync for Ptr {}
         let p = Ptr(colidx.as_mut_ptr(), values.as_mut_ptr());
         rayon::scope(|s| {

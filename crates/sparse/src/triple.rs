@@ -407,8 +407,7 @@ mod tests {
         let (nc, nf) = (30, 45);
         let (a, pf) = cf_fixture(nc, nf, 17);
         // Build the full P = [I; P_F] explicitly.
-        let mut trips: Vec<(usize, usize, f64)> =
-            (0..nc).map(|i| (i, i, 1.0)).collect();
+        let mut trips: Vec<(usize, usize, f64)> = (0..nc).map(|i| (i, i, 1.0)).collect();
         for i in 0..nf {
             for (c, v) in pf.row_iter(i) {
                 trips.push((nc + i, c, v));

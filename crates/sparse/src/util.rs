@@ -5,9 +5,7 @@ use crate::csr::Csr;
 
 /// Row sums of a matrix.
 pub fn row_sums(a: &Csr) -> Vec<f64> {
-    (0..a.nrows())
-        .map(|i| a.row_vals(i).iter().sum())
-        .collect()
+    (0..a.nrows()).map(|i| a.row_vals(i).iter().sum()).collect()
 }
 
 /// Infinity norm (max absolute row sum).

@@ -46,7 +46,12 @@ fn main() {
     // Convergence history: the per-cycle residual reduction factor.
     let mut prev = 1.0;
     for (k, r) in result.history.iter().enumerate() {
-        println!("  cycle {:>2}: relres {:.3e}  (factor {:.3})", k + 1, r, r / prev);
+        println!(
+            "  cycle {:>2}: relres {:.3e}  (factor {:.3})",
+            k + 1,
+            r,
+            r / prev
+        );
         prev = *r;
     }
     println!(

@@ -14,8 +14,8 @@ fn main() {
     let (nx, ny, nz) = (48, 48, 24);
     // Layered lognormal permeability spanning several orders of magnitude.
     let k = reservoir_field(nx, ny, nz, 8, 3.0, 2, 2026);
-    let kmin = k.iter().cloned().fold(f64::MAX, f64::min);
-    let kmax = k.iter().cloned().fold(f64::MIN, f64::max);
+    let kmin = k.iter().copied().fold(f64::MAX, f64::min);
+    let kmax = k.iter().copied().fold(f64::MIN, f64::max);
     println!(
         "permeability contrast: {:.1e} (min {:.2e}, max {:.2e})",
         kmax / kmin,

@@ -13,21 +13,18 @@ use famg::matgen::{laplace3d_7pt, mmio, rhs};
 
 fn main() {
     let arg = std::env::args().nth(1);
-    let a = match &arg {
-        Some(path) => {
-            println!("loading {path}");
-            mmio::load_matrix_market(path).expect("failed to read Matrix Market file")
-        }
-        None => {
-            let demo = std::env::temp_dir().join("famg_demo.mtx");
-            let a = laplace3d_7pt(24, 24, 24);
-            mmio::save_matrix_market(&a, &demo).expect("write demo");
-            println!(
-                "no file given; wrote and loaded a demo 3D Laplacian at {}",
-                demo.display()
-            );
-            mmio::load_matrix_market(&demo).unwrap()
-        }
+    let a = if let Some(path) = &arg {
+        println!("loading {path}");
+        mmio::load_matrix_market(path).expect("failed to read Matrix Market file")
+    } else {
+        let demo = std::env::temp_dir().join("famg_demo.mtx");
+        let a = laplace3d_7pt(24, 24, 24);
+        mmio::save_matrix_market(&a, &demo).expect("write demo");
+        println!(
+            "no file given; wrote and loaded a demo 3D Laplacian at {}",
+            demo.display()
+        );
+        mmio::load_matrix_market(&demo).unwrap()
     };
     assert_eq!(a.nrows(), a.ncols(), "need a square system");
     println!("matrix: {} rows, {} nnz", a.nrows(), a.nnz());
@@ -43,7 +40,11 @@ fn main() {
     let res = solver.solve(&b, &mut x);
     println!(
         "{} after {} V-cycles (relative residual {:.2e})",
-        if res.converged { "converged" } else { "NOT converged" },
+        if res.converged {
+            "converged"
+        } else {
+            "NOT converged"
+        },
         res.iterations,
         res.final_relres
     );

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# famg CI gate: formatting, lints, tests, and validated-mode solves.
+#
+# Everything here must pass before a change merges. Runs offline — the
+# workspace vendors its dependency shims, so no registry access is needed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (base)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo clippy (validate)"
+cargo clippy --workspace --all-targets --features validate -- -D warnings
+
+echo "==> cargo test (base)"
+cargo test --workspace -q
+
+echo "==> cargo test (validate: hierarchy invariants checked at every level)"
+cargo test --workspace -q --features validate
+
+echo "==> all checks passed"

@@ -1,0 +1,205 @@
+//! Drop-in stand-in for the subset of the `criterion` API that famg's
+//! benches use, for building in hermetic environments with no registry
+//! access.
+//!
+//! No statistics engine: each benchmark is warmed up, then timed for a
+//! fixed number of batches, and the median ns/iter is printed. Good
+//! enough for before/after comparisons on one machine; swap the
+//! `criterion` rename in the root `Cargo.toml` back to the registry
+//! crate for publication-grade numbers.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the untimed warm-up duration per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total timed duration budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (sample_size, warm_up, measure) =
+            (self.sample_size, self.warm_up_time, self.measurement_time);
+        run_benchmark(id, sample_size, warm_up, measure, f);
+        self
+    }
+}
+
+/// Named benchmark group, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(
+            &full,
+            self.criterion.sample_size,
+            self.criterion.warm_up_time,
+            self.criterion.measurement_time,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `iters` times back to back.
+    // The name mirrors criterion's API; it is not an Iterator source.
+    #[allow(clippy::iter_not_returning_iterator)]
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(id: &str, sample_size: usize, warm_up: Duration, measure: Duration, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm up while estimating the per-iteration cost.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    while warm_start.elapsed() < warm_up || warm_iters == 0 {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        warm_iters += 1;
+    }
+    let per_iter = warm_start.elapsed().as_nanos() / u128::from(warm_iters);
+
+    // Split the measurement budget across `sample_size` samples.
+    let budget_per_sample = measure.as_nanos() / sample_size.max(1) as u128;
+    let iters_per_sample = (budget_per_sample / per_iter.max(1)).clamp(1, 1_000_000) as u64;
+
+    let mut samples_ns: Vec<u128> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() / u128::from(iters_per_sample));
+    }
+    samples_ns.sort_unstable();
+    let median = samples_ns[samples_ns.len() / 2];
+    let lo = samples_ns[0];
+    let hi = samples_ns[samples_ns.len() - 1];
+    println!("{id:<44} median {median:>12} ns/iter  (min {lo}, max {hi}, {sample_size} samples x {iters_per_sample} iters)");
+}
+
+/// Declares a benchmark group function, mirroring
+/// `criterion::criterion_group!`. Supports both the plain and the
+/// `name = ...; config = ...; targets = ...` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        #[allow(missing_docs)]
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        #[allow(missing_docs)]
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+    }
+
+    #[test]
+    fn driver_runs_to_completion() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        tiny(&mut c);
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+    }
+}

@@ -1,0 +1,36 @@
+//! Drop-in stand-in for the subset of the `crossbeam` API that famg
+//! uses (`channel::unbounded` in the simulated-MPI transport), for
+//! building in hermetic environments with no registry access.
+//!
+//! Backed by [`std::sync::mpsc`]: since Rust 1.72 the std channel is a
+//! port of crossbeam's implementation, so `Sender` is `Clone + Send +
+//! Sync` and `recv_timeout` is available — the only behavioural
+//! difference is the missing multi-consumer support, which famg does
+//! not use (one `Receiver` per rank).
+
+/// Multi-producer channels, mirroring `crossbeam::channel`.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, SendError, Sender};
+
+    /// Creates an unbounded channel, mirroring
+    /// `crossbeam::channel::unbounded`.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_send_recv_round_trip() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(7).unwrap());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 7);
+        drop(tx);
+        assert!(rx.recv_timeout(Duration::from_millis(10)).is_err());
+    }
+}

@@ -1,0 +1,216 @@
+//! Drop-in stand-in for the subset of the `rayon` API that famg uses,
+//! for building in hermetic environments with no registry access.
+//!
+//! The workspace depends on this crate under the name `rayon` (a
+//! `package =` rename in the root `Cargo.toml`), so kernel code is
+//! written against the real rayon API and picks the real crate back up
+//! by deleting the rename.
+//!
+//! Semantics:
+//!
+//! * The "parallel" iterator entry points (`par_iter`, `par_iter_mut`,
+//!   `par_chunks`, `par_chunks_mut`, `into_par_iter`,
+//!   `par_sort_unstable`) delegate to the equivalent sequential std
+//!   iterators. Every famg kernel is schedule-independent (snapshot
+//!   reads, disjoint writes), so results are bitwise identical to a
+//!   parallel execution — only wall-clock time differs.
+//! * [`scope`] runs on real OS threads via [`std::thread::scope`], so
+//!   the hybrid smoother and scatter kernels still exercise true
+//!   multi-thread execution and their `Sync` wrapper types stay
+//!   load-bearing.
+//! * [`current_num_threads`] honours `RAYON_NUM_THREADS` and falls back
+//!   to [`std::thread::available_parallelism`].
+
+use std::ops::Range;
+
+/// Extension traits that mirror `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+/// Number of worker threads kernels should block for.
+///
+/// Honours `RAYON_NUM_THREADS` (like real rayon); otherwise uses the
+/// hardware parallelism.
+pub fn current_num_threads() -> usize {
+    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Scoped-spawn handle mirroring `rayon::Scope`.
+///
+/// Wraps [`std::thread::Scope`]: every `spawn` is a real OS thread, and
+/// all spawned work is joined before [`scope`] returns.
+pub struct Scope<'scope, 'env> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns `body` on its own thread within the enclosing scope.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || body(&Scope { inner }));
+    }
+}
+
+/// Creates a scope in which closures can be spawned and are guaranteed
+/// to have completed before the call returns. Mirrors `rayon::scope`.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// `into_par_iter()` — yields a std iterator over the same items.
+pub trait IntoParallelIterator {
+    /// Iterator type produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type produced.
+    type Item;
+    /// Converts `self` into a (sequentially driven) iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T> IntoParallelIterator for Range<T>
+where
+    Range<T>: Iterator,
+{
+    type Iter = Range<T>;
+    type Item = <Range<T> as Iterator>::Item;
+    fn into_par_iter(self) -> Self::Iter {
+        self
+    }
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Iter = std::vec::IntoIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// `par_iter()` — shared-reference iteration.
+pub trait IntoParallelRefIterator<'data> {
+    /// Iterator type produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type produced (a shared reference).
+    type Item: 'data;
+    /// Iterates `&self` sequentially.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+where
+    &'data I: IntoIterator,
+{
+    type Iter = <&'data I as IntoIterator>::IntoIter;
+    type Item = <&'data I as IntoIterator>::Item;
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// `par_iter_mut()` — exclusive-reference iteration.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// Iterator type produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type produced (an exclusive reference).
+    type Item: 'data;
+    /// Iterates `&mut self` sequentially.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
+where
+    &'data mut I: IntoIterator,
+{
+    type Iter = <&'data mut I as IntoIterator>::IntoIter;
+    type Item = <&'data mut I as IntoIterator>::Item;
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// `par_chunks()` on slices.
+pub trait ParallelSlice<T> {
+    /// Chunked shared iteration, mirroring `[T]::chunks`.
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// `par_chunks_mut()` / `par_sort_unstable()` on slices.
+pub trait ParallelSliceMut<T> {
+    /// Chunked exclusive iteration, mirroring `[T]::chunks_mut`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    /// Unstable sort, mirroring `[T]::sort_unstable`.
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_into_par_iter_behaves_like_range() {
+        let s: usize = (0..10usize).into_par_iter().map(|i| i * i).sum();
+        assert_eq!(s, 285);
+    }
+
+    #[test]
+    fn slice_adapters_delegate() {
+        let v = vec![3usize, 1, 2];
+        let doubled: Vec<usize> = v.par_iter().map(|&x| 2 * x).collect();
+        assert_eq!(doubled, vec![6, 2, 4]);
+        let mut w = v.clone();
+        w.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(w, vec![4, 2, 3]);
+        w.par_sort_unstable();
+        assert_eq!(w, vec![2, 3, 4]);
+        assert_eq!(w.par_chunks(2).count(), 2);
+    }
+
+    #[test]
+    fn scope_joins_all_spawns() {
+        let mut out = vec![0usize; 4];
+        let chunks: Vec<&mut usize> = out.iter_mut().collect();
+        crate::scope(|s| {
+            for (i, slot) in chunks.into_iter().enumerate() {
+                s.spawn(move |_| *slot = i + 1);
+            }
+        });
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+}

@@ -18,7 +18,11 @@ fn one_by_one_system() {
 #[test]
 fn diagonal_system_solves_in_one_cycle_or_less() {
     let n = 50;
-    let a = Csr::from_triplets(n, n, (0..n).map(|i| (i, i, 2.0 + i as f64)).collect::<Vec<_>>());
+    let a = Csr::from_triplets(
+        n,
+        n,
+        (0..n).map(|i| (i, i, 2.0 + i as f64)).collect::<Vec<_>>(),
+    );
     let solver = AmgSolver::setup(&a, &AmgConfig::single_node_paper());
     // No off-diagonals: strength is empty, everything is F, a single
     // level handles it via the direct coarse solve or smoothing.

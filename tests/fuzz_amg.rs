@@ -1,0 +1,128 @@
+//! Deterministic fuzz tests for the AMG components: coarsening
+//! validity, interpolation invariants, and end-to-end convergence on
+//! random diagonally dominant SPD systems.
+
+mod common;
+
+use common::{graph_laplacian, FuzzRng};
+use famg::core::coarsen::{pmis, validate_cf};
+use famg::core::interp::{extended_i, truncate_row, CfMap, TruncParams};
+use famg::core::strength::strength;
+use famg::core::{AmgConfig, AmgSolver};
+
+const CASES: u64 = 32;
+
+#[test]
+fn pmis_always_valid() {
+    for case in 0..CASES {
+        let mut rng = FuzzRng::new(case);
+        let n = rng.range(4, 60);
+        let extra = rng.below(3 * n + 1);
+        let a = graph_laplacian(&mut rng, n, extra, 0.0);
+        let s = strength(&a, 0.25, 10.0);
+        let c = pmis(&s, case);
+        validate_cf(&s, &c, 1).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        // Non-trivial coarsening on non-trivial graphs.
+        if s.nnz() > 0 {
+            assert!(c.ncoarse > 0, "case {case}");
+            assert!(c.ncoarse < a.nrows(), "case {case}");
+        }
+    }
+}
+
+#[test]
+fn extended_i_rows_sum_to_one_on_zero_rowsum_operators() {
+    // Pure graph Laplacian: every row sums to zero, so interpolation
+    // must reproduce constants exactly.
+    for case in 0..CASES {
+        let mut rng = FuzzRng::new(0x100 + case);
+        let n = rng.range(4, 40);
+        let extra = rng.below(3 * n + 1);
+        let a = graph_laplacian(&mut rng, n, extra, 0.0);
+        let s = strength(&a, 0.25, 10.0);
+        let c = pmis(&s, case);
+        let cf = CfMap::new(c.is_coarse);
+        let p = extended_i(&a, &s, &cf, None);
+        for i in 0..p.nrows() {
+            if p.row_nnz(i) > 0 {
+                let w: f64 = p.row_vals(i).iter().sum();
+                assert!((w - 1.0).abs() < 1e-9, "case {case}: row {i} sums to {w}");
+            }
+        }
+    }
+}
+
+#[test]
+fn truncation_preserves_row_sum_and_caps_length() {
+    for case in 0..CASES {
+        let mut rng = FuzzRng::new(0x200 + case);
+        let len = rng.range(1, 20);
+        let vals: Vec<f64> = (0..len).map(|_| rng.float(-3.0, 3.0)).collect();
+        let factor = rng.float(0.0, 0.5);
+        let max_el = rng.below(8);
+        let mut cols: Vec<usize> = (0..vals.len()).collect();
+        let mut v = vals.clone();
+        let before: f64 = v.iter().sum();
+        truncate_row(
+            &mut cols,
+            &mut v,
+            &TruncParams {
+                factor,
+                max_elements: max_el,
+            },
+        );
+        if max_el > 0 {
+            assert!(v.len() <= max_el.max(1), "case {case}");
+        }
+        let after: f64 = v.iter().sum();
+        if after != 0.0 && before != 0.0 && !v.is_empty() {
+            assert!(
+                (after - before).abs() < 1e-9 * before.abs().max(1.0),
+                "case {case}: row sum {before} -> {after}"
+            );
+        }
+    }
+}
+
+#[test]
+fn amg_converges_on_random_dominant_systems() {
+    for case in 0..20 {
+        let mut rng = FuzzRng::new(0x300 + case);
+        let n = rng.range(4, 50);
+        let extra = rng.below(3 * n + 1);
+        let a = graph_laplacian(&mut rng, n, extra, 0.5);
+        let b = famg::matgen::rhs::random(a.nrows(), case);
+        let cfg = AmgConfig {
+            max_iterations: 300,
+            coarse_solve_size: 16,
+            ..AmgConfig::single_node_paper()
+        };
+        let solver = AmgSolver::setup(&a, &cfg);
+        let mut x = vec![0.0; a.nrows()];
+        let res = solver.solve(&b, &mut x);
+        assert!(
+            res.converged,
+            "case {case}: stalled at {:e}",
+            res.final_relres
+        );
+    }
+}
+
+#[test]
+fn hierarchy_levels_strictly_shrink() {
+    for case in 0..CASES {
+        let mut rng = FuzzRng::new(0x400 + case);
+        let n = rng.range(4, 80);
+        let extra = rng.below(3 * n + 1);
+        let a = graph_laplacian(&mut rng, n, extra, 0.0);
+        let h = famg::core::Hierarchy::build(&a, &AmgConfig::single_node_paper());
+        for w in h.stats.level_rows.windows(2) {
+            assert!(w[1] < w[0], "case {case}: {:?}", h.stats.level_rows);
+        }
+        assert!(
+            h.stats.operator_complexity() < 6.0,
+            "case {case}: complexity {}",
+            h.stats.operator_complexity()
+        );
+    }
+}

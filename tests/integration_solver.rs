@@ -96,7 +96,11 @@ fn amg_preconditioned_cg_solves_spd_problem() {
     let mut x = vec![0.0; a.nrows()];
     let res = cg(&a, &b, &mut x, &pre, &CgOptions::default());
     assert!(res.converged);
-    assert!(res.iterations < 25, "PCG took {} iterations", res.iterations);
+    assert!(
+        res.iterations < 25,
+        "PCG took {} iterations",
+        res.iterations
+    );
 }
 
 #[test]
@@ -132,7 +136,10 @@ fn distributed_solution_matches_serial() {
         .map(|(u, v)| (u - v) * (u - v))
         .sum::<f64>()
         .sqrt();
-    assert!(diff / vecops::norm2(&xs) < 1e-4, "solutions diverged: {diff}");
+    assert!(
+        diff / vecops::norm2(&xs) < 1e-4,
+        "solutions diverged: {diff}"
+    );
 }
 
 #[test]

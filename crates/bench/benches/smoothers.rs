@@ -18,6 +18,9 @@ fn bench_smoothers(c: &mut Criterion) {
     let (mut ap, ord) = cf_reorder(&a0, &coarse.is_coarse);
     let ap_for_base = ap.clone();
     let nthreads = rayon::current_num_threads();
+    // Thread count is part of the measurement: hybrid GS decomposes by
+    // task, and the pool size decides how many sweeps run concurrently.
+    eprintln!("smoother bench: rayon pool = {nthreads} thread(s)");
 
     let base = Smoother::hybrid_base(&ap_for_base, (0..n).map(|i| i < ord.nc).collect(), nthreads);
     let opt = Smoother::hybrid_opt(&mut ap, ord.nc, nthreads);

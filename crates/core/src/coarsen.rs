@@ -49,11 +49,13 @@ pub fn pmis(s: &Csr, seed: u64) -> Coarsening {
     // measure(i) = |{j : j depends on i}| + rand[0,1).
     let measure: Vec<f64> = (0..n)
         .into_par_iter()
+        .with_min_len(512)
         .map(|i| st.row_nnz(i) as f64 + uniform01(seed, i as u64))
         .collect();
 
     let mut state: Vec<State> = (0..n)
         .into_par_iter()
+        .with_min_len(512)
         .map(|i| {
             if st.row_nnz(i) == 0 {
                 // Nobody depends on i: it can never be a useful C-point.
@@ -70,6 +72,7 @@ pub fn pmis(s: &Csr, seed: u64) -> Coarsening {
         // neighbour in the symmetrized graph S_i ∪ Sᵀ_i.
         let selected: Vec<usize> = (0..n)
             .into_par_iter()
+            .with_min_len(512)
             .filter(|&i| {
                 if state[i] != State::Undecided {
                     return false;
@@ -94,6 +97,7 @@ pub fn pmis(s: &Csr, seed: u64) -> Coarsening {
         // later round while already neighbouring a C-point.
         let demoted: Vec<usize> = (0..n)
             .into_par_iter()
+            .with_min_len(512)
             .filter(|&i| {
                 state[i] == State::Undecided
                     && (s.row_cols(i).iter().any(|&j| state[j] == State::Coarse)

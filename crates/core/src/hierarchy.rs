@@ -80,7 +80,12 @@ pub struct Hierarchy {
 }
 
 fn build_smoother(a: &mut Csr, nc: usize, is_coarse: Option<&[bool]>, cfg: &AmgConfig) -> Smoother {
-    let nthreads = famg_sparse::partition::num_threads();
+    // Task decomposition is part of the numerical method for the hybrid
+    // smoothers (Jacobi across tasks); honour a pinned count when the
+    // config asks for pool-size-independent behaviour.
+    let nthreads = cfg
+        .smoother_tasks
+        .unwrap_or_else(famg_sparse::partition::num_threads);
     match cfg.smoother {
         SmootherKind::Jacobi => Smoother::jacobi(a, 2.0 / 3.0),
         SmootherKind::HybridGs => {

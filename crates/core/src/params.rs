@@ -156,6 +156,14 @@ pub struct AmgConfig {
     pub max_iterations: usize,
     /// Seed for the PMIS random weights.
     pub seed: u64,
+    /// Task count for the task-decomposed smoothers (hybrid GS and its ℓ1
+    /// variant). `None` (the default) uses the thread-pool size, which is
+    /// fastest but makes the smoother's *iteration behaviour* depend on the
+    /// pool: hybrid GS is Jacobi across tasks, so its decomposition is part
+    /// of the numerical method. Pin this to a fixed value to get bitwise
+    /// identical solves across pool sizes (the thread-independence tests
+    /// do exactly that).
+    pub smoother_tasks: Option<usize>,
     /// Which paper optimizations are active.
     pub opt: OptFlags,
 }
@@ -187,6 +195,7 @@ impl AmgConfig {
             tolerance: 1e-7,
             max_iterations: 200,
             seed: 0xFA6,
+            smoother_tasks: None,
             opt: OptFlags::all(),
         }
     }

@@ -266,13 +266,18 @@ impl Smoother {
                 let temp = ws.temp(n);
                 temp[..n].copy_from_slice(x);
                 let temp = &temp[..n];
-                x.par_iter_mut().enumerate().for_each(|(i, xi)| {
-                    let mut acc = b[i];
-                    for (c, v) in a.row_iter(i) {
-                        acc -= v * temp[c];
-                    }
-                    *xi = temp[i] + omega * dinv[i] * acc;
-                });
+                // Row relaxations are a few flops each: keep blocks coarse
+                // enough that block bookkeeping stays negligible.
+                x.par_iter_mut()
+                    .enumerate()
+                    .with_min_len(512)
+                    .for_each(|(i, xi)| {
+                        let mut acc = b[i];
+                        for (c, v) in a.row_iter(i) {
+                            acc -= v * temp[c];
+                        }
+                        *xi = temp[i] + omega * dinv[i] * acc;
+                    });
             }
             Smoother::HybridBase {
                 dinv,
@@ -399,7 +404,7 @@ impl Smoother {
                 let p = XPtr(x.as_mut_ptr());
                 let p = &p;
                 for level in levels {
-                    level.par_iter().for_each(|&i| {
+                    level.par_iter().with_min_len(512).for_each(|&i| {
                         let keep = true; // lexicographic GS ignores class
                         if keep {
                             let mut acc = b[i];
@@ -431,7 +436,7 @@ impl Smoother {
                 let p = XPtr(x.as_mut_ptr());
                 let p = &p;
                 for color in colors {
-                    color.par_iter().for_each(|&i| {
+                    color.par_iter().with_min_len(512).for_each(|&i| {
                         let mut acc = b[i];
                         for (c, v) in a.row_iter(i) {
                             if c != i {

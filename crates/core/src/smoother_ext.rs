@@ -60,13 +60,16 @@ impl L1Jacobi {
         temp.copy_from_slice(x);
         let temp = &temp[..];
         let dinv = &self.dinv;
-        x.par_iter_mut().enumerate().for_each(|(i, xi)| {
-            let mut acc = b[i];
-            for (c, v) in a.row_iter(i) {
-                acc -= v * temp[c];
-            }
-            *xi = temp[i] + dinv[i] * acc;
-        });
+        x.par_iter_mut()
+            .enumerate()
+            .with_min_len(512)
+            .for_each(|(i, xi)| {
+                let mut acc = b[i];
+                for (c, v) in a.row_iter(i) {
+                    acc -= v * temp[c];
+                }
+                *xi = temp[i] + dinv[i] * acc;
+            });
     }
 }
 

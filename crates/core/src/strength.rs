@@ -80,6 +80,7 @@ pub fn strength_par(a: &Csr, threshold: f64, max_row_sum: f64) -> Csr {
     // Pass 1: per-row strong counts.
     let mut counts: Vec<usize> = (0..n)
         .into_par_iter()
+        .with_min_len(512)
         .map(|i| {
             let mut c = 0usize;
             row_strong(a, i, threshold, max_row_sum, |_, _| c += 1);
@@ -100,7 +101,7 @@ pub fn strength_par(a: &Csr, threshold: f64, max_row_sum: f64) -> Csr {
         let p = Ptr(colidx.as_mut_ptr(), values.as_mut_ptr());
         let p = &p;
         let rowptr_ref = &rowptr;
-        (0..n).into_par_iter().for_each(|i| {
+        (0..n).into_par_iter().with_min_len(512).for_each(|i| {
             let mut dst = rowptr_ref[i];
             row_strong(a, i, threshold, max_row_sum, |k, v| {
                 // SAFETY: rows write disjoint [rowptr[i], rowptr[i+1]) slices.

@@ -94,8 +94,11 @@ pub fn renumber_par(
     own: (usize, usize),
 ) -> ExtendedColmap {
     use rayon::prelude::*;
-    let nthreads = famg_sparse::partition::num_threads();
-    let chunk = received_cols.len().div_ceil(nthreads.max(1)).max(1);
+    // Fixed chunk length (not pool-size derived): the merged result is
+    // sort-deduped so any chunking gives the same answer, but a fixed
+    // geometry keeps the partials — and any timing built on them —
+    // reproducible across pool sizes.
+    let chunk = 4096;
     // Phase 1: thread-private hash sets filter duplicates without
     // synchronization (exploits the locality of adjacent rows).
     let partials: Vec<Vec<usize>> = received_cols

@@ -43,8 +43,11 @@ pub fn spmv(a: &Csr, x: &[f64], y: &mut [f64]) {
     if a.nrows() < PAR_THRESHOLD {
         return spmv_seq(a, x, y);
     }
+    // Rows are a handful of flops each; coarse blocks keep the pool's
+    // per-block bookkeeping out of the bandwidth-bound inner loop.
     y.par_iter_mut()
         .enumerate()
+        .with_min_len(512)
         .for_each(|(i, yi)| *yi = row_dot(a, i, x));
 }
 
@@ -61,7 +64,10 @@ pub fn spmv_axpby(a: &Csr, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
             body(i, yi);
         }
     } else {
-        y.par_iter_mut().enumerate().for_each(|(i, yi)| body(i, yi));
+        y.par_iter_mut()
+            .enumerate()
+            .with_min_len(512)
+            .for_each(|(i, yi)| body(i, yi));
     }
 }
 
@@ -178,7 +184,10 @@ pub fn spmv_unrolled(a: &Csr, x: &[f64], y: &mut [f64]) {
             body(i, yi);
         }
     } else {
-        y.par_iter_mut().enumerate().for_each(|(i, yi)| body(i, yi));
+        y.par_iter_mut()
+            .enumerate()
+            .with_min_len(512)
+            .for_each(|(i, yi)| body(i, yi));
     }
 }
 

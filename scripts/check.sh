@@ -15,10 +15,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo clippy (validate)"
 cargo clippy --workspace --all-targets --features validate -- -D warnings
 
-echo "==> cargo test (base)"
-cargo test --workspace -q
+echo "==> cargo test (base, serial pool: RAYON_NUM_THREADS=1)"
+RAYON_NUM_THREADS=1 cargo test --workspace -q
 
-echo "==> cargo test (validate: hierarchy invariants checked at every level)"
-cargo test --workspace -q --features validate
+echo "==> cargo test (base, parallel pool: RAYON_NUM_THREADS=4)"
+RAYON_NUM_THREADS=4 cargo test --workspace -q
+
+echo "==> cargo test (validate, serial pool: RAYON_NUM_THREADS=1)"
+RAYON_NUM_THREADS=1 cargo test --workspace -q --features validate
+
+echo "==> cargo test (validate, parallel pool: RAYON_NUM_THREADS=4)"
+RAYON_NUM_THREADS=4 cargo test --workspace -q --features validate
 
 echo "==> all checks passed"

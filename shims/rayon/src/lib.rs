@@ -4,184 +4,184 @@
 //! The workspace depends on this crate under the name `rayon` (a
 //! `package =` rename in the root `Cargo.toml`), so kernel code is
 //! written against the real rayon API and picks the real crate back up
-//! by deleting the rename.
+//! by deleting the rename. The implemented surface is deliberately
+//! restricted to what famg calls (slices, `Vec`, `Range<usize>`,
+//! `par_chunks(_mut)`, `par_sort_unstable`, `scope`/`spawn`,
+//! [`current_num_threads`]) so anything that compiles against the shim
+//! also compiles against the registry crate.
 //!
-//! Semantics:
+//! Execution model — a real pool, not sequential delegation:
 //!
-//! * The "parallel" iterator entry points (`par_iter`, `par_iter_mut`,
-//!   `par_chunks`, `par_chunks_mut`, `into_par_iter`,
-//!   `par_sort_unstable`) delegate to the equivalent sequential std
-//!   iterators. Every famg kernel is schedule-independent (snapshot
-//!   reads, disjoint writes), so results are bitwise identical to a
-//!   parallel execution — only wall-clock time differs.
-//! * [`scope`] runs on real OS threads via [`std::thread::scope`], so
-//!   the hybrid smoother and scatter kernels still exercise true
-//!   multi-thread execution and their `Sync` wrapper types stay
-//!   load-bearing.
-//! * [`current_num_threads`] honours `RAYON_NUM_THREADS` and falls back
-//!   to [`std::thread::available_parallelism`].
+//! * A **persistent worker pool** ([`pool`]) is created on first use and
+//!   lives for the process. Its size is read **once** from
+//!   `RAYON_NUM_THREADS` (falling back to the hardware parallelism) and
+//!   pinned — later env changes have no effect, matching real rayon's
+//!   fixed-at-init semantics. With 1 thread, every entry point runs
+//!   inline with zero pool traffic (a true serial baseline).
+//! * Parallel iterators ([`iter`]) split their index domain into
+//!   contiguous blocks (respecting [`IndexedParallelIterator::with_min_len`]
+//!   hints) that pool threads claim dynamically; [`scope`] routes
+//!   `spawn`s onto the pooled workers instead of fresh OS threads.
+//!
+//! Determinism contract: results are **bitwise identical across pool
+//! sizes**. Ordered terminals (`collect`, `sum`) combine per-block
+//! results by block index — floating-point reductions are folded in
+//! sequential order — and [`ParallelSliceMut::par_sort_unstable`] derives
+//! its merge tree from the input length only. Unordered `for_each` is
+//! used by famg kernels exclusively for disjoint writes (snapshot reads,
+//! per-row/per-chunk output slices), which no schedule can perturb.
 
-use std::ops::Range;
+mod iter;
+mod pool;
+mod sort;
+
+pub use iter::{
+    Chunks, ChunksMut, Enumerate, Filter, IndexedParallelIterator, IntoParallelIterator,
+    IntoParallelRefIterator, IntoParallelRefMutIterator, Iter, IterMut, Map, MinLen,
+    ParallelIterator, RangeIter, Zip,
+};
+
+use pool::{Job, Latch, Pool};
 
 /// Extension traits that mirror `rayon::prelude`.
 pub mod prelude {
     pub use crate::{
-        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
-        ParallelSliceMut,
+        IndexedParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator, ParallelSlice, ParallelSliceMut,
     };
 }
 
-/// Number of worker threads kernels should block for.
+/// Number of pool threads (workers plus the participating caller).
 ///
-/// Honours `RAYON_NUM_THREADS` (like real rayon); otherwise uses the
-/// hardware parallelism.
+/// Fixed at first use from `RAYON_NUM_THREADS` (else the hardware
+/// parallelism) and cached for the process lifetime — repeated calls are
+/// a cheap `OnceLock` read, safe for kernel hot paths.
 pub fn current_num_threads() -> usize {
-    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
-        if let Ok(n) = s.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    Pool::global().n_threads()
 }
 
 /// Scoped-spawn handle mirroring `rayon::Scope`.
 ///
-/// Wraps [`std::thread::Scope`]: every `spawn` is a real OS thread, and
-/// all spawned work is joined before [`scope`] returns.
-pub struct Scope<'scope, 'env> {
-    inner: &'scope std::thread::Scope<'scope, 'env>,
+/// `spawn`ed closures run on the persistent pool (not fresh OS threads)
+/// and are all joined before [`scope`] returns; the owning thread helps
+/// execute queued work while it waits, so nested scopes cannot deadlock.
+pub struct Scope<'scope> {
+    pool: &'static Pool,
+    latch: &'scope Latch,
 }
 
-impl<'scope, 'env> Scope<'scope, 'env> {
-    /// Spawns `body` on its own thread within the enclosing scope.
+impl<'scope> Scope<'scope> {
+    /// Spawns `body` onto the pool within the enclosing scope.
+    ///
+    /// With a 1-thread pool the body runs inline immediately (famg's
+    /// spawned tasks are mutually independent, so eager execution is
+    /// indistinguishable from rayon's deferred one). A panic in `body` is
+    /// captured and re-thrown from [`scope`] on the owner's thread.
     pub fn spawn<F>(&self, body: F)
     where
-        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
     {
-        let inner = self.inner;
-        inner.spawn(move || body(&Scope { inner }));
+        if self.pool.n_threads() == 1 {
+            body(self);
+            return;
+        }
+        let pool = self.pool;
+        let latch = self.latch;
+        // Registered before the push so the latch can never transiently
+        // read zero while this job is in flight.
+        latch.increment();
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let inner = Scope { pool, latch };
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&inner)));
+            if let Err(payload) = result {
+                latch.store_panic(payload);
+            }
+            latch.complete(pool);
+        });
+        // SAFETY: lifetime erasure of the boxed closure ('scope → 'static,
+        // identical fat-pointer layout). Sound because `scope` blocks on
+        // the latch before returning, so everything the closure borrows
+        // outlives its execution.
+        let job: Job = unsafe { std::mem::transmute(job) };
+        pool.push_job(job);
     }
 }
 
-/// Creates a scope in which closures can be spawned and are guaranteed
-/// to have completed before the call returns. Mirrors `rayon::scope`.
-pub fn scope<'env, F, R>(f: F) -> R
+/// Creates a scope in which closures can be spawned onto the worker pool
+/// and are guaranteed to have completed before the call returns. Mirrors
+/// `rayon::scope`, including panic propagation: a panic in `op` or in any
+/// spawned closure is re-thrown here after all spawned work is joined.
+pub fn scope<'scope, OP, R>(op: OP) -> R
 where
-    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
 {
-    std::thread::scope(|s| f(&Scope { inner: s }))
-}
-
-/// `into_par_iter()` — yields a std iterator over the same items.
-pub trait IntoParallelIterator {
-    /// Iterator type produced.
-    type Iter: Iterator<Item = Self::Item>;
-    /// Item type produced.
-    type Item;
-    /// Converts `self` into a (sequentially driven) iterator.
-    fn into_par_iter(self) -> Self::Iter;
-}
-
-impl<T> IntoParallelIterator for Range<T>
-where
-    Range<T>: Iterator,
-{
-    type Iter = Range<T>;
-    type Item = <Range<T> as Iterator>::Item;
-    fn into_par_iter(self) -> Self::Iter {
-        self
+    let pool = Pool::global();
+    let latch = Latch::new();
+    // SAFETY: extending the latch borrow to the caller-chosen 'scope is
+    // sound because every job registered on it is joined by `wait_latch`
+    // below, strictly before `latch` leaves this frame.
+    let latch_ref: &'scope Latch = unsafe { &*std::ptr::addr_of!(latch) };
+    let s = Scope {
+        pool,
+        latch: latch_ref,
+    };
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| op(&s)));
+    pool.wait_latch(&latch);
+    if let Some(payload) = latch.take_panic() {
+        std::panic::resume_unwind(payload);
     }
-}
-
-impl<T> IntoParallelIterator for Vec<T> {
-    type Iter = std::vec::IntoIter<T>;
-    type Item = T;
-    fn into_par_iter(self) -> Self::Iter {
-        self.into_iter()
-    }
-}
-
-/// `par_iter()` — shared-reference iteration.
-pub trait IntoParallelRefIterator<'data> {
-    /// Iterator type produced.
-    type Iter: Iterator<Item = Self::Item>;
-    /// Item type produced (a shared reference).
-    type Item: 'data;
-    /// Iterates `&self` sequentially.
-    fn par_iter(&'data self) -> Self::Iter;
-}
-
-impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
-where
-    &'data I: IntoIterator,
-{
-    type Iter = <&'data I as IntoIterator>::IntoIter;
-    type Item = <&'data I as IntoIterator>::Item;
-    fn par_iter(&'data self) -> Self::Iter {
-        self.into_iter()
-    }
-}
-
-/// `par_iter_mut()` — exclusive-reference iteration.
-pub trait IntoParallelRefMutIterator<'data> {
-    /// Iterator type produced.
-    type Iter: Iterator<Item = Self::Item>;
-    /// Item type produced (an exclusive reference).
-    type Item: 'data;
-    /// Iterates `&mut self` sequentially.
-    fn par_iter_mut(&'data mut self) -> Self::Iter;
-}
-
-impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
-where
-    &'data mut I: IntoIterator,
-{
-    type Iter = <&'data mut I as IntoIterator>::IntoIter;
-    type Item = <&'data mut I as IntoIterator>::Item;
-    fn par_iter_mut(&'data mut self) -> Self::Iter {
-        self.into_iter()
+    match result {
+        Ok(r) => r,
+        Err(payload) => std::panic::resume_unwind(payload),
     }
 }
 
 /// `par_chunks()` on slices.
-pub trait ParallelSlice<T> {
-    /// Chunked shared iteration, mirroring `[T]::chunks`.
-    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel chunked shared iteration, mirroring `[T]::chunks`.
+    fn par_chunks(&self, chunk_size: usize) -> Chunks<'_, T>;
 }
 
-impl<T> ParallelSlice<T> for [T] {
-    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-        self.chunks(chunk_size)
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> Chunks<'_, T> {
+        assert!(chunk_size != 0, "chunk size must be non-zero");
+        Chunks {
+            slice: self,
+            size: chunk_size,
+        }
     }
 }
 
 /// `par_chunks_mut()` / `par_sort_unstable()` on slices.
-pub trait ParallelSliceMut<T> {
-    /// Chunked exclusive iteration, mirroring `[T]::chunks_mut`.
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
-    /// Unstable sort, mirroring `[T]::sort_unstable`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel chunked exclusive iteration, mirroring `[T]::chunks_mut`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T>;
+    /// Parallel unstable sort (run sorts + pairwise merges on the pool).
+    /// The merge tree depends only on the length, so the result is
+    /// bitwise identical for every pool size.
     fn par_sort_unstable(&mut self)
     where
         T: Ord;
 }
 
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-        self.chunks_mut(chunk_size)
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T> {
+        assert!(chunk_size != 0, "chunk size must be non-zero");
+        ChunksMut::new(self, chunk_size)
     }
     fn par_sort_unstable(&mut self)
     where
         T: Ord,
     {
-        self.sort_unstable();
+        sort::par_sort_unstable(self);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn range_into_par_iter_behaves_like_range() {
@@ -190,7 +190,7 @@ mod tests {
     }
 
     #[test]
-    fn slice_adapters_delegate() {
+    fn slice_adapters_match_sequential() {
         let v = vec![3usize, 1, 2];
         let doubled: Vec<usize> = v.par_iter().map(|&x| 2 * x).collect();
         assert_eq!(doubled, vec![6, 2, 4]);
@@ -212,5 +212,153 @@ mod tests {
             }
         });
         assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn nested_scope_completes() {
+        let hits = AtomicUsize::new(0);
+        let hits_ref = &hits;
+        crate::scope(|outer| {
+            for _ in 0..4 {
+                outer.spawn(move |_| {
+                    crate::scope(|inner| {
+                        for _ in 0..4 {
+                            inner.spawn(move |_| {
+                                hits_ref.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn scope_propagates_spawn_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            crate::scope(|s| {
+                s.spawn(|_| panic!("boom from pooled job"));
+            });
+        });
+        let payload = caught.expect_err("scope should re-throw the spawned panic");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert!(msg.contains("boom"));
+    }
+
+    #[test]
+    fn empty_and_single_element_domains() {
+        let empty: Vec<usize> = Vec::new();
+        let collected: Vec<usize> = empty.par_iter().map(|&x| x).collect();
+        assert!(collected.is_empty());
+        assert_eq!((0..0usize).into_par_iter().count(), 0);
+        let one = [7usize];
+        let c: Vec<usize> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(c, vec![8]);
+        let mut nothing: Vec<usize> = Vec::new();
+        nothing.par_sort_unstable();
+        let mut single = vec![42usize];
+        single.par_sort_unstable();
+        assert_eq!(single, vec![42]);
+        let no_elems: [usize; 0] = [];
+        assert_eq!(no_elems.par_chunks(3).count(), 0);
+    }
+
+    #[test]
+    fn collect_preserves_sequential_order() {
+        let n = 100_000usize;
+        let out: Vec<usize> = (0..n).into_par_iter().map(|i| i * 3).collect();
+        assert_eq!(out.len(), n);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i * 3);
+        }
+    }
+
+    #[test]
+    fn filter_matches_sequential() {
+        let n = 50_000usize;
+        let par: Vec<usize> = (0..n).into_par_iter().filter(|&i| i % 7 == 0).collect();
+        let seq: Vec<usize> = (0..n).filter(|&i| i % 7 == 0).collect();
+        assert_eq!(par, seq);
+        assert_eq!(
+            (0..n).into_par_iter().filter(|&i| i % 7 == 0).count(),
+            seq.len()
+        );
+    }
+
+    #[test]
+    fn zip_truncates_to_shorter_side() {
+        let a: Vec<usize> = (0..1000).collect();
+        let b: Vec<usize> = (0..700).collect();
+        let pairs: Vec<usize> = a.par_iter().zip(b.par_iter()).map(|(x, y)| x + y).collect();
+        assert_eq!(pairs.len(), 700);
+        assert_eq!(pairs[699], 2 * 699);
+    }
+
+    #[test]
+    fn float_sum_is_bitwise_sequential() {
+        let n = 100_000usize;
+        let xs: Vec<f64> = (0..n).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let seq: f64 = xs.iter().copied().sum();
+        let par: f64 = xs.par_iter().map(|&x| x).sum();
+        assert_eq!(seq.to_bits(), par.to_bits());
+    }
+
+    #[test]
+    fn par_sort_matches_sequential_sort() {
+        // Deterministic pseudo-random input, long enough to trigger the
+        // parallel merge path.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut v: Vec<u64> = (0..100_000).map(|_| next() % 1000).collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        v.par_sort_unstable();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn with_min_len_does_not_change_results() {
+        let n = 10_000usize;
+        let a: Vec<usize> = (0..n).into_par_iter().map(|i| i + 1).collect();
+        let b: Vec<usize> = (0..n)
+            .into_par_iter()
+            .with_min_len(4096)
+            .map(|i| i + 1)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn num_threads_is_pinned_after_first_use() {
+        let before = crate::current_num_threads();
+        // Changing the env after pool creation must have no effect — the
+        // size is read exactly once, at first use.
+        std::env::set_var("RAYON_NUM_THREADS", "97");
+        assert_eq!(crate::current_num_threads(), before);
+        std::env::remove_var("RAYON_NUM_THREADS");
+    }
+
+    #[test]
+    fn private_pool_drains_queue_on_shutdown() {
+        use crate::pool::Pool;
+        let pool = Pool::new(3);
+        assert_eq!(pool.n_threads(), 3);
+        let hits = std::sync::Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let hits = std::sync::Arc::clone(&hits);
+            pool.push_job(Box::new(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        // Shutdown contract: workers drain every queued job, observe the
+        // flag, and exit; drop joins them. A hang or a lost job fails here.
+        drop(pool);
+        assert_eq!(hits.load(Ordering::Relaxed), 32);
     }
 }

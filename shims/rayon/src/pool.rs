@@ -1,0 +1,269 @@
+//! The persistent worker pool backing every parallel entry point.
+//!
+//! One global pool is created on first use (any `par_*` call, [`crate::scope`],
+//! or [`crate::current_num_threads`]). Its size is read **once** from
+//! `RAYON_NUM_THREADS` (falling back to the hardware parallelism) and never
+//! changes afterwards, matching real rayon's fixed-at-init semantics — env
+//! changes mid-process have no effect.
+//!
+//! Design: a pool of `n - 1` parked OS workers plus the calling thread. Work
+//! arrives as boxed jobs on a single injector queue guarded by one mutex; a
+//! single condvar signals both "job available" and "latch completed" events,
+//! so a thread blocked in [`Pool::wait_latch`] *helps* — it executes queued
+//! jobs while waiting, which is what makes nested [`crate::scope`] calls
+//! deadlock-free even when every worker is itself blocked on an inner latch.
+//! With `n == 1` there are no workers at all and every entry point degrades
+//! to plain inline execution (a true serial baseline for ablations).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A unit of pooled work. Lifetimes are erased at the [`crate::Scope::spawn`]
+/// boundary; the scope latch guarantees the job finishes before anything it
+/// borrows goes out of scope.
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Signalled on every state change a waiter could be blocked on: new
+    /// job pushed, shutdown requested, or a latch reaching zero.
+    cv: Condvar,
+}
+
+/// A fixed-size worker pool. The process-wide instance lives in a
+/// [`OnceLock`]; unit tests construct private pools to exercise startup and
+/// shutdown in isolation.
+pub(crate) struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    n_threads: usize,
+}
+
+impl Pool {
+    /// Creates a pool with `n_threads` total compute threads: `n_threads - 1`
+    /// parked workers plus the thread that submits work (the caller always
+    /// participates while waiting).
+    pub(crate) fn new(n_threads: usize) -> Pool {
+        let n_threads = n_threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let workers = (1..n_threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("famg-rayon-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn famg-rayon worker thread")
+            })
+            .collect();
+        Pool {
+            shared,
+            workers,
+            n_threads,
+        }
+    }
+
+    /// The process-wide pool, created on first use with a size fixed for the
+    /// lifetime of the process (`RAYON_NUM_THREADS`, else hardware threads).
+    pub(crate) fn global() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(|| Pool::new(env_num_threads()))
+    }
+
+    /// Total compute threads (workers + participating caller).
+    pub(crate) fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Enqueues a job for the workers (or a helping waiter) to pick up.
+    pub(crate) fn push_job(&self, job: Job) {
+        let mut st = self.shared.state.lock().unwrap();
+        st.jobs.push_back(job);
+        drop(st);
+        self.shared.cv.notify_all();
+    }
+
+    /// Blocks until `latch` reaches zero, executing queued jobs while
+    /// waiting. Helping (rather than parking outright) keeps nested scopes
+    /// live-locked-free: the thread that owns an outer scope makes progress
+    /// on whatever inner work is queued.
+    pub(crate) fn wait_latch(&self, latch: &Latch) {
+        loop {
+            if latch.done() {
+                return;
+            }
+            let job = {
+                let mut st = self.shared.state.lock().unwrap();
+                loop {
+                    // Re-check under the lock: `Latch::complete` notifies
+                    // while holding this mutex, so a completion between the
+                    // check and the wait cannot be missed.
+                    if latch.done() {
+                        return;
+                    }
+                    if let Some(j) = st.jobs.pop_front() {
+                        break j;
+                    }
+                    st = self.shared.cv.wait(st).unwrap();
+                }
+            };
+            job();
+        }
+    }
+
+    /// Notifies all waiters; used by [`Latch::complete`] so that the empty
+    /// critical section orders the completion with any waiter's check.
+    fn notify_waiters(&self) {
+        drop(self.shared.state.lock().unwrap());
+        self.shared.cv.notify_all();
+    }
+}
+
+impl Drop for Pool {
+    /// Orderly shutdown: workers drain the queue, observe the shutdown flag,
+    /// and exit; `drop` joins every one of them. (The global pool is never
+    /// dropped; this path serves tests and any future scoped-pool API.)
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if let Some(j) = st.jobs.pop_front() {
+                    break Some(j);
+                }
+                if st.shutdown {
+                    break None;
+                }
+                st = shared.cv.wait(st).unwrap();
+            }
+        };
+        match job {
+            // Jobs wrap user code in `catch_unwind` at the spawn boundary,
+            // so a panic here would indicate a shim bug, not user code.
+            Some(j) => j(),
+            None => return,
+        }
+    }
+}
+
+/// Reads the pool size from the environment — called exactly once, by the
+/// global-pool initializer.
+fn env_num_threads() -> usize {
+    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Countdown latch tracking outstanding jobs of one scope (or one
+/// parallel-for). Also carries the first panic payload observed by any job,
+/// re-thrown on the scope owner's thread after the join.
+pub(crate) struct Latch {
+    remaining: AtomicUsize,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Latch {
+    pub(crate) fn new() -> Latch {
+        Latch {
+            remaining: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+        }
+    }
+
+    /// Registers one more outstanding job. Must happen before the job is
+    /// pushed so the count can never transiently read zero while work is in
+    /// flight (a job's own decrement runs after its body, so any children it
+    /// spawns are registered first).
+    pub(crate) fn increment(&self) {
+        self.remaining.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks one job finished; wakes waiters when the count hits zero.
+    pub(crate) fn complete(&self, pool: &Pool) {
+        if self.remaining.fetch_sub(1, Ordering::Release) == 1 {
+            pool.notify_waiters();
+        }
+    }
+
+    pub(crate) fn done(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+
+    /// Records a panic payload from a pooled job (first one wins).
+    pub(crate) fn store_panic(&self, payload: Box<dyn std::any::Any + Send>) {
+        let mut slot = self.panic.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    /// Takes the recorded panic payload, if any job panicked.
+    pub(crate) fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        self.panic.lock().unwrap().take()
+    }
+}
+
+/// Runs `block(0..n_blocks)` across the pool with dynamic (work-stealing
+/// style) block claiming: `min(n_threads, n_blocks)` runners each grab the
+/// next unclaimed block index until none remain. The caller participates,
+/// so with a 1-thread pool this is a plain inline loop.
+///
+/// Which thread runs which block is nondeterministic; callers that combine
+/// per-block results must do so **by block index** to stay deterministic
+/// (every iterator terminal in [`crate::iter`] does exactly that).
+pub(crate) fn run_blocks(n_blocks: usize, block: &(dyn Fn(usize) + Sync)) {
+    if n_blocks == 0 {
+        return;
+    }
+    let pool = Pool::global();
+    let runners = pool.n_threads().min(n_blocks);
+    if runners <= 1 {
+        for b in 0..n_blocks {
+            block(b);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let work = || loop {
+        let b = next.fetch_add(1, Ordering::Relaxed);
+        if b >= n_blocks {
+            break;
+        }
+        block(b);
+    };
+    crate::scope(|s| {
+        for _ in 1..runners {
+            let w = &work;
+            s.spawn(move |_| w());
+        }
+        work();
+    });
+}

@@ -1,0 +1,161 @@
+//! Parallel unstable sort backing [`crate::ParallelSliceMut::par_sort_unstable`].
+//!
+//! Strategy: split the slice into a number of near-equal runs derived **from
+//! the length only** (never from the pool size — the merge tree must be
+//! identical for every pool size so that sorts of types with
+//! distinguishable-but-equal elements stay bitwise deterministic), sort the
+//! runs in parallel with `sort_unstable`, then merge pairs of adjacent runs
+//! in parallel rounds, ping-ponging between the slice and a scratch buffer.
+
+use crate::pool::{run_blocks, Pool};
+use std::mem::MaybeUninit;
+
+/// Below this length a sequential `sort_unstable` wins outright.
+const SEQ_SORT_LEN: usize = 8 * 1024;
+
+/// Pointer that may be shared across pool threads. Safety rests on the
+/// *user* of the wrapped pointer writing disjoint ranges per thread.
+struct SharedPtr<T>(*mut T);
+// SAFETY: all concurrent accesses through the pointer are to disjoint
+// element ranges (per-run sorts and per-pair merges below).
+unsafe impl<T: Send> Send for SharedPtr<T> {}
+// SAFETY: as above.
+unsafe impl<T: Send> Sync for SharedPtr<T> {}
+
+impl<T> SharedPtr<T> {
+    /// Accessor (rather than field access) so closures capture the `Sync`
+    /// wrapper itself, not the raw pointer field.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Aborts the process if dropped while armed. Armed across the merge
+/// rounds: a panicking `Ord::cmp` would leave elements duplicated between
+/// the slice and the scratch buffer (double drop on unwind), so the only
+/// sound response is to abort — mirroring the std/rayon merge-sort bombs.
+struct AbortOnUnwind;
+impl Drop for AbortOnUnwind {
+    fn drop(&mut self) {
+        std::process::abort();
+    }
+}
+
+/// Run boundary `i` of `runs` over a slice of `len` elements.
+fn run_bound(len: usize, runs: usize, i: usize) -> usize {
+    len * i / runs
+}
+
+/// Sorts `v` with parallel run sorts + parallel pairwise merges. The result
+/// (for any `Ord` type) is identical to `v.sort_unstable()` up to the order
+/// of equal elements, and bitwise identical across pool sizes because the
+/// run decomposition depends only on `v.len()`.
+pub(crate) fn par_sort_unstable<T: Ord + Send>(v: &mut [T]) {
+    let len = v.len();
+    if len <= SEQ_SORT_LEN || Pool::global().n_threads() == 1 {
+        v.sort_unstable();
+        return;
+    }
+    // Power-of-two run count, sized so runs are roughly SEQ_SORT_LEN long:
+    // a full binary merge tree with no odd lonely runs.
+    let runs = (len / SEQ_SORT_LEN).max(2).next_power_of_two();
+
+    // Phase 1: sort each run in place, in parallel. `sort_unstable` is
+    // panic-safe on its own sub-slice, so no bomb is needed yet.
+    let base = SharedPtr(v.as_mut_ptr());
+    run_blocks(runs, &|i| {
+        let (s, e) = (run_bound(len, runs, i), run_bound(len, runs, i + 1));
+        // SAFETY: run index ranges are disjoint and in bounds; `run_blocks`
+        // executes each index exactly once.
+        unsafe { std::slice::from_raw_parts_mut(base.get().add(s), e - s) }.sort_unstable();
+    });
+
+    // Phase 2: merge adjacent run pairs, doubling run width each round.
+    // Elements relocate between `v` and `scratch`; an unwinding comparator
+    // would leave both holding live copies, so abort instead.
+    let mut scratch: Vec<MaybeUninit<T>> = Vec::with_capacity(len);
+    // SAFETY: MaybeUninit<T> needs no initialisation; capacity == len.
+    unsafe { scratch.set_len(len) };
+    let scratch_ptr = SharedPtr(scratch.as_mut_ptr().cast::<T>());
+    let bomb = AbortOnUnwind;
+
+    let mut width = 1usize; // current sorted-run width, in runs
+    let mut in_v = true; // does `v` currently hold the data?
+    while width < runs {
+        let (src, dst) = if in_v {
+            (base.get().cast_const(), scratch_ptr.get())
+        } else {
+            (scratch_ptr.get().cast_const(), base.get())
+        };
+        let (src, dst) = (SharedPtr(src.cast_mut()), SharedPtr(dst));
+        let pairs = runs / (2 * width);
+        run_blocks(pairs, &|m| {
+            let lo = run_bound(len, runs, 2 * m * width);
+            let mid = run_bound(len, runs, (2 * m + 1) * width);
+            let hi = run_bound(len, runs, (2 * m + 2) * width);
+            // SAFETY: pair index ranges [lo, hi) are disjoint and in bounds
+            // in both buffers; each pair is merged exactly once.
+            unsafe {
+                merge_move(
+                    src.get().cast_const().add(lo),
+                    mid - lo,
+                    hi - mid,
+                    dst.get().add(lo),
+                );
+            }
+        });
+        width *= 2;
+        in_v = !in_v;
+    }
+    if !in_v {
+        // Odd number of merge rounds: move the result back into `v`.
+        // SAFETY: scratch holds all `len` initialised elements; the copy
+        // relocates them back, leaving scratch logically uninitialised
+        // again (it is only ever dropped as MaybeUninit — no double drop).
+        unsafe { std::ptr::copy_nonoverlapping(scratch_ptr.get().cast_const(), base.get(), len) };
+    }
+    std::mem::forget(bomb);
+}
+
+/// Merges two adjacent sorted runs `src[0..la]` and `src[la..la+lb]` into
+/// `dst[0..la+lb]`, *moving* the elements (the source range is logically
+/// uninitialised afterwards).
+///
+/// # Safety
+///
+/// `src[0..la + lb]` must hold initialised elements, `dst` must have room
+/// for `la + lb` elements, and the two ranges must not overlap. On return
+/// all elements live in `dst` exactly once — unless `T::cmp` unwinds, which
+/// the caller must convert into an abort.
+unsafe fn merge_move<T: Ord>(src: *const T, la: usize, lb: usize, dst: *mut T) {
+    let mut a = src;
+    // SAFETY: offsets stay within the contiguous src range per the contract.
+    let a_end = unsafe { src.add(la) };
+    let mut b = a_end;
+    let b_end = unsafe { a_end.add(lb) };
+    let mut d = dst;
+    while a < a_end && b < b_end {
+        // Take from `a` on ties (stability is not required, but this keeps
+        // the merge order canonical).
+        // SAFETY: a and b are in bounds and initialised; d has room.
+        unsafe {
+            if *b < *a {
+                std::ptr::copy_nonoverlapping(b, d, 1);
+                b = b.add(1);
+            } else {
+                std::ptr::copy_nonoverlapping(a, d, 1);
+                a = a.add(1);
+            }
+            d = d.add(1);
+        }
+    }
+    // SAFETY: exactly the unconsumed remainder of each side is relocated;
+    // d has room for it (total written == la + lb).
+    unsafe {
+        let ra = a_end.offset_from(a).unsigned_abs();
+        std::ptr::copy_nonoverlapping(a, d, ra);
+        d = d.add(ra);
+        let rb = b_end.offset_from(b).unsigned_abs();
+        std::ptr::copy_nonoverlapping(b, d, rb);
+    }
+}

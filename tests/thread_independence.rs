@@ -1,0 +1,222 @@
+//! Thread-count independence suite: the rayon shim's determinism contract.
+//!
+//! The pool promises bitwise-identical results for every pool size. The
+//! pool size is pinned at first use (`RAYON_NUM_THREADS`, read once), so a
+//! single process cannot observe two sizes; instead the driver test
+//! re-executes this test binary as subprocesses with `RAYON_NUM_THREADS`
+//! set to 1, 2, and 4, runs [`fingerprint_worker`] in each, and compares
+//! the printed fingerprints. Covered: SpGEMM, fused RAP, parallel
+//! transpose, strength, PMIS, hybrid-GS and Jacobi sweeps (task counts
+//! pinned — the task decomposition is part of the numerical method),
+//! end-to-end AMG solves (`smoother_tasks` pinned), the parallel sort,
+//! and the fused residual/dot reductions.
+
+mod common;
+
+use common::{graph_laplacian, random_csr, random_marker, FuzzRng};
+use famg::core::coarsen::pmis;
+use famg::core::reorder::cf_reorder;
+use famg::core::smoother::{Smoother, Workspace};
+use famg::core::strength::strength;
+use famg::core::{AmgConfig, AmgSolver};
+use famg::matgen::laplace2d;
+use famg::sparse::spgemm::spgemm_one_pass;
+use famg::sparse::transpose::{transpose, transpose_par};
+use famg::sparse::triple::rap_row_fused;
+use famg::sparse::Csr;
+
+/// Task count pinned for the decomposition-dependent smoothers so only the
+/// *pool size* varies across the subprocesses.
+const PINNED_TASKS: usize = 4;
+
+fn fnv1a(h: u64, w: u64) -> u64 {
+    let mut h = h;
+    for b in w.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const FNV_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn hash_u64s(h: u64, ws: impl IntoIterator<Item = u64>) -> u64 {
+    ws.into_iter().fold(h, fnv1a)
+}
+
+fn hash_csr(h: u64, c: &Csr) -> u64 {
+    let h = hash_u64s(h, [c.nrows() as u64, c.ncols() as u64]);
+    let h = hash_u64s(h, c.rowptr().iter().map(|&p| p as u64));
+    let h = hash_u64s(h, c.colidx().iter().map(|&j| j as u64));
+    hash_u64s(h, c.values().iter().map(|v| v.to_bits()))
+}
+
+fn hash_f64s(h: u64, xs: &[f64]) -> u64 {
+    hash_u64s(h, xs.iter().map(|v| v.to_bits()))
+}
+
+fn fp_spgemm_rap_transpose() -> u64 {
+    let mut h = FNV_SEED;
+    for case in 0..3u64 {
+        let mut rng = FuzzRng::new(0xA11CE + case);
+        let n = 1500 + 257 * case as usize;
+        let a = graph_laplacian(&mut rng, n, 2 * n, 1.0);
+        h = hash_csr(h, &spgemm_one_pass(&a, &a));
+        let nc = n / 3;
+        let p = random_csr(&mut rng, n, nc);
+        let r = transpose(&p);
+        h = hash_csr(h, &rap_row_fused(&r, &a, &p));
+        h = hash_csr(h, &transpose_par(&a));
+    }
+    h
+}
+
+fn fp_setup_kernels() -> u64 {
+    // Strength + PMIS over a matrix large enough for their parallel paths.
+    let a = laplace2d(96, 96);
+    let s = strength(&a, 0.25, 0.8);
+    let coarse = pmis(&s, 1);
+    let h = hash_csr(FNV_SEED, &s);
+    hash_u64s(h, coarse.is_coarse.iter().map(|&c| u64::from(c)))
+}
+
+fn fp_smoother_sweeps() -> u64 {
+    let mut h = FNV_SEED;
+    let a0 = laplace2d(64, 64);
+    let n = a0.nrows();
+    let s = strength(&a0, 0.25, 0.8);
+    let coarse = pmis(&s, 1);
+    let (mut ap, ord) = cf_reorder(&a0, &coarse.is_coarse);
+    let ap_base = ap.clone();
+    let base = Smoother::hybrid_base(&ap_base, (0..n).map(|i| i < ord.nc).collect(), PINNED_TASKS);
+    let opt = Smoother::hybrid_opt(&mut ap, ord.nc, PINNED_TASKS);
+    let jac = Smoother::jacobi(&ap_base, 2.0 / 3.0);
+    let b = vec![1.0; n];
+    let mut ws = Workspace::new();
+    for (sm, mat) in [(&base, &ap_base), (&opt, &ap), (&jac, &ap_base)] {
+        let mut x = vec![0.0; n];
+        for sweep in 0..3 {
+            sm.pre_smooth(mat, &b, &mut x, &mut ws, sweep == 0);
+        }
+        h = hash_f64s(h, &x);
+    }
+    // Random marker + random graph, baseline hybrid only.
+    let mut rng = FuzzRng::new(0x5EED);
+    let g = graph_laplacian(&mut rng, 3000, 4000, 0.5);
+    let marker = random_marker(&mut rng, g.nrows());
+    let hb = Smoother::hybrid_base(&g, marker, PINNED_TASKS);
+    let bg = vec![1.0; g.nrows()];
+    let mut xg = vec![0.0; g.nrows()];
+    for sweep in 0..3 {
+        hb.pre_smooth(&g, &bg, &mut xg, &mut ws, sweep == 0);
+    }
+    hash_f64s(h, &xg)
+}
+
+fn fp_e2e_solve() -> u64 {
+    let a = laplace2d(48, 48);
+    let b = famg::matgen::rhs::random(a.nrows(), 7);
+    let cfg = AmgConfig {
+        smoother_tasks: Some(PINNED_TASKS),
+        ..AmgConfig::single_node_paper()
+    };
+    let solver = AmgSolver::setup(&a, &cfg);
+    let mut x = vec![0.0; a.nrows()];
+    let res = solver.solve(&b, &mut x);
+    let h = hash_f64s(FNV_SEED, &x);
+    hash_u64s(
+        h,
+        [
+            res.iterations as u64,
+            res.final_relres.to_bits(),
+            u64::from(res.converged),
+        ],
+    )
+}
+
+fn fp_sort_and_reductions() -> u64 {
+    use famg::sparse::spmv::residual_norm_sq;
+    use famg::sparse::vecops::dot;
+    use rayon::prelude::*;
+
+    let mut rng = FuzzRng::new(0xD0D0);
+    let mut v: Vec<usize> = (0..200_000).map(|_| rng.below(5000)).collect();
+    v.par_sort_unstable();
+    let mut h = hash_u64s(FNV_SEED, v.iter().map(|&x| x as u64));
+
+    let n = 50_000;
+    let xs: Vec<f64> = (0..n).map(|_| rng.float(-1.0, 1.0)).collect();
+    let ys: Vec<f64> = (0..n).map(|_| rng.float(-1.0, 1.0)).collect();
+    h = fnv1a(h, dot(&xs, &ys).to_bits());
+
+    let a = laplace2d(96, 96);
+    let x0: Vec<f64> = (0..a.nrows()).map(|_| rng.float(-1.0, 1.0)).collect();
+    let bb = vec![1.0; a.nrows()];
+    let mut r = vec![0.0; a.nrows()];
+    let nrm = residual_norm_sq(&a, &x0, &bb, &mut r);
+    h = fnv1a(h, nrm.to_bits());
+    hash_f64s(h, &r)
+}
+
+/// Computes and prints one `FP <name> <hex>` line per scenario. Run
+/// directly it is a cheap smoke test; the real assertions happen in
+/// [`bitwise_identical_across_pool_sizes`], which compares this output
+/// across subprocesses with different `RAYON_NUM_THREADS`.
+#[test]
+fn fingerprint_worker() {
+    println!("FP spgemm_rap_transpose {:016x}", fp_spgemm_rap_transpose());
+    println!("FP setup_kernels {:016x}", fp_setup_kernels());
+    println!("FP smoother_sweeps {:016x}", fp_smoother_sweeps());
+    println!("FP e2e_solve {:016x}", fp_e2e_solve());
+    println!("FP sort_reductions {:016x}", fp_sort_and_reductions());
+}
+
+fn collect_fingerprints(num_threads: usize) -> Vec<(String, String)> {
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = std::process::Command::new(exe)
+        .args(["--exact", "fingerprint_worker", "--nocapture"])
+        .env("RAYON_NUM_THREADS", num_threads.to_string())
+        .output()
+        .expect("spawn fingerprint subprocess");
+    assert!(
+        out.status.success(),
+        "fingerprint subprocess (RAYON_NUM_THREADS={num_threads}) failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let fps: Vec<(String, String)> = stdout
+        .lines()
+        .filter_map(|l| {
+            // libtest prints its "test <name> ..." status on the same line
+            // as the first (unbuffered) print, so search rather than match
+            // from the line start.
+            let tail = &l[l.find("FP ")?..];
+            let mut it = tail.split_whitespace().skip(1);
+            Some((it.next()?.to_string(), it.next()?.to_string()))
+        })
+        .collect();
+    assert_eq!(
+        fps.len(),
+        5,
+        "expected 5 fingerprint lines from subprocess, got:\n{stdout}"
+    );
+    fps
+}
+
+/// The determinism contract, end to end: identical fingerprints for pool
+/// sizes 1, 2, and 4 (covering serial-inline, minimal, and oversubscribed
+/// pools — 4 ≥ `available_parallelism` on small CI boxes).
+#[test]
+fn bitwise_identical_across_pool_sizes() {
+    let reference = collect_fingerprints(1);
+    for nt in [2usize, 4] {
+        let got = collect_fingerprints(nt);
+        for ((name_ref, fp_ref), (name_got, fp_got)) in reference.iter().zip(&got) {
+            assert_eq!(name_ref, name_got, "fingerprint order diverged");
+            assert_eq!(
+                fp_ref, fp_got,
+                "{name_ref}: pool size {nt} diverged from serial baseline"
+            );
+        }
+    }
+}

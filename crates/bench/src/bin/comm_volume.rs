@@ -1,0 +1,83 @@
+//! §4.3/§5.4 communication-volume audit: per-level, per-phase bytes and
+//! messages for a distributed AMG setup + FGMRES solve, compared against
+//! the dense-alltoall baseline recorded before the neighbor-aware rewrite.
+//!
+//! Usage: `cargo run --release -p famg-bench --bin comm_volume
+//!         [--ranks 2,4,8] [--per-rank 12] [--smoke]`
+//!
+//! `--smoke` shrinks the problem and rank list for a CI-speed run that
+//! still checks the message-count regression gate.
+
+use famg_bench::arg_ranks;
+use famg_core::AmgConfig;
+use famg_dist::comm::run_ranks;
+use famg_dist::hierarchy::{DistHierarchy, DistOptFlags};
+use famg_dist::parcsr::{default_partition, ParCsr};
+use famg_dist::solve::dist_fgmres_amg;
+use famg_matgen::{laplace3d_7pt, rhs};
+
+/// Totals recorded at the same shape (12^3 rows/rank, `multi_node_ei4`,
+/// FGMRES to 1e-7) with the pre-rewrite dense-alltoall runtime, where
+/// every collective and halo exchange posted P-1 envelopes per rank.
+const BASELINE: &[(usize, u64, u64)] = &[
+    // (ranks, messages, bytes)
+    (2, 826, 697_746),
+    (4, 6_624, 2_207_684),
+    (8, 31_360, 5_250_984),
+];
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let per_rank: usize = famg_bench::arg_value("--per-rank")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 8 } else { 12 });
+    let ranks = if smoke {
+        vec![2usize, 4]
+    } else {
+        arg_ranks(&[2, 4, 8])
+    };
+    println!("== comm volume: 7-pt 3D Laplacian, {per_rank}^3 rows/rank, FGMRES+AMG ==\n");
+
+    for nranks in ranks {
+        let a = laplace3d_7pt(per_rank, per_rank, per_rank * nranks);
+        let n = a.nrows();
+        let b = rhs::ones(n);
+        let starts = default_partition(n, nranks);
+        let cfg = AmgConfig::multi_node_ei4();
+        let (parts, report) = run_ranks(nranks, |c| {
+            let r = c.rank();
+            let pa = ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
+            let h = DistHierarchy::build(c, pa, &cfg, DistOptFlags::all());
+            let bl = b[starts[r]..starts[r + 1]].to_vec();
+            let mut xl = vec![0.0; bl.len()];
+            let res = dist_fgmres_amg(c, &h, &bl, &mut xl, 1e-7, 200, 50);
+            assert!(res.converged, "rank {r}: solve did not converge");
+            res.iterations
+        });
+        let msgs = report.total_messages();
+        let bytes = report.total_bytes();
+        println!("-- {nranks} ranks, {n} rows, {} iterations --", parts[0]);
+        print!("{}", report.scope_table());
+        // The recorded baseline is specific to the 12^3 rows/rank shape.
+        let baseline = (per_rank == 12)
+            .then(|| BASELINE.iter().find(|&&(p, _, _)| p == nranks))
+            .flatten();
+        if let Some(&(_, base_msgs, base_bytes)) = baseline {
+            println!(
+                "vs dense-alltoall baseline: messages {msgs} / {base_msgs} ({:.2}x fewer), \
+                 bytes {bytes} / {base_bytes} ({:.2}x fewer)",
+                base_msgs as f64 / msgs as f64,
+                base_bytes as f64 / bytes as f64,
+            );
+            // Regression gate: the neighbor-aware runtime must never
+            // send more traffic than the recorded dense baseline.
+            assert!(
+                msgs < base_msgs && bytes < base_bytes,
+                "{nranks} ranks: comm volume regressed past the recorded baseline"
+            );
+        }
+        println!();
+    }
+    println!("Baseline totals were recorded before the neighbor-aware rewrite;");
+    println!("see DESIGN.md §2 for the exchange-plan and tree-collective design.");
+}

@@ -39,7 +39,8 @@ fn main() {
                 let pa = ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
                 let ps = dist_strength(&pa, 0.25, 0.8, r);
                 let dc = dist_pmis(c, &ps, 3, None);
-                let p = dist_extended_i(c, &pa, &ps, &dc, None, true);
+                let plan = VectorExchange::plan(c, &pa.colmap, &pa.col_starts);
+                let p = dist_extended_i(c, &pa, &plan, &ps, &dc, None, true);
                 let rt = dist_transpose(c, &p);
                 let ra = dist_spgemm(c, &rt, &pa, par);
                 dist_spgemm(c, &ra, &p, par)
@@ -65,7 +66,8 @@ fn main() {
                 ParCsr::from_global_rows(&a27, starts27[r], starts27[r + 1], starts27.clone(), r);
             let ps = dist_strength(&pa, 0.25, 0.8, r);
             let dc = dist_pmis(c, &ps, 3, None);
-            dist_extended_i(c, &pa, &ps, &dc, None, filter)
+            let plan = VectorExchange::plan(c, &pa.colmap, &pa.col_starts);
+            dist_extended_i(c, &pa, &plan, &ps, &dc, None, filter)
         });
         report.total_bytes()
     };

@@ -58,6 +58,26 @@ impl PhaseTimes {
     }
 }
 
+/// Communication volume over one phase window (per rank): bytes and
+/// messages actually sent, as counted by the `famg-dist` runtime. The
+/// distributed setup/solve results carry one of these each so the
+/// paper's §4.3/§5.4 comm-volume breakdowns are available per run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CommVolume {
+    /// Bytes sent to other ranks in the window.
+    pub bytes: u64,
+    /// Messages sent to other ranks in the window.
+    pub messages: u64,
+}
+
+impl CommVolume {
+    /// Adds another window into this one.
+    pub fn accumulate(&mut self, o: &CommVolume) {
+        self.bytes += o.bytes;
+        self.messages += o.messages;
+    }
+}
+
 /// Per-level sizes and the derived complexity measures.
 #[derive(Debug, Default, Clone)]
 pub struct SetupStats {

@@ -70,7 +70,6 @@ const FINE: f64 = 2.0;
 /// second pass); inactive points are fine from the start. `index_of`
 /// maps local points to the global indices used for the random weights.
 pub fn dist_pmis(comm: &Comm, s: &ParCsr, seed: u64, active: Option<&[bool]>) -> DistCoarsening {
-    let _ = comm.rank();
     let nl = s.local_rows();
     let st = dist_transpose(comm, s);
     assert_eq!(st.local_rows(), nl, "PMIS needs a square partition");

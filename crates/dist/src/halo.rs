@@ -4,10 +4,13 @@
 //! [`VectorExchange`] separates *planning* (who needs what — the paper's
 //! persistent-communication setup, §4.4) from *execution*, so the
 //! persistent path plans once per operator while the ad-hoc baseline
-//! re-plans on every call. [`gather_rows`] fetches remote matrix rows,
-//! optionally applying a caller-side filter — the §4.3 optimization that
-//! strips entries the interpolation will never read before they hit the
-//! wire.
+//! re-plans on every call. Planning records the actual send/recv neighbor
+//! lists, and execution posts point-to-point messages only to ranks with
+//! nonzero traffic: one halo exchange costs exactly one message per true
+//! neighbor pair, never the P−1 envelopes per rank of an all-to-all.
+//! [`gather_rows`] fetches remote matrix rows, optionally applying a
+//! caller-side filter — the §4.3 optimization that strips entries the
+//! interpolation will never read before they hit the wire.
 
 use crate::comm::{wire, Comm};
 use crate::parcsr::owner_of;
@@ -22,26 +25,32 @@ const TAG_FETCH_REQ: u64 = 0x30;
 const TAG_FETCH_VAL: u64 = 0x31;
 
 /// A reusable plan for exchanging the vector elements behind a `colmap`.
+///
+/// Only true neighbors appear in the plan: `send_peers` lists the ranks
+/// that request data from this rank (with the local indices to ship),
+/// `recv_peers` the ranks owning parts of this rank's halo (with the
+/// destination range in the external buffer).
 #[derive(Debug, Clone)]
 pub struct VectorExchange {
-    /// Per peer rank: local indices this rank must send.
-    send_idx: Vec<Vec<usize>>,
-    /// Per peer rank: destination range in the external buffer.
-    recv_range: Vec<(usize, usize)>,
+    /// `(peer rank, local indices to send)`, sorted by rank.
+    send_peers: Vec<(usize, Vec<usize>)>,
+    /// `(peer rank, ext start, ext end)`, sorted by rank.
+    recv_peers: Vec<(usize, usize, usize)>,
     /// External buffer length (= colmap length).
     ext_len: usize,
 }
 
 impl VectorExchange {
     /// Plans the exchange for `colmap` under the ownership partition
-    /// `starts`. Involves one request round (this is the setup cost that
+    /// `starts`. Involves one neighbor-discovery collective plus one
+    /// point-to-point request round (this is the setup cost that
     /// persistent communication amortizes).
     pub fn plan(comm: &Comm, colmap: &[usize], starts: &[usize]) -> VectorExchange {
-        let nranks = comm.size();
         debug_assert!(colmap.windows(2).all(|w| w[0] < w[1]));
-        // Group the (sorted) colmap by owner.
-        let mut requests: Vec<Vec<usize>> = vec![Vec::new(); nranks];
-        let mut recv_range = vec![(0usize, 0usize); nranks];
+        // Group the (sorted) colmap by owner: each owner's slice is one
+        // contiguous run.
+        let mut requests: Vec<(usize, Vec<usize>)> = Vec::new();
+        let mut recv_peers: Vec<(usize, usize, usize)> = Vec::new();
         let mut k = 0usize;
         while k < colmap.len() {
             let owner = owner_of(starts, colmap[k]);
@@ -49,34 +58,50 @@ impl VectorExchange {
             while k < colmap.len() && colmap[k] < starts[owner + 1] {
                 k += 1;
             }
-            recv_range[owner] = (start, k);
-            requests[owner] = colmap[start..k]
-                .iter()
-                .map(|&g| g - starts[owner])
-                .collect();
+            recv_peers.push((owner, start, k));
+            requests.push((
+                owner,
+                colmap[start..k]
+                    .iter()
+                    .map(|&g| g - starts[owner])
+                    .collect(),
+            ));
         }
-        // Tell each owner which of its locals we need.
-        let incoming = comm.alltoall(requests, TAG_REQ, |r| wire::idxs(r.len()));
+        // Tell each owner which of its locals we need (neighbors only).
+        let send_peers = comm.alltoallv(requests, TAG_REQ, |r| wire::idxs(r.len()));
         VectorExchange {
-            send_idx: incoming,
-            recv_range,
+            send_peers,
+            recv_peers,
             ext_len: colmap.len(),
         }
     }
 
     /// Executes the exchange: gathers owned values from `x_local` into
     /// every requester's external buffer; returns this rank's external
-    /// vector (parallel to its colmap).
+    /// vector (parallel to its colmap). Posts exactly one message per
+    /// neighbor with traffic.
     pub fn exchange(&self, comm: &Comm, x_local: &[f64]) -> Vec<f64> {
-        let payloads: Vec<Vec<f64>> = self
-            .send_idx
-            .iter()
-            .map(|idx| idx.iter().map(|&i| x_local[i]).collect())
-            .collect();
-        let received = comm.alltoall(payloads, TAG_VAL, |p| wire::f64s(p.len()));
         let mut ext = vec![0.0f64; self.ext_len];
-        for (src, vals) in received.into_iter().enumerate() {
-            let (s, e) = self.recv_range[src];
+        for (peer, idx) in &self.send_peers {
+            let vals: Vec<f64> = idx.iter().map(|&i| x_local[i]).collect();
+            if *peer == comm.rank() {
+                // Self-owned halo entries (generic partitions): local copy.
+                let &(_, s, e) = self
+                    .recv_peers
+                    .iter()
+                    .find(|p| p.0 == *peer)
+                    .expect("self send without matching recv range");
+                ext[s..e].copy_from_slice(&vals);
+            } else {
+                let b = wire::f64s(vals.len());
+                comm.send(*peer, TAG_VAL, vals, b);
+            }
+        }
+        for &(peer, s, e) in &self.recv_peers {
+            if peer == comm.rank() {
+                continue; // filled above
+            }
+            let vals: Vec<f64> = comm.recv(peer, TAG_VAL);
             debug_assert_eq!(vals.len(), e - s);
             ext[s..e].copy_from_slice(&vals);
         }
@@ -86,6 +111,16 @@ impl VectorExchange {
     /// External buffer length.
     pub fn ext_len(&self) -> usize {
         self.ext_len
+    }
+
+    /// Ranks this plan sends values to (one message each per exchange).
+    pub fn send_peer_ranks(&self) -> Vec<usize> {
+        self.send_peers.iter().map(|(r, _)| *r).collect()
+    }
+
+    /// Ranks this plan receives values from.
+    pub fn recv_peer_ranks(&self) -> Vec<usize> {
+        self.recv_peers.iter().map(|(r, _, _)| *r).collect()
     }
 }
 
@@ -131,7 +166,8 @@ type RowBundle = (Vec<usize>, Vec<usize>, Vec<f64>); // row_nnz, cols, vals
 /// `local_row(local_idx) -> Vec<(global_col, value)>` for the sorted
 /// global row list `needed`. `filter(local_row, global_col, value,
 /// requester)` decides which entries hit the wire (§4.3); pass
-/// `|_, _, _, _| true` for full rows.
+/// `|_, _, _, _| true` for full rows. Requests and replies travel only
+/// between true neighbor pairs.
 pub fn gather_rows(
     comm: &Comm,
     needed: &[usize],
@@ -139,57 +175,75 @@ pub fn gather_rows(
     local_row: impl Fn(usize) -> Vec<(usize, f64)>,
     filter: impl Fn(usize, usize, f64, usize) -> bool,
 ) -> GatheredRows {
-    let nranks = comm.size();
+    let rank = comm.rank();
     debug_assert!(needed.windows(2).all(|w| w[0] < w[1]));
-    // Request lists per owner.
-    let mut requests: Vec<Vec<usize>> = vec![Vec::new(); nranks];
-    for &g in needed {
-        requests[owner_of(row_starts, g)].push(g);
+    // Owners own contiguous global ranges, so the sorted `needed` splits
+    // into one contiguous run per owner.
+    let mut runs: Vec<(usize, usize, usize)> = Vec::new(); // (owner, start, end)
+    let mut k = 0usize;
+    while k < needed.len() {
+        let owner = owner_of(row_starts, needed[k]);
+        let start = k;
+        while k < needed.len() && needed[k] < row_starts[owner + 1] {
+            k += 1;
+        }
+        runs.push((owner, start, k));
     }
-    let incoming = comm.alltoall(requests.clone(), TAG_ROW_REQ, |r| wire::idxs(r.len()));
-    // Serve: build one bundle per requester.
-    let my_start = row_starts[comm.rank()];
-    let bundles: Vec<RowBundle> = incoming
+    let requests: Vec<(usize, Vec<usize>)> = runs
         .iter()
-        .enumerate()
-        .map(|(requester, rows)| {
-            let mut row_nnz = Vec::with_capacity(rows.len());
-            let mut cols = Vec::new();
-            let mut vals = Vec::new();
-            for &g in rows {
-                let li = g - my_start;
-                let mut cnt = 0usize;
-                for (c, v) in local_row(li) {
-                    if filter(li, c, v, requester) {
-                        cols.push(c);
-                        vals.push(v);
-                        cnt += 1;
-                    }
-                }
-                row_nnz.push(cnt);
-            }
-            (row_nnz, cols, vals)
-        })
+        .map(|&(owner, s, e)| (owner, needed[s..e].to_vec()))
         .collect();
-    let responses = comm.alltoall(bundles, TAG_ROW_DATA, |(rn, c, v)| {
-        wire::idxs(rn.len()) + wire::idxs(c.len()) + wire::f64s(v.len())
-    });
-    // Reassemble in `needed` order.
-    let mut per_owner_cursor = vec![(0usize, 0usize); nranks]; // (row idx, nnz offset)
+    let incoming = comm.alltoallv(requests, TAG_ROW_REQ, |r| wire::idxs(r.len()));
+    // Serve: one bundle per requester, sent point-to-point.
+    let my_start = row_starts[rank];
+    let mut self_bundle: Option<RowBundle> = None;
+    for (requester, rows) in &incoming {
+        let mut row_nnz = Vec::with_capacity(rows.len());
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        for &g in rows {
+            let li = g - my_start;
+            let mut cnt = 0usize;
+            for (c, v) in local_row(li) {
+                if filter(li, c, v, *requester) {
+                    cols.push(c);
+                    vals.push(v);
+                    cnt += 1;
+                }
+            }
+            row_nnz.push(cnt);
+        }
+        let bundle = (row_nnz, cols, vals);
+        if *requester == rank {
+            self_bundle = Some(bundle);
+        } else {
+            let b = wire::idxs(bundle.0.len())
+                + wire::idxs(bundle.1.len())
+                + wire::f64s(bundle.2.len());
+            comm.send(*requester, TAG_ROW_DATA, bundle, b);
+        }
+    }
+    // Receive per-owner bundles in run order; rows arrive in request
+    // order, i.e. aligned with `needed`.
     let mut data: Vec<Vec<(usize, f64)>> = Vec::with_capacity(needed.len());
-    for &g in needed {
-        let owner = owner_of(row_starts, g);
-        let (ri, off) = per_owner_cursor[owner];
-        let (row_nnz, cols, vals) = &responses[owner];
-        debug_assert_eq!(requests[owner][ri], g);
-        let n = row_nnz[ri];
-        let entries: Vec<(usize, f64)> = cols[off..off + n]
-            .iter()
-            .copied()
-            .zip(vals[off..off + n].iter().copied())
-            .collect();
-        per_owner_cursor[owner] = (ri + 1, off + n);
-        data.push(entries);
+    for &(owner, s, e) in &runs {
+        let (row_nnz, cols, vals): RowBundle = if owner == rank {
+            self_bundle.take().expect("missing self bundle")
+        } else {
+            comm.recv(owner, TAG_ROW_DATA)
+        };
+        debug_assert_eq!(row_nnz.len(), e - s);
+        let mut off = 0usize;
+        for n in row_nnz {
+            data.push(
+                cols[off..off + n]
+                    .iter()
+                    .copied()
+                    .zip(vals[off..off + n].iter().copied())
+                    .collect(),
+            );
+            off += n;
+        }
     }
     GatheredRows {
         rows: needed.to_vec(),
@@ -199,25 +253,48 @@ pub fn gather_rows(
 
 /// Fetches one `f64` per global index from the owning ranks:
 /// `local_value(local_idx)` provides the owner-side values. Used to look
-/// up C/F state and coarse numbering for extended halos.
+/// up C/F state and coarse numbering for extended halos. `needed` may be
+/// unsorted and contain duplicates; traffic flows only between true
+/// neighbor pairs.
 pub fn fetch_values(
     comm: &Comm,
     needed: &[usize],
     starts: &[usize],
     local_value: impl Fn(usize) -> f64,
 ) -> Vec<f64> {
+    let rank = comm.rank();
     let nranks = comm.size();
     let mut requests: Vec<Vec<usize>> = vec![Vec::new(); nranks];
     for &g in needed {
         requests[owner_of(starts, g)].push(g);
     }
-    let incoming = comm.alltoall(requests.clone(), TAG_FETCH_REQ, |r| wire::idxs(r.len()));
-    let my_start = starts[comm.rank()];
-    let replies: Vec<Vec<f64>> = incoming
+    let owners: Vec<usize> = (0..nranks).filter(|&r| !requests[r].is_empty()).collect();
+    let sends: Vec<(usize, Vec<usize>)> = owners
         .iter()
-        .map(|rows| rows.iter().map(|&g| local_value(g - my_start)).collect())
+        .map(|&r| (r, std::mem::take(&mut requests[r])))
         .collect();
-    let responses = comm.alltoall(replies, TAG_FETCH_VAL, |v| wire::f64s(v.len()));
+    let incoming = comm.alltoallv(sends, TAG_FETCH_REQ, |r| wire::idxs(r.len()));
+    // Serve each requester point-to-point.
+    let my_start = starts[rank];
+    let mut self_reply: Option<Vec<f64>> = None;
+    for (requester, rows) in &incoming {
+        let reply: Vec<f64> = rows.iter().map(|&g| local_value(g - my_start)).collect();
+        if *requester == rank {
+            self_reply = Some(reply);
+        } else {
+            let b = wire::f64s(reply.len());
+            comm.send(*requester, TAG_FETCH_VAL, reply, b);
+        }
+    }
+    let mut responses: Vec<Vec<f64>> = vec![Vec::new(); nranks];
+    for &owner in &owners {
+        responses[owner] = if owner == rank {
+            self_reply.take().expect("missing self reply")
+        } else {
+            comm.recv(owner, TAG_FETCH_VAL)
+        };
+    }
+    // Reassemble in `needed` order (per-owner replies keep request order).
     let mut cursor = vec![0usize; nranks];
     needed
         .iter()
@@ -306,6 +383,29 @@ mod tests {
             persistent < adhoc,
             "persistent {persistent} >= adhoc {adhoc}"
         );
+    }
+
+    #[test]
+    fn exchange_messages_equal_neighbor_count() {
+        // A slab-partitioned 2D Laplacian: interior ranks have exactly two
+        // neighbors, boundary ranks one. One exchange must post exactly
+        // one message per neighbor — no empty envelopes to distant ranks.
+        let a = laplace2d(8, 8);
+        let starts = default_partition(64, 4);
+        let (per_rank, _) = run_ranks(4, |c| {
+            let r = c.rank();
+            let p = ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
+            let x: Vec<f64> = vec![1.0; starts[r + 1] - starts[r]];
+            let plan = VectorExchange::plan(c, &p.colmap, &starts);
+            let before = c.messages_sent();
+            plan.exchange(c, &x);
+            (c.messages_sent() - before, plan.send_peer_ranks().len())
+        });
+        for (r, &(sent, peers)) in per_rank.iter().enumerate() {
+            assert_eq!(sent as usize, peers, "rank {r}");
+            let expect = usize::from(r > 0) + usize::from(r < 3);
+            assert_eq!(peers, expect, "rank {r} neighbor count");
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! filtering, persistent exchange plans) selectable per run.
 
 use crate::coarsen::{dist_aggressive_pmis, dist_pmis, DistCoarsening};
-use crate::comm::Comm;
+use crate::comm::{Comm, CommPhase};
 use crate::halo::VectorExchange;
 use crate::interp::{
     dist_direct, dist_extended_i, dist_multipass, dist_strength, dist_two_stage_extended_i,
@@ -16,7 +16,7 @@ use crate::parcsr::ParCsr;
 use crate::spgemm::{dist_spgemm, dist_transpose};
 use famg_core::interp::TruncParams;
 use famg_core::params::{AmgConfig, CoarsenKind, InterpKind};
-use famg_core::stats::{PhaseTimes, SetupStats};
+use famg_core::stats::{CommVolume, PhaseTimes, SetupStats};
 use famg_sparse::dense::{DenseMatrix, LuFactor};
 use std::time::Instant;
 
@@ -182,6 +182,8 @@ pub struct DistHierarchy {
     pub times: PhaseTimes,
     /// Wall time blocked in communication during setup (this rank).
     pub setup_comm_time: std::time::Duration,
+    /// Bytes/messages this rank sent during setup.
+    pub setup_comm: CommVolume,
 }
 
 impl DistHierarchy {
@@ -191,10 +193,14 @@ impl DistHierarchy {
         let mut times = PhaseTimes::default();
         let mut stats = SetupStats::default();
         let comm_t0 = comm.comm_time();
+        let comm_mark = (comm.bytes_sent(), comm.messages_sent());
         let mut levels: Vec<DistLevel> = Vec::new();
         let mut current = a;
 
         loop {
+            // Attribute this level's setup traffic (coarsening, interp,
+            // RAP, plans) to (level, Setup).
+            let _scope = comm.scoped(levels.len(), CommPhase::Setup);
             let n_global = *current.col_starts.last().unwrap();
             stats.level_rows.push(n_global);
             stats
@@ -221,6 +227,13 @@ impl DistHierarchy {
                 break;
             }
 
+            // The level's persistent halo plan, built up front so the
+            // interpolation schemes reuse it for their C/F code exchange
+            // instead of re-planning `current`'s colmap.
+            let t0 = Instant::now();
+            let plan_a = VectorExchange::plan(comm, &current.colmap, &current.col_starts);
+            times.setup_etc += t0.elapsed();
+
             let t0 = Instant::now();
             let t = TruncParams {
                 factor: cfg.trunc_factor,
@@ -231,20 +244,24 @@ impl DistHierarchy {
                 // distributed build; the paper's multi-node schemes are
                 // ei(4)/mp/2s-ei and do not exercise it.
                 InterpKind::Direct | InterpKind::Classical => {
-                    dist_direct(comm, &current, &s, &coarsening, Some(&t))
+                    dist_direct(comm, &current, &plan_a, &s, &coarsening, Some(&t))
                 }
                 InterpKind::ExtendedI => dist_extended_i(
                     comm,
                     &current,
+                    &plan_a,
                     &s,
                     &coarsening,
                     Some(&t),
                     dopt.filter_interp,
                 ),
-                InterpKind::Multipass => dist_multipass(comm, &current, &s, &coarsening, Some(&t)),
+                InterpKind::Multipass => {
+                    dist_multipass(comm, &current, &plan_a, &s, &coarsening, Some(&t))
+                }
                 InterpKind::TwoStageExtendedI => dist_two_stage_extended_i(
                     comm,
                     &current,
+                    &plan_a,
                     &s,
                     stage1.as_ref().expect("aggressive coarsening required"),
                     &coarsening,
@@ -274,7 +291,6 @@ impl DistHierarchy {
             );
 
             let t0 = Instant::now();
-            let plan_a = VectorExchange::plan(comm, &current.colmap, &current.col_starts);
             let plan_p = VectorExchange::plan(comm, &p.colmap, &p.col_starts);
             let plan_r = VectorExchange::plan(comm, &r.colmap, &r.col_starts);
             let dinv = local_dinv(&current, rank);
@@ -294,6 +310,7 @@ impl DistHierarchy {
         }
 
         // Coarsest level: gather to rank 0 and factor.
+        let _scope = comm.scoped(levels.len(), CommPhase::Setup);
         #[cfg(feature = "validate")]
         enforce(
             rank,
@@ -312,12 +329,10 @@ impl DistHierarchy {
                     trips.push((current.row_start + i, c, v));
                 }
             }
-            let mut sends: Vec<Vec<(usize, usize, f64)>> =
-                (0..comm.size()).map(|_| Vec::new()).collect();
-            sends[0] = trips;
-            let received = comm.alltoall(sends, 0x81, |t| t.len() * 24);
-            if rank == 0 {
-                let all: Vec<(usize, usize, f64)> = received.into_iter().flatten().collect();
+            // Binomial-tree gather: P−1 messages, no empty envelopes.
+            let received = comm.gather_to(0, trips, 0x81, |t| t.len() * 24);
+            if let Some(parts) = received {
+                let all: Vec<(usize, usize, f64)> = parts.into_iter().flatten().collect();
                 let global = famg_sparse::Csr::from_triplets(n_coarse, n_coarse, all);
                 LuFactor::new(&DenseMatrix::from_csr(&global))
             } else {
@@ -350,6 +365,10 @@ impl DistHierarchy {
             stats,
             times,
             setup_comm_time: comm.comm_time().checked_sub(comm_t0).unwrap(),
+            setup_comm: CommVolume {
+                bytes: comm.bytes_sent() - comm_mark.0,
+                messages: comm.messages_sent() - comm_mark.1,
+            },
         }
     }
 

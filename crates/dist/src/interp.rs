@@ -65,24 +65,34 @@ fn cf_code(dc: &DistCoarsening, li: usize) -> f64 {
     }
 }
 
-/// Codes for a rank's halo (parallel to `colmap`).
+/// Codes for a rank's halo (parallel to `colmap`), planning ad hoc.
 fn halo_codes(comm: &Comm, colmap: &[usize], starts: &[usize], dc: &DistCoarsening) -> Vec<f64> {
     let codes: Vec<f64> = (0..dc.is_coarse.len()).map(|i| cf_code(dc, i)).collect();
     VectorExchange::plan(comm, colmap, starts).exchange(comm, &codes)
 }
 
+/// Codes for a rank's halo through a pre-built exchange plan (saves the
+/// neighbor-discovery + request round that `halo_codes` pays).
+fn planned_codes(comm: &Comm, plan: &VectorExchange, dc: &DistCoarsening) -> Vec<f64> {
+    let codes: Vec<f64> = (0..dc.is_coarse.len()).map(|i| cf_code(dc, i)).collect();
+    plan.exchange(comm, &codes)
+}
+
 /// Distributed direct (distance-1) interpolation. Returns `P` with this
-/// rank's point rows and the coarse column partition.
+/// rank's point rows and the coarse column partition. `plan_a` is the
+/// persistent halo plan for `a`'s colmap (the level plan the hierarchy
+/// already owns), reused here for the C/F code exchange.
 pub fn dist_direct(
     comm: &Comm,
     a: &ParCsr,
+    plan_a: &VectorExchange,
     s: &ParCsr,
     cf: &DistCoarsening,
     trunc: Option<&TruncParams>,
 ) -> ParCsr {
     let rank = comm.rank();
     let nl = a.local_rows();
-    let code_a = halo_codes(comm, &a.colmap, &a.col_starts, cf);
+    let code_a = planned_codes(comm, plan_a, cf);
     let code_of = |g: usize| -> f64 {
         if g >= a.row_start && g < a.row_end {
             cf_code(cf, g - a.row_start)
@@ -170,12 +180,15 @@ fn build_p(
     )
 }
 
-/// Distributed extended+i interpolation (Eq. 1).
+/// Distributed extended+i interpolation (Eq. 1). `plan_a` is the
+/// persistent halo plan for `a`'s colmap, reused for the C/F code
+/// exchange.
 ///
 /// `filter_remote` enables the §4.3 wire filter on gathered `A` rows.
 pub fn dist_extended_i(
     comm: &Comm,
     a: &ParCsr,
+    plan_a: &VectorExchange,
     s: &ParCsr,
     cf: &DistCoarsening,
     trunc: Option<&TruncParams>,
@@ -186,7 +199,7 @@ pub fn dist_extended_i(
     let gi0 = a.row_start;
 
     // C/F codes for the distance-1 halo.
-    let code_a = halo_codes(comm, &a.colmap, &a.col_starts, cf);
+    let code_a = planned_codes(comm, plan_a, cf);
 
     // Gather remote S rows. They are only ever read to find the *coarse*
     // strong neighbours of boundary fine points (the Ĉ_i extension), so
@@ -420,9 +433,11 @@ pub fn dist_extended_i(
 /// Distributed multipass interpolation: direct interpolation where
 /// possible, then passes composing the already-assigned neighbours'
 /// rows, gathering remote `P` rows for boundary neighbours each pass.
+/// `plan_a` is the persistent halo plan for `a`'s colmap.
 pub fn dist_multipass(
     comm: &Comm,
     a: &ParCsr,
+    plan_a: &VectorExchange,
     s: &ParCsr,
     cf: &DistCoarsening,
     trunc: Option<&TruncParams>,
@@ -433,7 +448,7 @@ pub fn dist_multipass(
     // Pass 0/1: identity on C-points, direct interpolation where a strong
     // coarse neighbour exists (untruncated; truncation applies at the end
     // like the serial version).
-    let direct = dist_direct(comm, a, s, cf, None);
+    let direct = dist_direct(comm, a, plan_a, s, cf, None);
     let mut rows: Vec<Option<Vec<(usize, f64)>>> = (0..nl)
         .map(|i| {
             if cf.is_coarse[i] {
@@ -584,11 +599,13 @@ pub fn dist_multipass(
 
 /// Distributed two-stage extended+i: extended+i to the stage-1 C-points,
 /// Galerkin stage-1 operator via distributed SpGEMM, extended+i among the
-/// stage-1 C-points, product, truncation at every stage.
+/// stage-1 C-points, product, truncation at every stage. `plan_a` covers
+/// `a`'s colmap; the stage-1 operator gets its own plan here.
 #[allow(clippy::too_many_arguments)]
 pub fn dist_two_stage_extended_i(
     comm: &Comm,
     a: &ParCsr,
+    plan_a: &VectorExchange,
     s: &ParCsr,
     stage1: &DistCoarsening,
     final_c: &DistCoarsening,
@@ -599,7 +616,7 @@ pub fn dist_two_stage_extended_i(
 ) -> ParCsr {
     use crate::spgemm::{dist_spgemm, dist_transpose};
     let rank = comm.rank();
-    let p1 = dist_extended_i(comm, a, s, stage1, trunc, filter_remote);
+    let p1 = dist_extended_i(comm, a, plan_a, s, stage1, trunc, filter_remote);
     let r1 = dist_transpose(comm, &p1);
     let ra = dist_spgemm(comm, &r1, a, true);
     let a1 = dist_spgemm(comm, &ra, &p1, true);
@@ -610,7 +627,8 @@ pub fn dist_two_stage_extended_i(
         .map(|i| final_c.is_coarse[i])
         .collect();
     let cf2 = DistCoarsening::from_marker(comm, marker, 0x71);
-    let p2 = dist_extended_i(comm, &a1, &s1, &cf2, trunc, filter_remote);
+    let plan_a1 = VectorExchange::plan(comm, &a1.colmap, &a1.col_starts);
+    let p2 = dist_extended_i(comm, &a1, &plan_a1, &s1, &cf2, trunc, filter_remote);
     let p = dist_spgemm(comm, &p1, &p2, true);
     // Truncate the product's fine rows.
     let rows: Vec<Vec<(usize, f64)>> = (0..p.local_rows())
@@ -678,7 +696,8 @@ mod tests {
             let pa = split(&a, &starts, c.rank());
             let ps = dist_strength(&pa, 0.25, 0.8, c.rank());
             let dc = dist_pmis(c, &ps, 5, None);
-            dist_direct(c, &pa, &ps, &dc, None)
+            let plan = VectorExchange::plan(c, &pa.colmap, &pa.col_starts);
+            dist_direct(c, &pa, &plan, &ps, &dc, None)
         });
         assert_eq!(to_global(&parts).to_dense(), p_ref.to_dense());
     }
@@ -695,7 +714,8 @@ mod tests {
                 let pa = split(&a, &starts, c.rank());
                 let ps = dist_strength(&pa, 0.25, 0.8, c.rank());
                 let dc = dist_pmis(c, &ps, 9, None);
-                dist_extended_i(c, &pa, &ps, &dc, None, false)
+                let plan = VectorExchange::plan(c, &pa.colmap, &pa.col_starts);
+                dist_extended_i(c, &pa, &plan, &ps, &dc, None, false)
             });
             let p = to_global(&parts);
             assert!(
@@ -715,7 +735,8 @@ mod tests {
                 let pa = split(&a, &starts, c.rank());
                 let ps = dist_strength(&pa, 0.25, 0.8, c.rank());
                 let dc = dist_pmis(c, &ps, 13, None);
-                dist_extended_i(c, &pa, &ps, &dc, None, filter)
+                let plan = VectorExchange::plan(c, &pa.colmap, &pa.col_starts);
+                dist_extended_i(c, &pa, &plan, &ps, &dc, None, filter)
             });
             (to_global(&parts), report.total_bytes())
         };
@@ -742,7 +763,8 @@ mod tests {
             let pa = split(&a, &starts, c.rank());
             let ps = dist_strength(&pa, 0.25, 0.8, c.rank());
             let (_, dc) = dist_aggressive_pmis(c, &ps, 3);
-            dist_multipass(c, &pa, &ps, &dc, None)
+            let plan = VectorExchange::plan(c, &pa.colmap, &pa.col_starts);
+            dist_multipass(c, &pa, &plan, &ps, &dc, None)
         });
         let p = to_global(&parts);
         assert!(p.frob_diff(&p_ref) < 1e-10, "diff {}", p.frob_diff(&p_ref));
@@ -757,7 +779,19 @@ mod tests {
             let ps = dist_strength(&pa, 0.25, 0.8, c.rank());
             let (first, fin) = dist_aggressive_pmis(c, &ps, 7);
             let t = TruncParams::paper();
-            let p = dist_two_stage_extended_i(c, &pa, &ps, &first, &fin, 0.25, 0.8, Some(&t), true);
+            let plan = VectorExchange::plan(c, &pa.colmap, &pa.col_starts);
+            let p = dist_two_stage_extended_i(
+                c,
+                &pa,
+                &plan,
+                &ps,
+                &first,
+                &fin,
+                0.25,
+                0.8,
+                Some(&t),
+                true,
+            );
             (p, fin.is_coarse.clone())
         });
         let total_nc = parts[0].0.global_cols;

@@ -7,11 +7,24 @@
 //! in order, reading local columns live and external columns from the
 //! snapshot — the rank-level analogue of the Fig. 2 kernels.
 
-use crate::comm::Comm;
+use crate::comm::{wire, Comm, CommPhase};
 use crate::hierarchy::DistHierarchy;
-use crate::spmv::{dist_dot, dist_norm2, dist_residual_norm_sq, dist_spmv};
-use famg_core::stats::PhaseTimes;
+use crate::spmv::{dist_dot, dist_norm2, dist_residual, dist_residual_norm_sq, dist_spmv};
+use famg_core::stats::{CommVolume, PhaseTimes};
 use std::time::Instant;
+
+/// Snapshot of this rank's sent-traffic counters (for phase windows).
+fn comm_mark(comm: &Comm) -> (u64, u64) {
+    (comm.bytes_sent(), comm.messages_sent())
+}
+
+/// Traffic sent since `mark`.
+fn comm_since(comm: &Comm, mark: (u64, u64)) -> CommVolume {
+    CommVolume {
+        bytes: comm.bytes_sent() - mark.0,
+        messages: comm.messages_sent() - mark.1,
+    }
+}
 
 /// Smoothing class selector.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -72,6 +85,8 @@ pub fn dist_vcycle(
     x: &mut [f64],
     times: &mut PhaseTimes,
 ) {
+    // Attribute this level's traffic (smoothing, transfers, residual).
+    let _scope = comm.scoped(level, CommPhase::Solve);
     let lvl = &h.levels[level];
     if lvl.p.is_none() {
         // Coarsest: gather to rank 0, dense solve, scatter back.
@@ -89,7 +104,8 @@ pub fn dist_vcycle(
 
     let t0 = Instant::now();
     let mut r = vec![0.0; lvl.a.local_rows()];
-    dist_residual_norm_sq(comm, &lvl.a, &lvl.plan_a, x, b, &mut r);
+    // Residual only — the norm is unused here, so skip its allreduce.
+    dist_residual(comm, &lvl.a, &lvl.plan_a, x, b, &mut r);
     let rt = lvl.r.as_ref().unwrap();
     let plan_r = lvl.plan_r.as_ref().unwrap();
     let mut bc = vec![0.0; rt.local_rows()];
@@ -136,27 +152,19 @@ fn coarse_solve(comm: &Comm, h: &DistHierarchy, b: &[f64], x: &mut [f64]) {
         x.copy_from_slice(&xl);
         return;
     }
-    // Gather b to rank 0.
-    let mut sends: Vec<Vec<f64>> = (0..comm.size()).map(|_| Vec::new()).collect();
-    sends[0] = b.to_vec();
-    let received = comm.alltoall(sends, 0x91, |v| 8 * v.len());
-    let sol0 = if comm.rank() == 0 {
-        let full_b: Vec<f64> = received.into_iter().flatten().collect();
+    // Gather b to rank 0 over the binomial tree (P−1 messages, none of
+    // them empty envelopes), dense-solve there, tree-scatter back.
+    let received = comm.gather_to(0, b.to_vec(), 0x91, |v| wire::f64s(v.len()));
+    let slices: Option<Vec<Vec<f64>>> = received.map(|parts| {
+        let full_b: Vec<f64> = parts.into_iter().flatten().collect();
         debug_assert_eq!(full_b.len(), n_global);
-        h.coarse_lu.as_ref().unwrap().solve(&full_b)
-    } else {
-        Vec::new()
-    };
-    // Scatter the solution slices back.
-    let slices: Vec<Vec<f64>> = if comm.rank() == 0 {
+        let sol0 = h.coarse_lu.as_ref().unwrap().solve(&full_b);
         (0..comm.size())
             .map(|r| sol0[h.coarse_starts[r]..h.coarse_starts[r + 1]].to_vec())
             .collect()
-    } else {
-        (0..comm.size()).map(|_| Vec::new()).collect()
-    };
-    let mine = comm.alltoall(slices, 0x92, |v| 8 * v.len());
-    x.copy_from_slice(&mine[0]);
+    });
+    let mine = comm.scatter_from(0, slices, 0x92, |v| wire::f64s(v.len()));
+    x.copy_from_slice(&mine);
     let _ = lvl;
 }
 
@@ -174,11 +182,15 @@ pub struct DistSolveResult {
     pub times: PhaseTimes,
     /// Wall time blocked in communication during the solve (this rank).
     pub solve_comm_time: std::time::Duration,
+    /// Bytes/messages this rank sent during the solve.
+    pub solve_comm: CommVolume,
 }
 
 /// Standalone distributed AMG iteration to the configured tolerance.
 pub fn dist_amg_solve(comm: &Comm, h: &DistHierarchy, b: &[f64], x: &mut [f64]) -> DistSolveResult {
     let comm_t0 = comm.comm_time();
+    let mark = comm_mark(comm);
+    let _scope = comm.scoped(0, CommPhase::Solve);
     let mut times = PhaseTimes::default();
     let lvl0 = &h.levels[0];
     let t0 = Instant::now();
@@ -201,6 +213,7 @@ pub fn dist_amg_solve(comm: &Comm, h: &DistHierarchy, b: &[f64], x: &mut [f64]) 
         converged: relres <= h.config.tolerance,
         times,
         solve_comm_time: comm.comm_time().checked_sub(comm_t0).unwrap(),
+        solve_comm: comm_since(comm, mark),
     }
 }
 
@@ -216,6 +229,8 @@ pub fn dist_fgmres_amg(
     restart: usize,
 ) -> DistSolveResult {
     let comm_t0 = comm.comm_time();
+    let mark = comm_mark(comm);
+    let _scope = comm.scoped(0, CommPhase::Solve);
     let mut times = PhaseTimes::default();
     let lvl0 = &h.levels[0];
     let a = &lvl0.a;
@@ -308,6 +323,7 @@ pub fn dist_fgmres_amg(
         converged: relres <= tolerance,
         times,
         solve_comm_time: comm.comm_time().checked_sub(comm_t0).unwrap(),
+        solve_comm: comm_since(comm, mark),
     }
 }
 
@@ -325,6 +341,8 @@ pub fn dist_pcg_amg(
     max_iterations: usize,
 ) -> DistSolveResult {
     let comm_t0 = comm.comm_time();
+    let mark = comm_mark(comm);
+    let _scope = comm.scoped(0, CommPhase::Solve);
     let mut times = PhaseTimes::default();
     let lvl0 = &h.levels[0];
     let a = &lvl0.a;
@@ -373,6 +391,7 @@ pub fn dist_pcg_amg(
         converged: relres <= tolerance,
         times,
         solve_comm_time: comm.comm_time().checked_sub(comm_t0).unwrap(),
+        solve_comm: comm_since(comm, mark),
     }
 }
 

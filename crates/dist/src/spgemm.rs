@@ -132,7 +132,9 @@ pub fn dist_transpose(comm: &Comm, a: &ParCsr) -> ParCsr {
         s.push(comm.allreduce_max(a.row_end as f64, 0x53) as usize);
         s
     };
-    // Route each entry to the owner of its global column.
+    // Route each entry to the owner of its global column — point-to-point
+    // to actual destination owners only (for a sparse operator each rank
+    // touches a handful of column owners, not all P−1).
     let mut outbound: Vec<Vec<(usize, usize, f64)>> = vec![Vec::new(); nranks];
     for i in 0..a.local_rows() {
         let gi = a.row_start + i;
@@ -140,11 +142,19 @@ pub fn dist_transpose(comm: &Comm, a: &ParCsr) -> ParCsr {
             outbound[owner_of(&a.col_starts, g)].push((g, gi, v));
         }
     }
-    let inbound = comm.alltoall(outbound, 0x54, |t| t.len() * 24);
-    // Assemble T's local rows.
+    let sends: Vec<_> = outbound
+        .iter_mut()
+        .enumerate()
+        .filter(|(_, t)| !t.is_empty())
+        .map(|(dst, t)| (dst, std::mem::take(t)))
+        .collect();
+    let inbound = comm.alltoallv(sends, 0x54, |t| t.len() * 24);
+    // Assemble T's local rows. Inbound batches arrive sorted by source
+    // rank, and sources own disjoint ascending row ranges, so the
+    // per-row entry order (by T-column = A-row) is deterministic.
     let (t0, t1) = a.col_range(rank);
     let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); t1 - t0];
-    for batch in inbound {
+    for (_, batch) in inbound {
         for (g, gi, v) in batch {
             rows[g - t0].push((gi, v));
         }

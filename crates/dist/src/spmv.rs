@@ -27,9 +27,12 @@ pub fn dist_spmv(comm: &Comm, a: &ParCsr, plan: &VectorExchange, x_local: &[f64]
     }
 }
 
-/// Fused distributed residual: `r = b - A x` with `‖r‖²` reduced across
-/// ranks in a single collective. Returns the *global* squared norm.
-pub fn dist_residual_norm_sq(
+/// Distributed residual only: `r = b - A x` with no norm and therefore
+/// no global reduction — one halo exchange is the entire communication.
+/// Use this on V-cycle levels where the norm is unused; it returns the
+/// *local* squared norm so callers that do want the global value can
+/// finish it with one all-reduce (see [`dist_residual_norm_sq`]).
+pub fn dist_residual(
     comm: &Comm,
     a: &ParCsr,
     plan: &VectorExchange,
@@ -50,6 +53,20 @@ pub fn dist_residual_norm_sq(
         r[i] = acc;
         acc_sq += acc * acc;
     }
+    acc_sq
+}
+
+/// Fused distributed residual: `r = b - A x` with `‖r‖²` reduced across
+/// ranks in a single collective. Returns the *global* squared norm.
+pub fn dist_residual_norm_sq(
+    comm: &Comm,
+    a: &ParCsr,
+    plan: &VectorExchange,
+    x_local: &[f64],
+    b_local: &[f64],
+    r: &mut [f64],
+) -> f64 {
+    let acc_sq = dist_residual(comm, a, plan, x_local, b_local, r);
     comm.allreduce_sum(acc_sq, 0x40)
 }
 

@@ -1,6 +1,8 @@
 //! Distributed AMG on the simulated message-passing runtime: weak-scales
 //! a 3D Laplacian over 1, 2 and 4 ranks and reports setup/solve times,
-//! iteration counts, and measured communication volume.
+//! iteration counts, and measured communication volume, including the
+//! per-level, per-phase bytes/messages breakdown (the paper's §4.3/§5.4
+//! comm-volume view).
 //!
 //! ```sh
 //! cargo run --release --example distributed_weak_scaling
@@ -17,9 +19,10 @@ fn main() {
     let per_rank = 20usize; // 20^3 rows per rank
     println!("weak scaling a 27-point 3D Laplacian, {per_rank}^3 rows/rank\n");
     println!(
-        "{:>6} {:>10} {:>10} {:>10} {:>6} {:>14}",
-        "ranks", "rows", "setup", "solve", "iters", "comm bytes"
+        "{:>6} {:>10} {:>10} {:>10} {:>6} {:>14} {:>10}",
+        "ranks", "rows", "setup", "solve", "iters", "comm bytes", "comm msgs"
     );
+    let mut tables = Vec::new();
     for nranks in [1usize, 2, 4] {
         let a = laplace3d_27pt(per_rank, per_rank, per_rank * nranks);
         let n = a.nrows();
@@ -44,14 +47,20 @@ fn main() {
         let setup = parts.iter().map(|p| p.0).max().unwrap();
         let solve = parts.iter().map(|p| p.1).max().unwrap();
         println!(
-            "{:>6} {:>10} {:>9.1}ms {:>9.1}ms {:>6} {:>14}",
+            "{:>6} {:>10} {:>9.1}ms {:>9.1}ms {:>6} {:>14} {:>10}",
             nranks,
             n,
             setup.as_secs_f64() * 1e3,
             solve.as_secs_f64() * 1e3,
             parts[0].2,
-            report.total_bytes()
+            report.total_bytes(),
+            report.total_messages()
         );
+        tables.push((nranks, report.scope_table()));
+    }
+    for (nranks, table) in tables {
+        println!("\nper-level comm volume, {nranks} ranks:");
+        print!("{table}");
     }
     println!("\nFor ideal weak scaling times stay flat; communication grows with");
     println!("the halo surface. Compare `--bin fig6_weak_scaling` for the full");

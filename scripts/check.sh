@@ -27,4 +27,10 @@ RAYON_NUM_THREADS=1 cargo test --workspace -q --features validate
 echo "==> cargo test (validate, parallel pool: RAYON_NUM_THREADS=4)"
 RAYON_NUM_THREADS=4 cargo test --workspace -q --features validate
 
+echo "==> comm-volume regression test (release)"
+cargo test -q --release --test comm_volume
+
+echo "==> comm-volume bench smoke (asserts vs dense-alltoall baseline)"
+cargo run -q --release -p famg-bench --bin comm_volume -- --smoke
+
 echo "==> all checks passed"

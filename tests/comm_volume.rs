@@ -1,0 +1,181 @@
+//! Communication-volume regression suite for the neighbor-aware
+//! distributed layer.
+//!
+//! Guards the §4.3/§4.4 message-count contracts end to end:
+//!
+//! 1. One halo exchange posts exactly one message per true neighbor
+//!    pair — no empty envelopes to non-neighbors.
+//! 2. The tree collectives stay within O(P log P) total messages
+//!    (allreduce/allgather use `2(P-1)`, far below the old `P(P-1)`
+//!    dense-alltoall budget).
+//! 3. Solves are bitwise reproducible for a fixed rank count — the
+//!    rank-ordered combine at the tree root keeps the reduction order
+//!    independent of message arrival order.
+//! 4. The per-level telemetry scopes account for every byte and message
+//!    the runtime sends: setup + solve windows tile the run.
+
+use famg::core::AmgConfig;
+use famg::dist::comm::{run_ranks, CommPhase};
+use famg::dist::halo::VectorExchange;
+use famg::dist::hierarchy::{DistHierarchy, DistOptFlags};
+use famg::dist::parcsr::{default_partition, ParCsr};
+use famg::dist::solve::dist_fgmres_amg;
+use famg::matgen::{laplace2d, laplace3d_7pt, rhs};
+
+fn owner(starts: &[usize], g: usize) -> usize {
+    starts.partition_point(|&s| s <= g) - 1
+}
+
+/// Per-rank messages for one persistent halo exchange equal the true
+/// neighbor count derived from the matrix's off-process column owners.
+#[test]
+fn halo_exchange_messages_equal_neighbor_count() {
+    // 5-point 2D Laplacian, slab partition: interior ranks touch
+    // exactly 2 neighbors, boundary ranks 1.
+    let a = laplace2d(12, 8);
+    let n = a.nrows();
+    for nranks in [2usize, 4] {
+        let starts = default_partition(n, nranks);
+        let (parts, _) = run_ranks(nranks, |c| {
+            let r = c.rank();
+            let pa = ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
+            // True neighbors: owners of the off-process columns.
+            let mut nbrs: Vec<usize> = pa.colmap.iter().map(|&g| owner(&starts, g)).collect();
+            nbrs.dedup();
+            let plan = VectorExchange::plan(c, &pa.colmap, &starts);
+            let xl = vec![1.0; starts[r + 1] - starts[r]];
+            let before = c.messages_sent();
+            let ext = plan.exchange(c, &xl);
+            let sent = c.messages_sent() - before;
+            assert_eq!(ext.len(), pa.colmap.len());
+            (sent, nbrs.len(), plan.send_peer_ranks().len())
+        });
+        for (r, &(sent, true_nbrs, peers)) in parts.iter().enumerate() {
+            // Symmetric pattern: the ranks that need my values are the
+            // ranks whose values I need.
+            assert_eq!(peers, true_nbrs, "rank {r} of {nranks}: plan peers");
+            assert_eq!(sent as usize, true_nbrs, "rank {r} of {nranks}: messages");
+            let expect = if r == 0 || r == nranks - 1 { 1 } else { 2 };
+            assert_eq!(true_nbrs, expect, "rank {r} of {nranks}: slab neighbors");
+        }
+    }
+}
+
+/// Tree collectives: total messages per operation are `O(P log P)` —
+/// concretely `2(P-1)` for allreduce/allgather/exscan — not the old
+/// dense-alltoall `P(P-1)`.
+#[test]
+fn collectives_within_message_budget() {
+    for nranks in [2usize, 5, 8] {
+        let budget = 2 * (nranks as u64 - 1);
+        let dense = (nranks * (nranks - 1)) as u64;
+        let ops = 4u64; // allreduce_sum, allreduce_max, allgather, exscan_sum
+        let (parts, report) = run_ranks(nranks, |c| {
+            let r = c.rank();
+            let s = c.allreduce_sum(r as f64 + 1.0, 1);
+            let m = c.allreduce_max(r as f64, 2);
+            let g = c.allgather(r, 3, 8);
+            let (before, total) = c.exscan_sum(2, 4);
+            (s, m, g, before, total)
+        });
+        for (r, (s, m, g, before, total)) in parts.into_iter().enumerate() {
+            let p = nranks as f64;
+            assert_eq!(s, p * (p + 1.0) / 2.0);
+            assert_eq!(m, p - 1.0);
+            assert_eq!(g, (0..nranks).collect::<Vec<_>>());
+            assert_eq!(before, 2 * r);
+            assert_eq!(total, 2 * nranks);
+        }
+        assert_eq!(
+            report.total_messages(),
+            ops * budget,
+            "{nranks} ranks: each collective should cost 2(P-1) messages"
+        );
+        assert!(ops * budget < ops * dense || nranks < 3);
+    }
+}
+
+/// Fixed rank count ⇒ bitwise-identical solutions run to run: the tree
+/// reductions combine contributions in rank order at the root, so
+/// floating-point results do not depend on scheduling.
+#[test]
+fn solve_bitwise_deterministic_for_fixed_ranks() {
+    let a = laplace3d_7pt(8, 8, 8);
+    let n = a.nrows();
+    let b = rhs::ones(n);
+    let nranks = 4usize;
+    let starts = default_partition(n, nranks);
+    let cfg = AmgConfig::multi_node_ei4();
+    let solve = || {
+        let (parts, _) = run_ranks(nranks, |c| {
+            let r = c.rank();
+            let pa = ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
+            let h = DistHierarchy::build(c, pa, &cfg, DistOptFlags::all());
+            let bl = b[starts[r]..starts[r + 1]].to_vec();
+            let mut xl = vec![0.0; bl.len()];
+            let res = dist_fgmres_amg(c, &h, &bl, &mut xl, 1e-8, 100, 30);
+            assert!(res.converged);
+            (res.iterations, xl)
+        });
+        parts
+    };
+    let first = solve();
+    let second = solve();
+    for (r, (p1, p2)) in first.iter().zip(&second).enumerate() {
+        assert_eq!(p1.0, p2.0, "rank {r}: iteration count");
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&p1.1), bits(&p2.1), "rank {r}: solution bits");
+    }
+}
+
+/// The per-level telemetry tiles the run: scope totals sum to the
+/// global counters, and the per-window `CommVolume` snapshots carried
+/// by the hierarchy and solve results agree with the phase totals.
+#[test]
+fn telemetry_scopes_account_for_all_traffic() {
+    let a = laplace3d_7pt(8, 8, 8);
+    let n = a.nrows();
+    let b = rhs::ones(n);
+    let nranks = 4usize;
+    let starts = default_partition(n, nranks);
+    let cfg = AmgConfig::multi_node_ei4();
+    let (parts, report) = run_ranks(nranks, |c| {
+        let r = c.rank();
+        let pa = ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
+        let h = DistHierarchy::build(c, pa, &cfg, DistOptFlags::all());
+        let bl = b[starts[r]..starts[r + 1]].to_vec();
+        let mut xl = vec![0.0; bl.len()];
+        let res = dist_fgmres_amg(c, &h, &bl, &mut xl, 1e-8, 100, 30);
+        assert!(res.converged);
+        (h.setup_comm, res.solve_comm)
+    });
+
+    // Scope map covers the global counters exactly.
+    let scoped_bytes: u64 = report.per_scope.values().map(|t| t.bytes).sum();
+    let scoped_msgs: u64 = report.per_scope.values().map(|t| t.messages).sum();
+    assert_eq!(scoped_bytes, report.total_bytes());
+    assert_eq!(scoped_msgs, report.total_messages());
+
+    // Phase totals match the per-window snapshots summed over ranks.
+    let phase_sum = |phase: CommPhase| -> (u64, u64) {
+        report
+            .per_scope
+            .iter()
+            .filter(|((_, p), _)| *p == phase)
+            .fold((0, 0), |(b, m), (_, t)| (b + t.bytes, m + t.messages))
+    };
+    let setup: (u64, u64) = parts
+        .iter()
+        .fold((0, 0), |(b, m), p| (b + p.0.bytes, m + p.0.messages));
+    let solve: (u64, u64) = parts
+        .iter()
+        .fold((0, 0), |(b, m), p| (b + p.1.bytes, m + p.1.messages));
+    assert_eq!(phase_sum(CommPhase::Setup), setup);
+    assert_eq!(phase_sum(CommPhase::Solve), solve);
+    assert_eq!(setup.0 + solve.0, report.total_bytes());
+
+    // Both phases show up at the finest level, and nothing is unscoped.
+    assert!(report.per_scope[&(0, CommPhase::Setup)].messages > 0);
+    assert!(report.per_scope[&(0, CommPhase::Solve)].messages > 0);
+    assert_eq!(phase_sum(CommPhase::Other), (0, 0));
+}

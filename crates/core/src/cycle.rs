@@ -29,6 +29,13 @@ pub struct CycleWorkspace {
     xc: Vec<Vec<f64>>,
     /// Scratch for permutation scatter/gather.
     scratch: Vec<Vec<f64>>,
+    /// Finest-level permuted right-hand side (solver wrapper scratch —
+    /// hoisted here so repeated solves allocate nothing in the hot loop).
+    pub(crate) fine_b: Vec<f64>,
+    /// Finest-level permuted iterate (solver wrapper scratch).
+    pub(crate) fine_x: Vec<f64>,
+    /// Finest-level residual for convergence checks (solver scratch).
+    pub(crate) fine_r: Vec<f64>,
     /// Smoother workspace shared across levels.
     pub smoother_ws: Workspace,
 }
@@ -45,6 +52,10 @@ impl CycleWorkspace {
             ws.xc.push(vec![0.0; nc]);
             ws.scratch.push(vec![0.0; n.max(nc)]);
         }
+        let n = h.n();
+        ws.fine_b = vec![0.0; n];
+        ws.fine_x = vec![0.0; n];
+        ws.fine_r = vec![0.0; n];
         ws
     }
 }

@@ -11,12 +11,14 @@ use crate::interp::{
     direct, extended_i, multipass, truncate_matrix, two_stage_extended_i, CfMap, TruncParams,
 };
 use crate::params::{AmgConfig, CoarsenKind, InterpKind, SmootherKind};
+use crate::refresh::{FrozenLevel, FrozenSetup};
 use crate::reorder::cf_reorder;
 use crate::smoother::Smoother;
 use crate::stats::{PhaseTimes, SetupStats};
 use crate::strength::strength;
 use famg_sparse::dense::{DenseMatrix, LuFactor};
 use famg_sparse::permute::Permutation;
+use famg_sparse::spgemm::SpgemmKernel;
 use famg_sparse::transpose::transpose_par;
 use famg_sparse::triple::{rap_cf_from_parts, rap_row_fused, rap_scalar_fused};
 use famg_sparse::Csr;
@@ -79,7 +81,12 @@ pub struct Hierarchy {
     pub times: PhaseTimes,
 }
 
-fn build_smoother(a: &mut Csr, nc: usize, is_coarse: Option<&[bool]>, cfg: &AmgConfig) -> Smoother {
+pub(crate) fn build_smoother(
+    a: &mut Csr,
+    nc: usize,
+    is_coarse: Option<&[bool]>,
+    cfg: &AmgConfig,
+) -> Smoother {
     // Task decomposition is part of the numerical method for the hybrid
     // smoothers (Jacobi across tasks); honour a pinned count when the
     // config asks for pool-size-independent behaviour.
@@ -116,7 +123,7 @@ fn build_smoother(a: &mut Csr, nc: usize, is_coarse: Option<&[bool]>, cfg: &AmgC
 /// Builds the interpolation operator for one level according to the
 /// configured scheme. Returns the full `n × nc` operator.
 #[allow(clippy::too_many_arguments)]
-fn build_interp(
+pub(crate) fn build_interp(
     a: &Csr,
     s: &Csr,
     cf: &CfMap,
@@ -138,6 +145,16 @@ fn build_interp(
         InterpKind::Multipass => multipass(a, s, cf, trunc_arg),
         InterpKind::TwoStageExtendedI => {
             let stage1 = stage1.expect("two-stage interpolation requires aggressive coarsening");
+            // The cache-residency heuristic only applies when enabled;
+            // otherwise the one-pass flag forces a kernel so the ablation
+            // bins measure each in isolation.
+            let kernel = if cfg.opt.adaptive_spgemm {
+                SpgemmKernel::Auto
+            } else if cfg.opt.one_pass_spgemm {
+                SpgemmKernel::OnePass
+            } else {
+                SpgemmKernel::TwoPass
+            };
             // Two-stage truncates at every stage by definition.
             return two_stage_extended_i(
                 a,
@@ -147,6 +164,7 @@ fn build_interp(
                 cfg.strength_threshold,
                 cfg.max_row_sum,
                 Some(&t),
+                kernel,
             );
         }
     };
@@ -239,6 +257,29 @@ fn validate_level(
 impl Hierarchy {
     /// Runs the AMG setup phase on `a`.
     pub fn build(a: &Csr, cfg: &AmgConfig) -> Hierarchy {
+        Self::build_impl(a, cfg, None)
+    }
+
+    /// Runs the setup phase and additionally captures a [`FrozenSetup`]
+    /// holding every pattern-derived decision, so later same-pattern
+    /// operators can be absorbed through [`Hierarchy::refresh`] without
+    /// re-running strength, coarsening, reordering, or symbolic RAP.
+    pub fn build_frozen(a: &Csr, cfg: &AmgConfig) -> (Hierarchy, FrozenSetup) {
+        let mut captured = Vec::new();
+        let h = Self::build_impl(a, cfg, Some(&mut captured));
+        let frozen = FrozenSetup {
+            fine_rowptr: a.rowptr().to_vec(),
+            fine_colidx: a.colidx().to_vec(),
+            levels: captured,
+        };
+        (h, frozen)
+    }
+
+    fn build_impl(
+        a: &Csr,
+        cfg: &AmgConfig,
+        mut capture: Option<&mut Vec<FrozenLevel>>,
+    ) -> Hierarchy {
         assert_eq!(a.nrows(), a.ncols(), "AMG needs a square operator");
         #[cfg(feature = "validate")]
         enforce(0, "input structure", famg_check::check_csr(a));
@@ -325,6 +366,40 @@ impl Hierarchy {
                     !matches!(ikind, InterpKind::Multipass | InterpKind::TwoStageExtendedI),
                 );
 
+                if let Some(cap) = capture.as_deref_mut() {
+                    use crate::refresh::{index_valued, ValueMap};
+                    let tape = matches!(ikind, InterpKind::ExtendedI)
+                        .then(|| crate::interp::ExtITape::capture(&ap, &sp, &cf));
+                    // Freeze the value-moving transforms as gather maps by
+                    // pushing an index-valued matrix through each once.
+                    let perm_map = ValueMap::capture(famg_sparse::permute::permute_symmetric(
+                        &index_valued(&current),
+                        &ord.perm,
+                    ));
+                    let (icc, icf, ifc, iff) =
+                        famg_sparse::permute::split_cf_blocks(&index_valued(&ap), nc);
+                    let cf_maps = [
+                        ValueMap::capture(icc),
+                        ValueMap::capture(icf),
+                        ValueMap::capture(ifc),
+                        ValueMap::capture(iff),
+                    ];
+                    let pft_map =
+                        ValueMap::capture(famg_sparse::transpose::transpose(&index_valued(&pf)));
+                    cap.push(FrozenLevel {
+                        s: sp,
+                        stage1: stage1_p,
+                        final_c: final_p,
+                        cf,
+                        p: p_full.clone(),
+                        tape,
+                        perm_map: Some(perm_map),
+                        cf_maps: Some(cf_maps),
+                        pft_map: Some(pft_map),
+                        rap: next.clone(),
+                    });
+                }
+
                 // --- Smoother (reorders rows of `ap` in place). ---
                 let t0 = Instant::now();
                 let mut ap = ap;
@@ -368,6 +443,23 @@ impl Hierarchy {
                     false,
                     !matches!(ikind, InterpKind::Multipass | InterpKind::TwoStageExtendedI),
                 );
+
+                if let Some(cap) = capture.as_deref_mut() {
+                    let tape = matches!(ikind, InterpKind::ExtendedI)
+                        .then(|| crate::interp::ExtITape::capture(&current, &s, &cf));
+                    cap.push(FrozenLevel {
+                        s,
+                        stage1,
+                        final_c: coarsening.clone(),
+                        cf,
+                        p: p.clone(),
+                        tape,
+                        perm_map: None,
+                        cf_maps: None,
+                        pft_map: None,
+                        rap: next.clone(),
+                    });
+                }
 
                 let t0 = Instant::now();
                 let mut cur = current;
@@ -432,7 +524,7 @@ impl Hierarchy {
 
 /// Extracts rows `nc..n` of a full interpolation operator (whose first
 /// `nc` rows must be the identity) as the `P_F` block.
-fn extract_fine_block(p: &Csr, nc: usize) -> Csr {
+pub(crate) fn extract_fine_block(p: &Csr, nc: usize) -> Csr {
     let n = p.nrows();
     debug_assert!(
         (0..nc).all(|i| p.row_nnz(i) == 1 && p.row_cols(i)[0] == i && p.row_vals(i)[0] == 1.0),

@@ -21,6 +21,7 @@ mod common;
 mod direct;
 mod extended_i;
 mod multipass;
+mod tape;
 mod two_stage;
 
 pub use classical::classical;
@@ -28,4 +29,5 @@ pub use common::{truncate_matrix, truncate_row, CfMap, TruncParams};
 pub use direct::direct;
 pub use extended_i::extended_i;
 pub use multipass::multipass;
+pub use tape::ExtITape;
 pub use two_stage::two_stage_extended_i;

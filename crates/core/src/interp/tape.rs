@@ -1,0 +1,409 @@
+//! Numeric replay tape for extended+i interpolation.
+//!
+//! [`extended_i`](super::extended_i) spends most of its time *discovering*
+//! structure: marking `S_i`, assembling `Ĉ_i`, scanning neighbour rows for
+//! sign-filtered entries. Once the operator pattern is frozen, every one
+//! of those decisions is fixed, and the weight computation collapses to a
+//! straight-line arithmetic circuit over `A`'s value array. [`ExtITape`]
+//! records that circuit at freeze time — for each accumulation the builder
+//! performs, the nnz index it reads — and [`ExtITape::replay`] re-executes
+//! it against new values with no hashing, no marker stamping, and no
+//! per-row allocation.
+//!
+//! Replay performs the *same additions in the same order* as the builder,
+//! so on inputs that induce the same frozen decisions the result is
+//! bitwise identical to `extended_i(a, s, cf, None)`. The decisions frozen
+//! into the tape (beyond the sparsity pattern itself) are:
+//!
+//! * the sign filter `ā_kl = a_kl` iff `sign(a_kl) ≠ sign(a_kk)`,
+//! * the zero-denominator lump `b_ik == 0`,
+//! * the empty-diagonal guard `ã_ii == 0`,
+//! * the nonzero-weight emit check `w ≠ 0`.
+//!
+//! Values that flip any of them produce a consistent-but-different
+//! operator (the frozen-symbolic trade documented in
+//! [`crate::refresh`]); the `validate` feature's cross-check reports it.
+
+use super::common::CfMap;
+use famg_sparse::Csr;
+
+/// One distribution term: `k` is a strong fine neighbour of the row.
+///
+/// An empty `b_ik` index range encodes the frozen lump decision
+/// (`b_ik == 0` at capture): replay adds `a[aik]` straight into the
+/// diagonal. Otherwise replay computes `coef = a[aik] / Σ a[bik…]`, adds
+/// `coef · a[abar]` to the diagonal, and distributes `coef · a[l]` to the
+/// recorded numerator slots.
+#[derive(Debug, Clone, Copy)]
+struct KOp {
+    /// nnz index of `a_ik` in the row of `i`.
+    aik: u32,
+    /// nnz index of `ā_ki` in row `k` (`u32::MAX` when absent → 0.0).
+    abar: u32,
+    /// Exclusive end of this op's `b_ik` term indices in `bik_idx`
+    /// (start = previous op's end; ops are laid out in replay order).
+    bik_end: u32,
+    /// Exclusive end of this op's distribution terms in `dist_*`.
+    dist_end: u32,
+}
+
+/// Frozen numeric circuit of one `extended_i` invocation.
+///
+/// All index streams are flat, in capture (= replay) order, with per-row
+/// boundaries in `*_ptr` arrays; `KOp` sub-streams chain via running
+/// cursors. Indices are `u32` — the tape refuses to capture operators
+/// with ≥ 2³² nonzeros, far beyond a single node's memory anyway.
+#[derive(Debug)]
+pub struct ExtITape {
+    /// Frozen untruncated operator: pattern plus capture-time values.
+    /// Replay clones the values (coarse identity rows keep their 1.0)
+    /// and overwrites every fine-row entry.
+    raw: Csr,
+    /// Numerator slot count (`|Ĉ_i|`) per row.
+    nslots: Vec<u32>,
+    /// Largest `nslots`, sizing the replay scratch.
+    max_slots: usize,
+    /// Per-row range into `at_idx` (direct diagonal terms).
+    at_ptr: Vec<u32>,
+    /// nnz indices summed directly into `ã_ii` (diagonal + weak lumps).
+    at_idx: Vec<u32>,
+    /// Per-row range into `dn_idx`/`dn_slot` (direct numerator terms).
+    dn_ptr: Vec<u32>,
+    /// nnz index of each direct `a_ij`, `j ∈ Ĉ_i`.
+    dn_idx: Vec<u32>,
+    /// Numerator slot the direct term adds into.
+    dn_slot: Vec<u32>,
+    /// Per-row range into `kops`.
+    k_ptr: Vec<u32>,
+    kops: Vec<KOp>,
+    /// `b_ik` term nnz indices (row-`k` scan order, `l = i` included).
+    bik_idx: Vec<u32>,
+    /// Distribution term nnz indices (row-`k` scan order, `l ≠ i`).
+    dist_idx: Vec<u32>,
+    /// Numerator slot each distribution term adds into.
+    dist_slot: Vec<u32>,
+    /// Per-row range into `em_slot`.
+    em_ptr: Vec<u32>,
+    /// Slots emitted as weights, in raw-row entry order.
+    em_slot: Vec<u32>,
+}
+
+fn idx(x: usize) -> u32 {
+    u32::try_from(x).expect("extended+i tape: index stream exceeds u32")
+}
+
+impl ExtITape {
+    /// Runs the extended+i construction once, recording the numeric
+    /// circuit. The by-product `raw` operator is bitwise identical to
+    /// `extended_i(a, s, cf, None)`.
+    pub fn capture(a: &Csr, s: &Csr, cf: &CfMap) -> ExtITape {
+        let n = a.nrows();
+        assert_eq!(s.nrows(), n);
+        assert_eq!(cf.len(), n);
+        let mut t = ExtITape {
+            raw: Csr::zero(0, 0),
+            nslots: Vec::with_capacity(n),
+            max_slots: 0,
+            at_ptr: vec![0],
+            at_idx: Vec::new(),
+            dn_ptr: vec![0],
+            dn_idx: Vec::new(),
+            dn_slot: Vec::new(),
+            k_ptr: vec![0],
+            kops: Vec::new(),
+            bik_idx: Vec::new(),
+            dist_idx: Vec::new(),
+            dist_slot: Vec::new(),
+            em_ptr: vec![0],
+            em_slot: Vec::new(),
+        };
+        let mut rowptr = Vec::with_capacity(n + 1);
+        let mut colidx: Vec<usize> = Vec::new();
+        let mut values: Vec<f64> = Vec::new();
+        rowptr.push(0);
+
+        // Mirrors the builder's per-row state exactly (same stamp
+        // discipline, same traversal order) so the recorded additions
+        // replay in the builder's order.
+        let mut chat_row = vec![usize::MAX; n];
+        let mut chat_pos = vec![0usize; n];
+        let mut strong_row = vec![usize::MAX; n];
+        let mut chat: Vec<usize> = Vec::new();
+        let mut num: Vec<f64> = Vec::new();
+        let mut bik_tmp: Vec<u32> = Vec::new();
+        let mut dist_tmp: Vec<(u32, u32)> = Vec::new();
+
+        let close_row = |t: &mut ExtITape| {
+            t.at_ptr.push(idx(t.at_idx.len()));
+            t.dn_ptr.push(idx(t.dn_idx.len()));
+            t.k_ptr.push(idx(t.kops.len()));
+            t.em_ptr.push(idx(t.em_slot.len()));
+        };
+
+        for i in 0..n {
+            if cf.is_coarse[i] {
+                colidx.push(cf.cmap[i]);
+                values.push(1.0);
+                rowptr.push(colidx.len());
+                t.nslots.push(0);
+                close_row(&mut t);
+                continue;
+            }
+            chat.clear();
+            num.clear();
+            for &j in s.row_cols(i) {
+                strong_row[j] = i;
+            }
+            let add_chat = |c: usize,
+                            chat: &mut Vec<usize>,
+                            num: &mut Vec<f64>,
+                            chat_row: &mut [usize],
+                            chat_pos: &mut [usize]| {
+                if chat_row[c] != i {
+                    chat_row[c] = i;
+                    chat_pos[c] = chat.len();
+                    chat.push(c);
+                    num.push(0.0);
+                }
+            };
+            for &j in s.row_cols(i) {
+                if cf.is_coarse[j] {
+                    add_chat(j, &mut chat, &mut num, &mut chat_row, &mut chat_pos);
+                } else {
+                    for &k in s.row_cols(j) {
+                        if cf.is_coarse[k] {
+                            add_chat(k, &mut chat, &mut num, &mut chat_row, &mut chat_pos);
+                        }
+                    }
+                }
+            }
+            t.nslots.push(idx(chat.len()));
+            t.max_slots = t.max_slots.max(chat.len());
+            if chat.is_empty() {
+                rowptr.push(colidx.len());
+                close_row(&mut t);
+                continue;
+            }
+            let a_row0 = a.row_range(i).start;
+            let mut atilde = 0.0f64;
+            for (off, (j, v)) in a.row_iter(i).enumerate() {
+                if j == i {
+                    atilde += v;
+                    t.at_idx.push(idx(a_row0 + off));
+                } else if chat_row[j] == i {
+                    num[chat_pos[j]] += v;
+                    t.dn_idx.push(idx(a_row0 + off));
+                    t.dn_slot.push(idx(chat_pos[j]));
+                } else if strong_row[j] != i {
+                    atilde += v;
+                    t.at_idx.push(idx(a_row0 + off));
+                }
+            }
+            for (off, (k, aik)) in a.row_iter(i).enumerate() {
+                if k == i || strong_row[k] != i || cf.is_coarse[k] {
+                    continue;
+                }
+                let akk = a.diag(k);
+                let k_row0 = a.row_range(k).start;
+                let mut bik = 0.0f64;
+                let mut abar_ki = 0.0f64;
+                let mut abar_at = u32::MAX;
+                bik_tmp.clear();
+                for (koff, (l, v)) in a.row_iter(k).enumerate() {
+                    if v * akk < 0.0 {
+                        if l == i {
+                            bik += v;
+                            abar_ki = v;
+                            abar_at = idx(k_row0 + koff);
+                            bik_tmp.push(idx(k_row0 + koff));
+                        } else if chat_row[l] == i {
+                            bik += v;
+                            bik_tmp.push(idx(k_row0 + koff));
+                        }
+                    }
+                }
+                if bik == 0.0 {
+                    // Frozen lump decision: empty b_ik range.
+                    atilde += aik;
+                    t.kops.push(KOp {
+                        aik: idx(a_row0 + off),
+                        abar: u32::MAX,
+                        bik_end: idx(t.bik_idx.len()),
+                        dist_end: idx(t.dist_idx.len()),
+                    });
+                    continue;
+                }
+                let coef = aik / bik;
+                atilde += coef * abar_ki;
+                dist_tmp.clear();
+                for (koff, (l, v)) in a.row_iter(k).enumerate() {
+                    if l != i && v * akk < 0.0 && chat_row[l] == i {
+                        num[chat_pos[l]] += coef * v;
+                        dist_tmp.push((idx(k_row0 + koff), idx(chat_pos[l])));
+                    }
+                }
+                t.bik_idx.extend_from_slice(&bik_tmp);
+                for &(di, ds) in &dist_tmp {
+                    t.dist_idx.push(di);
+                    t.dist_slot.push(ds);
+                }
+                t.kops.push(KOp {
+                    aik: idx(a_row0 + off),
+                    abar: abar_at,
+                    bik_end: idx(t.bik_idx.len()),
+                    dist_end: idx(t.dist_idx.len()),
+                });
+            }
+            if atilde == 0.0 {
+                // Frozen empty-row decision: nothing emitted.
+                rowptr.push(colidx.len());
+                close_row(&mut t);
+                continue;
+            }
+            for (pos, &c) in chat.iter().enumerate() {
+                let w = -num[pos] / atilde;
+                if w != 0.0 {
+                    colidx.push(cf.cmap[c]);
+                    values.push(w);
+                    t.em_slot.push(idx(pos));
+                }
+            }
+            rowptr.push(colidx.len());
+            close_row(&mut t);
+        }
+        t.raw = Csr::from_parts_unchecked(n, cf.nc, rowptr, colidx, values);
+        t
+    }
+
+    /// Re-executes the frozen circuit against `a`'s values. `a` must have
+    /// the sparsity pattern the tape was captured from (same nnz layout —
+    /// the refresh path's finest-level guard establishes this).
+    pub fn replay(&self, a: &Csr) -> Csr {
+        let n = self.raw.nrows();
+        debug_assert_eq!(a.nrows(), n);
+        let av = a.values();
+        let mut values = self.raw.values().to_vec();
+        let mut num = vec![0.0f64; self.max_slots];
+        // Running cursors into the KOp sub-streams.
+        let mut cb = 0usize;
+        let mut cd = 0usize;
+        for i in 0..n {
+            let kr = self.k_ptr[i] as usize..self.k_ptr[i + 1] as usize;
+            let er = self.em_ptr[i] as usize..self.em_ptr[i + 1] as usize;
+            if er.is_empty() {
+                // Coarse identity row, empty row, or frozen-dead row:
+                // values come from the template; skip the cursors past
+                // any recorded (unemitted) work.
+                if let Some(last) = self.kops[kr.clone()].last() {
+                    cb = last.bik_end as usize;
+                    cd = last.dist_end as usize;
+                }
+                continue;
+            }
+            for s in &mut num[..self.nslots[i] as usize] {
+                *s = 0.0;
+            }
+            let mut atilde = 0.0f64;
+            for &ix in &self.at_idx[self.at_ptr[i] as usize..self.at_ptr[i + 1] as usize] {
+                atilde += av[ix as usize];
+            }
+            let dnr = self.dn_ptr[i] as usize..self.dn_ptr[i + 1] as usize;
+            for (&ix, &sl) in self.dn_idx[dnr.clone()].iter().zip(&self.dn_slot[dnr]) {
+                num[sl as usize] += av[ix as usize];
+            }
+            for op in &self.kops[kr] {
+                let b0 = cb;
+                cb = op.bik_end as usize;
+                let d0 = cd;
+                cd = op.dist_end as usize;
+                if b0 == cb {
+                    // Frozen lump.
+                    atilde += av[op.aik as usize];
+                    continue;
+                }
+                let mut bik = 0.0f64;
+                for &ix in &self.bik_idx[b0..cb] {
+                    bik += av[ix as usize];
+                }
+                let coef = av[op.aik as usize] / bik;
+                let abar = if op.abar == u32::MAX {
+                    0.0
+                } else {
+                    av[op.abar as usize]
+                };
+                atilde += coef * abar;
+                for (&ix, &sl) in self.dist_idx[d0..cd].iter().zip(&self.dist_slot[d0..cd]) {
+                    num[sl as usize] += coef * av[ix as usize];
+                }
+            }
+            let row0 = self.raw.row_range(i).start;
+            for (off, &sl) in self.em_slot[er].iter().enumerate() {
+                values[row0 + off] = -num[sl as usize] / atilde;
+            }
+        }
+        Csr::from_parts_unchecked(
+            n,
+            self.raw.ncols(),
+            self.raw.rowptr().to_vec(),
+            self.raw.colidx().to_vec(),
+            values,
+        )
+    }
+
+    /// The frozen untruncated operator captured alongside the tape.
+    pub fn raw(&self) -> &Csr {
+        &self.raw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::extended_i;
+    use super::*;
+    use crate::coarsen::pmis;
+    use crate::strength::strength;
+    use famg_matgen::{laplace3d_7pt, varcoef3d_7pt};
+
+    fn setup(a: &Csr, seed: u64) -> (Csr, CfMap) {
+        let s = strength(a, 0.25, 0.8);
+        let c = pmis(&s, seed);
+        (s, CfMap::new(c.is_coarse))
+    }
+
+    #[test]
+    fn capture_byproduct_matches_builder() {
+        let a = laplace3d_7pt(9, 8, 7);
+        let (s, cf) = setup(&a, 3);
+        let tape = ExtITape::capture(&a, &s, &cf);
+        assert_eq!(tape.raw(), &extended_i(&a, &s, &cf, None));
+    }
+
+    #[test]
+    fn replay_on_same_values_is_bitwise_identity() {
+        let a = laplace3d_7pt(8, 8, 8);
+        let (s, cf) = setup(&a, 5);
+        let tape = ExtITape::capture(&a, &s, &cf);
+        assert_eq!(tape.replay(&a), extended_i(&a, &s, &cf, None));
+    }
+
+    #[test]
+    fn replay_tracks_value_drift_bitwise() {
+        let (nx, ny, nz) = (9, 9, 6);
+        let field: Vec<f64> = (0..nx * ny * nz)
+            .map(|i| 1.0 + 0.5 * ((i % 17) as f64 / 17.0))
+            .collect();
+        let a1 = varcoef3d_7pt(nx, ny, nz, &field);
+        let (s, cf) = setup(&a1, 7);
+        let tape = ExtITape::capture(&a1, &s, &cf);
+        // Small multiplicative drift keeps every frozen sign/zero
+        // decision; the replay must equal a fresh build bitwise.
+        let drift: Vec<f64> = field
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| k * (1.0 + 1e-5 * ((i % 13) as f64 - 6.0)))
+            .collect();
+        let a2 = varcoef3d_7pt(nx, ny, nz, &drift);
+        assert!(a1.same_pattern(&a2));
+        assert_eq!(tape.replay(&a2), extended_i(&a2, &s, &cf, None));
+    }
+}

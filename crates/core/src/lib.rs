@@ -25,6 +25,8 @@
 //! * [`smoother`] — Jacobi, hybrid Gauss-Seidel (baseline + optimized),
 //!   lexicographic level-scheduled GS, multicolor GS,
 //! * [`hierarchy`] — multigrid level construction (setup phase),
+//! * [`refresh`] — numeric-refresh setup over frozen pattern structure
+//!   for same-pattern operator sequences,
 //! * [`cycle`] — V-cycle application,
 //! * [`solver`] — the user-facing [`AmgSolver`] with timing breakdowns.
 
@@ -37,6 +39,7 @@ pub mod cycle;
 pub mod hierarchy;
 pub mod interp;
 pub mod params;
+pub mod refresh;
 pub mod reorder;
 pub mod rng;
 pub mod smoother;
@@ -47,5 +50,6 @@ pub mod strength;
 
 pub use hierarchy::Hierarchy;
 pub use params::{AmgConfig, CoarsenKind, InterpKind, OptFlags, SmootherKind};
+pub use refresh::{FrozenSetup, RefreshError};
 pub use solver::{AmgSolver, SolveResult};
 pub use stats::{PhaseTimes, SetupStats};

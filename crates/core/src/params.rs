@@ -83,6 +83,13 @@ pub struct OptFlags {
     pub fused_residual_norm: bool,
     /// Fuse interpolation truncation into row construction (§3.1.2).
     pub fused_truncation: bool,
+    /// Pick the SpGEMM kernel per product by estimated flops: cache-resident
+    /// products take the two-pass kernel (whose second pass writes straight
+    /// into the exact-sized output, beating the one-pass chunk copy on small
+    /// levels — the 4.2 ms vs 5.0 ms anomaly in EXPERIMENTS.md), large ones
+    /// take the one-pass kernel. When off, `one_pass_spgemm` alone decides,
+    /// so the ablation bins can still force either kernel unconditionally.
+    pub adaptive_spgemm: bool,
 }
 
 impl OptFlags {
@@ -96,6 +103,7 @@ impl OptFlags {
             reordered_smoother: true,
             fused_residual_norm: true,
             fused_truncation: true,
+            adaptive_spgemm: true,
         }
     }
 
@@ -109,6 +117,7 @@ impl OptFlags {
             reordered_smoother: false,
             fused_residual_norm: false,
             fused_truncation: false,
+            adaptive_spgemm: false,
         }
     }
 }

@@ -1,0 +1,619 @@
+//! Numeric-refresh setup: rebuilds a hierarchy's values over frozen
+//! pattern-derived structure (§3.1.1 taken end-to-end).
+//!
+//! A full AMG setup makes two kinds of decisions:
+//!
+//! * **pattern-derived** — strength-graph topology, CF splitting,
+//!   interpolation sparsity, the symbolic structure of the Galerkin
+//!   products, CF permutations, and smoother task geometry. These depend
+//!   only on the operator's sparsity pattern (plus thresholds applied to
+//!   its values at freeze time);
+//! * **value-derived** — interpolation weights, coarse-operator values,
+//!   smoother diagonals, and the coarsest-level factorization.
+//!
+//! Time-dependent and Newton-type workloads re-solve with the *same
+//! pattern* and new values hundreds of times. [`Hierarchy::build_frozen`]
+//! captures the pattern-derived half into a [`FrozenSetup`];
+//! [`Hierarchy::refresh`] then absorbs a same-pattern operator by
+//! re-running only branch-free numeric passes (interpolation weights over
+//! the frozen strength/CF inputs, numeric-only RAP into the frozen coarse
+//! patterns, smoother extraction) — strength computation, PMIS,
+//! permutation construction, and symbolic SpGEMM are skipped entirely.
+//!
+//! ## Refresh contract
+//!
+//! * Refresh with the operator the hierarchy was frozen from — or any
+//!   same-pattern operator whose values induce the same frozen decisions —
+//!   yields a hierarchy bitwise identical to a from-scratch
+//!   [`Hierarchy::build`] on that operator.
+//! * A mismatched input pattern, or values that drive an interpolation
+//!   builder off the frozen sparsity, returns
+//!   [`RefreshError::PatternMismatch`] and leaves the hierarchy in its
+//!   previous (fully usable) state — never a silently wrong answer. The
+//!   refresh is transactional: new levels are assembled on the side and
+//!   swapped in only after every level succeeds.
+//! * Under the `validate` feature each refresh cross-checks itself
+//!   against a from-scratch build and panics if any level drifts beyond
+//!   1e-12, catching value changes that silently flip a frozen decision
+//!   (e.g. a strength threshold crossing).
+
+use crate::coarsen::Coarsening;
+use crate::hierarchy::{build_interp, build_smoother, extract_fine_block};
+use crate::hierarchy::{Hierarchy, Level, TransferOps};
+use crate::interp::{CfMap, ExtITape};
+use crate::params::{AmgConfig, InterpKind};
+use crate::stats::PhaseTimes;
+use famg_sparse::dense::{DenseMatrix, LuFactor};
+use famg_sparse::permute::permute_symmetric;
+use famg_sparse::transpose::transpose_par;
+use famg_sparse::triple::{
+    rap_cf_numeric, rap_cf_numeric_from_parts, rap_row_fused_numeric, rap_scalar_fused_numeric,
+};
+use famg_sparse::Csr;
+use std::time::Instant;
+
+/// A frozen value-move: an output pattern plus, for every output
+/// nonzero, the source value-array position it copies from.
+///
+/// The setup phase contains several transforms that only *relocate*
+/// values — symmetric permutation, CF block splitting, transposition.
+/// Their symbolic side (destination layout) is pattern-derived, so it is
+/// captured once by running the original transform over an index-valued
+/// matrix ([`index_valued`]); refresh then replays each as a single
+/// branch-free gather, bitwise identical to re-running the transform.
+#[derive(Debug)]
+pub(crate) struct ValueMap {
+    /// Output pattern template (values are freeze-time scribble).
+    out: Csr,
+    /// For each output nnz, the source nnz it copies.
+    src: Vec<u32>,
+}
+
+impl ValueMap {
+    /// Harvests the map from a transform's output over an index-valued
+    /// input: each output value *is* the source position it came from.
+    pub(crate) fn capture(transformed: Csr) -> ValueMap {
+        let src = transformed
+            .values()
+            .iter()
+            .map(|&v| {
+                debug_assert_eq!(
+                    v,
+                    f64::from(v as u32),
+                    "not an index-valued transform output"
+                );
+                v as u32
+            })
+            .collect();
+        ValueMap {
+            out: transformed,
+            src,
+        }
+    }
+
+    /// Replays the move against a new source value array.
+    pub(crate) fn apply(&self, source: &[f64]) -> Csr {
+        let values: Vec<f64> = self.src.iter().map(|&k| source[k as usize]).collect();
+        Csr::from_parts_unchecked(
+            self.out.nrows(),
+            self.out.ncols(),
+            self.out.rowptr().to_vec(),
+            self.out.colidx().to_vec(),
+            values,
+        )
+    }
+}
+
+/// A matrix with `pattern`'s sparsity whose k-th stored value is `k` —
+/// feed it through a value-moving transform to learn where each value
+/// lands (the transform must be arithmetic-free on values).
+pub(crate) fn index_valued(pattern: &Csr) -> Csr {
+    assert!(
+        u32::try_from(pattern.nnz()).is_ok(),
+        "value-map capture: nnz exceeds u32"
+    );
+    Csr::from_parts_unchecked(
+        pattern.nrows(),
+        pattern.ncols(),
+        pattern.rowptr().to_vec(),
+        pattern.colidx().to_vec(),
+        (0..pattern.nnz()).map(|k| k as f64).collect(),
+    )
+}
+
+/// Everything pattern-derived about one level, captured at build time.
+///
+/// `s`, `stage1`, `final_c`, and `cf` are stored in the level's *builder*
+/// ordering (CF-permuted on the optimized path), i.e. exactly as the
+/// interpolation builders consumed them during the full build.
+#[derive(Debug)]
+pub struct FrozenLevel {
+    /// Strength matrix. Only its pattern is consumed on refresh (the
+    /// interpolation builders read `a`'s values directly and `s`'s
+    /// pattern only), so the values are freeze-time stale by design.
+    pub(crate) s: Csr,
+    /// First-stage coarsening for the aggressive schemes.
+    pub(crate) stage1: Option<Coarsening>,
+    /// Final coarsening.
+    pub(crate) final_c: Coarsening,
+    /// CF map the interpolation builders were invoked with.
+    pub(crate) cf: CfMap,
+    /// Frozen interpolation pattern (full `n × nc` form); refresh
+    /// verifies the rebuilt operator lands exactly on it.
+    pub(crate) p: Csr,
+    /// Numeric replay tape for extended+i levels: the builder's
+    /// arithmetic circuit recorded at freeze time, so refresh skips the
+    /// structure-discovery passes entirely. `None` for other schemes.
+    pub(crate) tape: Option<ExtITape>,
+    /// CF permutation as a value gather (`current` → `A_perm`);
+    /// optimized path only.
+    pub(crate) perm_map: Option<ValueMap>,
+    /// CF block split as four value gathers (`A_perm` → `A_CC`, `A_CF`,
+    /// `A_FC`, `A_FF`); optimized path only.
+    pub(crate) cf_maps: Option<[ValueMap; 4]>,
+    /// `P_F` transposition as a value gather (`P_F` → `P_Fᵀ`);
+    /// optimized path only.
+    pub(crate) pft_map: Option<ValueMap>,
+    /// Frozen coarse-operator pattern. The values are scratch space for
+    /// the numeric RAP kernels (scribbled even on a failed refresh —
+    /// harmless, since only the pattern is ever read).
+    pub(crate) rap: Csr,
+}
+
+/// Pattern-derived setup state captured by [`Hierarchy::build_frozen`].
+#[derive(Debug)]
+pub struct FrozenSetup {
+    /// Finest-level row pointer, for the input-pattern guard.
+    pub(crate) fine_rowptr: Vec<usize>,
+    /// Finest-level column indices, for the input-pattern guard.
+    pub(crate) fine_colidx: Vec<usize>,
+    /// Per-level frozen structure (one entry per non-coarsest level).
+    pub(crate) levels: Vec<FrozenLevel>,
+}
+
+impl FrozenSetup {
+    /// True when `a` has exactly the sparsity pattern this setup was
+    /// frozen from.
+    pub fn matches_pattern(&self, a: &Csr) -> bool {
+        a.nrows() == a.ncols()
+            && a.rowptr() == &self.fine_rowptr[..]
+            && a.colidx() == &self.fine_colidx[..]
+    }
+}
+
+/// Why a refresh was refused. The hierarchy is untouched in every case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefreshError {
+    /// The new operator (level 0) or a rebuilt interpolation operator
+    /// (level ≥ 0) does not match the frozen sparsity structure.
+    PatternMismatch {
+        /// Multigrid level the mismatch was detected on.
+        level: usize,
+        /// Which artifact mismatched.
+        what: &'static str,
+    },
+    /// The solver was set up without [`Hierarchy::build_frozen`] (no
+    /// frozen structure to refresh against).
+    NoFrozenSetup,
+}
+
+impl std::fmt::Display for RefreshError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RefreshError::PatternMismatch { level, what } => write!(
+                f,
+                "refresh pattern mismatch at level {level}: {what} does not \
+                 match the frozen structure (rebuild with `setup` instead)"
+            ),
+            RefreshError::NoFrozenSetup => write!(
+                f,
+                "no frozen setup captured; use `setup_refreshable` to enable refresh"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RefreshError {}
+
+/// Projects an untruncated interpolation operator onto a frozen truncated
+/// pattern, replaying [`crate::interp::truncate_row`]'s row-sum-preserving
+/// rescale over the frozen kept set.
+///
+/// When the new values would have led truncation to the same kept set,
+/// this is bitwise identical to truncating from scratch (`sum_before`
+/// accumulates the raw row in emit order, `sum_after` the kept entries in
+/// frozen order — the exact same additions `truncate_row` performs).
+/// When the kept set *would* have drifted, the frozen sparsity wins: the
+/// result is still a consistent row-sum-preserving operator, just not the
+/// one a from-scratch truncation would pick (the classic frozen-symbolic
+/// trade; the `validate` cross-check reports such drift).
+fn project_onto_frozen(raw: &Csr, frozen: &Csr) -> Csr {
+    let n = frozen.nrows();
+    debug_assert_eq!(raw.nrows(), n);
+    debug_assert_eq!(raw.ncols(), frozen.ncols());
+    let mut values = vec![0.0f64; frozen.nnz()];
+    // Row-stamped markers: position of each column in the raw row.
+    let mut stamp = vec![usize::MAX; frozen.ncols()];
+    let mut pos = vec![0usize; frozen.ncols()];
+    for i in 0..n {
+        for (k, &c) in raw.row_cols(i).iter().enumerate() {
+            stamp[c] = i;
+            pos[c] = k;
+        }
+        let rvals = raw.row_vals(i);
+        let sum_before: f64 = rvals.iter().sum();
+        let out = &mut values[frozen.row_range(i)];
+        let mut sum_after = 0.0f64;
+        for (o, &c) in out.iter_mut().zip(frozen.row_cols(i)) {
+            // A frozen entry the new weights no longer produce stays as
+            // an explicit zero (pattern is frozen by contract).
+            *o = if stamp[c] == i { rvals[pos[c]] } else { 0.0 };
+            sum_after += *o;
+        }
+        if sum_after != 0.0 && sum_before != 0.0 {
+            let scale = sum_before / sum_after;
+            for o in out.iter_mut() {
+                *o *= scale;
+            }
+        }
+    }
+    Csr::from_parts_unchecked(
+        n,
+        frozen.ncols(),
+        frozen.rowptr().to_vec(),
+        frozen.colidx().to_vec(),
+        values,
+    )
+}
+
+/// Rebuilds the interpolation weights for one level over the frozen
+/// inputs.
+///
+/// The single-shot schemes (direct, classical, extended+i) recompute raw
+/// weights and project them onto the frozen sparsity — truncation's
+/// kept-set selection is itself a frozen pattern decision, so refresh
+/// never re-runs it. The composed schemes (multipass, two-stage) truncate
+/// *inside* their stages, so they are re-run in full and must land
+/// exactly on the frozen pattern; drifting off it is an error.
+fn refresh_interp(
+    a: &Csr,
+    fl: &FrozenLevel,
+    level: usize,
+    cfg: &AmgConfig,
+) -> Result<Csr, RefreshError> {
+    let (_, ikind) = cfg.level_scheme(level);
+    match ikind {
+        InterpKind::Direct | InterpKind::Classical | InterpKind::ExtendedI => {
+            let raw = match (ikind, fl.tape.as_ref()) {
+                // Extended+i replays its frozen arithmetic circuit — no
+                // structure discovery, just indexed loads and flops.
+                (InterpKind::ExtendedI, Some(tape)) => tape.replay(a),
+                (InterpKind::ExtendedI, None) => crate::interp::extended_i(a, &fl.s, &fl.cf, None),
+                (InterpKind::Direct, _) => crate::interp::direct(a, &fl.s, &fl.cf, None),
+                _ => crate::interp::classical(a, &fl.s, &fl.cf, None),
+            };
+            Ok(project_onto_frozen(&raw, &fl.p))
+        }
+        InterpKind::Multipass | InterpKind::TwoStageExtendedI => {
+            let p = build_interp(
+                a,
+                &fl.s,
+                &fl.cf,
+                fl.stage1.as_ref(),
+                &fl.final_c,
+                ikind,
+                cfg,
+            );
+            if p.same_pattern(&fl.p) {
+                Ok(p)
+            } else {
+                Err(RefreshError::PatternMismatch {
+                    level,
+                    what: "interpolation operator",
+                })
+            }
+        }
+    }
+}
+
+impl Hierarchy {
+    /// Absorbs a same-pattern operator: re-runs only the value-derived
+    /// setup stages over `frozen`'s pattern-derived structure. On success
+    /// the hierarchy is bitwise identical to `Hierarchy::build(a, cfg)`
+    /// whenever `a`'s values induce the same frozen decisions; on error
+    /// the hierarchy is left unchanged.
+    pub fn refresh(&mut self, a: &Csr, frozen: &mut FrozenSetup) -> Result<(), RefreshError> {
+        if !frozen.matches_pattern(a) {
+            return Err(RefreshError::PatternMismatch {
+                level: 0,
+                what: "finest operator",
+            });
+        }
+        if frozen.levels.len() + 1 != self.levels.len() {
+            return Err(RefreshError::PatternMismatch {
+                level: 0,
+                what: "level count",
+            });
+        }
+        let cfg = self.config.clone();
+        let mut times = PhaseTimes::default();
+        let mut levels: Vec<Level> = Vec::with_capacity(self.levels.len());
+        let mut current: Csr = a.clone();
+
+        for (idx, fl) in frozen.levels.iter_mut().enumerate() {
+            let nc = fl.cf.nc;
+            if cfg.opt.cf_reorder {
+                // --- Optimized path: reuse the frozen permutation. ---
+                let t0 = Instant::now();
+                let perm = self.levels[idx]
+                    .perm
+                    .clone()
+                    .expect("cf_reorder level must carry a permutation");
+                let ap = match &fl.perm_map {
+                    Some(m) => m.apply(current.values()),
+                    None => permute_symmetric(&current, &perm),
+                };
+                times.setup_etc += t0.elapsed();
+
+                let t0 = Instant::now();
+                let p_full = refresh_interp(&ap, fl, idx, &cfg)?;
+                times.interp += t0.elapsed();
+
+                let t0 = Instant::now();
+                let pf = extract_fine_block(&p_full, nc);
+                let pft = match &fl.pft_map {
+                    Some(m) => m.apply(pf.values()),
+                    None => transpose_par(&pf),
+                };
+                times.setup_etc += t0.elapsed();
+
+                // --- Numeric-only RAP into the frozen coarse pattern. ---
+                let t0 = Instant::now();
+                match &fl.cf_maps {
+                    Some([mcc, mcf, mfc, mff]) => {
+                        let av = ap.values();
+                        let (a_cc, a_cf) = (mcc.apply(av), mcf.apply(av));
+                        let (a_fc, a_ff) = (mfc.apply(av), mff.apply(av));
+                        rap_cf_numeric(&a_cc, &a_cf, &a_fc, &a_ff, &pf, &pft, &mut fl.rap);
+                    }
+                    None => rap_cf_numeric_from_parts(&ap, nc, &pf, &mut fl.rap),
+                }
+                times.rap += t0.elapsed();
+                let next = fl.rap.clone();
+
+                let t0 = Instant::now();
+                let mut ap = ap;
+                let smoother = build_smoother(&mut ap, nc, None, &cfg);
+                times.setup_etc += t0.elapsed();
+
+                levels.push(Level {
+                    a: ap,
+                    perm: Some(perm),
+                    nc,
+                    ops: Some(TransferOps::CfBlock { pf, pft }),
+                    smoother,
+                });
+                current = next;
+            } else {
+                // --- Baseline path: original ordering throughout. ---
+                let t0 = Instant::now();
+                let p = refresh_interp(&current, fl, idx, &cfg)?;
+                times.interp += t0.elapsed();
+
+                let t0 = Instant::now();
+                let r = transpose_par(&p);
+                if cfg.opt.row_fused_rap {
+                    rap_row_fused_numeric(&r, &current, &p, &mut fl.rap);
+                } else {
+                    rap_scalar_fused_numeric(&r, &current, &p, &mut fl.rap);
+                }
+                times.rap += t0.elapsed();
+                let next = fl.rap.clone();
+
+                let t0 = Instant::now();
+                let mut cur = current;
+                let smoother = build_smoother(&mut cur, nc, Some(&fl.final_c.is_coarse), &cfg);
+                let r_kept = cfg.opt.keep_transpose.then_some(r);
+                times.setup_etc += t0.elapsed();
+
+                levels.push(Level {
+                    a: cur,
+                    perm: None,
+                    nc,
+                    ops: Some(TransferOps::Full { p, r: r_kept }),
+                    smoother,
+                });
+                current = next;
+            }
+        }
+
+        // --- Coarsest level: refactor LU over the new values. ---
+        let t0 = Instant::now();
+        let coarse_lu = if current.nrows() <= cfg.coarse_solve_size && current.nrows() > 0 {
+            LuFactor::new(&DenseMatrix::from_csr(&current))
+        } else {
+            None
+        };
+        let mut cur = current;
+        let smoother = build_smoother(&mut cur, 0, None, &cfg);
+        levels.push(Level {
+            a: cur,
+            perm: None,
+            nc: 0,
+            ops: None,
+            smoother,
+        });
+        times.setup_etc += t0.elapsed();
+
+        #[cfg(feature = "validate")]
+        validate_refresh(&levels, a, &cfg);
+
+        // Commit only now that every level succeeded.
+        self.levels = levels;
+        self.coarse_lu = coarse_lu;
+        self.times = times;
+        Ok(())
+    }
+}
+
+/// `validate`-feature cross-check: a refreshed hierarchy must agree with
+/// a from-scratch build on the same numeric operator to 1e-12 on every
+/// level (same patterns, same values). A failure means the new values
+/// silently flipped a frozen pattern decision — the refresh result is
+/// still a consistent Galerkin hierarchy, but no longer the one a full
+/// setup would produce.
+#[cfg(feature = "validate")]
+fn validate_refresh(levels: &[Level], a: &Csr, cfg: &AmgConfig) {
+    let fresh = Hierarchy::build(a, cfg);
+    assert_eq!(
+        fresh.levels.len(),
+        levels.len(),
+        "refresh validation: level count drifted"
+    );
+    for (lvl, (refreshed, scratch)) in levels.iter().zip(&fresh.levels).enumerate() {
+        assert!(
+            refreshed.a.same_pattern(&scratch.a),
+            "refresh validation: operator pattern drifted at level {lvl}"
+        );
+        let scale = scratch
+            .a
+            .values()
+            .iter()
+            .fold(1.0f64, |m, v| m.max(v.abs()));
+        for (x, y) in refreshed.a.values().iter().zip(scratch.a.values()) {
+            assert!(
+                (x - y).abs() <= 1e-12 * scale,
+                "refresh validation: operator values drifted at level {lvl}: {x} vs {y}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use famg_matgen::{laplace2d, varcoef3d_7pt};
+
+    fn fields(nx: usize, ny: usize, nz: usize, shift: f64) -> Vec<f64> {
+        // Smooth positive coefficient field. `shift != 0` applies a small
+        // multiplicative drift, modelling a time step of a coefficient
+        // evolution: values change everywhere, but gently enough that no
+        // frozen threshold decision (strength cut, truncation kept-set)
+        // flips — the regime the refresh path is built for.
+        (0..nx * ny * nz)
+            .map(|i| {
+                let x = (i % nx) as f64 / nx as f64;
+                let t = (i / nx) as f64 / (ny * nz) as f64;
+                let base = 1.0 + 0.5 * (6.0 * (x + t)).sin().powi(2);
+                base * (1.0 + 1e-5 * shift * (9.0 * (x - t)).cos())
+            })
+            .collect()
+    }
+
+    fn configs() -> Vec<AmgConfig> {
+        vec![
+            AmgConfig::single_node_paper(),
+            AmgConfig::single_node_baseline(),
+            AmgConfig::multi_node_mp(),
+            AmgConfig::multi_node_2s_ei444(),
+        ]
+    }
+
+    #[test]
+    fn refresh_matches_full_rebuild_bitwise() {
+        let (nx, ny, nz) = (12, 12, 8);
+        let a1 = varcoef3d_7pt(nx, ny, nz, &fields(nx, ny, nz, 0.0));
+        let a2 = varcoef3d_7pt(nx, ny, nz, &fields(nx, ny, nz, 0.35));
+        assert!(a1.same_pattern(&a2));
+        for cfg in configs() {
+            let (mut h, mut frozen) = Hierarchy::build_frozen(&a1, &cfg);
+            h.refresh(&a2, &mut frozen).unwrap();
+            let full = Hierarchy::build(&a2, &cfg);
+            assert_eq!(h.levels.len(), full.levels.len(), "{:?}", cfg.interp);
+            for (lvl, (r, f)) in h.levels.iter().zip(&full.levels).enumerate() {
+                assert_eq!(
+                    r.a, f.a,
+                    "operator differs at level {lvl} ({:?})",
+                    cfg.interp
+                );
+                match (r.ops.as_ref(), f.ops.as_ref()) {
+                    (None, None) => {}
+                    (
+                        Some(TransferOps::Full { p: rp, r: rr }),
+                        Some(TransferOps::Full { p: fp, r: fr }),
+                    ) => {
+                        assert_eq!(rp, fp, "P differs at level {lvl}");
+                        assert_eq!(rr, fr, "R differs at level {lvl}");
+                    }
+                    (
+                        Some(TransferOps::CfBlock { pf: ra, pft: rb }),
+                        Some(TransferOps::CfBlock { pf: fa, pft: fb }),
+                    ) => {
+                        assert_eq!(ra, fa, "P_F differs at level {lvl}");
+                        assert_eq!(rb, fb, "P_Fᵀ differs at level {lvl}");
+                    }
+                    _ => panic!("transfer representation differs at level {lvl}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refresh_with_identical_values_is_identity() {
+        let a = laplace2d(32, 32);
+        let cfg = AmgConfig::single_node_paper();
+        let (mut h, mut frozen) = Hierarchy::build_frozen(&a, &cfg);
+        let before: Vec<Csr> = h.levels.iter().map(|l| l.a.clone()).collect();
+        h.refresh(&a, &mut frozen).unwrap();
+        for (lvl, (now, then)) in h.levels.iter().zip(&before).enumerate() {
+            assert_eq!(&now.a, then, "level {lvl}");
+        }
+    }
+
+    #[test]
+    fn mismatched_pattern_is_an_error_and_leaves_state_intact() {
+        let a = laplace2d(24, 24);
+        let cfg = AmgConfig::single_node_paper();
+        let (mut h, mut frozen) = Hierarchy::build_frozen(&a, &cfg);
+        let before: Vec<Csr> = h.levels.iter().map(|l| l.a.clone()).collect();
+        // Different pattern: a finer grid.
+        let other = laplace2d(25, 24);
+        let err = h.refresh(&other, &mut frozen).unwrap_err();
+        assert!(matches!(
+            err,
+            RefreshError::PatternMismatch { level: 0, .. }
+        ));
+        // Same shape, different pattern.
+        let diagonal = Csr::identity(24 * 24);
+        let err = h.refresh(&diagonal, &mut frozen).unwrap_err();
+        assert!(matches!(err, RefreshError::PatternMismatch { .. }));
+        for (now, then) in h.levels.iter().zip(&before) {
+            assert_eq!(&now.a, then, "failed refresh must not corrupt state");
+        }
+        // And the hierarchy still refreshes fine afterwards.
+        h.refresh(&a, &mut frozen).unwrap();
+    }
+
+    #[test]
+    fn refresh_covers_all_interp_kinds() {
+        let (nx, ny, nz) = (10, 10, 6);
+        let a1 = varcoef3d_7pt(nx, ny, nz, &fields(nx, ny, nz, 0.1));
+        let a2 = varcoef3d_7pt(nx, ny, nz, &fields(nx, ny, nz, 0.9));
+        for ikind in [
+            InterpKind::Direct,
+            InterpKind::Classical,
+            InterpKind::ExtendedI,
+        ] {
+            let cfg = AmgConfig {
+                interp: ikind,
+                ..AmgConfig::single_node_paper()
+            };
+            let (mut h, mut frozen) = Hierarchy::build_frozen(&a1, &cfg);
+            h.refresh(&a2, &mut frozen).unwrap();
+            let full = Hierarchy::build(&a2, &cfg);
+            for (lvl, (r, f)) in h.levels.iter().zip(&full.levels).enumerate() {
+                assert_eq!(r.a, f.a, "{ikind:?} level {lvl}");
+            }
+        }
+    }
+}

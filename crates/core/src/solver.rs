@@ -10,6 +10,7 @@
 use crate::cycle::{vcycle, CycleWorkspace};
 use crate::hierarchy::Hierarchy;
 use crate::params::AmgConfig;
+use crate::refresh::{FrozenSetup, RefreshError};
 use crate::stats::PhaseTimes;
 use famg_sparse::spmv::{residual_norm_sq, residual_norm_sq_unfused};
 use famg_sparse::vecops;
@@ -53,6 +54,7 @@ pub struct SolveResult {
 #[derive(Debug)]
 pub struct AmgSolver {
     hierarchy: Hierarchy,
+    frozen: Option<FrozenSetup>,
     ws: Mutex<CycleWorkspace>,
 }
 
@@ -61,7 +63,35 @@ impl AmgSolver {
     pub fn setup(a: &Csr, cfg: &AmgConfig) -> Self {
         let hierarchy = Hierarchy::build(a, cfg);
         let ws = Mutex::new(CycleWorkspace::for_hierarchy(&hierarchy));
-        AmgSolver { hierarchy, ws }
+        AmgSolver {
+            hierarchy,
+            frozen: None,
+            ws,
+        }
+    }
+
+    /// Runs the setup phase and keeps the pattern-derived structure so
+    /// later same-pattern operators can be absorbed with
+    /// [`AmgSolver::refresh`] instead of a full re-setup.
+    pub fn setup_refreshable(a: &Csr, cfg: &AmgConfig) -> Self {
+        let (hierarchy, frozen) = Hierarchy::build_frozen(a, cfg);
+        let ws = Mutex::new(CycleWorkspace::for_hierarchy(&hierarchy));
+        AmgSolver {
+            hierarchy,
+            frozen: Some(frozen),
+            ws,
+        }
+    }
+
+    /// Absorbs a same-pattern operator by re-running only the numeric
+    /// setup stages (see [`crate::refresh`]). Errors — including a
+    /// mismatched sparsity pattern — leave the solver fully usable with
+    /// its previous operator.
+    pub fn refresh(&mut self, a: &Csr) -> Result<(), RefreshError> {
+        let frozen = self.frozen.as_mut().ok_or(RefreshError::NoFrozenSetup)?;
+        self.hierarchy.refresh(a, frozen)
+        // Level sizes are unchanged (same patterns), so the cycle
+        // workspace stays valid as-is.
     }
 
     /// The underlying hierarchy (level sizes, setup times, complexities).
@@ -85,17 +115,22 @@ impl AmgSolver {
         let mut times = PhaseTimes::default();
         let mut ws = self.ws.lock().unwrap();
 
-        // Move into the stored (possibly CF-permuted) ordering.
+        // Move into the stored (possibly CF-permuted) ordering. The
+        // buffers live in the workspace so repeated solves allocate
+        // nothing here; they are taken out so `ws` stays borrowable.
         let t0 = Instant::now();
         let perm = h.levels[0].perm.as_ref();
-        let pb: Vec<f64> = match perm {
-            Some(q) => q.apply_vec(b),
-            None => b.to_vec(),
-        };
-        let mut px: Vec<f64> = match perm {
-            Some(q) => q.apply_vec(x),
-            None => x.to_vec(),
-        };
+        let mut pb = std::mem::take(&mut ws.fine_b);
+        let mut px = std::mem::take(&mut ws.fine_x);
+        let mut r = std::mem::take(&mut ws.fine_r);
+        match perm {
+            Some(q) => q.apply_vec_into(b, &mut pb),
+            None => pb.copy_from_slice(b),
+        }
+        match perm {
+            Some(q) => q.apply_vec_into(x, &mut px),
+            None => px.copy_from_slice(x),
+        }
         times.solve_etc += t0.elapsed();
 
         let a = &h.levels[0].a;
@@ -103,7 +138,6 @@ impl AmgSolver {
         let bnorm = vecops::norm2(&pb).max(f64::MIN_POSITIVE);
         times.blas1 += t0.elapsed();
 
-        let mut r = vec![0.0; n];
         let mut history = Vec::new();
         let mut relres = {
             let t0 = Instant::now();
@@ -131,9 +165,12 @@ impl AmgSolver {
 
         let t0 = Instant::now();
         match perm {
-            Some(q) => x.copy_from_slice(&q.unapply_vec(&px)),
+            Some(q) => q.unapply_vec_into(&px, x),
             None => x.copy_from_slice(&px),
         }
+        ws.fine_b = pb;
+        ws.fine_x = px;
+        ws.fine_r = r;
         times.solve_etc += t0.elapsed();
 
         SolveResult {
@@ -152,16 +189,22 @@ impl AmgSolver {
         let mut ws = self.ws.lock().unwrap();
         let mut times = PhaseTimes::default();
         let perm = h.levels[0].perm.as_ref();
-        let pb: Vec<f64> = match perm {
-            Some(q) => q.apply_vec(rin),
-            None => rin.to_vec(),
-        };
-        let mut px = vec![0.0; rin.len()];
+        // Workspace-backed buffers: this is the FGMRES preconditioner hot
+        // path, called once per Krylov iteration.
+        let mut pb = std::mem::take(&mut ws.fine_b);
+        let mut px = std::mem::take(&mut ws.fine_x);
+        match perm {
+            Some(q) => q.apply_vec_into(rin, &mut pb),
+            None => pb.copy_from_slice(rin),
+        }
+        px.fill(0.0);
         vcycle(h, &pb, &mut px, &mut ws, &mut times);
         match perm {
-            Some(q) => z.copy_from_slice(&q.unapply_vec(&px)),
+            Some(q) => q.unapply_vec_into(&px, z),
             None => z.copy_from_slice(&px),
         }
+        ws.fine_b = pb;
+        ws.fine_x = px;
     }
 }
 

@@ -21,6 +21,7 @@ const TAG_REQ: u64 = 0x10;
 const TAG_VAL: u64 = 0x11;
 const TAG_ROW_REQ: u64 = 0x20;
 const TAG_ROW_DATA: u64 = 0x21;
+const TAG_ROW_VAL: u64 = 0x22;
 const TAG_FETCH_REQ: u64 = 0x30;
 const TAG_FETCH_VAL: u64 = 0x31;
 
@@ -248,6 +249,129 @@ pub fn gather_rows(
     GatheredRows {
         rows: needed.to_vec(),
         data,
+    }
+}
+
+/// A frozen-geometry row gather: the request routing and per-row entry
+/// counts of a [`gather_rows`] call, captured once so later exchanges
+/// ship *values only* (no column indices, no request round). This is the
+/// §4.4 persistent-communication idea applied to the SpGEMM row gather,
+/// used by the numeric-refresh setup path where every matrix pattern is
+/// frozen and only values change between solves.
+#[derive(Debug, Clone)]
+pub struct RowGatherPlan {
+    /// `(owner, start, end)` runs over the requested row list.
+    runs: Vec<(usize, usize, usize)>,
+    /// Serve side: `(requester, local row indices)`, in the order the
+    /// original request round delivered them.
+    serves: Vec<(usize, Vec<usize>)>,
+    /// Entries per gathered row, aligned with the request list.
+    row_nnz: Vec<usize>,
+}
+
+impl RowGatherPlan {
+    /// Plans the gather for the sorted global row list `needed` under the
+    /// row partition `row_starts`. `local_row_nnz(local_idx)` reports the
+    /// (frozen) entry count of an owned row. One request round plus one
+    /// count round; every later [`execute`](Self::execute) is a single
+    /// values-only message per neighbor.
+    pub fn plan(
+        comm: &Comm,
+        needed: &[usize],
+        row_starts: &[usize],
+        local_row_nnz: impl Fn(usize) -> usize,
+    ) -> RowGatherPlan {
+        let rank = comm.rank();
+        debug_assert!(needed.windows(2).all(|w| w[0] < w[1]));
+        let mut runs: Vec<(usize, usize, usize)> = Vec::new();
+        let mut k = 0usize;
+        while k < needed.len() {
+            let owner = owner_of(row_starts, needed[k]);
+            let start = k;
+            while k < needed.len() && needed[k] < row_starts[owner + 1] {
+                k += 1;
+            }
+            runs.push((owner, start, k));
+        }
+        let requests: Vec<(usize, Vec<usize>)> = runs
+            .iter()
+            .map(|&(owner, s, e)| (owner, needed[s..e].to_vec()))
+            .collect();
+        let incoming = comm.alltoallv(requests, TAG_ROW_REQ, |r| wire::idxs(r.len()));
+        let my_start = row_starts[rank];
+        let serves: Vec<(usize, Vec<usize>)> = incoming
+            .into_iter()
+            .map(|(req, rows)| (req, rows.iter().map(|&g| g - my_start).collect()))
+            .collect();
+        // Count round: tell each requester how long its rows are.
+        let mut self_counts: Option<Vec<usize>> = None;
+        for (requester, lis) in &serves {
+            let counts: Vec<usize> = lis.iter().map(|&li| local_row_nnz(li)).collect();
+            if *requester == rank {
+                self_counts = Some(counts);
+            } else {
+                let b = wire::idxs(counts.len());
+                comm.send(*requester, TAG_ROW_DATA, counts, b);
+            }
+        }
+        let mut row_nnz: Vec<usize> = Vec::with_capacity(needed.len());
+        for &(owner, s, e) in &runs {
+            let counts: Vec<usize> = if owner == rank {
+                self_counts.take().expect("missing self counts")
+            } else {
+                comm.recv(owner, TAG_ROW_DATA)
+            };
+            debug_assert_eq!(counts.len(), e - s);
+            row_nnz.extend(counts);
+        }
+        RowGatherPlan {
+            runs,
+            serves,
+            row_nnz,
+        }
+    }
+
+    /// Executes the gather: `local_row_vals(local_idx)` must yield an
+    /// owned row's values in the same order the pattern was frozen in
+    /// (ascending global column). Returns one value vector per requested
+    /// row, aligned with the planned row list.
+    pub fn execute(
+        &self,
+        comm: &Comm,
+        local_row_vals: impl Fn(usize) -> Vec<f64>,
+    ) -> Vec<Vec<f64>> {
+        let rank = comm.rank();
+        let mut self_vals: Option<Vec<f64>> = None;
+        for (requester, lis) in &self.serves {
+            let mut vals = Vec::new();
+            for &li in lis {
+                vals.extend(local_row_vals(li));
+            }
+            if *requester == rank {
+                self_vals = Some(vals);
+            } else {
+                let b = wire::f64s(vals.len());
+                comm.send(*requester, TAG_ROW_VAL, vals, b);
+            }
+        }
+        let mut data: Vec<Vec<f64>> = Vec::with_capacity(self.row_nnz.len());
+        let mut row = 0usize;
+        for &(owner, s, e) in &self.runs {
+            let vals: Vec<f64> = if owner == rank {
+                self_vals.take().expect("missing self values")
+            } else {
+                comm.recv(owner, TAG_ROW_VAL)
+            };
+            let mut off = 0usize;
+            for _ in s..e {
+                let n = self.row_nnz[row];
+                data.push(vals[off..off + n].to_vec());
+                off += n;
+                row += 1;
+            }
+            debug_assert_eq!(off, vals.len());
+        }
+        data
     }
 }
 

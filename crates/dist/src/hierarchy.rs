@@ -13,9 +13,10 @@ use crate::interp::{
     dist_direct, dist_extended_i, dist_multipass, dist_strength, dist_two_stage_extended_i,
 };
 use crate::parcsr::ParCsr;
-use crate::spgemm::{dist_spgemm, dist_transpose};
+use crate::spgemm::{dist_spgemm, dist_transpose, DistSpgemmPlan};
 use famg_core::interp::TruncParams;
 use famg_core::params::{AmgConfig, CoarsenKind, InterpKind};
+use famg_core::refresh::RefreshError;
 use famg_core::stats::{CommVolume, PhaseTimes, SetupStats};
 use famg_sparse::dense::{DenseMatrix, LuFactor};
 use std::time::Instant;
@@ -143,6 +144,88 @@ impl Default for DistOptFlags {
     }
 }
 
+/// Dispatches to the configured distributed interpolation scheme.
+#[allow(clippy::too_many_arguments)]
+fn build_dist_interp(
+    comm: &Comm,
+    current: &ParCsr,
+    plan_a: &VectorExchange,
+    s: &ParCsr,
+    stage1: Option<&DistCoarsening>,
+    coarsening: &DistCoarsening,
+    ikind: InterpKind,
+    cfg: &AmgConfig,
+    dopt: DistOptFlags,
+) -> ParCsr {
+    let t = TruncParams {
+        factor: cfg.trunc_factor,
+        max_elements: cfg.max_elements,
+    };
+    match ikind {
+        // Classical (distance-1) falls back to direct in the
+        // distributed build; the paper's multi-node schemes are
+        // ei(4)/mp/2s-ei and do not exercise it.
+        InterpKind::Direct | InterpKind::Classical => {
+            dist_direct(comm, current, plan_a, s, coarsening, Some(&t))
+        }
+        InterpKind::ExtendedI => dist_extended_i(
+            comm,
+            current,
+            plan_a,
+            s,
+            coarsening,
+            Some(&t),
+            dopt.filter_interp,
+        ),
+        InterpKind::Multipass => dist_multipass(comm, current, plan_a, s, coarsening, Some(&t)),
+        InterpKind::TwoStageExtendedI => dist_two_stage_extended_i(
+            comm,
+            current,
+            plan_a,
+            s,
+            stage1.expect("aggressive coarsening required"),
+            coarsening,
+            cfg.strength_threshold,
+            cfg.max_row_sum,
+            Some(&t),
+            dopt.filter_interp,
+        ),
+    }
+}
+
+/// Everything pattern-derived about one distributed level, captured at
+/// build time by [`DistHierarchy::build_frozen`]. Mirrors the serial
+/// `FrozenLevel`: the strength matrix is kept for its *pattern* only (the
+/// distributed interpolation builders read columns, never values), the
+/// coarsenings pin the CF splitting and global coarse numbering, and the
+/// two [`DistSpgemmPlan`]s freeze the Galerkin product's gather
+/// geometry, renumbering, and result structure.
+pub struct DistFrozenLevel {
+    /// Strength matrix (pattern authoritative, values freeze-time stale).
+    s: ParCsr,
+    /// First-stage coarsening for the aggressive schemes.
+    stage1: Option<DistCoarsening>,
+    /// Final coarsening (CF marker + global coarse numbering).
+    coarsening: DistCoarsening,
+    /// Frozen interpolation pattern; refresh verifies the rebuilt
+    /// operator lands exactly on it.
+    p: ParCsr,
+    /// Frozen symbolic product for `RA = R · A`.
+    plan_ra: DistSpgemmPlan,
+    /// Frozen symbolic product for `A_c = RA · P`.
+    plan_rap: DistSpgemmPlan,
+}
+
+/// Pattern-derived distributed setup state (one rank's share), captured
+/// by [`DistHierarchy::build_frozen`] and consumed by
+/// [`DistHierarchy::refresh`].
+pub struct DistFrozenSetup {
+    /// Finest-level operator structure, for the input-pattern guard.
+    fine: ParCsr,
+    /// Per-level frozen structure (one entry per non-coarsest level).
+    levels: Vec<DistFrozenLevel>,
+}
+
 /// One distributed multigrid level.
 pub struct DistLevel {
     /// The level operator.
@@ -189,6 +272,30 @@ pub struct DistHierarchy {
 impl DistHierarchy {
     /// Runs the distributed setup phase.
     pub fn build(comm: &Comm, a: ParCsr, cfg: &AmgConfig, dopt: DistOptFlags) -> DistHierarchy {
+        Self::build_impl(comm, a, cfg, dopt, None)
+    }
+
+    /// Runs the distributed setup phase and captures the pattern-derived
+    /// structure for later numeric-only refreshes.
+    pub fn build_frozen(
+        comm: &Comm,
+        a: ParCsr,
+        cfg: &AmgConfig,
+        dopt: DistOptFlags,
+    ) -> (DistHierarchy, DistFrozenSetup) {
+        let fine = a.clone();
+        let mut cap = Vec::new();
+        let h = Self::build_impl(comm, a, cfg, dopt, Some(&mut cap));
+        (h, DistFrozenSetup { fine, levels: cap })
+    }
+
+    fn build_impl(
+        comm: &Comm,
+        a: ParCsr,
+        cfg: &AmgConfig,
+        dopt: DistOptFlags,
+        mut capture: Option<&mut Vec<DistFrozenLevel>>,
+    ) -> DistHierarchy {
         let rank = comm.rank();
         let mut times = PhaseTimes::default();
         let mut stats = SetupStats::default();
@@ -235,48 +342,33 @@ impl DistHierarchy {
             times.setup_etc += t0.elapsed();
 
             let t0 = Instant::now();
-            let t = TruncParams {
-                factor: cfg.trunc_factor,
-                max_elements: cfg.max_elements,
-            };
-            let p = match ikind {
-                // Classical (distance-1) falls back to direct in the
-                // distributed build; the paper's multi-node schemes are
-                // ei(4)/mp/2s-ei and do not exercise it.
-                InterpKind::Direct | InterpKind::Classical => {
-                    dist_direct(comm, &current, &plan_a, &s, &coarsening, Some(&t))
-                }
-                InterpKind::ExtendedI => dist_extended_i(
-                    comm,
-                    &current,
-                    &plan_a,
-                    &s,
-                    &coarsening,
-                    Some(&t),
-                    dopt.filter_interp,
-                ),
-                InterpKind::Multipass => {
-                    dist_multipass(comm, &current, &plan_a, &s, &coarsening, Some(&t))
-                }
-                InterpKind::TwoStageExtendedI => dist_two_stage_extended_i(
-                    comm,
-                    &current,
-                    &plan_a,
-                    &s,
-                    stage1.as_ref().expect("aggressive coarsening required"),
-                    &coarsening,
-                    cfg.strength_threshold,
-                    cfg.max_row_sum,
-                    Some(&t),
-                    dopt.filter_interp,
-                ),
-            };
+            let p = build_dist_interp(
+                comm,
+                &current,
+                &plan_a,
+                &s,
+                stage1.as_ref(),
+                &coarsening,
+                ikind,
+                cfg,
+                dopt,
+            );
             times.interp += t0.elapsed();
 
             let t0 = Instant::now();
             let r = dist_transpose(comm, &p);
-            let ra = dist_spgemm(comm, &r, &current, dopt.parallel_renumber);
-            let next = dist_spgemm(comm, &ra, &p, dopt.parallel_renumber);
+            let (next, plans) = if capture.is_some() {
+                // Freeze the Galerkin product structure while computing
+                // it; `plan.c` is bitwise identical to `dist_spgemm`'s
+                // result.
+                let plan_ra = DistSpgemmPlan::new(comm, &r, &current, dopt.parallel_renumber);
+                let plan_rap = DistSpgemmPlan::new(comm, &plan_ra.c, &p, dopt.parallel_renumber);
+                let next = plan_rap.c.clone();
+                (next, Some((plan_ra, plan_rap)))
+            } else {
+                let ra = dist_spgemm(comm, &r, &current, dopt.parallel_renumber);
+                (dist_spgemm(comm, &ra, &p, dopt.parallel_renumber), None)
+            };
             times.rap += t0.elapsed();
 
             #[cfg(feature = "validate")]
@@ -295,6 +387,18 @@ impl DistHierarchy {
             let plan_r = VectorExchange::plan(comm, &r.colmap, &r.col_starts);
             let dinv = local_dinv(&current, rank);
             times.setup_etc += t0.elapsed();
+
+            if let Some(cap) = capture.as_deref_mut() {
+                let (plan_ra, plan_rap) = plans.expect("capture always builds plans");
+                cap.push(DistFrozenLevel {
+                    s,
+                    stage1,
+                    coarsening: coarsening.clone(),
+                    p: p.clone(),
+                    plan_ra,
+                    plan_rap,
+                });
+            }
 
             levels.push(DistLevel {
                 a: current,
@@ -320,27 +424,7 @@ impl DistHierarchy {
         );
         let t0 = Instant::now();
         let coarse_starts = current.col_starts.clone();
-        let n_coarse = *coarse_starts.last().unwrap();
-        let coarse_lu = if n_coarse > 0 {
-            // Ship local rows to rank 0 as triplets.
-            let mut trips: Vec<(usize, usize, f64)> = Vec::new();
-            for i in 0..current.local_rows() {
-                for (c, v) in current.global_row(i, rank) {
-                    trips.push((current.row_start + i, c, v));
-                }
-            }
-            // Binomial-tree gather: P−1 messages, no empty envelopes.
-            let received = comm.gather_to(0, trips, 0x81, |t| t.len() * 24);
-            if let Some(parts) = received {
-                let all: Vec<(usize, usize, f64)> = parts.into_iter().flatten().collect();
-                let global = famg_sparse::Csr::from_triplets(n_coarse, n_coarse, all);
-                LuFactor::new(&DenseMatrix::from_csr(&global))
-            } else {
-                None
-            }
-        } else {
-            None
-        };
+        let coarse_lu = factor_coarsest(comm, &current, rank);
         let plan_a = VectorExchange::plan(comm, &current.colmap, &current.col_starts);
         let dinv = local_dinv(&current, rank);
         let nl = current.local_rows();
@@ -376,6 +460,146 @@ impl DistHierarchy {
     pub fn num_levels(&self) -> usize {
         self.levels.len()
     }
+
+    /// Absorbs a same-pattern operator: re-runs only the value-derived
+    /// distributed setup stages over `frozen`'s pattern-derived
+    /// structure. Strength, PMIS, halo planning, renumbering, and
+    /// symbolic SpGEMM are all skipped; the Galerkin products run as
+    /// branch-free numeric passes with values-only halo traffic.
+    ///
+    /// The pattern guards are agreed collectively (a mismatch on *any*
+    /// rank rejects the refresh on *all* ranks, keeping the ranks in
+    /// lockstep), and the hierarchy is left untouched on error.
+    pub fn refresh(
+        &mut self,
+        comm: &Comm,
+        a: ParCsr,
+        frozen: &mut DistFrozenSetup,
+    ) -> Result<(), RefreshError> {
+        let rank = comm.rank();
+        let agree = |ok: bool, tag: u64| comm.allreduce_sum_usize(usize::from(!ok), tag) == 0;
+        if !agree(
+            frozen.fine.same_pattern(&a) && frozen.levels.len() + 1 == self.levels.len(),
+            0x90,
+        ) {
+            return Err(RefreshError::PatternMismatch {
+                level: 0,
+                what: "finest operator",
+            });
+        }
+        let cfg = self.config.clone();
+        let dopt = self.dist_opt;
+        let mut times = PhaseTimes::default();
+        let mut levels: Vec<DistLevel> = Vec::with_capacity(self.levels.len());
+        let mut current = a;
+
+        for (idx, fl) in frozen.levels.iter_mut().enumerate() {
+            let _scope = comm.scoped(idx, CommPhase::Setup);
+            let (_, ikind) = cfg.level_scheme(idx);
+            // The level's halo plan depends only on the frozen colmap.
+            let plan_a = self.levels[idx].plan_a.clone();
+
+            let t0 = Instant::now();
+            let p = build_dist_interp(
+                comm,
+                &current,
+                &plan_a,
+                &fl.s,
+                fl.stage1.as_ref(),
+                &fl.coarsening,
+                ikind,
+                &cfg,
+                dopt,
+            );
+            times.interp += t0.elapsed();
+            if !agree(p.same_pattern(&fl.p), 0x91) {
+                return Err(RefreshError::PatternMismatch {
+                    level: idx,
+                    what: "interpolation operator",
+                });
+            }
+
+            let t0 = Instant::now();
+            let r = dist_transpose(comm, &p);
+            fl.plan_ra.execute(comm, &r, &current);
+            let (plan_ra, plan_rap) = (&mut fl.plan_ra, &mut fl.plan_rap);
+            plan_rap.execute(comm, &plan_ra.c, &p);
+            let next = plan_rap.c.clone();
+            times.rap += t0.elapsed();
+
+            let t0 = Instant::now();
+            let plan_p = self.levels[idx].plan_p.clone();
+            let plan_r = self.levels[idx].plan_r.clone();
+            let dinv = local_dinv(&current, rank);
+            times.setup_etc += t0.elapsed();
+
+            levels.push(DistLevel {
+                a: current,
+                p: Some(p),
+                r: Some(r),
+                plan_a,
+                plan_p,
+                plan_r,
+                dinv,
+                is_coarse: fl.coarsening.is_coarse.clone(),
+            });
+            current = next;
+        }
+
+        // Coarsest level: re-gather and re-factor over the new values.
+        let _scope = comm.scoped(levels.len(), CommPhase::Setup);
+        let t0 = Instant::now();
+        let coarse_lu = factor_coarsest(comm, &current, rank);
+        let plan_a = self
+            .levels
+            .last()
+            .expect("hierarchy has at least one level")
+            .plan_a
+            .clone();
+        let dinv = local_dinv(&current, rank);
+        let nl = current.local_rows();
+        levels.push(DistLevel {
+            a: current,
+            p: None,
+            r: None,
+            plan_a,
+            plan_p: None,
+            plan_r: None,
+            dinv,
+            is_coarse: vec![false; nl],
+        });
+        times.setup_etc += t0.elapsed();
+
+        // Commit only now that every level succeeded.
+        self.levels = levels;
+        self.coarse_lu = coarse_lu;
+        self.times = times;
+        Ok(())
+    }
+}
+
+/// Gathers the coarsest operator to rank 0 and densely factors it
+/// (returns `None` on every other rank, and everywhere when the operator
+/// is empty).
+fn factor_coarsest(comm: &Comm, current: &ParCsr, rank: usize) -> Option<LuFactor> {
+    let n_coarse = *current.col_starts.last().unwrap();
+    if n_coarse == 0 {
+        return None;
+    }
+    // Ship local rows to rank 0 as triplets.
+    let mut trips: Vec<(usize, usize, f64)> = Vec::new();
+    for i in 0..current.local_rows() {
+        for (c, v) in current.global_row(i, rank) {
+            trips.push((current.row_start + i, c, v));
+        }
+    }
+    // Binomial-tree gather: P−1 messages, no empty envelopes.
+    let received = comm.gather_to(0, trips, 0x81, |t| t.len() * 24);
+    received.and_then(|parts| {
+        let all: Vec<(usize, usize, f64)> = parts.into_iter().flatten().collect();
+        let global = famg_sparse::Csr::from_triplets(n_coarse, n_coarse, all);
+        LuFactor::new(&DenseMatrix::from_csr(&global))
+    })
 }
 
 fn local_dinv(a: &ParCsr, _rank: usize) -> Vec<f64> {
@@ -444,6 +668,88 @@ mod tests {
                 "aggressive coarsening too weak: {rows:?}"
             );
         }
+    }
+
+    #[test]
+    fn dist_refresh_matches_full_rebuild_bitwise() {
+        use famg_matgen::varcoef3d_7pt;
+        let (nx, ny, nz) = (8, 8, 4);
+        let field = |shift: f64| -> Vec<f64> {
+            (0..nx * ny * nz)
+                .map(|i| {
+                    let x = (i % nx) as f64 / nx as f64;
+                    let t = (i / nx) as f64 / ((ny * nz) as f64);
+                    let base = 1.0 + 0.5 * (6.0 * (x + t)).sin().powi(2);
+                    base * (1.0 + 1e-5 * shift * (9.0 * (x - t)).cos())
+                })
+                .collect()
+        };
+        let a1 = varcoef3d_7pt(nx, ny, nz, &field(0.0));
+        let a2 = varcoef3d_7pt(nx, ny, nz, &field(0.7));
+        assert!(a1.same_pattern(&a2));
+        let n = a1.nrows();
+        let starts = default_partition(n, 3);
+        for cfg in [
+            AmgConfig::single_node_paper(),
+            AmgConfig::multi_node_2s_ei444(),
+        ] {
+            let (oks, _) = run_ranks(3, |c| {
+                let rk = c.rank();
+                let split = |m: &famg_sparse::Csr| {
+                    ParCsr::from_global_rows(m, starts[rk], starts[rk + 1], starts.clone(), rk)
+                };
+                let (mut h, mut frozen) =
+                    DistHierarchy::build_frozen(c, split(&a1), &cfg, DistOptFlags::all());
+                h.refresh(c, split(&a2), &mut frozen).unwrap();
+                let full = DistHierarchy::build(c, split(&a2), &cfg, DistOptFlags::all());
+                assert_eq!(h.num_levels(), full.num_levels());
+                for (lvl, (r, f)) in h.levels.iter().zip(&full.levels).enumerate() {
+                    assert_eq!(r.a.diag, f.a.diag, "diag differs at level {lvl}");
+                    assert_eq!(r.a.offd, f.a.offd, "offd differs at level {lvl}");
+                    assert_eq!(r.a.colmap, f.a.colmap, "colmap differs at level {lvl}");
+                    assert_eq!(r.dinv, f.dinv, "dinv differs at level {lvl}");
+                    match (&r.p, &f.p) {
+                        (None, None) => {}
+                        (Some(rp), Some(fp)) => {
+                            assert_eq!(rp.diag, fp.diag, "P diag differs at level {lvl}");
+                            assert_eq!(rp.offd, fp.offd, "P offd differs at level {lvl}");
+                        }
+                        _ => panic!("transfer presence differs at level {lvl}"),
+                    }
+                }
+                true
+            });
+            assert!(oks.into_iter().all(|x| x), "{:?}", cfg.interp);
+        }
+    }
+
+    #[test]
+    fn dist_refresh_rejects_mismatched_pattern() {
+        let a = laplace2d(12, 12);
+        let cfg = AmgConfig::single_node_paper();
+        let starts = default_partition(144, 2);
+        let (oks, _) = run_ranks(2, |c| {
+            let rk = c.rank();
+            let split = |m: &famg_sparse::Csr| {
+                ParCsr::from_global_rows(m, starts[rk], starts[rk + 1], starts.clone(), rk)
+            };
+            let (mut h, mut frozen) =
+                DistHierarchy::build_frozen(c, split(&a), &cfg, DistOptFlags::all());
+            let before: Vec<famg_sparse::Csr> = h.levels.iter().map(|l| l.a.diag.clone()).collect();
+            let other = famg_sparse::Csr::identity(144);
+            let err = h.refresh(c, split(&other), &mut frozen).unwrap_err();
+            assert!(matches!(
+                err,
+                famg_core::RefreshError::PatternMismatch { level: 0, .. }
+            ));
+            for (now, then) in h.levels.iter().zip(&before) {
+                assert_eq!(&now.a.diag, then, "failed refresh must not corrupt state");
+            }
+            // Still refreshes fine with the original operator.
+            h.refresh(c, split(&a), &mut frozen).unwrap();
+            true
+        });
+        assert!(oks.into_iter().all(|x| x));
     }
 
     #[test]

@@ -45,4 +45,5 @@ pub mod spgemm;
 pub mod spmv;
 
 pub use comm::{run_ranks, Comm};
+pub use hierarchy::{DistFrozenSetup, DistHierarchy, DistOptFlags};
 pub use parcsr::ParCsr;

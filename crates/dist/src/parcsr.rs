@@ -50,6 +50,18 @@ impl ParCsr {
         owner_of(&self.col_starts, c)
     }
 
+    /// True when `other` has exactly this rank-local sparsity structure
+    /// (partitions, diag/offd patterns, and colmap — values ignored).
+    pub fn same_pattern(&self, other: &ParCsr) -> bool {
+        self.row_start == other.row_start
+            && self.row_end == other.row_end
+            && self.global_cols == other.global_cols
+            && self.col_starts == other.col_starts
+            && self.colmap == other.colmap
+            && self.diag.same_pattern(&other.diag)
+            && self.offd.same_pattern(&other.offd)
+    }
+
     /// Splits rows `[row_start, row_end)` of a global matrix into the
     /// ParCSR layout for one rank. `col_starts` defines the column
     /// ownership (usually the same partition as rows).

@@ -8,7 +8,7 @@
 //! accumulator as the single-node kernel.
 
 use crate::comm::Comm;
-use crate::halo::gather_rows;
+use crate::halo::{gather_rows, RowGatherPlan};
 use crate::parcsr::{owner_of, ParCsr};
 use crate::renumber::{renumber_par, renumber_seq, LocalCol};
 use famg_sparse::spa::Spa;
@@ -109,6 +109,144 @@ pub fn dist_spgemm(comm: &Comm, a: &ParCsr, b: &ParCsr, parallel_renumber: bool)
         rank,
         &rows,
     )
+}
+
+/// A frozen symbolic distributed product: everything pattern-derived
+/// about one `C = A · B` — the remote-row gather geometry, the §4.2
+/// renumbering, and `C`'s structure — captured once so later same-pattern
+/// products run a branch-free numeric pass with a values-only halo
+/// exchange ([`RowGatherPlan`]).
+pub struct DistSpgemmPlan {
+    /// Values-only gather of the remote `B` rows behind `A.colmap`.
+    gather: RowGatherPlan,
+    /// Renumbered (local-column-space) indices of each gathered row,
+    /// aligned entrywise with the values [`RowGatherPlan::execute`]
+    /// returns.
+    encoded: Vec<Vec<usize>>,
+    /// Width of `B`'s diagonal block (local columns below this index are
+    /// diag, the rest extended off-diagonal).
+    ndiag: usize,
+    /// Total local column space width (diag + extended offd).
+    width: usize,
+    /// For each local row of `C`: the local-space column of every stored
+    /// entry, diag entries first then offd — the write-back layout.
+    c_row_lcs: Vec<Vec<usize>>,
+    /// The frozen product. The pattern is authoritative; the values are
+    /// rewritten in place by every [`execute`](Self::execute).
+    pub c: ParCsr,
+}
+
+impl DistSpgemmPlan {
+    /// Runs one full (symbolic + numeric) product and freezes its
+    /// structure. `plan.c` holds the numeric result for the planning
+    /// operands, bitwise identical to [`dist_spgemm`]'s.
+    pub fn new(comm: &Comm, a: &ParCsr, b: &ParCsr, parallel_renumber: bool) -> DistSpgemmPlan {
+        let rank = comm.rank();
+        let c = dist_spgemm(comm, a, b, parallel_renumber);
+        // Re-derive the renumbering the product used: gather the remote
+        // row *patterns* and renumber exactly as dist_spgemm did.
+        let gathered = gather_rows(
+            comm,
+            &a.colmap,
+            &a.col_starts,
+            |li| b.global_row(li, rank),
+            |_, _, _, _| true,
+        );
+        let received_cols: Vec<usize> = gathered
+            .data
+            .iter()
+            .flat_map(|r| r.iter().map(|&(c, _)| c))
+            .collect();
+        let own_cols = b.col_range(rank);
+        let ext = if parallel_renumber {
+            renumber_par(&received_cols, &b.colmap, own_cols)
+        } else {
+            renumber_seq(&received_cols, &b.colmap, own_cols)
+        };
+        let ndiag = b.diag.ncols();
+        let width = ndiag + ext.offd_width();
+        let lc_of = |g: usize| -> usize {
+            match ext.lookup(g) {
+                LocalCol::Diag(c) => c,
+                LocalCol::Offd(k) => ndiag + k,
+            }
+        };
+        let encoded: Vec<Vec<usize>> = gathered
+            .data
+            .iter()
+            .map(|row| row.iter().map(|&(g, _)| lc_of(g)).collect())
+            .collect();
+        // C's columns live in B's column space, so the same renumbering
+        // maps every stored entry of C to its local-space column.
+        let c_row_lcs: Vec<Vec<usize>> = (0..c.local_rows())
+            .map(|i| {
+                c.diag
+                    .row_cols(i)
+                    .iter()
+                    .copied()
+                    .chain(c.offd.row_cols(i).iter().map(|&k| lc_of(c.colmap[k])))
+                    .collect()
+            })
+            .collect();
+        let gather = RowGatherPlan::plan(comm, &a.colmap, &a.col_starts, |li| {
+            b.diag.row_nnz(li) + b.offd.row_nnz(li)
+        });
+        DistSpgemmPlan {
+            gather,
+            encoded,
+            ndiag,
+            width,
+            c_row_lcs,
+            c,
+        }
+    }
+
+    /// Numeric-only product into the frozen pattern: recomputes `self.c`'s
+    /// values for same-pattern operands `a` and `b`. The per-column
+    /// accumulation order matches [`dist_spgemm`]'s sparse accumulator, so
+    /// the values are bitwise identical to a from-scratch product.
+    pub fn execute(&mut self, comm: &Comm, a: &ParCsr, b: &ParCsr) {
+        let rank = comm.rank();
+        debug_assert_eq!(a.local_rows(), self.c.local_rows());
+        let ext_vals = self.gather.execute(comm, |li| {
+            b.global_row(li, rank).into_iter().map(|(_, v)| v).collect()
+        });
+        let ndiag = self.ndiag;
+        let nl = a.local_rows();
+        let mut stamp = vec![usize::MAX; self.width];
+        let mut slot = vec![0usize; self.width];
+        let mut buf: Vec<f64> = Vec::new();
+        for i in 0..nl {
+            let lcs = &self.c_row_lcs[i];
+            buf.clear();
+            buf.resize(lcs.len(), 0.0);
+            for (t, &lc) in lcs.iter().enumerate() {
+                stamp[lc] = i;
+                slot[lc] = t;
+            }
+            for (j, av) in a.diag.row_iter(i) {
+                for (cb, bv) in b.diag.row_iter(j) {
+                    debug_assert_eq!(stamp[cb], i, "value outside frozen pattern");
+                    buf[slot[cb]] += av * bv;
+                }
+                for (k, bv) in b.offd.row_iter(j) {
+                    debug_assert_eq!(stamp[ndiag + k], i, "value outside frozen pattern");
+                    buf[slot[ndiag + k]] += av * bv;
+                }
+            }
+            for (k, av) in a.offd.row_iter(i) {
+                for (&lc, &bv) in self.encoded[k].iter().zip(&ext_vals[k]) {
+                    debug_assert_eq!(stamp[lc], i, "value outside frozen pattern");
+                    buf[slot[lc]] += av * bv;
+                }
+            }
+            let dn = self.c.diag.row_nnz(i);
+            let dr = self.c.diag.row_range(i);
+            self.c.diag.values_mut()[dr].copy_from_slice(&buf[..dn]);
+            let or = self.c.offd.row_range(i);
+            self.c.offd.values_mut()[or].copy_from_slice(&buf[dn..]);
+        }
+    }
 }
 
 /// Reconstructs B's global row partition from each rank's range.

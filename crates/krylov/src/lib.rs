@@ -14,7 +14,7 @@ pub mod precond;
 
 pub use cg::{cg, CgOptions};
 pub use fgmres::{fgmres, FgmresOptions};
-pub use precond::{IdentityPrecond, Preconditioner};
+pub use precond::{IdentityPrecond, Preconditioner, RefreshPrecond};
 
 /// Convergence report shared by the Krylov solvers.
 #[derive(Debug, Clone)]

@@ -1,18 +1,54 @@
 //! Preconditioner abstraction.
 
+use famg_core::{AmgSolver, RefreshError};
+use famg_sparse::Csr;
+
 /// A (possibly nonlinear / iteration-varying) preconditioner:
 /// `apply` computes `z ≈ M⁻¹ r`.
 ///
-/// Implemented for closures so an AMG solver can be plugged in without a
-/// dependency cycle:
+/// Implemented directly for [`AmgSolver`] (one V-cycle per application,
+/// the paper's multi-node configuration) and for closures, so ad-hoc
+/// preconditioners need no wrapper type:
 ///
 /// ```ignore
-/// let pre = |r: &[f64], z: &mut [f64]| amg.apply(r, z);
-/// fgmres(&a, &b, &mut x, &pre, &FgmresOptions::default());
+/// let amg = AmgSolver::setup(&a, &cfg);
+/// fgmres(&a, &b, &mut x, &amg, &FgmresOptions::default());
 /// ```
 pub trait Preconditioner {
     /// Computes `z ≈ M⁻¹ r`. `z` arrives zeroed.
     fn apply(&self, r: &[f64], z: &mut [f64]);
+}
+
+impl Preconditioner for AmgSolver {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        AmgSolver::apply(self, r, z);
+    }
+}
+
+/// A preconditioner that can absorb a same-pattern operator update
+/// without repeating its symbolic setup.
+///
+/// Time-stepping and Newton-type outer loops call [`refresh`] between
+/// Krylov solves; when the update is rejected (e.g. the sparsity pattern
+/// changed) the caller falls back to a full re-setup.
+///
+/// [`refresh`]: RefreshPrecond::refresh
+pub trait RefreshPrecond: Preconditioner {
+    /// Why a refresh was refused; the preconditioner must remain in its
+    /// previous, fully usable state.
+    type Error;
+
+    /// Re-derives the numeric contents of the preconditioner for `a`,
+    /// reusing all pattern-derived structure.
+    fn refresh(&mut self, a: &Csr) -> Result<(), Self::Error>;
+}
+
+impl RefreshPrecond for AmgSolver {
+    type Error = RefreshError;
+
+    fn refresh(&mut self, a: &Csr) -> Result<(), RefreshError> {
+        AmgSolver::refresh(self, a)
+    }
 }
 
 /// No-op preconditioner (`M = I`).
@@ -43,6 +79,41 @@ mod tests {
         let mut z = vec![0.0; 2];
         IdentityPrecond.apply(&r, &mut z);
         assert_eq!(z, r);
+    }
+
+    #[test]
+    fn amg_precond_direct_and_refreshed() {
+        use crate::fgmres::{fgmres, FgmresOptions};
+        use famg_core::AmgConfig;
+        use famg_matgen::{laplace2d, rhs};
+
+        let a = laplace2d(24, 24);
+        let b = rhs::ones(a.nrows());
+        let cfg = AmgConfig::single_node_paper();
+        let mut amg = AmgSolver::setup_refreshable(&a, &cfg);
+        let opts = FgmresOptions {
+            tolerance: 1e-10,
+            ..FgmresOptions::default()
+        };
+
+        let mut x = vec![0.0; a.nrows()];
+        let res = fgmres(&a, &b, &mut x, &amg, &opts);
+        assert!(res.converged, "AMG-preconditioned FGMRES must converge");
+
+        // Refresh on a scaled operator (same pattern, new values) and
+        // re-solve through the trait object path.
+        let mut a2 = a.clone();
+        for v in a2.values_mut() {
+            *v *= 2.0;
+        }
+        RefreshPrecond::refresh(&mut amg, &a2).unwrap();
+        let mut x2 = vec![0.0; a.nrows()];
+        let res2 = fgmres(&a2, &b, &mut x2, &amg, &opts);
+        assert!(res2.converged);
+        // A·x = b and 2A·x₂ = b ⇒ x ≈ 2·x₂.
+        for (xi, x2i) in x.iter().zip(&x2) {
+            assert!((xi - 2.0 * x2i).abs() < 1e-6, "{xi} vs {x2i}");
+        }
     }
 
     #[test]

@@ -356,6 +356,17 @@ impl Csr {
             .sqrt()
     }
 
+    /// True when `other` stores the identical sparsity pattern: same
+    /// shape, same row pointers, and same column indices *in the same
+    /// order*. This is the guard used by the numeric-refresh kernels,
+    /// which overwrite values positionally over a frozen pattern.
+    pub fn same_pattern(&self, other: &Csr) -> bool {
+        self.nrows == other.nrows
+            && self.ncols == other.ncols
+            && self.rowptr == other.rowptr
+            && self.colidx == other.colidx
+    }
+
     /// Drops stored entries with `|v| <= threshold`, keeping the diagonal.
     pub fn drop_small(&self, threshold: f64) -> Csr {
         let mut rowptr = Vec::with_capacity(self.nrows + 1);

@@ -74,6 +74,26 @@ impl Permutation {
         }
         out
     }
+
+    /// Permutes into a caller-provided buffer: `out[perm[i]] = v[i]`
+    /// (the allocation-free twin of [`Permutation::apply_vec`], used by
+    /// solve-phase hot loops).
+    pub fn apply_vec_into(&self, v: &[f64], out: &mut [f64]) {
+        assert_eq!(v.len(), self.len());
+        assert_eq!(out.len(), self.len());
+        for (old, &new) in self.forward.iter().enumerate() {
+            out[new] = v[old];
+        }
+    }
+
+    /// Un-permutes into a caller-provided buffer: `out[i] = v[perm[i]]`.
+    pub fn unapply_vec_into(&self, v: &[f64], out: &mut [f64]) {
+        assert_eq!(v.len(), self.len());
+        assert_eq!(out.len(), self.len());
+        for (old, &new) in self.forward.iter().enumerate() {
+            out[old] = v[new];
+        }
+    }
 }
 
 /// Builds the coarse-first permutation from a CF marker array

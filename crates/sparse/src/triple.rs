@@ -19,6 +19,16 @@
 //!
 //! Each variant has a `*_flops` twin that walks the same loop structure and
 //! tallies operations, reproducing the paper's 1.73× flop-ratio claim.
+//!
+//! [`rap_row_fused_numeric`], [`rap_scalar_fused_numeric`] and
+//! [`rap_cf_numeric`] re-compute values over a frozen output pattern
+//! (the triple-product analogue of [`crate::spgemm::numeric_only`]): the
+//! output-side sparse accumulator is replaced by a marker array
+//! pre-seeded from the frozen column indices, so every accumulation is a
+//! straight indexed add. Each numeric twin walks the *exact* loop
+//! structure of its full kernel, so the floating-point accumulation
+//! order — and therefore every output value — is identical bit for bit.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use crate::counters::FlopCount;
 use crate::csr::Csr;
@@ -295,6 +305,223 @@ pub fn rap_cf_from_parts(a_perm: &Csr, nc: usize, pf: &Csr) -> Csr {
     rap_cf(&a_cc, &a_cf, &a_fc, &a_ff, pf, &pft)
 }
 
+/// Shared-across-the-scope write cursor for the numeric-only kernels.
+struct ValuesPtr(*mut f64);
+// SAFETY: each spawned block writes only the value range of its own rows
+// (`rowptr[block.start]..rowptr[block.end]`), the blocks tile the row
+// space disjointly, and nothing reads the buffer until the scope joins.
+unsafe impl Sync for ValuesPtr {}
+
+/// Pre-seeds `marker` with the output positions of row `i`'s frozen
+/// columns and zeroes that row's values, so subsequent accumulations are
+/// branch-free indexed adds. Returns the row's value range.
+///
+/// # Safety
+/// `ptr` must point at the value buffer `rowptr`/`colidx` describe, and
+/// the caller must be the only writer of row `i`'s range.
+#[inline]
+unsafe fn seed_row(
+    marker: &mut [usize],
+    rowptr: &[usize],
+    colidx: &[usize],
+    ptr: &ValuesPtr,
+    i: usize,
+) -> (usize, usize) {
+    let start = rowptr[i];
+    let end = rowptr[i + 1];
+    for (off, &c) in colidx[start..end].iter().enumerate() {
+        marker[c] = start + off;
+        // SAFETY: start + off lies in row i's value range, owned
+        // exclusively by this block per the function contract.
+        unsafe { *ptr.0.add(start + off) = 0.0 };
+    }
+    (start, end)
+}
+
+/// Accumulates `v` into the frozen position of column `c`.
+///
+/// # Safety
+/// `marker[c]` must have been seeded by [`seed_row`] for the current row
+/// (guaranteed when the frozen pattern matches the inputs' product
+/// structure; debug builds assert it).
+#[inline]
+unsafe fn add_at(marker: &[usize], ptr: &ValuesPtr, start: usize, end: usize, c: usize, v: f64) {
+    let pos = marker[c];
+    debug_assert!(pos >= start && pos < end, "pattern mismatch");
+    // SAFETY: pos lies in the current row's value range per the contract.
+    unsafe { *ptr.0.add(pos) += v };
+}
+
+/// Numeric-only row-fused triple product: recomputes `C = R·A·P` over the
+/// frozen pattern of a prior [`rap_row_fused`] with the same inputs'
+/// sparsity. Mirrors the full kernel's loop structure exactly, so the
+/// result is bitwise identical to re-running [`rap_row_fused`].
+///
+/// # Panics
+/// Debug builds panic if the product structure deviates from `c`'s
+/// pattern; release builds require the caller to guarantee it (the
+/// `famg-core` refresh path checks the finest-level pattern up front,
+/// which fixes every derived pattern).
+pub fn rap_row_fused_numeric(r: &Csr, a: &Csr, p: &Csr, c: &mut Csr) {
+    assert_eq!(r.ncols(), a.nrows());
+    assert_eq!(a.ncols(), p.nrows());
+    assert_eq!(c.nrows(), r.nrows());
+    assert_eq!(c.ncols(), p.ncols());
+    if r.nrows() == 0 {
+        return;
+    }
+    let blocks = split_rows_by_nnz(r.rowptr(), num_threads());
+    let rowptr = c.rowptr().to_vec();
+    let colidx = c.colidx().to_vec();
+    let ncols = c.ncols();
+    let ptr = ValuesPtr(c.values_mut().as_mut_ptr());
+    rayon::scope(|s| {
+        for range in &blocks {
+            let range = range.clone();
+            let (rowptr, colidx, ptr) = (&rowptr, &colidx, &ptr);
+            s.spawn(move |_| {
+                let mut spa_b = Spa::new(a.ncols());
+                let mut marker = vec![usize::MAX; ncols];
+                for i in range {
+                    // SAFETY: blocks tile the rows disjointly.
+                    let (start, end) = unsafe { seed_row(&mut marker, rowptr, colidx, ptr, i) };
+                    for (j, rv) in r.row_iter(i) {
+                        for (k, av) in a.row_iter(j) {
+                            spa_b.add(k, rv * av);
+                        }
+                    }
+                    for (pos, &k) in spa_b.cols().iter().enumerate() {
+                        let bv = spa_b.vals()[pos];
+                        for (l, pv) in p.row_iter(k) {
+                            // SAFETY: seeded above; pattern is frozen.
+                            unsafe { add_at(&marker, ptr, start, end, l, bv * pv) };
+                        }
+                    }
+                    spa_b.reset();
+                }
+            });
+        }
+    });
+}
+
+/// Numeric-only scalar-fused triple product over a frozen
+/// [`rap_scalar_fused`] pattern; bitwise identical to re-running the full
+/// kernel. Fully branch-free — no intermediate accumulator at all.
+pub fn rap_scalar_fused_numeric(r: &Csr, a: &Csr, p: &Csr, c: &mut Csr) {
+    assert_eq!(r.ncols(), a.nrows());
+    assert_eq!(a.ncols(), p.nrows());
+    assert_eq!(c.nrows(), r.nrows());
+    assert_eq!(c.ncols(), p.ncols());
+    if r.nrows() == 0 {
+        return;
+    }
+    let blocks = split_rows_by_nnz(r.rowptr(), num_threads());
+    let rowptr = c.rowptr().to_vec();
+    let colidx = c.colidx().to_vec();
+    let ncols = c.ncols();
+    let ptr = ValuesPtr(c.values_mut().as_mut_ptr());
+    rayon::scope(|s| {
+        for range in &blocks {
+            let range = range.clone();
+            let (rowptr, colidx, ptr) = (&rowptr, &colidx, &ptr);
+            s.spawn(move |_| {
+                let mut marker = vec![usize::MAX; ncols];
+                for i in range {
+                    // SAFETY: blocks tile the rows disjointly.
+                    let (start, end) = unsafe { seed_row(&mut marker, rowptr, colidx, ptr, i) };
+                    for (j, rv) in r.row_iter(i) {
+                        for (k, av) in a.row_iter(j) {
+                            let temp = rv * av;
+                            for (l, pv) in p.row_iter(k) {
+                                // SAFETY: seeded above; pattern is frozen.
+                                unsafe { add_at(&marker, ptr, start, end, l, temp * pv) };
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Numeric-only CF-block triple product over a frozen [`rap_cf`] pattern;
+/// bitwise identical to re-running the full kernel. The fine-width
+/// intermediate `B_i` keeps its sparse accumulator (its pattern is not
+/// part of the frozen artifact); only the coarse output side goes
+/// branch-free.
+pub fn rap_cf_numeric(
+    a_cc: &Csr,
+    a_cf: &Csr,
+    a_fc: &Csr,
+    a_ff: &Csr,
+    pf: &Csr,
+    pft: &Csr,
+    c: &mut Csr,
+) {
+    let nc = a_cc.nrows();
+    let nf = pf.nrows();
+    assert_eq!(a_cc.ncols(), nc);
+    assert_eq!(pf.ncols(), nc);
+    assert_eq!(pft.nrows(), nc);
+    assert_eq!(a_ff.nrows(), nf);
+    assert_eq!(c.nrows(), nc);
+    assert_eq!(c.ncols(), nc);
+    if nc == 0 {
+        return;
+    }
+    let blocks = split_rows_by_nnz(pft.rowptr(), num_threads());
+    let rowptr = c.rowptr().to_vec();
+    let colidx = c.colidx().to_vec();
+    let ptr = ValuesPtr(c.values_mut().as_mut_ptr());
+    rayon::scope(|s| {
+        for range in &blocks {
+            let range = range.clone();
+            let (rowptr, colidx, ptr) = (&rowptr, &colidx, &ptr);
+            s.spawn(move |_| {
+                let mut spa_b = Spa::new(nf);
+                let mut marker = vec![usize::MAX; nc];
+                for i in range {
+                    // SAFETY: blocks tile the rows disjointly.
+                    let (start, end) = unsafe { seed_row(&mut marker, rowptr, colidx, ptr, i) };
+                    for (col, v) in a_cc.row_iter(i) {
+                        // SAFETY: seeded above; pattern is frozen.
+                        unsafe { add_at(&marker, ptr, start, end, col, v) };
+                    }
+                    for (k, w) in pft.row_iter(i) {
+                        for (col, v) in a_fc.row_iter(k) {
+                            // SAFETY: seeded above; pattern is frozen.
+                            unsafe { add_at(&marker, ptr, start, end, col, w * v) };
+                        }
+                        for (col, v) in a_ff.row_iter(k) {
+                            spa_b.add(col, w * v);
+                        }
+                    }
+                    for (col, v) in a_cf.row_iter(i) {
+                        spa_b.add(col, v);
+                    }
+                    for (pos, &j) in spa_b.cols().iter().enumerate() {
+                        let bv = spa_b.vals()[pos];
+                        for (col, pv) in pf.row_iter(j) {
+                            // SAFETY: seeded above; pattern is frozen.
+                            unsafe { add_at(&marker, ptr, start, end, col, bv * pv) };
+                        }
+                    }
+                    spa_b.reset();
+                }
+            });
+        }
+    });
+}
+
+/// Numeric-only counterpart of [`rap_cf_from_parts`]: derives the CF
+/// blocks and `P_Fᵀ` the same way the full wrapper does, then refreshes
+/// `c`'s values over its frozen pattern.
+pub fn rap_cf_numeric_from_parts(a_perm: &Csr, nc: usize, pf: &Csr, c: &mut Csr) {
+    let (a_cc, a_cf, a_fc, a_ff) = crate::permute::split_cf_blocks(a_perm, nc);
+    let pft = crate::transpose::transpose(pf);
+    rap_cf_numeric(&a_cc, &a_cf, &a_fc, &a_ff, pf, &pft, c);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -437,5 +664,117 @@ mod tests {
         let c = rap_row_fused(&r, &a, &p);
         assert_eq!(c.nrows(), 0);
         assert_eq!(c.ncols(), 0);
+    }
+
+    /// Same-pattern value perturbation (keeps every entry nonzero so the
+    /// product pattern cannot drift).
+    fn perturb(m: &Csr, seed: u64) -> Csr {
+        let mut out = m.clone();
+        let mut state = seed | 1;
+        for v in out.values_mut() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let eps = ((state >> 33) % 1000) as f64 / 1e6;
+            *v *= 1.0 + eps;
+        }
+        out
+    }
+
+    #[test]
+    fn row_fused_numeric_bitwise_matches_full() {
+        let r = random_csr(40, 60, 3, 51);
+        let a = random_csr(60, 60, 4, 52);
+        let p = random_csr(60, 40, 2, 53);
+        let mut c = rap_row_fused(&r, &a, &p);
+        let (r2, a2, p2) = (perturb(&r, 61), perturb(&a, 62), perturb(&p, 63));
+        rap_row_fused_numeric(&r2, &a2, &p2, &mut c);
+        let full = rap_row_fused(&r2, &a2, &p2);
+        assert_eq!(c, full); // identical pattern AND bitwise values
+    }
+
+    #[test]
+    fn scalar_fused_numeric_bitwise_matches_full() {
+        let r = random_csr(35, 50, 3, 71);
+        let a = random_csr(50, 50, 4, 72);
+        let p = random_csr(50, 35, 2, 73);
+        let mut c = rap_scalar_fused(&r, &a, &p);
+        let (r2, a2, p2) = (perturb(&r, 81), perturb(&a, 82), perturb(&p, 83));
+        rap_scalar_fused_numeric(&r2, &a2, &p2, &mut c);
+        assert_eq!(c, rap_scalar_fused(&r2, &a2, &p2));
+    }
+
+    #[test]
+    fn cf_numeric_bitwise_matches_full() {
+        let (nc, nf) = (30, 45);
+        let (a, pf) = cf_fixture(nc, nf, 91);
+        let mut c = rap_cf_from_parts(&a, nc, &pf);
+        let (a2, pf2) = (perturb(&a, 92), perturb(&pf, 93));
+        rap_cf_numeric_from_parts(&a2, nc, &pf2, &mut c);
+        assert_eq!(c, rap_cf_from_parts(&a2, nc, &pf2));
+    }
+
+    #[test]
+    fn numeric_rap_empty_rows() {
+        // R with empty rows (and A with an empty row) -> empty output rows
+        // the numeric kernels must seed and skip without touching memory
+        // out of range.
+        let r = Csr::from_triplets(4, 3, vec![(1, 0, 2.0), (3, 2, 1.0)]);
+        let a = Csr::from_triplets(3, 3, vec![(0, 1, 1.5), (2, 2, -1.0)]);
+        let p = Csr::from_triplets(3, 2, vec![(1, 0, 0.5), (2, 1, 2.0)]);
+        let mut c = rap_row_fused(&r, &a, &p);
+        assert_eq!(c.row_nnz(0), 0);
+        rap_row_fused_numeric(&r, &a, &p, &mut c);
+        assert_eq!(c, rap_row_fused(&r, &a, &p));
+        let mut cs = rap_scalar_fused(&r, &a, &p);
+        rap_scalar_fused_numeric(&r, &a, &p, &mut cs);
+        assert_eq!(cs, rap_scalar_fused(&r, &a, &p));
+    }
+
+    #[test]
+    fn numeric_rap_zero_fill_entries() {
+        // Exactly cancelling contributions leave explicit 0.0 entries in
+        // the pattern; the numeric refresh must reproduce them (and give
+        // them new nonzero values once the cancellation breaks).
+        let r = Csr::from_triplets(1, 2, vec![(0, 0, 1.0), (0, 1, -1.0)]);
+        let a = Csr::from_triplets(2, 2, vec![(0, 0, 1.0), (1, 0, 1.0)]);
+        let p = Csr::from_triplets(2, 1, vec![(0, 0, 1.0)]);
+        let mut c = rap_row_fused(&r, &a, &p);
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.values(), [0.0]); // cancelled, structurally present
+        let r2 = Csr::from_triplets(1, 2, vec![(0, 0, 2.0), (0, 1, -1.0)]);
+        rap_row_fused_numeric(&r2, &a, &p, &mut c);
+        assert_eq!(c.values(), [1.0]);
+    }
+
+    #[test]
+    fn numeric_rap_one_by_one_coarse_level() {
+        // 1x1 coarse operator: single coarse point, everything folds into
+        // one output entry.
+        let (a, pf) = cf_fixture(1, 6, 111);
+        let mut c = rap_cf_from_parts(&a, 1, &pf);
+        assert_eq!(c.nrows(), 1);
+        let (a2, pf2) = (perturb(&a, 112), perturb(&pf, 113));
+        rap_cf_numeric_from_parts(&a2, 1, &pf2, &mut c);
+        assert_eq!(c, rap_cf_from_parts(&a2, 1, &pf2));
+        // Full-matrix R/A/P analogue.
+        let p = Csr::from_triplets(3, 1, vec![(0, 0, 1.0), (1, 0, 0.5), (2, 0, 0.25)]);
+        let r = transpose(&p);
+        let a3 = random_csr(3, 3, 2, 114);
+        let mut c3 = rap_row_fused(&r, &a3, &p);
+        rap_row_fused_numeric(&r, &perturb(&a3, 115), &p, &mut c3);
+        assert_eq!(c3, rap_row_fused(&r, &perturb(&a3, 115), &p));
+    }
+
+    #[test]
+    fn numeric_cf_pure_coarse() {
+        // No fine points: P = I, RAP = A; the numeric path must still
+        // seed rows correctly with empty fine blocks.
+        let a = random_csr(10, 10, 3, 121);
+        let pf = Csr::zero(0, 10);
+        let mut c = rap_cf_from_parts(&a, 10, &pf);
+        let a2 = perturb(&a, 122);
+        rap_cf_numeric_from_parts(&a2, 10, &pf, &mut c);
+        assert_eq!(c, rap_cf_from_parts(&a2, 10, &pf));
     }
 }

@@ -33,4 +33,10 @@ cargo test -q --release --test comm_volume
 echo "==> comm-volume bench smoke (asserts vs dense-alltoall baseline)"
 cargo run -q --release -p famg-bench --bin comm_volume -- --smoke
 
+echo "==> numeric-refresh regression test (release)"
+cargo test -q --release --test setup_refresh
+
+echo "==> numeric-refresh bench smoke (asserts refresh >= 2x full setup)"
+cargo run -q --release -p famg-bench --bin setup_refresh -- --smoke
+
 echo "==> all checks passed"

@@ -1,0 +1,158 @@
+//! Cross-crate tests of the numeric-refresh setup path: a frozen setup
+//! absorbing same-pattern operators must be indistinguishable — bitwise —
+//! from rebuilding from scratch, across many random coefficient drifts,
+//! and must refuse mismatched inputs without corrupting state.
+
+use famg::core::{AmgConfig, AmgSolver, Hierarchy, InterpKind, RefreshError};
+use famg::matgen::{rhs, varcoef3d_7pt};
+use famg::sparse::Csr;
+
+const NX: usize = 10;
+const NY: usize = 10;
+const NZ: usize = 6;
+
+fn lcg(state: &mut u64) -> f64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    ((*state >> 33) as f64) / ((1u64 << 31) as f64)
+}
+
+/// Smooth positive base coefficient field.
+fn base_field() -> Vec<f64> {
+    (0..NX * NY * NZ)
+        .map(|i| {
+            let x = (i % NX) as f64 / NX as f64;
+            let t = (i / NX) as f64 / ((NY * NZ) as f64);
+            1.0 + 0.5 * (5.0 * (x + t)).sin().powi(2)
+        })
+        .collect()
+}
+
+/// Applies a seeded multiplicative drift small enough (1e-5 relative)
+/// that no frozen threshold decision — strength cut, PMIS tie-break,
+/// truncation kept-set, sign filter — flips: the regime the refresh
+/// contract guarantees bitwise agreement for.
+fn drifted(base: &[f64], seed: u64) -> Vec<f64> {
+    let mut st = seed.wrapping_mul(2654435761).wrapping_add(1);
+    base.iter()
+        .map(|&k| k * (1.0 + 1e-5 * (lcg(&mut st) - 0.5)))
+        .collect()
+}
+
+fn assert_levels_bitwise(refreshed: &Hierarchy, scratch: &Hierarchy, tag: &str) {
+    assert_eq!(refreshed.levels.len(), scratch.levels.len(), "{tag}");
+    for (lvl, (r, f)) in refreshed.levels.iter().zip(&scratch.levels).enumerate() {
+        assert_eq!(r.a, f.a, "{tag}: operator differs at level {lvl}");
+    }
+}
+
+#[test]
+fn fuzz_refresh_matches_rebuild_over_fifty_drifts() {
+    let base = base_field();
+    let a0 = varcoef3d_7pt(NX, NY, NZ, &base);
+    let cfg = AmgConfig::single_node_paper();
+    let mut solver = AmgSolver::setup_refreshable(&a0, &cfg);
+    let b = rhs::ones(a0.nrows());
+    for seed in 0..50u64 {
+        let at = varcoef3d_7pt(NX, NY, NZ, &drifted(&base, seed));
+        solver.refresh(&at).unwrap_or_else(|e| {
+            panic!("seed {seed}: same-pattern drift must refresh: {e}");
+        });
+        let scratch = AmgSolver::setup(&at, &cfg);
+        assert_levels_bitwise(
+            solver.hierarchy(),
+            scratch.hierarchy(),
+            &format!("seed {seed}"),
+        );
+        // The solve itself must be bitwise reproducible too.
+        let mut x1 = vec![0.0; a0.nrows()];
+        let mut x2 = vec![0.0; a0.nrows()];
+        let r1 = solver.solve(&b, &mut x1);
+        let r2 = scratch.solve(&b, &mut x2);
+        assert_eq!(r1.iterations, r2.iterations, "seed {seed}: iteration drift");
+        assert_eq!(x1, x2, "seed {seed}: solve not bitwise identical");
+    }
+}
+
+#[test]
+fn fuzz_refresh_baseline_config_ten_drifts() {
+    // The baseline (non-CF-reordered) path takes different refresh code;
+    // spot-check it with a smaller budget.
+    let base = base_field();
+    let a0 = varcoef3d_7pt(NX, NY, NZ, &base);
+    let cfg = AmgConfig::single_node_baseline();
+    let mut solver = AmgSolver::setup_refreshable(&a0, &cfg);
+    for seed in 100..110u64 {
+        let at = varcoef3d_7pt(NX, NY, NZ, &drifted(&base, seed));
+        solver.refresh(&at).unwrap();
+        let scratch = AmgSolver::setup(&at, &cfg);
+        assert_levels_bitwise(
+            solver.hierarchy(),
+            scratch.hierarchy(),
+            &format!("seed {seed}"),
+        );
+    }
+}
+
+#[test]
+fn refresh_without_frozen_setup_is_an_error() {
+    let a = varcoef3d_7pt(NX, NY, NZ, &base_field());
+    let mut solver = AmgSolver::setup(&a, &AmgConfig::single_node_paper());
+    assert_eq!(solver.refresh(&a).unwrap_err(), RefreshError::NoFrozenSetup);
+}
+
+#[test]
+fn refresh_rejects_wrong_pattern_and_stays_usable() {
+    let base = base_field();
+    let a0 = varcoef3d_7pt(NX, NY, NZ, &base);
+    let n = a0.nrows();
+    let cfg = AmgConfig::single_node_paper();
+    let mut solver = AmgSolver::setup_refreshable(&a0, &cfg);
+
+    // Same size, different sparsity.
+    let err = solver.refresh(&Csr::identity(n)).unwrap_err();
+    assert!(matches!(
+        err,
+        RefreshError::PatternMismatch { level: 0, .. }
+    ));
+    // Different size.
+    let smaller = varcoef3d_7pt(NX, NY, NZ - 1, &base[..NX * NY * (NZ - 1)]);
+    assert!(solver.refresh(&smaller).is_err());
+
+    // The failed refreshes must leave the solver fully usable.
+    let b = rhs::ones(n);
+    let mut x = vec![0.0; n];
+    assert!(solver.solve(&b, &mut x).converged);
+    // And a valid refresh still works afterwards.
+    let at = varcoef3d_7pt(NX, NY, NZ, &drifted(&base, 7));
+    solver.refresh(&at).unwrap();
+    assert!(solver.solve(&b, &mut x).converged);
+}
+
+#[test]
+fn refresh_covers_every_single_shot_interp_kind() {
+    let base = base_field();
+    let a0 = varcoef3d_7pt(NX, NY, NZ, &base);
+    for ikind in [
+        InterpKind::Direct,
+        InterpKind::Classical,
+        InterpKind::ExtendedI,
+    ] {
+        let cfg = AmgConfig {
+            interp: ikind,
+            ..AmgConfig::single_node_paper()
+        };
+        let mut solver = AmgSolver::setup_refreshable(&a0, &cfg);
+        for seed in 200..205u64 {
+            let at = varcoef3d_7pt(NX, NY, NZ, &drifted(&base, seed));
+            solver.refresh(&at).unwrap();
+            let scratch = AmgSolver::setup(&at, &cfg);
+            assert_levels_bitwise(
+                solver.hierarchy(),
+                scratch.hierarchy(),
+                &format!("{ikind:?} seed {seed}"),
+            );
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Workspace source auditor; see [`famg_check::lint`] for the rules.
+//!
+//! Usage: `cargo run -q -p famg-check --bin famg-lint [workspace-root]`
+//! (default root: the current directory). Prints one `path:line: [rule]
+//! message` diagnostic per finding and exits non-zero if there are any —
+//! wired into `scripts/check.sh` as the `==> famg-lint` stage.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let diags = match famg_check::lint::lint_workspace(Path::new(&root)) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("famg-lint: failed to scan {root}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if diags.is_empty() {
+        eprintln!("famg-lint: clean");
+        return ExitCode::SUCCESS;
+    }
+    for d in &diags {
+        println!("{d}");
+    }
+    eprintln!("famg-lint: {} finding(s)", diags.len());
+    ExitCode::FAILURE
+}

@@ -194,6 +194,9 @@ impl Comm {
 
     /// Bytes this rank has sent so far.
     pub fn bytes_sent(&self) -> u64 {
+        // ORDERING: Relaxed — telemetry snapshot of this rank's own counter;
+        // a rank reads what it wrote (program order), cross-rank totals are
+        // only read after the simulated ranks join.
         self.counters[self.rank].bytes_sent.load(Ordering::Relaxed)
     }
 
@@ -201,6 +204,7 @@ impl Comm {
     pub fn messages_sent(&self) -> u64 {
         self.counters[self.rank]
             .messages_sent
+            // ORDERING: Relaxed — as for `bytes_sent`: own-counter snapshot.
             .load(Ordering::Relaxed)
     }
 
@@ -216,6 +220,9 @@ impl Comm {
     pub fn send<T: Send + 'static>(&self, dst: usize, tag: u64, payload: T, bytes: usize) {
         if dst != self.rank {
             let c = &self.counters[self.rank];
+            // ORDERING: Relaxed — volume accounting only: the RMW keeps the
+            // tallies exact and nothing reads them to synchronize; the
+            // payload itself travels through the channel's own locking.
             c.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
             c.messages_sent.fetch_add(1, Ordering::Relaxed);
             let mut scoped = self.scoped[self.rank].lock().unwrap();
@@ -712,10 +719,13 @@ pub fn run_ranks<T: Send>(nranks: usize, f: impl Fn(&Comm) -> T + Sync) -> (Vec<
     let report = CommReport {
         bytes_per_rank: counters
             .iter()
+            // ORDERING: Relaxed — read after every rank thread has been
+            // joined; the joins provide the happens-before edges.
             .map(|c| c.bytes_sent.load(Ordering::Relaxed))
             .collect(),
         messages_per_rank: counters
             .iter()
+            // ORDERING: Relaxed — as above, ordered by the rank joins.
             .map(|c| c.messages_sent.load(Ordering::Relaxed))
             .collect(),
         per_scope,

@@ -1,0 +1,65 @@
+//! [`RaceCell`]: plain shared data with a happens-before checker attached.
+//!
+//! This is the probe that turns the interleaving search into an *ordering*
+//! checker. Model tests write a `RaceCell` on one thread and read it on
+//! another; every access asserts the accessing thread is ordered (by the
+//! vector clocks the scheduler maintains) after the last write. If the code
+//! under test publishes the cell through an atomic whose declared ordering
+//! is too weak — say a `Relaxed` store where a `Release` is required — the
+//! read still sees the right *value* under the sequentially consistent
+//! interleaving, but the happens-before check fails and the run reports a
+//! data race with the offending schedule.
+
+use crate::sched::{offer, with_ctx, Op};
+use crate::sync::ObjId;
+use std::cell::UnsafeCell;
+
+/// Shared plain data under happens-before race checking. `T: Copy` keeps
+/// accesses trivially atomic at the model level (the scheduler serializes
+/// all modeled threads, so there is no real tearing).
+#[derive(Debug)]
+pub struct RaceCell<T: Copy> {
+    data: UnsafeCell<T>,
+    id: ObjId,
+}
+
+// SAFETY: all access goes through `read`/`write`, which are scheduler yield
+// points; modeled threads are serialized, so the underlying accesses never
+// physically race (logical races are detected and reported instead).
+unsafe impl<T: Copy + Send> Send for RaceCell<T> {}
+// SAFETY: as above.
+unsafe impl<T: Copy + Send> Sync for RaceCell<T> {}
+
+impl<T: Copy> RaceCell<T> {
+    /// Creates a cell owned (in the happens-before sense) by the creating
+    /// thread: accesses by other threads must be ordered after creation.
+    pub fn new(v: T) -> RaceCell<T> {
+        RaceCell {
+            data: UnsafeCell::new(v),
+            id: ObjId::new(),
+        }
+    }
+
+    fn id(&self) -> usize {
+        self.id.get_or_register(|exec| {
+            let clock = with_ctx(|ctx| exec.creator_clock(ctx.tid));
+            exec.register_cell(clock)
+        })
+    }
+
+    /// Reads the value, asserting the read is ordered after the last write.
+    pub fn read(&self) -> T {
+        offer(Op::CellRead { id: self.id() });
+        // SAFETY: modeled threads are serialized by the scheduler; the
+        // happens-before check above reported any logical race already.
+        unsafe { *self.data.get() }
+    }
+
+    /// Writes the value, asserting the write is ordered after the last
+    /// write *and* every prior read.
+    pub fn write(&self, v: T) {
+        offer(Op::CellWrite { id: self.id() });
+        // SAFETY: as for `read` — physically serialized, logically checked.
+        unsafe { *self.data.get() = v };
+    }
+}

@@ -1,0 +1,895 @@
+//! The DFS interleaving scheduler behind [`model`].
+//!
+//! Every modeled operation is a *yield point*: the executing thread parks,
+//! the controller (running on the caller of [`model`]) picks which runnable
+//! thread performs its next operation, and the chosen thread applies the
+//! operation's effect under the scheduler lock. Executions are therefore
+//! sequentially consistent and fully serialized — at most one modeled thread
+//! runs user code at any instant — which makes replay deterministic and
+//! keeps the modeled `UnsafeCell` accesses free of real data races.
+//!
+//! The search is depth-first over scheduling choices with CHESS-style
+//! preemption bounding: switching away from a thread that is still runnable
+//! costs one unit of the preemption budget, switching when the current
+//! thread blocked or finished is free. All schedules within the budget are
+//! explored exhaustively; exceeding [`Bounds::max_schedules`] or
+//! [`Bounds::max_steps`] fails the run loudly rather than truncating.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Exploration limits for one [`model_with`] call. All limits are hard:
+/// exceeding `max_steps` or `max_schedules` panics (an incomplete search
+/// must never look like a passing one).
+#[derive(Debug, Clone)]
+pub struct Bounds {
+    /// Maximum modeled threads alive at once (including the closure's own
+    /// "main" thread). Spawning beyond this fails the run.
+    pub max_threads: usize,
+    /// Maximum scheduler steps (granted operations) per execution.
+    pub max_steps: usize,
+    /// Maximum executions (distinct schedules) per model run.
+    pub max_schedules: usize,
+    /// Maximum preemptive context switches per execution (CHESS bound).
+    /// Non-preemptive switches — taken when the running thread blocks or
+    /// finishes — are always free.
+    pub preemption_bound: usize,
+}
+
+impl Default for Bounds {
+    fn default() -> Self {
+        Bounds {
+            max_threads: 4,
+            max_steps: 1_000,
+            max_schedules: 100_000,
+            preemption_bound: 2,
+        }
+    }
+}
+
+/// Summary of a completed (fully explored) model run.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Number of distinct schedules executed.
+    pub schedules: usize,
+    /// Largest number of scheduler steps any single execution took.
+    pub max_steps_seen: usize,
+}
+
+/// A vector clock: `clock[t]` is the last event of thread `t` known to
+/// happen-before the clock's owner.
+pub(crate) type VClock = Vec<u64>;
+
+fn clock_join(dst: &mut VClock, src: &VClock) {
+    if dst.len() < src.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = (*d).max(*s);
+    }
+}
+
+fn clock_leq(a: &VClock, b: &VClock) -> bool {
+    a.iter()
+        .enumerate()
+        .all(|(i, &v)| v <= b.get(i).copied().unwrap_or(0))
+}
+
+/// The read-modify-write operations the modeled [`sync::atomic::AtomicUsize`]
+/// supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Rmw {
+    Add(usize),
+    Sub(usize),
+    Swap(usize),
+}
+
+/// One modeled operation, declared by a thread at its yield point. The
+/// controller uses it for enablement checks; the thread applies its effect
+/// once granted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Op {
+    /// First step of a freshly spawned thread.
+    Begin,
+    AtomicLoad {
+        id: usize,
+        ord: Ordering,
+    },
+    AtomicStore {
+        id: usize,
+        ord: Ordering,
+        val: usize,
+    },
+    AtomicRmw {
+        id: usize,
+        ord: Ordering,
+        rmw: Rmw,
+    },
+    MutexLock {
+        id: usize,
+    },
+    MutexUnlock {
+        id: usize,
+    },
+    /// Atomically release `mutex` and park on `cv`.
+    CvWait {
+        cv: usize,
+        mutex: usize,
+    },
+    CvNotifyAll {
+        cv: usize,
+    },
+    CellRead {
+        id: usize,
+    },
+    CellWrite {
+        id: usize,
+    },
+    Spawn {
+        child: usize,
+    },
+    Join {
+        target: usize,
+    },
+    Yield,
+}
+
+/// What a thread is doing, from the controller's point of view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Status {
+    /// Registered but its OS thread has not reached its first yield point
+    /// yet. Not schedulable; the controller waits for it to arrive.
+    Embryo,
+    /// Parked at a yield point, next operation declared.
+    Ready(Op),
+    /// Granted: currently applying its operation / running user code.
+    Running,
+    /// Parked on a condvar, waiting for a notify (not schedulable).
+    Waiting {
+        cv: usize,
+        mutex: usize,
+    },
+    Finished,
+}
+
+struct AtomicState {
+    val: usize,
+    /// Release clock: joined into an acquiring loader. Maintained per the
+    /// C11 release-sequence rules (relaxed RMWs extend the sequence,
+    /// relaxed stores break it).
+    rel: VClock,
+}
+
+struct MutexState {
+    owner: Option<usize>,
+    /// Clock of the last unlock — joined by the next lock (total order of
+    /// critical sections).
+    clock: VClock,
+}
+
+struct CellState {
+    /// Clock of the writing thread at the last write.
+    write: VClock,
+    /// Writer thread of the last write (for diagnostics).
+    writer: usize,
+    /// `reads[t]`: local time of thread `t` at its last read.
+    reads: VClock,
+}
+
+pub(crate) struct ExecInner {
+    status: Vec<Status>,
+    clocks: Vec<VClock>,
+    granted: Option<usize>,
+    atomics: Vec<AtomicState>,
+    mutexes: Vec<MutexState>,
+    cells: Vec<CellState>,
+    /// Condvars carry no state beyond their waiters (tracked in `status`);
+    /// this is just the id allocator.
+    n_cvs: usize,
+    /// Threads spawned but not yet finished.
+    live: usize,
+    steps: usize,
+    /// Executed (tid, op) pairs, for failure reports.
+    trace: Vec<(usize, Op)>,
+    failure: Option<String>,
+    aborting: bool,
+    bounds: Bounds,
+}
+
+/// One model execution: the scheduler state plus the condvar the controller
+/// and every modeled thread hand shake on.
+pub(crate) struct Exec {
+    inner: StdMutex<ExecInner>,
+    cv: StdCondvar,
+    /// OS handles of every modeled thread, joined at teardown.
+    os_handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Panic payload used to unwind modeled threads during teardown; raised with
+/// `resume_unwind` so the panic hook stays silent.
+struct ModelAbort;
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) exec: Arc<Exec>,
+    pub(crate) tid: usize,
+    pub(crate) epoch: u64,
+}
+
+/// Runs `f` with the current model context, panicking with a pointed message
+/// if no model execution is active on this thread.
+pub(crate) fn with_ctx<R>(f: impl FnOnce(&Ctx) -> R) -> R {
+    CTX.with(|c| {
+        let b = c.borrow();
+        let ctx = b.as_ref().expect(
+            "famg-model primitive used outside a model execution — wrap the test in famg_model::model(..)",
+        );
+        f(ctx)
+    })
+}
+
+/// True if the calling thread is a modeled thread of an active execution.
+pub fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+static EPOCH: AtomicU64 = AtomicU64::new(1);
+
+fn lock_inner(exec: &Exec) -> StdMutexGuard<'_, ExecInner> {
+    // The inner mutex is never poisoned on purpose: modeled threads drop the
+    // guard before unwinding. Recover anyway so teardown can always report.
+    exec.inner
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Exec {
+    fn new(bounds: Bounds) -> Exec {
+        Exec {
+            inner: StdMutex::new(ExecInner {
+                status: Vec::new(),
+                clocks: Vec::new(),
+                granted: None,
+                atomics: Vec::new(),
+                mutexes: Vec::new(),
+                cells: Vec::new(),
+                n_cvs: 0,
+                live: 0,
+                steps: 0,
+                trace: Vec::new(),
+                failure: None,
+                aborting: false,
+                bounds,
+            }),
+            cv: StdCondvar::new(),
+            os_handles: StdMutex::new(Vec::new()),
+        }
+    }
+
+    /// Registers a new modeled thread whose clock starts at `clock`,
+    /// returning its tid. Caller must hold the inner lock via `g`.
+    fn register_thread(g: &mut ExecInner, clock: VClock) -> usize {
+        let tid = g.status.len();
+        g.status.push(Status::Embryo);
+        let mut c = clock;
+        if c.len() <= tid {
+            c.resize(tid + 1, 0);
+        }
+        c[tid] += 1;
+        g.clocks.push(c);
+        g.live += 1;
+        tid
+    }
+
+    pub(crate) fn register_atomic(&self, init: usize) -> usize {
+        let mut g = lock_inner(self);
+        g.atomics.push(AtomicState {
+            val: init,
+            rel: Vec::new(),
+        });
+        g.atomics.len() - 1
+    }
+
+    pub(crate) fn register_mutex(&self) -> usize {
+        let mut g = lock_inner(self);
+        g.mutexes.push(MutexState {
+            owner: None,
+            clock: Vec::new(),
+        });
+        g.mutexes.len() - 1
+    }
+
+    pub(crate) fn register_cv(&self) -> usize {
+        let mut g = lock_inner(self);
+        g.n_cvs += 1;
+        g.n_cvs - 1
+    }
+
+    pub(crate) fn register_cell(&self, creator_clock: VClock) -> usize {
+        let mut g = lock_inner(self);
+        g.cells.push(CellState {
+            write: creator_clock,
+            writer: usize::MAX,
+            reads: Vec::new(),
+        });
+        g.cells.len() - 1
+    }
+
+    pub(crate) fn creator_clock(&self, tid: usize) -> VClock {
+        lock_inner(self).clocks[tid].clone()
+    }
+}
+
+/// Records `msg` as the execution's failure (first failure wins) and begins
+/// teardown: every parked thread is woken and unwinds with [`ModelAbort`].
+fn fail_locked(exec: &Exec, g: &mut ExecInner, msg: String) {
+    if g.failure.is_none() {
+        g.failure = Some(msg);
+    }
+    g.aborting = true;
+    exec.cv.notify_all();
+}
+
+fn is_acquire(ord: Ordering) -> bool {
+    // ORDERING: classifier for the happens-before rules — these are the
+    // orderings whose loads join the release clock of the store they read.
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(ord: Ordering) -> bool {
+    // ORDERING: classifier for the happens-before rules — these are the
+    // orderings whose stores publish the writer's clock to acquiring loads.
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// Is `op` currently executable? (Threads parked on a full mutex or an
+/// unfinished join are declared but not enabled.)
+fn enabled(op: &Op, g: &ExecInner) -> bool {
+    match *op {
+        Op::MutexLock { id } => g.mutexes[id].owner.is_none(),
+        Op::Join { target } => g.status[target] == Status::Finished,
+        _ => true,
+    }
+}
+
+/// Applies `op`'s effect for thread `tid`. Returns the operation's value
+/// (atomic loads / RMW previous values); `Err` carries a model failure.
+fn apply(g: &mut ExecInner, tid: usize, op: &Op) -> Result<usize, String> {
+    // Every operation is a new event on its thread.
+    let t_len = g.clocks.len().max(tid + 1);
+    if g.clocks[tid].len() < t_len {
+        g.clocks[tid].resize(t_len, 0);
+    }
+    g.clocks[tid][tid] += 1;
+    g.trace.push((tid, op.clone()));
+    match *op {
+        Op::Begin | Op::Yield | Op::Spawn { .. } => Ok(0),
+        Op::AtomicLoad { id, ord } => {
+            if is_acquire(ord) {
+                let rel = g.atomics[id].rel.clone();
+                clock_join(&mut g.clocks[tid], &rel);
+            }
+            Ok(g.atomics[id].val)
+        }
+        Op::AtomicStore { id, ord, val } => {
+            g.atomics[id].val = val;
+            g.atomics[id].rel = if is_release(ord) {
+                g.clocks[tid].clone()
+            } else {
+                // A relaxed store breaks any release sequence headed here.
+                Vec::new()
+            };
+            Ok(val)
+        }
+        Op::AtomicRmw { id, ord, rmw } => {
+            let prev = g.atomics[id].val;
+            let next = match rmw {
+                Rmw::Add(n) => prev.wrapping_add(n),
+                Rmw::Sub(n) => prev.wrapping_sub(n),
+                Rmw::Swap(n) => n,
+            };
+            g.atomics[id].val = next;
+            if is_acquire(ord) {
+                let rel = g.atomics[id].rel.clone();
+                clock_join(&mut g.clocks[tid], &rel);
+            }
+            if is_release(ord) {
+                // An RMW joins the existing release sequence rather than
+                // replacing it: acquirers of later values see both.
+                let snapshot = g.clocks[tid].clone();
+                clock_join(&mut g.atomics[id].rel, &snapshot);
+            }
+            // A relaxed RMW leaves the release clock untouched — it
+            // *continues* the release sequence (C11 §5.1.2.4).
+            Ok(prev)
+        }
+        Op::MutexLock { id } => {
+            debug_assert!(g.mutexes[id].owner.is_none());
+            g.mutexes[id].owner = Some(tid);
+            let c = g.mutexes[id].clock.clone();
+            clock_join(&mut g.clocks[tid], &c);
+            Ok(0)
+        }
+        Op::MutexUnlock { id } => {
+            if g.mutexes[id].owner != Some(tid) {
+                return Err(format!("thread {tid} unlocked mutex {id} it does not hold"));
+            }
+            g.mutexes[id].owner = None;
+            g.mutexes[id].clock = g.clocks[tid].clone();
+            Ok(0)
+        }
+        Op::CvWait { cv, mutex } => {
+            if g.mutexes[mutex].owner != Some(tid) {
+                return Err(format!(
+                    "thread {tid} waited on condvar {cv} without holding mutex {mutex}"
+                ));
+            }
+            g.mutexes[mutex].owner = None;
+            g.mutexes[mutex].clock = g.clocks[tid].clone();
+            g.status[tid] = Status::Waiting { cv, mutex };
+            Ok(0)
+        }
+        Op::CvNotifyAll { cv } => {
+            for t in 0..g.status.len() {
+                if let Status::Waiting { cv: wcv, mutex } = g.status[t] {
+                    if wcv == cv {
+                        // Notified waiters re-acquire their mutex before
+                        // returning; ordering flows through the mutex.
+                        g.status[t] = Status::Ready(Op::MutexLock { id: mutex });
+                    }
+                }
+            }
+            Ok(0)
+        }
+        Op::CellRead { id } => {
+            let ok = clock_leq(&g.cells[id].write, &g.clocks[tid]);
+            if !ok {
+                return Err(format!(
+                    "data race: thread {tid} read RaceCell {id} unordered with thread {}'s write",
+                    g.cells[id].writer
+                ));
+            }
+            let t = g.clocks[tid][tid];
+            if g.cells[id].reads.len() <= tid {
+                g.cells[id].reads.resize(tid + 1, 0);
+            }
+            g.cells[id].reads[tid] = t;
+            Ok(0)
+        }
+        Op::CellWrite { id } => {
+            if !clock_leq(&g.cells[id].write, &g.clocks[tid]) {
+                return Err(format!(
+                    "data race: thread {tid} wrote RaceCell {id} unordered with thread {}'s write",
+                    g.cells[id].writer
+                ));
+            }
+            let reads = g.cells[id].reads.clone();
+            for (r, &at) in reads.iter().enumerate() {
+                if at > g.clocks[tid].get(r).copied().unwrap_or(0) {
+                    return Err(format!(
+                        "data race: thread {tid} wrote RaceCell {id} unordered with thread {r}'s read"
+                    ));
+                }
+            }
+            let inner = &mut *g;
+            inner.cells[id].write.clone_from(&inner.clocks[tid]);
+            inner.cells[id].writer = tid;
+            Ok(0)
+        }
+        Op::Join { target } => {
+            debug_assert_eq!(g.status[target], Status::Finished);
+            let c = g.clocks[target].clone();
+            clock_join(&mut g.clocks[tid], &c);
+            Ok(0)
+        }
+    }
+}
+
+/// Declares `op` at a yield point, parks until the controller grants this
+/// thread, applies the effect, and returns the operation's value. This is
+/// the single entry point every modeled primitive funnels through.
+pub(crate) fn offer(op: Op) -> usize {
+    // A panicking thread is either a failed execution unwinding toward
+    // `thread_main` or a teardown abort; destructors along that path (e.g.
+    // `Pool::drop` joining its workers) still reach modeled primitives.
+    // Re-entering the scheduler from a destructor would park forever or
+    // double-panic and abort the process, losing the failure report — the
+    // execution is condemned, so every further operation is a benign no-op.
+    if std::thread::panicking() {
+        return 0;
+    }
+    let ctx = with_ctx(Ctx::clone);
+    let exec = &ctx.exec;
+    let tid = ctx.tid;
+    let mut g = lock_inner(exec);
+    g.status[tid] = Status::Ready(op.clone());
+    exec.cv.notify_all();
+    loop {
+        if g.aborting {
+            drop(g);
+            std::panic::resume_unwind(Box::new(ModelAbort));
+        }
+        if g.granted == Some(tid) {
+            g.granted = None;
+            break;
+        }
+        g = exec
+            .cv
+            .wait(g)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+    let out = match apply(&mut g, tid, &op) {
+        Ok(v) => v,
+        Err(msg) => {
+            fail_locked(exec, &mut g, msg);
+            drop(g);
+            std::panic::resume_unwind(Box::new(ModelAbort));
+        }
+    };
+    if let Op::CvWait { cv: _, mutex } = op {
+        // Status is now Waiting; a notify_all will flip it back to
+        // Ready(MutexLock) and the controller will grant the re-acquire.
+        exec.cv.notify_all();
+        loop {
+            if g.aborting {
+                drop(g);
+                std::panic::resume_unwind(Box::new(ModelAbort));
+            }
+            if g.granted == Some(tid) {
+                g.granted = None;
+                break;
+            }
+            g = exec
+                .cv
+                .wait(g)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        let relock = Op::MutexLock { id: mutex };
+        if let Err(msg) = apply(&mut g, tid, &relock) {
+            fail_locked(exec, &mut g, msg);
+            drop(g);
+            std::panic::resume_unwind(Box::new(ModelAbort));
+        }
+    }
+    g.status[tid] = Status::Running;
+    drop(g);
+    out
+}
+
+/// Spawns a modeled thread running `body`; used by [`crate::thread::spawn`]
+/// (which layers the typed join handle on top). Returns the child tid.
+pub(crate) fn spawn_modeled(body: Box<dyn FnOnce() + Send + 'static>) -> usize {
+    // As in `offer`: never register new threads from an unwinding path.
+    if std::thread::panicking() {
+        drop(body);
+        return usize::MAX;
+    }
+    let ctx = with_ctx(Ctx::clone);
+    let exec = Arc::clone(&ctx.exec);
+    let child = {
+        let mut g = lock_inner(&exec);
+        if g.status.len() >= g.bounds.max_threads {
+            let msg = format!(
+                "thread bound exceeded: {} modeled threads already exist (max_threads = {})",
+                g.status.len(),
+                g.bounds.max_threads
+            );
+            fail_locked(&exec, &mut g, msg);
+            drop(g);
+            std::panic::resume_unwind(Box::new(ModelAbort));
+        }
+        let parent_clock = g.clocks[ctx.tid].clone();
+        Exec::register_thread(&mut g, parent_clock)
+    };
+    // OS-spawn before the parent's next yield point: once registered, the
+    // child counts as live, so its OS thread must be guaranteed to arrive
+    // (even if the parent unwinds at the very next operation). The child's
+    // clock already carries the spawn edge from registration.
+    let exec2 = Arc::clone(&exec);
+    let epoch = ctx.epoch;
+    let os = std::thread::Builder::new()
+        .name(format!("famg-model-{child}"))
+        .spawn(move || thread_main(exec2, child, epoch, body))
+        .expect("failed to spawn famg-model thread");
+    exec.os_handles
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push(os);
+    // The spawn itself is a visible scheduling event on the parent.
+    offer(Op::Spawn { child });
+    child
+}
+
+/// Parks until `target` finishes, then joins its clock (the happens-before
+/// edge of `JoinHandle::join`).
+pub(crate) fn join_modeled(target: usize) {
+    offer(Op::Join { target });
+}
+
+/// Body run by every modeled OS thread: waits for its `Begin` grant, runs
+/// the user closure, and reports completion (or failure) to the scheduler.
+fn thread_main(exec: Arc<Exec>, tid: usize, epoch: u64, body: Box<dyn FnOnce() + Send + 'static>) {
+    CTX.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            exec: Arc::clone(&exec),
+            tid,
+            epoch,
+        });
+    });
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        offer(Op::Begin);
+        body();
+    }));
+    let mut g = lock_inner(&exec);
+    if let Err(payload) = result {
+        if !payload.is::<ModelAbort>() {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(ToString::to_string)
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "modeled thread panicked (non-string payload)".to_string());
+            fail_locked(&exec, &mut g, format!("thread {tid} panicked: {msg}"));
+        }
+    }
+    g.status[tid] = Status::Finished;
+    g.live -= 1;
+    exec.cv.notify_all();
+    drop(g);
+    CTX.with(|c| c.borrow_mut().take());
+}
+
+/// One decision point of the DFS: the canonicalized list of grantable
+/// threads and the index currently being explored.
+struct Choice {
+    opts: Vec<usize>,
+    idx: usize,
+}
+
+fn describe_status(s: &Status) -> String {
+    match s {
+        Status::Embryo => "embryo (not yet started)".to_string(),
+        Status::Ready(op) => format!("ready({op:?})"),
+        Status::Running => "running".to_string(),
+        Status::Waiting { cv, mutex } => format!("waiting(cv {cv}, mutex {mutex})"),
+        Status::Finished => "finished".to_string(),
+    }
+}
+
+fn failure_report(g: &ExecInner, msg: &str) -> String {
+    let statuses: Vec<String> = g
+        .status
+        .iter()
+        .enumerate()
+        .map(|(t, s)| format!("  t{t}: {}", describe_status(s)))
+        .collect();
+    let tail: Vec<String> = g
+        .trace
+        .iter()
+        .rev()
+        .take(60)
+        .rev()
+        .map(|(t, op)| format!("  t{t}: {op:?}"))
+        .collect();
+    format!(
+        "famg-model failure: {msg}\nthreads:\n{}\nschedule tail ({} of {} steps):\n{}",
+        statuses.join("\n"),
+        tail.len(),
+        g.trace.len(),
+        tail.join("\n")
+    )
+}
+
+/// Runs one execution of `body` under the schedule prefix in `stack`,
+/// extending `stack` at newly met choice points. Returns the steps taken.
+fn run_one(
+    bounds: &Bounds,
+    body: Box<dyn FnOnce() + Send + 'static>,
+    stack: &mut Vec<Choice>,
+) -> usize {
+    // ORDERING: Relaxed suffices — the epoch counter only needs uniqueness
+    // (atomic RMW), not ordering with any other memory.
+    let epoch = EPOCH.fetch_add(1, Ordering::Relaxed);
+    let exec = Arc::new(Exec::new(bounds.clone()));
+    {
+        let mut g = lock_inner(&exec);
+        let tid0 = Exec::register_thread(&mut g, Vec::new());
+        debug_assert_eq!(tid0, 0);
+    }
+    let exec2 = Arc::clone(&exec);
+    let os0 = std::thread::Builder::new()
+        .name("famg-model-0".to_string())
+        .spawn(move || thread_main(exec2, 0, epoch, body))
+        .expect("failed to spawn famg-model main thread");
+    exec.os_handles
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push(os0);
+
+    let mut prev: Option<usize> = None;
+    let mut preemptions = 0usize;
+    let mut cursor = 0usize;
+    let failure: Option<String> = {
+        let mut g = lock_inner(&exec);
+        loop {
+            // Quiesce: wait until no grant is outstanding, no thread is
+            // mid-operation, and every registered thread has arrived at a
+            // yield point, so statuses fully describe the state.
+            while g.granted.is_some()
+                || g.status
+                    .iter()
+                    .any(|s| matches!(s, Status::Running | Status::Embryo))
+            {
+                if g.aborting {
+                    break;
+                }
+                g = exec
+                    .cv
+                    .wait(g)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            if g.failure.is_some() || g.aborting {
+                break g.failure.clone();
+            }
+            if g.live == 0 {
+                break None; // every thread finished: execution complete
+            }
+            let runnable: Vec<usize> = g
+                .status
+                .iter()
+                .enumerate()
+                .filter_map(|(t, s)| match s {
+                    Status::Ready(op) if enabled(op, &g) => Some(t),
+                    _ => None,
+                })
+                .collect();
+            if runnable.is_empty() {
+                // Threads exist but none can move: every thread is parked on
+                // a mutex, condvar, or join — a deadlock (or lost wakeup).
+                let msg = failure_report(&g, "deadlock: no runnable thread");
+                fail_locked(&exec, &mut g, msg);
+                break g.failure.clone();
+            }
+            // Canonical option order: the previously running thread first
+            // (continuing it is free), then the rest by tid. Preemption
+            // bounding filters switches that would exceed the budget.
+            let prev_runnable = prev.is_some_and(|p| runnable.contains(&p));
+            let opts: Vec<usize> = if prev_runnable {
+                let p = prev.unwrap();
+                let mut v = vec![p];
+                if preemptions < bounds.preemption_bound {
+                    v.extend(runnable.iter().copied().filter(|&t| t != p));
+                }
+                v
+            } else {
+                runnable
+            };
+            let chosen = if opts.len() == 1 {
+                opts[0]
+            } else if cursor < stack.len() {
+                let c = &stack[cursor];
+                assert_eq!(
+                    c.opts, opts,
+                    "famg-model: nondeterministic execution — replay produced a \
+                     different choice set at decision {cursor}"
+                );
+                let t = c.opts[c.idx];
+                cursor += 1;
+                t
+            } else {
+                stack.push(Choice {
+                    opts: opts.clone(),
+                    idx: 0,
+                });
+                cursor += 1;
+                opts[0]
+            };
+            if prev_runnable && chosen != prev.unwrap() {
+                preemptions += 1;
+            }
+            g.steps += 1;
+            if g.steps > bounds.max_steps {
+                let msg = failure_report(
+                    &g,
+                    &format!("step bound exceeded ({} steps)", bounds.max_steps),
+                );
+                fail_locked(&exec, &mut g, msg);
+                break g.failure.clone();
+            }
+            g.granted = Some(chosen);
+            prev = Some(chosen);
+            exec.cv.notify_all();
+        }
+    };
+
+    if failure.is_some() {
+        // Teardown: wake every parked thread so it unwinds with ModelAbort,
+        // then join all OS threads before reporting.
+        let mut g = lock_inner(&exec);
+        g.aborting = true;
+        exec.cv.notify_all();
+        while g.live > 0 {
+            g = exec
+                .cv
+                .wait(g)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        drop(g);
+    }
+    let handles: Vec<_> = std::mem::take(
+        &mut *exec
+            .os_handles
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner),
+    );
+    for h in handles {
+        let _ = h.join();
+    }
+    let g = lock_inner(&exec);
+    if let Some(msg) = failure {
+        let sched: Vec<String> = g.trace.iter().map(|(t, _)| t.to_string()).collect();
+        panic!("{msg}\nfull schedule (tids): [{}]", sched.join(", "));
+    }
+    g.steps
+}
+
+/// Advances the DFS stack to the next unexplored schedule. Returns `false`
+/// when the whole bounded space has been covered.
+fn backtrack(stack: &mut Vec<Choice>) -> bool {
+    while let Some(top) = stack.last_mut() {
+        if top.idx + 1 < top.opts.len() {
+            top.idx += 1;
+            return true;
+        }
+        stack.pop();
+    }
+    false
+}
+
+/// Explores every interleaving of `f` within `bounds`, panicking with the
+/// offending schedule on the first failure (assertion, data race, deadlock,
+/// or exceeded bound). Returns exploration statistics on success.
+pub fn model_with<F>(bounds: Bounds, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    assert!(bounds.max_threads >= 1, "max_threads must be at least 1");
+    let f = Arc::new(f);
+    let mut stack: Vec<Choice> = Vec::new();
+    let mut schedules = 0usize;
+    let mut max_steps_seen = 0usize;
+    loop {
+        let body = {
+            let f = Arc::clone(&f);
+            Box::new(move || f()) as Box<dyn FnOnce() + Send + 'static>
+        };
+        let steps = run_one(&bounds, body, &mut stack);
+        max_steps_seen = max_steps_seen.max(steps);
+        schedules += 1;
+        assert!(
+            schedules <= bounds.max_schedules,
+            "famg-model: schedule bound exceeded ({} schedules) — the search \
+             space is larger than max_schedules; raise the bound or shrink the model",
+            bounds.max_schedules
+        );
+        if !backtrack(&mut stack) {
+            break;
+        }
+    }
+    Report {
+        schedules,
+        max_steps_seen,
+    }
+}
+
+/// [`model_with`] under [`Bounds::default`].
+pub fn model<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    model_with(Bounds::default(), f)
+}

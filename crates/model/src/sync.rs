@@ -1,0 +1,252 @@
+//! Modeled replacements for the `std::sync` surface the rayon shim uses.
+//!
+//! Each primitive lazily registers itself with the active execution on
+//! first use, then funnels every operation through the scheduler
+//! ([`crate::sched::offer`]). API shapes mirror `std` closely enough that
+//! code written against `std::sync` compiles unchanged behind a
+//! `cfg(famg_model)` import swap (`lock().unwrap()`, `cv.wait(g).unwrap()`).
+//!
+//! Objects must be created *inside* the model closure: each execution gets
+//! a fresh registry, and an object carried across executions would smuggle
+//! state between schedules. Doing so fails with a pointed panic.
+
+use crate::sched::{offer, with_ctx, Op};
+use std::cell::UnsafeCell;
+
+/// Modeled atomics; `Ordering` is re-exported from `std` so call sites are
+/// source-identical.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use super::ObjId;
+    use crate::sched::{offer, Op, Rmw};
+
+    /// Modeled `AtomicUsize`: sequentially consistent value semantics, with
+    /// the *declared* ordering fed to the happens-before checker.
+    #[derive(Debug)]
+    pub struct AtomicUsize {
+        init: usize,
+        id: ObjId,
+    }
+
+    impl AtomicUsize {
+        /// Creates a new modeled atomic holding `v`.
+        pub fn new(v: usize) -> AtomicUsize {
+            AtomicUsize {
+                init: v,
+                id: ObjId::new(),
+            }
+        }
+
+        fn id(&self) -> usize {
+            self.id
+                .get_or_register(|exec| exec.register_atomic(self.init))
+        }
+
+        /// Modeled `load`.
+        pub fn load(&self, ord: Ordering) -> usize {
+            offer(Op::AtomicLoad { id: self.id(), ord })
+        }
+
+        /// Modeled `store`.
+        pub fn store(&self, val: usize, ord: Ordering) {
+            offer(Op::AtomicStore {
+                id: self.id(),
+                ord,
+                val,
+            });
+        }
+
+        /// Modeled `fetch_add`; returns the previous value.
+        pub fn fetch_add(&self, n: usize, ord: Ordering) -> usize {
+            offer(Op::AtomicRmw {
+                id: self.id(),
+                ord,
+                rmw: Rmw::Add(n),
+            })
+        }
+
+        /// Modeled `fetch_sub`; returns the previous value.
+        pub fn fetch_sub(&self, n: usize, ord: Ordering) -> usize {
+            offer(Op::AtomicRmw {
+                id: self.id(),
+                ord,
+                rmw: Rmw::Sub(n),
+            })
+        }
+
+        /// Modeled `swap`; returns the previous value.
+        pub fn swap(&self, val: usize, ord: Ordering) -> usize {
+            offer(Op::AtomicRmw {
+                id: self.id(),
+                ord,
+                rmw: Rmw::Swap(val),
+            })
+        }
+    }
+}
+
+/// Per-object lazy registration: the id is valid for exactly one execution
+/// (epoch); reuse across executions is a model misuse and panics.
+#[derive(Debug, Default)]
+pub(crate) struct ObjId {
+    slot: std::sync::Mutex<Option<(u64, usize)>>,
+}
+
+impl ObjId {
+    pub(crate) fn new() -> ObjId {
+        ObjId {
+            slot: std::sync::Mutex::new(None),
+        }
+    }
+
+    pub(crate) fn get_or_register(
+        &self,
+        register: impl FnOnce(&crate::sched::Exec) -> usize,
+    ) -> usize {
+        with_ctx(|ctx| {
+            let mut slot = self
+                .slot
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            match *slot {
+                Some((epoch, id)) if epoch == ctx.epoch => id,
+                Some(_) => panic!(
+                    "famg-model object reused across executions — create every modeled \
+                     Mutex/Condvar/atomic/RaceCell inside the model closure"
+                ),
+                None => {
+                    let id = register(&ctx.exec);
+                    *slot = Some((ctx.epoch, id));
+                    id
+                }
+            }
+        })
+    }
+}
+
+/// Error half of [`LockResult`]. The model never poisons locks; the type
+/// exists so `lock().unwrap()` call sites compile against both `std` and
+/// the model.
+#[derive(Debug)]
+pub struct Poison;
+
+/// Mirror of `std::sync::LockResult` (always `Ok` in the model).
+pub type LockResult<G> = Result<G, Poison>;
+
+/// Modeled `Mutex`.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    data: UnsafeCell<T>,
+    id: ObjId,
+}
+
+// SAFETY: the scheduler grants `MutexLock` only while no other thread holds
+// the mutex, and all modeled threads are serialized (at most one runs user
+// code at a time), so access to `data` through a held guard is exclusive.
+unsafe impl<T: Send> Send for Mutex<T> {}
+// SAFETY: as above — the modeled lock protocol guarantees exclusive access.
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Creates a new modeled mutex holding `v`.
+    pub fn new(v: T) -> Mutex<T> {
+        Mutex {
+            data: UnsafeCell::new(v),
+            id: ObjId::new(),
+        }
+    }
+
+    fn id(&self) -> usize {
+        self.id.get_or_register(crate::sched::Exec::register_mutex)
+    }
+
+    /// Modeled `lock`: a scheduler yield point; parks while another thread
+    /// holds the lock.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let id = self.id();
+        offer(Op::MutexLock { id });
+        Ok(MutexGuard { lock: self, id })
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.data.into_inner())
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]; unlocks (a yield point) on drop.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    id: usize,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard proves this thread holds the modeled lock, so
+        // no other thread can touch `data` until the guard drops.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as for `Deref` — the modeled lock is held exclusively.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // During unwinding the execution is already condemned (user panic or
+        // teardown abort) and the scheduler grants nothing further;
+        // re-entering it here would park forever or panic in a destructor.
+        if std::thread::panicking() {
+            return;
+        }
+        offer(Op::MutexUnlock { id: self.id });
+    }
+}
+
+/// Modeled `Condvar` supporting `wait` and `notify_all` (the only condvar
+/// surface the pool shim uses). No spurious wakeups are modeled; waiters
+/// wake only on a notify, which is exactly what exposes lost-wakeup bugs.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    id: ObjId,
+}
+
+impl Condvar {
+    /// Creates a new modeled condvar.
+    pub fn new() -> Condvar {
+        Condvar { id: ObjId::new() }
+    }
+
+    fn id(&self) -> usize {
+        self.id.get_or_register(crate::sched::Exec::register_cv)
+    }
+
+    /// Modeled `wait`: atomically releases the guard's mutex and parks until
+    /// a `notify_all`, then re-acquires the mutex before returning.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let cv = self.id();
+        let mutex_id = guard.id;
+        let lock = guard.lock;
+        // The wait op releases the mutex itself; skip the guard's unlock.
+        std::mem::forget(guard);
+        offer(Op::CvWait {
+            cv,
+            mutex: mutex_id,
+        });
+        Ok(MutexGuard { lock, id: mutex_id })
+    }
+
+    /// Modeled `notify_all`: every current waiter becomes runnable (pending
+    /// mutex re-acquisition). Notifying with no waiters is a no-op — the
+    /// signal is *not* latched, matching real condvars.
+    pub fn notify_all(&self) {
+        let cv = self.id();
+        offer(Op::CvNotifyAll { cv });
+    }
+}

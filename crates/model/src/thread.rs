@@ -1,0 +1,57 @@
+//! Modeled thread spawn/join, mirroring the `std::thread` subset the pool
+//! shim uses. Modeled threads are real OS threads, but every visible
+//! operation hand-shakes with the scheduler, so at most one runs at a time
+//! and the interleaving is chosen by the DFS search.
+
+use crate::sched::{join_modeled, offer, spawn_modeled, Op};
+use std::sync::{Arc, Mutex};
+
+/// Handle to a modeled thread; `join` is a scheduler yield point that also
+/// establishes the usual happens-before edge from the thread's last action.
+pub struct JoinHandle<T> {
+    tid: usize,
+    slot: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Parks until the thread finishes, returning its result. A modeled
+    /// thread that panicked fails the whole model run (with the offending
+    /// schedule) before `join` can observe it, so this only errors if the
+    /// result was somehow not produced.
+    pub fn join(self) -> std::thread::Result<T> {
+        join_modeled(self.tid);
+        let v = self
+            .slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take();
+        match v {
+            Some(v) => Ok(v),
+            None => Err(Box::new("famg-model: joined thread produced no value")),
+        }
+    }
+}
+
+/// Spawns a modeled thread. Must be called from inside a model execution;
+/// counts against [`crate::Bounds::max_threads`].
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let slot: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+    let slot2 = Arc::clone(&slot);
+    let tid = spawn_modeled(Box::new(move || {
+        let v = f();
+        *slot2
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(v);
+    }));
+    JoinHandle { tid, slot }
+}
+
+/// A pure scheduling yield point: lets the search interleave other threads
+/// here without touching any data.
+pub fn yield_now() {
+    offer(Op::Yield);
+}

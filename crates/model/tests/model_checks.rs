@@ -1,0 +1,251 @@
+//! Self-tests for the model checker: each seeded concurrency bug must be
+//! caught, and each correct protocol must pass exhaustively.
+
+use famg_model::sync::atomic::{AtomicUsize, Ordering};
+use famg_model::sync::{Condvar, Mutex};
+use famg_model::{model, model_with, thread, Bounds, RaceCell};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Runs `f` expecting the model run to fail; returns the failure message.
+fn expect_model_failure<F: Fn() + Send + Sync + 'static>(f: F) -> String {
+    let err = catch_unwind(AssertUnwindSafe(|| model(f)))
+        .expect_err("model run passed but a failure was expected");
+    err.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(ToString::to_string))
+        .unwrap_or_else(|| "<non-string panic payload>".to_string())
+}
+
+#[test]
+fn explores_multiple_schedules() {
+    let report = model(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = Arc::clone(&n);
+        let h = thread::spawn(move || {
+            n2.fetch_add(1, Ordering::SeqCst);
+        });
+        n.fetch_add(1, Ordering::SeqCst);
+        h.join().unwrap();
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+    });
+    // The child's RMW can land before or after the parent's — the search
+    // must visit both interleavings.
+    assert!(report.schedules >= 2, "schedules = {}", report.schedules);
+}
+
+#[test]
+fn mutex_protected_counter_is_clean() {
+    model(|| {
+        let m = Arc::new(Mutex::new(0u32));
+        let m2 = Arc::clone(&m);
+        let h = thread::spawn(move || {
+            *m2.lock().unwrap() += 1;
+        });
+        *m.lock().unwrap() += 1;
+        h.join().unwrap();
+        assert_eq!(*m.lock().unwrap(), 2);
+    });
+}
+
+#[test]
+fn release_acquire_publish_is_clean() {
+    model(|| {
+        let data = Arc::new(RaceCell::new(0));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+        let h = thread::spawn(move || {
+            d.write(42);
+            // ORDERING: Release pairs with the Acquire load below.
+            f.store(1, Ordering::Release);
+        });
+        // ORDERING: Acquire pairs with the Release store above.
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(data.read(), 42);
+        }
+        h.join().unwrap();
+    });
+}
+
+#[test]
+fn relaxed_publish_is_flagged_as_race() {
+    let msg = expect_model_failure(|| {
+        let data = Arc::new(RaceCell::new(0));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+        let h = thread::spawn(move || {
+            d.write(42);
+            // ORDERING: deliberately wrong — Relaxed publishes nothing; the
+            // checker must flag the read below as a data race.
+            f.store(1, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Relaxed) == 1 {
+            let _ = d_read_probe(&data);
+        }
+        h.join().unwrap();
+    });
+    assert!(msg.contains("data race"), "unexpected failure: {msg}");
+}
+
+/// Indirection so the racy read is not optimized into the branch above.
+fn d_read_probe(c: &RaceCell<i32>) -> i32 {
+    c.read()
+}
+
+#[test]
+fn release_sequence_through_relaxed_rmw_is_clean() {
+    // A Release store followed by a Relaxed RMW continues the release
+    // sequence (C11): an Acquire load of the RMW'd value still synchronizes
+    // with the original Release store.
+    model(|| {
+        let data = Arc::new(RaceCell::new(0));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+        let h = thread::spawn(move || {
+            d.write(7);
+            // ORDERING: Release heads the release sequence read below.
+            f.store(1, Ordering::Release);
+            // ORDERING: Relaxed RMW continues (does not break) the sequence.
+            f.fetch_add(1, Ordering::Relaxed);
+        });
+        // ORDERING: Acquire synchronizes with the Release store through the
+        // release sequence even when it observes the RMW's value.
+        if flag.load(Ordering::Acquire) == 2 {
+            assert_eq!(data.read(), 7);
+        }
+        h.join().unwrap();
+    });
+}
+
+#[test]
+fn abba_deadlock_is_detected() {
+    let msg = expect_model_failure(|| {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let h = thread::spawn(move || {
+            let _ga = a2.lock().unwrap();
+            let _gb = b2.lock().unwrap();
+        });
+        let gb = b.lock().unwrap();
+        let ga = a.lock().unwrap();
+        drop((ga, gb));
+        h.join().unwrap();
+    });
+    assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+}
+
+#[test]
+fn lost_wakeup_is_detected() {
+    // Buggy protocol: the notifier sets the flag and notifies without
+    // holding the mutex the waiter checks under. The waiter can observe the
+    // stale flag, then park after the (unlatched) notify already fired.
+    let msg = expect_model_failure(|| {
+        let m = Arc::new(Mutex::new(()));
+        let cv = Arc::new(Condvar::new());
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (cv2, f2) = (Arc::clone(&cv), Arc::clone(&flag));
+        let h = thread::spawn(move || {
+            f2.store(1, Ordering::SeqCst);
+            cv2.notify_all();
+        });
+        let mut g = m.lock().unwrap();
+        while flag.load(Ordering::SeqCst) == 0 {
+            g = cv.wait(g).unwrap();
+        }
+        drop(g);
+        h.join().unwrap();
+    });
+    assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+}
+
+#[test]
+fn guarded_wakeup_is_clean() {
+    // Fixed protocol: the flag is written under the same mutex the waiter
+    // checks it under, so the check-then-wait window is closed.
+    model(|| {
+        let m = Arc::new(Mutex::new(false));
+        let cv = Arc::new(Condvar::new());
+        let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+        let h = thread::spawn(move || {
+            *m2.lock().unwrap() = true;
+            cv2.notify_all();
+        });
+        let mut g = m.lock().unwrap();
+        while !*g {
+            g = cv.wait(g).unwrap();
+        }
+        drop(g);
+        h.join().unwrap();
+    });
+}
+
+#[test]
+fn non_atomic_increment_is_caught() {
+    // load + store is not an increment: two threads can both read 0 and
+    // both store 1. The final assertion fails on that interleaving and the
+    // model reports it with the schedule.
+    let msg = expect_model_failure(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = Arc::clone(&n);
+        let h = thread::spawn(move || {
+            let v = n2.load(Ordering::SeqCst);
+            n2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = n.load(Ordering::SeqCst);
+        n.store(v + 1, Ordering::SeqCst);
+        h.join().unwrap();
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+    });
+    assert!(msg.contains("panicked"), "unexpected failure: {msg}");
+}
+
+#[test]
+fn object_reuse_across_executions_is_rejected() {
+    // Created outside the model closure, the atomic would smuggle state
+    // between schedules; the second execution must refuse it.
+    let n = Arc::new(AtomicUsize::new(0));
+    let msg = expect_model_failure(move || {
+        let n2 = Arc::clone(&n);
+        let h = thread::spawn(move || {
+            n2.fetch_add(1, Ordering::SeqCst);
+        });
+        n.fetch_add(1, Ordering::SeqCst);
+        h.join().unwrap();
+    });
+    assert!(
+        msg.contains("reused across executions"),
+        "unexpected failure: {msg}"
+    );
+}
+
+#[test]
+fn thread_bound_is_enforced() {
+    let bounds = Bounds {
+        max_threads: 2,
+        ..Bounds::default()
+    };
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        model_with(bounds, || {
+            let h1 = thread::spawn(|| {});
+            let h2 = thread::spawn(|| {});
+            h1.join().unwrap();
+            h2.join().unwrap();
+        });
+    }))
+    .expect_err("thread bound was not enforced");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("thread bound exceeded"), "got: {msg}");
+}
+
+#[test]
+fn yield_now_creates_schedule_points() {
+    let report = model(|| {
+        let h = thread::spawn(|| {
+            thread::yield_now();
+        });
+        thread::yield_now();
+        h.join().unwrap();
+    });
+    assert!(report.schedules >= 2, "schedules = {}", report.schedules);
+}

@@ -56,22 +56,30 @@ impl ByteCounter {
 
     /// Records one message of `n` bytes.
     pub fn record(&self, n: usize) {
+        // ORDERING: Relaxed — statistics counters publish nothing; the RMW's
+        // atomicity keeps tallies exact, and readers only consume them after
+        // the parallel region has been joined (which orders everything).
         self.bytes.fetch_add(n as u64, Ordering::Relaxed);
         self.messages.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total bytes recorded.
     pub fn bytes(&self) -> u64 {
+        // ORDERING: Relaxed — read after the recording region is joined;
+        // the join provides the happens-before edge, not this load.
         self.bytes.load(Ordering::Relaxed)
     }
 
     /// Total messages recorded.
     pub fn messages(&self) -> u64 {
+        // ORDERING: Relaxed — as for `bytes`, the caller's join orders it.
         self.messages.load(Ordering::Relaxed)
     }
 
     /// Resets both tallies to zero.
     pub fn reset(&self) {
+        // ORDERING: Relaxed — reset happens between measurement phases with
+        // no concurrent recorders; atomicity alone suffices.
         self.bytes.store(0, Ordering::Relaxed);
         self.messages.store(0, Ordering::Relaxed);
     }

@@ -3,8 +3,25 @@
 #
 # Everything here must pass before a change merges. Runs offline — the
 # workspace vendors its dependency shims, so no registry access is needed.
+#
+# Usage: check.sh [--fast]
+#   --fast   formatting, clippy, famg-lint, and the base test suite only;
+#            skips the validate-feature matrix, the model checker, and the
+#            release-mode regression/bench stages. For inner-loop edits —
+#            a merge still requires the full run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+FAST=0
+for arg in "$@"; do
+    case "$arg" in
+    --fast) FAST=1 ;;
+    *)
+        echo "usage: $0 [--fast]" >&2
+        exit 2
+        ;;
+    esac
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -12,8 +29,8 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (base)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo clippy (validate)"
-cargo clippy --workspace --all-targets --features validate -- -D warnings
+echo "==> famg-lint (unsafe/ordering/hashmap/wallclock audit)"
+cargo run -q -p famg-check --bin famg-lint
 
 echo "==> cargo test (base, serial pool: RAYON_NUM_THREADS=1)"
 RAYON_NUM_THREADS=1 cargo test --workspace -q
@@ -21,11 +38,28 @@ RAYON_NUM_THREADS=1 cargo test --workspace -q
 echo "==> cargo test (base, parallel pool: RAYON_NUM_THREADS=4)"
 RAYON_NUM_THREADS=4 cargo test --workspace -q
 
+if [[ "$FAST" == "1" ]]; then
+    echo "==> fast mode: skipping validate matrix, famg-model, and release stages"
+    echo "==> all fast checks passed"
+    exit 0
+fi
+
+echo "==> cargo clippy (validate)"
+cargo clippy --workspace --all-targets --features validate -- -D warnings
+
 echo "==> cargo test (validate, serial pool: RAYON_NUM_THREADS=1)"
 RAYON_NUM_THREADS=1 cargo test --workspace -q --features validate
 
 echo "==> cargo test (validate, parallel pool: RAYON_NUM_THREADS=4)"
 RAYON_NUM_THREADS=4 cargo test --workspace -q --features validate
+
+# Exhaustive interleaving exploration of the pool shim's lock-free latch,
+# help-while-waiting, wakeup, and panic protocols, plus the model crate's
+# own self-tests. Bounds (<= 3 modeled threads, preemption bound 2; see
+# shims/rayon/src/model_tests.rs) keep the whole stage well under a minute.
+echo "==> famg-model (pool shim interleaving model checks)"
+RUSTFLAGS="--cfg famg_model" cargo test -q -p famg-rayon-shim --lib -- --test-threads=1
+cargo test -q -p famg-model
 
 echo "==> comm-volume regression test (release)"
 cargo test -q --release --test comm_volume

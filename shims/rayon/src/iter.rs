@@ -154,8 +154,8 @@ pub trait ParallelIterator: Sized + Send + Sync {
             return 0;
         }
         let nblocks = block_count(len, self.min_len_hint());
-        let totals: Vec<std::sync::Mutex<usize>> =
-            (0..nblocks).map(|_| std::sync::Mutex::new(0)).collect();
+        let totals: Vec<crate::sync::Mutex<usize>> =
+            (0..nblocks).map(|_| crate::sync::Mutex::new(0)).collect();
         let totals_ref = &totals;
         run_blocks(nblocks, &|b| {
             let (s, e) = block_bounds(len, nblocks, b);
@@ -171,15 +171,15 @@ pub trait ParallelIterator: Sized + Send + Sync {
     /// items in sequential order). Each slot's mutex is locked exactly once,
     /// by whichever pool thread claims that block.
     #[doc(hidden)]
-    fn collect_blocks(&self) -> Vec<std::sync::Mutex<Vec<Self::Item>>> {
+    fn collect_blocks(&self) -> Vec<crate::sync::Mutex<Vec<Self::Item>>> {
         let len = self.splits();
         let nblocks = if len == 0 {
             0
         } else {
             block_count(len, self.min_len_hint())
         };
-        let parts: Vec<std::sync::Mutex<Vec<Self::Item>>> = (0..nblocks)
-            .map(|_| std::sync::Mutex::new(Vec::new()))
+        let parts: Vec<crate::sync::Mutex<Vec<Self::Item>>> = (0..nblocks)
+            .map(|_| crate::sync::Mutex::new(Vec::new()))
             .collect();
         let parts_ref = &parts;
         run_blocks(nblocks, &|b| {

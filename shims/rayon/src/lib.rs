@@ -32,8 +32,11 @@
 //! per-row/per-chunk output slices), which no schedule can perturb.
 
 mod iter;
+#[cfg(all(test, famg_model))]
+mod model_tests;
 mod pool;
 mod sort;
+mod sync;
 
 pub use iter::{
     Chunks, ChunksMut, Enumerate, Filter, IndexedParallelIterator, IntoParallelIterator,
@@ -66,7 +69,7 @@ pub fn current_num_threads() -> usize {
 /// and are all joined before [`scope`] returns; the owning thread helps
 /// execute queued work while it waits, so nested scopes cannot deadlock.
 pub struct Scope<'scope> {
-    pool: &'static Pool,
+    pool: &'scope Pool,
     latch: &'scope Latch,
 }
 
@@ -116,7 +119,18 @@ where
     OP: FnOnce(&Scope<'scope>) -> R + Send,
     R: Send,
 {
-    let pool = Pool::global();
+    scope_with(Pool::global(), op)
+}
+
+/// [`scope`] on an explicit pool instead of the process-wide one. Unit and
+/// model tests use this to drive private pools (the model checker needs a
+/// fresh pool per explored execution; the global `OnceLock` would smuggle
+/// state across them).
+pub(crate) fn scope_with<'scope, OP, R>(pool: &'scope Pool, op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
     let latch = Latch::new();
     // SAFETY: extending the latch borrow to the caller-chosen 'scope is
     // sound because every job registered on it is joined by `wait_latch`
@@ -178,7 +192,9 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
     }
 }
 
-#[cfg(test)]
+// Not under famg_model: these tests drive real OS threads and the global
+// pool, which must not exist inside a model execution.
+#[cfg(all(test, not(famg_model)))]
 mod tests {
     use super::prelude::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -244,6 +260,103 @@ mod tests {
         let payload = caught.expect_err("scope should re-throw the spawned panic");
         let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
         assert!(msg.contains("boom"));
+    }
+
+    #[test]
+    fn panic_payload_is_rethrown_on_the_owner_and_siblings_complete() {
+        // The panic must surface on the thread that called `scope` (after
+        // the join), and every sibling job must still have run.
+        let owner = std::thread::current().id();
+        let slots: Vec<AtomicUsize> = (0..8).map(|_| AtomicUsize::new(0)).collect();
+        let slots_ref = &slots;
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::scope(|s| {
+                // The panicking job is spawned last: with a 1-thread pool
+                // spawns run inline, so an earlier panic would (correctly)
+                // cut the spawn loop short and the siblings wouldn't exist.
+                for (i, slot) in slots_ref.iter().enumerate() {
+                    s.spawn(move |_| slot.store(i + 1, Ordering::Relaxed));
+                }
+                s.spawn(|_| panic!("last job failed"));
+            });
+        }));
+        assert_eq!(std::thread::current().id(), owner);
+        let payload = caught.expect_err("spawned panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert!(msg.contains("last job failed"), "wrong payload: {msg}");
+        for (i, slot) in slots.iter().enumerate() {
+            assert_eq!(slot.load(Ordering::Relaxed), i + 1, "sibling {i} lost");
+        }
+    }
+
+    #[test]
+    fn first_panic_wins_among_multiple_panics() {
+        // With several panicking jobs the recorded payload is the first to
+        // reach `store_panic`; which one that is depends on scheduling, but
+        // it must be exactly one of ours and the scope must still join.
+        let caught = std::panic::catch_unwind(|| {
+            crate::scope(|s| {
+                for i in 0..4 {
+                    s.spawn(move |_| panic!("panic #{i}"));
+                }
+            });
+        });
+        let payload = caught.expect_err("at least one panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.starts_with("panic #"), "unexpected payload: {msg}");
+    }
+
+    #[test]
+    fn owner_panic_joins_spawned_work_before_rethrow() {
+        // A panic in the scope closure itself must not strand spawned jobs:
+        // `scope` waits on the latch first, then rethrows the owner panic.
+        let hits = AtomicUsize::new(0);
+        let hits_ref = &hits;
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(move |_| {
+                        hits_ref.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+                panic!("owner failed after spawning");
+            });
+        }));
+        let payload = caught.expect_err("owner panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert!(msg.contains("owner failed"), "wrong payload: {msg}");
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn deeply_nested_scopes_help_while_waiting() {
+        // Three levels of nesting: every blocked owner must execute queued
+        // inner work while waiting, or this deadlocks on small pools.
+        let hits = AtomicUsize::new(0);
+        let hits_ref = &hits;
+        crate::scope(|a| {
+            for _ in 0..2 {
+                a.spawn(move |_| {
+                    crate::scope(|b| {
+                        for _ in 0..2 {
+                            b.spawn(move |_| {
+                                crate::scope(|c| {
+                                    for _ in 0..2 {
+                                        c.spawn(move |_| {
+                                            hits_ref.fetch_add(1, Ordering::Relaxed);
+                                        });
+                                    }
+                                });
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
     }
 
     #[test]

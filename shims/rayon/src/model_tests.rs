@@ -1,0 +1,159 @@
+//! Interleaving-model tests for the pool (compiled only under
+//! `RUSTFLAGS="--cfg famg_model"`, run by the `==> famg-model` stage of
+//! `scripts/check.sh`). Each test drives the *real* pool code — `Pool`,
+//! `Latch`, `scope_with` — with famg-model's modeled primitives swapped in
+//! through [`crate::sync`], and explores every interleaving within the
+//! stated bounds.
+//!
+//! Bounds used throughout (documented per the verification contract):
+//! at most **3 modeled threads** (the scope owner plus the workers of a
+//! 2-thread pool is 2; one scenario adds a third), `max_steps = 5_000`,
+//! `preemption_bound = 2` (exhaustive below the bound — the CHESS result),
+//! and a `max_schedules` ceiling that fails loudly if the space outgrows
+//! the budget rather than silently truncating.
+
+#[cfg(test)]
+mod cases {
+    use crate::pool::{Job, Latch, Pool};
+    use crate::scope_with;
+    use famg_model::{model_with, Bounds, RaceCell};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    fn bounds() -> Bounds {
+        Bounds {
+            max_threads: 3,
+            max_steps: 5_000,
+            max_schedules: 500_000,
+            preemption_bound: 2,
+        }
+    }
+
+    /// Restores the previous panic hook on drop, so a failing model run
+    /// cannot leave the process-wide hook silenced.
+    struct HookGuard;
+    impl HookGuard {
+        fn silence() -> HookGuard {
+            std::panic::set_hook(Box::new(|_| {}));
+            HookGuard
+        }
+    }
+    impl Drop for HookGuard {
+        fn drop(&mut self) {
+            let _ = std::panic::take_hook();
+        }
+    }
+
+    /// Risk scenario 1: latch increment-before-push vs. a concurrent
+    /// `done()`. The scope owner's `wait_latch` polls `done()` while the
+    /// worker claims and runs the job; if the count could transiently read
+    /// zero with work in flight, some interleaving would let the scope
+    /// return before the job's write — which the `RaceCell` would report
+    /// as a data race (the Release `complete` / Acquire `done` pair is
+    /// what publishes the write).
+    #[test]
+    fn latch_count_never_transiently_zero() {
+        let report = model_with(bounds(), || {
+            let pool = Pool::new(2);
+            let cell = RaceCell::new(0);
+            scope_with(&pool, |s| {
+                let c = &cell;
+                s.spawn(move |_| c.write(42));
+            });
+            assert_eq!(cell.read(), 42);
+        });
+        assert!(report.schedules >= 2, "schedules = {}", report.schedules);
+        eprintln!(
+            "latch_count_never_transiently_zero: {} schedules, {} max steps",
+            report.schedules, report.max_steps_seen
+        );
+    }
+
+    /// Risk scenario 2: help-while-waiting under nested scopes. With a
+    /// single worker, the outer job occupies it while spawning an inner
+    /// scope — somebody blocked on a latch (the owner in the outer
+    /// `wait_latch`, or the worker in the inner one) must pop and run the
+    /// inner job, or the execution deadlocks (which the model reports).
+    #[test]
+    fn nested_scope_helping_is_deadlock_free() {
+        let report = model_with(bounds(), || {
+            let pool = Pool::new(2);
+            let outer = RaceCell::new(0);
+            let inner = RaceCell::new(0);
+            let pr = &pool;
+            scope_with(pr, |s| {
+                let (oc, ic) = (&outer, &inner);
+                s.spawn(move |_| {
+                    oc.write(1);
+                    scope_with(pr, |si| {
+                        si.spawn(move |_| ic.write(2));
+                    });
+                });
+            });
+            assert_eq!(outer.read(), 1);
+            assert_eq!(inner.read(), 2);
+        });
+        eprintln!(
+            "nested_scope_helping_is_deadlock_free: {} schedules, {} max steps",
+            report.schedules, report.max_steps_seen
+        );
+    }
+
+    /// Risk scenario 3: the notify/park lost-wakeup window. The waiter
+    /// checks `done()`, finds it false, and goes to park; if `complete`'s
+    /// notification could land between the check and the park, the waiter
+    /// would sleep forever — a deadlock the model reports. The pool closes
+    /// the window by re-checking under the queue mutex and notifying from
+    /// inside an (empty) critical section on that same mutex.
+    #[test]
+    fn latch_wait_has_no_lost_wakeup() {
+        let report = model_with(bounds(), || {
+            let pool = Pool::new(2);
+            let latch = Latch::new();
+            latch.increment();
+            let job: Box<dyn FnOnce() + Send + '_> = {
+                let (l, p) = (&latch, &pool);
+                Box::new(move || l.complete(p))
+            };
+            // SAFETY: lifetime erasure as in `Scope::spawn` — `wait_latch`
+            // below joins the job before `latch`/`pool` leave this frame.
+            let job: Job = unsafe { std::mem::transmute(job) };
+            pool.push_job(job);
+            pool.wait_latch(&latch);
+            assert!(latch.done());
+        });
+        assert!(report.schedules >= 2, "schedules = {}", report.schedules);
+        eprintln!(
+            "latch_wait_has_no_lost_wakeup: {} schedules, {} max steps",
+            report.schedules, report.max_steps_seen
+        );
+    }
+
+    /// Risk scenario 4: first-panic-wins propagation. A panicking job must
+    /// not abort the process or get lost: its payload is stored (first one
+    /// wins), every sibling job still runs to completion, and the scope
+    /// owner re-throws the payload after the join.
+    #[test]
+    fn panic_in_spawn_propagates_after_join() {
+        let _quiet = HookGuard::silence();
+        let report = model_with(bounds(), || {
+            let pool = Pool::new(2);
+            let cell = RaceCell::new(0);
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                scope_with(&pool, |s| {
+                    let c = &cell;
+                    s.spawn(move |_| c.write(7));
+                    s.spawn(move |_| panic!("boom from modeled job"));
+                });
+            }));
+            let payload = caught.expect_err("scope must re-throw the job panic");
+            let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+            assert!(msg.contains("boom"), "wrong payload: {msg}");
+            // The sibling job completed before the rethrow.
+            assert_eq!(cell.read(), 7);
+        });
+        eprintln!(
+            "panic_in_spawn_propagates_after_join: {} schedules, {} max steps",
+            report.schedules, report.max_steps_seen
+        );
+    }
+}

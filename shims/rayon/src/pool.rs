@@ -15,9 +15,9 @@
 //! With `n == 1` there are no workers at all and every entry point degrades
 //! to plain inline execution (a true serial baseline for ablations).
 
+use crate::sync::{spawn_worker, AtomicUsize, Condvar, Mutex, Ordering, WorkerHandle};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 
 /// A unit of pooled work. Lifetimes are erased at the [`crate::Scope::spawn`]
 /// boundary; the scope latch guarantees the job finishes before anything it
@@ -41,7 +41,7 @@ struct Shared {
 /// shutdown in isolation.
 pub(crate) struct Pool {
     shared: Arc<Shared>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    workers: Vec<WorkerHandle>,
     n_threads: usize,
 }
 
@@ -61,10 +61,7 @@ impl Pool {
         let workers = (1..n_threads)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("famg-rayon-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("failed to spawn famg-rayon worker thread")
+                spawn_worker(format!("famg-rayon-{i}"), move || worker_loop(&shared))
             })
             .collect();
         Pool {
@@ -203,17 +200,30 @@ impl Latch {
     /// flight (a job's own decrement runs after its body, so any children it
     /// spawns are registered first).
     pub(crate) fn increment(&self) {
+        // ORDERING: Relaxed — the increment publishes nothing; it only has
+        // to be part of the counter's modification order before the job is
+        // pushed (program order on this thread suffices for that). As a
+        // relaxed RMW it also continues, not breaks, the release sequence
+        // headed by any concurrent `complete`.
         self.remaining.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Marks one job finished; wakes waiters when the count hits zero.
     pub(crate) fn complete(&self, pool: &Pool) {
+        // ORDERING: Release — pairs with the Acquire load in `done`. The
+        // decrement that takes the count to zero must publish the job
+        // body's writes to the scope owner, which is about to return from
+        // `wait_latch` and read results the job produced. Verified by the
+        // famg-model scenarios in crate::model_tests.
         if self.remaining.fetch_sub(1, Ordering::Release) == 1 {
             pool.notify_waiters();
         }
     }
 
     pub(crate) fn done(&self) -> bool {
+        // ORDERING: Acquire — pairs with the Release decrement in
+        // `complete`; observing zero here synchronizes-with every job's
+        // final decrement, making all job writes visible to the waiter.
         self.remaining.load(Ordering::Acquire) == 0
     }
 
@@ -253,6 +263,9 @@ pub(crate) fn run_blocks(n_blocks: usize, block: &(dyn Fn(usize) + Sync)) {
     }
     let next = AtomicUsize::new(0);
     let work = || loop {
+        // ORDERING: Relaxed — block indices are claimed, not published: the
+        // RMW's atomicity alone guarantees each index is handed out once.
+        // Block results are published by the scope join, not this counter.
         let b = next.fetch_add(1, Ordering::Relaxed);
         if b >= n_blocks {
             break;

@@ -132,6 +132,8 @@ unsafe fn merge_move<T: Ord>(src: *const T, la: usize, lb: usize, dst: *mut T) {
     // SAFETY: offsets stay within the contiguous src range per the contract.
     let a_end = unsafe { src.add(la) };
     let mut b = a_end;
+    // SAFETY: `la + lb` stays within the contiguous src range per the
+    // contract, so advancing past the first run is still in bounds.
     let b_end = unsafe { a_end.add(lb) };
     let mut d = dst;
     while a < a_end && b < b_end {

@@ -3,18 +3,24 @@
 //! the dense-alltoall baseline recorded before the neighbor-aware rewrite.
 //!
 //! Usage: `cargo run --release -p famg-bench --bin comm_volume
-//!         [--ranks 2,4,8] [--per-rank 12] [--smoke]`
+//!         [--ranks 2,4,8] [--per-rank 12] [--smoke] [--out <dir>]`
 //!
 //! `--smoke` shrinks the problem and rank list for a CI-speed run that
-//! still checks the message-count regression gate.
+//! still checks the message-count regression gate. `--out` writes
+//! `BENCH_comm_volume.json` (schema in DESIGN.md §8) recording the
+//! largest rank count of the sweep; `FAMG_CHROME_TRACE=<dir>` dumps rank
+//! 0's setup/solve span trees in chrome://tracing format.
 
 use famg_bench::arg_ranks;
+use famg_bench::telemetry::{maybe_write_chrome_trace, BenchReport};
+use famg_core::stats::{PhaseTimes, SetupStats};
 use famg_core::AmgConfig;
 use famg_dist::comm::run_ranks;
 use famg_dist::hierarchy::{DistHierarchy, DistOptFlags};
 use famg_dist::parcsr::{default_partition, ParCsr};
 use famg_dist::solve::dist_fgmres_amg;
 use famg_matgen::{laplace3d_7pt, rhs};
+use famg_prof::json::Json;
 
 /// Totals recorded at the same shape (12^3 rows/rank, `multi_node_ei4`,
 /// FGMRES to 1e-7) with the pre-rewrite dense-alltoall runtime, where
@@ -25,6 +31,17 @@ const BASELINE: &[(usize, u64, u64)] = &[
     (4, 6_624, 2_207_684),
     (8, 31_360, 5_250_984),
 ];
+
+/// What each rank reports back to the driver for the telemetry record.
+struct RankOut {
+    iterations: usize,
+    final_relres: f64,
+    converged: bool,
+    setup_times: PhaseTimes,
+    solve_times: PhaseTimes,
+    stats: SetupStats,
+    flops: u64,
+}
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -38,7 +55,9 @@ fn main() {
     };
     println!("== comm volume: 7-pt 3D Laplacian, {per_rank}^3 rows/rank, FGMRES+AMG ==\n");
 
-    for nranks in ranks {
+    let mut report_out = BenchReport::new("comm_volume", smoke);
+    let mut sweep = Vec::new();
+    for &nranks in &ranks {
         let a = laplace3d_7pt(per_rank, per_rank, per_rank * nranks);
         let n = a.nrows();
         let b = rhs::ones(n);
@@ -52,11 +71,26 @@ fn main() {
             let mut xl = vec![0.0; bl.len()];
             let res = dist_fgmres_amg(c, &h, &bl, &mut xl, 1e-7, 200, 50);
             assert!(res.converged, "rank {r}: solve did not converge");
-            res.iterations
+            if r == 0 {
+                maybe_write_chrome_trace("comm_volume_setup", &h.profile);
+                maybe_write_chrome_trace("comm_volume_solve", &res.profile);
+            }
+            RankOut {
+                iterations: res.iterations,
+                final_relres: res.final_relres,
+                converged: res.converged,
+                setup_times: h.times.clone(),
+                solve_times: res.times.clone(),
+                stats: h.stats.clone(),
+                flops: h.profile.total_counter("flops") + res.profile.total_counter("flops"),
+            }
         });
         let msgs = report.total_messages();
         let bytes = report.total_bytes();
-        println!("-- {nranks} ranks, {n} rows, {} iterations --", parts[0]);
+        println!(
+            "-- {nranks} ranks, {n} rows, {} iterations --",
+            parts[0].iterations
+        );
         print!("{}", report.scope_table());
         // The recorded baseline is specific to the 12^3 rows/rank shape.
         let baseline = (per_rank == 12)
@@ -77,7 +111,33 @@ fn main() {
             );
         }
         println!();
+
+        sweep.push(Json::Obj(vec![
+            ("ranks".into(), Json::int(nranks as u64)),
+            ("messages".into(), Json::int(msgs)),
+            ("bytes".into(), Json::int(bytes)),
+        ]));
+        // The telemetry record captures the largest rank count of the
+        // sweep; the full sweep rides along under "extra".
+        if nranks == *ranks.last().unwrap() {
+            let r0 = &parts[0];
+            let flops: u64 = parts.iter().map(|p| p.flops).sum();
+            report_out
+                .ranks(nranks)
+                .problem(n, a.nnz())
+                .setup_times(&r0.setup_times)
+                .solve_times(&r0.solve_times)
+                .outcome(r0.iterations, r0.final_relres, r0.converged)
+                .complexity(&r0.stats)
+                .counters(flops, bytes, msgs);
+        }
     }
+    report_out
+        .extra_num("per_rank_side", per_rank as f64)
+        .extra_json("sweep", Json::Arr(sweep));
+    report_out
+        .write_if_requested()
+        .expect("telemetry write failed");
     println!("Baseline totals were recorded before the neighbor-aware rewrite;");
     println!("see DESIGN.md §2 for the exchange-plan and tree-collective design.");
 }

@@ -11,16 +11,22 @@
 //! hierarchy solves bitwise identically to a from-scratch build.
 //!
 //! Usage: `cargo run --release -p famg-bench --bin setup_refresh
-//!         [--smoke]`
+//!         [--smoke] [--out <dir>]`
 //!
 //! `--smoke` shrinks the grid, and asserts the recorded speedup gate
-//! (refresh ≥ 2× faster than full setup) for CI.
+//! (refresh ≥ 2× faster than full setup) for CI. `--out` writes
+//! `BENCH_setup_refresh.json` (schema in DESIGN.md §8); the record's
+//! setup buckets are the full-setup totals, with the refresh totals and
+//! speedup under `"extra"`. `FAMG_CHROME_TRACE=<dir>` dumps the final
+//! step's refresh span tree in chrome://tracing format.
 
 use famg_bench::fmt_secs;
+use famg_bench::telemetry::{maybe_write_chrome_trace, BenchReport};
 use famg_core::params::AmgConfig;
 use famg_core::solver::AmgSolver;
 use famg_core::stats::PhaseTimes;
 use famg_matgen::{reservoir_field, rhs, varcoef3d_7pt};
+use famg_prof::json::Json;
 use std::time::{Duration, Instant};
 
 /// Permeability field at time step `t`: the frozen reservoir geology with
@@ -62,6 +68,8 @@ fn main() {
     let mut refresh_total = Duration::ZERO;
     let mut full_times = PhaseTimes::default();
     let mut refresh_times = PhaseTimes::default();
+    let mut report = BenchReport::new("setup_refresh", smoke);
+    report.problem(n, a0.nnz());
     println!(
         "\n{:>4} {:>12} {:>12} {:>8}",
         "step", "full setup", "refresh", "ratio"
@@ -93,6 +101,17 @@ fn main() {
         refresh_total += refresh_t;
         full_times.accumulate(&full.hierarchy().times);
         refresh_times.accumulate(&refreshed.hierarchy().times);
+        // Per-step flops along the refresh path (numeric refresh + solve).
+        report.counters_from(&refreshed.hierarchy().profile);
+        report.counters_from(&r2.profile);
+        if t == steps {
+            report
+                .solve_times(&r2.times)
+                .outcome(r2.iterations, r2.final_relres, r2.converged)
+                .complexity(&refreshed.hierarchy().stats);
+            maybe_write_chrome_trace("setup_refresh_refresh", &refreshed.hierarchy().profile);
+            maybe_write_chrome_trace("setup_refresh_solve", &r2.profile);
+        }
         println!(
             "{t:>4} {:>12} {:>12} {:>7.2}x",
             fmt_secs(full_t),
@@ -127,4 +146,36 @@ fn main() {
         "refresh speedup gate failed: {speedup:.2}x < 2.0x"
     );
     println!("gate: refresh >= 2x faster than full setup -- ok");
+
+    let bucket_pair = |f: Duration, r: Duration| {
+        Json::Obj(vec![
+            ("full".into(), Json::Num(f.as_secs_f64())),
+            ("refresh".into(), Json::Num(r.as_secs_f64())),
+        ])
+    };
+    report
+        .setup_times(&full_times)
+        .extra_num("refresh_speedup", speedup)
+        .extra_num("steps", steps as f64)
+        .extra_num("full_setup_seconds", full_total.as_secs_f64())
+        .extra_num("refresh_setup_seconds", refresh_total.as_secs_f64())
+        .extra_json(
+            "setup_breakdown",
+            Json::Obj(vec![
+                (
+                    "strength_coarsen".into(),
+                    bucket_pair(full_times.strength_coarsen, refresh_times.strength_coarsen),
+                ),
+                (
+                    "interp".into(),
+                    bucket_pair(full_times.interp, refresh_times.interp),
+                ),
+                ("rap".into(), bucket_pair(full_times.rap, refresh_times.rap)),
+                (
+                    "setup_etc".into(),
+                    bucket_pair(full_times.setup_etc, refresh_times.setup_etc),
+                ),
+            ]),
+        );
+    report.write_if_requested().expect("telemetry write failed");
 }

@@ -1,7 +1,8 @@
 //! Serial-vs-parallel ablation for the pooled rayon shim: wall-clock of
 //! the two kernels the paper's Fig. 5 is most sensitive to — SpGEMM
 //! (setup) and the hybrid GS sweep (solve) — at the fig5 proxy sizes,
-//! plus the fused residual norm and the parallel transpose.
+//! plus the fused residual norm, the parallel transpose, and a full
+//! AMG setup + solve whose span profile feeds the telemetry record.
 //!
 //! The pool size is pinned at first use, so one process measures one
 //! size; run the binary once per setting and compare:
@@ -11,6 +12,11 @@
 //! RAYON_NUM_THREADS=4 cargo run --release -p famg-bench --bin thread_scaling
 //! ```
 //!
+//! Flags: `--smoke` (small problem, few reps), `--scale <f>` (footprint
+//! multiplier), `--out <dir>` (write `BENCH_thread_scaling.json`).
+//! `FAMG_CHROME_TRACE=<dir>` additionally dumps the setup/solve span
+//! trees in chrome://tracing format.
+//!
 //! The acceptance target (on a ≥4-core machine) is ≥2× at 4 threads vs 1
 //! on `spgemm_one_pass` and the hybrid sweep. Outputs are bitwise
 //! identical across settings (see `tests/thread_independence.rs`); this
@@ -18,11 +24,15 @@
 //! doubles as a determinism check.
 
 use famg_bench::arg_scale;
+use famg_bench::telemetry::{maybe_write_chrome_trace, BenchReport};
 use famg_core::coarsen::pmis;
 use famg_core::reorder::cf_reorder;
 use famg_core::smoother::{Smoother, Workspace};
+use famg_core::solver::AmgSolver;
 use famg_core::strength::strength;
+use famg_core::AmgConfig;
 use famg_matgen::laplace2d;
+use famg_prof::json::Json;
 use famg_sparse::spgemm::spgemm_one_pass;
 use famg_sparse::spmv::residual_norm_sq;
 use famg_sparse::transpose::transpose_par;
@@ -52,7 +62,9 @@ fn time<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
 }
 
 fn main() {
-    let scale = arg_scale(1.0);
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = arg_scale(if smoke { 0.1 } else { 1.0 });
+    let reps = if smoke { 2 } else { 5 };
     // fig5 proxy: 2-D Laplacian at the bench suite's default footprint.
     let side = ((400.0 * scale.sqrt()) as usize).max(64);
     let a = laplace2d(side, side);
@@ -62,9 +74,11 @@ fn main() {
         rayon::current_num_threads(),
         a.nnz()
     );
+    let mut report = BenchReport::new("thread_scaling", smoke);
+    report.problem(n, a.nnz());
 
     // SpGEMM: A*A (the RAP building block).
-    let (t_spgemm, c) = time(5, || spgemm_one_pass(&a, &a));
+    let (t_spgemm, c) = time(reps, || spgemm_one_pass(&a, &a));
     println!(
         "spgemm_one_pass      {:>9.3} ms   fp {:016x}",
         t_spgemm * 1e3,
@@ -72,7 +86,7 @@ fn main() {
     );
 
     // Parallel transpose.
-    let (t_tr, at) = time(5, || transpose_par(&a));
+    let (t_tr, at) = time(reps, || transpose_par(&a));
     println!(
         "transpose_par        {:>9.3} ms   fp {:016x}",
         t_tr * 1e3,
@@ -90,7 +104,7 @@ fn main() {
     let b = vec![1.0; n];
     let mut ws = Workspace::new();
     let mut x = vec![0.0; n];
-    let (t_gs, ()) = time(10, || {
+    let (t_gs, ()) = time(2 * reps, || {
         sm.pre_smooth(&ap, &b, &mut x, &mut ws, false);
     });
     println!(
@@ -101,10 +115,46 @@ fn main() {
 
     // Fused residual norm (BLAS1/SpMV fusion path).
     let mut r = vec![0.0; n];
-    let (t_res, nrm) = time(10, || residual_norm_sq(&ap, &x, &b, &mut r));
+    let (t_res, nrm) = time(2 * reps, || residual_norm_sq(&ap, &x, &b, &mut r));
     println!(
         "residual_norm_sq     {:>9.3} ms   fp {:016x}",
         t_res * 1e3,
         fingerprint(&[nrm])
     );
+
+    // Full AMG setup + solve; the span profiles provide the telemetry
+    // record's phase buckets and flop counters.
+    let cfg = AmgConfig::single_node_paper();
+    let solver = AmgSolver::setup(&a, &cfg);
+    let mut xs = vec![0.0; n];
+    let res = solver.solve(&b, &mut xs);
+    let h = solver.hierarchy();
+    println!(
+        "amg setup {} / solve {} ({} its, relres {:.2e}, converged {})",
+        famg_bench::fmt_secs(h.times.setup_total()),
+        famg_bench::fmt_secs(res.times.solve_total()),
+        res.iterations,
+        res.final_relres,
+        res.converged
+    );
+    maybe_write_chrome_trace("thread_scaling_setup", &h.profile);
+    maybe_write_chrome_trace("thread_scaling_solve", &res.profile);
+
+    report
+        .setup_times(&h.times)
+        .solve_times(&res.times)
+        .outcome(res.iterations, res.final_relres, res.converged)
+        .complexity(&h.stats)
+        .counters_from(&h.profile)
+        .counters_from(&res.profile)
+        .extra_json(
+            "kernel_seconds",
+            Json::Obj(vec![
+                ("spgemm_one_pass".into(), Json::Num(t_spgemm)),
+                ("transpose_par".into(), Json::Num(t_tr)),
+                ("hybrid_gs_sweep".into(), Json::Num(t_gs)),
+                ("residual_norm_sq".into(), Json::Num(t_res)),
+            ]),
+        );
+    report.write_if_requested().expect("telemetry write failed");
 }

@@ -20,6 +20,8 @@
 //! Criterion benches (`cargo bench -p famg-bench`): `kernels`, `spgemm`,
 //! `rap_variants`, `smoothers`.
 
+pub mod telemetry;
+
 use famg_core::coarsen::pmis;
 use famg_core::interp::{extended_i, CfMap, TruncParams};
 use famg_core::strength::strength;

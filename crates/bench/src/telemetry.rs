@@ -1,0 +1,267 @@
+//! Machine-readable bench telemetry: the versioned `BENCH_<name>.json`
+//! schema emitted by the bench binaries and consumed by `famg-bench-check`
+//! (see DESIGN.md §8).
+//!
+//! Schema v1 (all keys always present; unknown extras live under
+//! `"extra"`):
+//!
+//! ```text
+//! {
+//!   "schema_version": 1,
+//!   "bench": "<binary name>",
+//!   "mode": "smoke" | "full",
+//!   "threads": <pool size>, "ranks": <simulated ranks>,
+//!   "problem": {"n": .., "nnz": ..},
+//!   "setup_seconds": {"strength_coarsen","interp","rap","setup_etc","total"},
+//!   "solve_seconds": {"gs","spmv","blas1","solve_etc","total"},
+//!   "solve": {"iterations", "final_relres", "converged"},
+//!   "complexity": {"operator", "grid", "levels"},
+//!   "counters": {"flops", "comm_bytes", "comm_messages"},
+//!   "extra": {..}
+//! }
+//! ```
+//!
+//! Wall-clock fields are informational (they vary with the host); the
+//! regression gate in `scripts/check.sh` rides on the machine-independent
+//! fields — iterations, complexities, and the flop/comm counters.
+
+use famg_core::stats::{PhaseTimes, SetupStats};
+use famg_prof::json::Json;
+use famg_prof::Profile;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Current `BENCH_*.json` schema version. Bump on any breaking change to
+/// the key set or meanings; `famg-bench-check` refuses other versions.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Builder for one bench run's telemetry record.
+pub struct BenchReport {
+    bench: String,
+    mode: &'static str,
+    threads: u64,
+    ranks: u64,
+    n: u64,
+    nnz: u64,
+    setup: PhaseTimes,
+    solve: PhaseTimes,
+    iterations: u64,
+    final_relres: f64,
+    converged: bool,
+    op_complexity: f64,
+    grid_complexity: f64,
+    levels: u64,
+    flops: u64,
+    comm_bytes: u64,
+    comm_messages: u64,
+    extra: Vec<(String, Json)>,
+}
+
+impl BenchReport {
+    /// Starts a report for bench `name` (the binary name, also the file
+    /// stem suffix: `BENCH_<name>.json`).
+    pub fn new(name: &str, smoke: bool) -> BenchReport {
+        BenchReport {
+            bench: name.to_string(),
+            mode: if smoke { "smoke" } else { "full" },
+            threads: rayon::current_num_threads() as u64,
+            ranks: 1,
+            n: 0,
+            nnz: 0,
+            setup: PhaseTimes::default(),
+            solve: PhaseTimes::default(),
+            iterations: 0,
+            final_relres: 0.0,
+            converged: false,
+            op_complexity: 0.0,
+            grid_complexity: 0.0,
+            levels: 0,
+            flops: 0,
+            comm_bytes: 0,
+            comm_messages: 0,
+            extra: Vec::new(),
+        }
+    }
+
+    /// Simulated rank count (distributed benches).
+    pub fn ranks(&mut self, ranks: usize) -> &mut Self {
+        self.ranks = ranks as u64;
+        self
+    }
+
+    /// Finest-level problem shape.
+    pub fn problem(&mut self, n: usize, nnz: usize) -> &mut Self {
+        self.n = n as u64;
+        self.nnz = nnz as u64;
+        self
+    }
+
+    /// Setup-phase Fig. 5 buckets.
+    pub fn setup_times(&mut self, t: &PhaseTimes) -> &mut Self {
+        self.setup = t.clone();
+        self
+    }
+
+    /// Solve-phase Fig. 5 buckets.
+    pub fn solve_times(&mut self, t: &PhaseTimes) -> &mut Self {
+        self.solve = t.clone();
+        self
+    }
+
+    /// Iteration outcome.
+    pub fn outcome(&mut self, iterations: usize, final_relres: f64, converged: bool) -> &mut Self {
+        self.iterations = iterations as u64;
+        self.final_relres = final_relres;
+        self.converged = converged;
+        self
+    }
+
+    /// Hierarchy complexities.
+    pub fn complexity(&mut self, stats: &SetupStats) -> &mut Self {
+        self.op_complexity = stats.operator_complexity();
+        self.grid_complexity = stats.grid_complexity();
+        self.levels = stats.level_rows.len() as u64;
+        self
+    }
+
+    /// Accumulates counter totals (flops / comm bytes / comm messages)
+    /// from a captured profile.
+    pub fn counters_from(&mut self, profile: &Profile) -> &mut Self {
+        self.flops += profile.total_counter("flops");
+        self.comm_bytes += profile.total_counter("comm_bytes");
+        self.comm_messages += profile.total_counter("comm_messages");
+        self
+    }
+
+    /// Accumulates raw counter totals (for distributed benches, where the
+    /// global totals come from the `CommReport` rather than one rank's
+    /// profile).
+    pub fn counters(&mut self, flops: u64, comm_bytes: u64, comm_messages: u64) -> &mut Self {
+        self.flops += flops;
+        self.comm_bytes += comm_bytes;
+        self.comm_messages += comm_messages;
+        self
+    }
+
+    /// Attaches a free-form numeric extra.
+    pub fn extra_num(&mut self, key: &str, v: f64) -> &mut Self {
+        self.extra.push((key.to_string(), Json::Num(v)));
+        self
+    }
+
+    /// Attaches a free-form JSON extra.
+    pub fn extra_json(&mut self, key: &str, v: Json) -> &mut Self {
+        self.extra.push((key.to_string(), v));
+        self
+    }
+
+    /// Renders the schema-v1 document.
+    pub fn to_json(&self) -> Json {
+        let phase = |t: &PhaseTimes, solve: bool| {
+            let mut o: Vec<(String, Json)> = Vec::new();
+            let fields: &[(&str, std::time::Duration)] = if solve {
+                &[
+                    ("gs", t.gs),
+                    ("spmv", t.spmv),
+                    ("blas1", t.blas1),
+                    ("solve_etc", t.solve_etc),
+                    ("total", t.solve_total()),
+                ]
+            } else {
+                &[
+                    ("strength_coarsen", t.strength_coarsen),
+                    ("interp", t.interp),
+                    ("rap", t.rap),
+                    ("setup_etc", t.setup_etc),
+                    ("total", t.setup_total()),
+                ]
+            };
+            for (k, d) in fields {
+                o.push(((*k).to_string(), Json::Num(d.as_secs_f64())));
+            }
+            Json::Obj(o)
+        };
+        Json::Obj(vec![
+            ("schema_version".into(), Json::int(BENCH_SCHEMA_VERSION)),
+            ("bench".into(), Json::Str(self.bench.clone())),
+            ("mode".into(), Json::Str(self.mode.to_string())),
+            ("threads".into(), Json::int(self.threads)),
+            ("ranks".into(), Json::int(self.ranks)),
+            (
+                "problem".into(),
+                Json::Obj(vec![
+                    ("n".into(), Json::int(self.n)),
+                    ("nnz".into(), Json::int(self.nnz)),
+                ]),
+            ),
+            ("setup_seconds".into(), phase(&self.setup, false)),
+            ("solve_seconds".into(), phase(&self.solve, true)),
+            (
+                "solve".into(),
+                Json::Obj(vec![
+                    ("iterations".into(), Json::int(self.iterations)),
+                    ("final_relres".into(), Json::Num(self.final_relres)),
+                    ("converged".into(), Json::Bool(self.converged)),
+                ]),
+            ),
+            (
+                "complexity".into(),
+                Json::Obj(vec![
+                    ("operator".into(), Json::Num(self.op_complexity)),
+                    ("grid".into(), Json::Num(self.grid_complexity)),
+                    ("levels".into(), Json::int(self.levels)),
+                ]),
+            ),
+            (
+                "counters".into(),
+                Json::Obj(vec![
+                    ("flops".into(), Json::int(self.flops)),
+                    ("comm_bytes".into(), Json::int(self.comm_bytes)),
+                    ("comm_messages".into(), Json::int(self.comm_messages)),
+                ]),
+            ),
+            ("extra".into(), Json::Obj(self.extra.clone())),
+        ])
+    }
+
+    /// Writes `BENCH_<name>.json` under `dir` (created if missing) and
+    /// returns the path.
+    pub fn write(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.bench));
+        std::fs::write(&path, self.to_json().pretty())?;
+        Ok(path)
+    }
+
+    /// Writes the report when the CLI asked for it (`--out <dir>`),
+    /// printing the destination. No-op without the flag.
+    pub fn write_if_requested(&self) -> io::Result<()> {
+        if let Some(dir) = crate::arg_value("--out") {
+            let path = self.write(Path::new(&dir))?;
+            println!("telemetry: wrote {}", path.display());
+        }
+        Ok(())
+    }
+}
+
+/// If `FAMG_CHROME_TRACE` names a directory, writes `profile` there as
+/// `<bench>.trace.json` in chrome://tracing format (load via the
+/// "Load" button on chrome://tracing or https://ui.perfetto.dev).
+pub fn maybe_write_chrome_trace(bench: &str, profile: &Profile) {
+    let Ok(dir) = std::env::var("FAMG_CHROME_TRACE") else {
+        return;
+    };
+    if dir.is_empty() {
+        return;
+    }
+    let dir = PathBuf::from(dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("FAMG_CHROME_TRACE: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{bench}.trace.json"));
+    match std::fs::write(&path, profile.to_chrome_trace(0)) {
+        Ok(()) => println!("telemetry: wrote chrome trace {}", path.display()),
+        Err(e) => eprintln!("FAMG_CHROME_TRACE: cannot write {}: {e}", path.display()),
+    }
+}

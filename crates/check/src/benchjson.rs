@@ -1,0 +1,583 @@
+//! Validation and regression comparison for the `BENCH_*.json` telemetry
+//! records emitted by `famg-bench` (schema in DESIGN.md §8).
+//!
+//! Two halves:
+//!
+//! * a dependency-free JSON parser ([`JsonValue::parse`]) sized for the
+//!   documents the bench binaries write — strict enough to reject
+//!   malformed output, permissive on whitespace;
+//! * the schema contract: [`validate_bench`] checks a document against
+//!   schema v1, and [`compare_bench`] gates a fresh run against a
+//!   committed baseline on the *machine-independent* fields (iterations,
+//!   complexities, flop/comm counters). Wall-clock fields are
+//!   deliberately not gated — they vary with the host — so the committed
+//!   baselines stay meaningful across machines.
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object; member order preserved, duplicate keys rejected.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+/// A parse failure with a byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the offending input.
+    pub at: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl JsonValue {
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(src: &str) -> Result<JsonValue, JsonError> {
+        let mut p = Parser {
+            bytes: src.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing garbage after document"));
+        }
+        Ok(v)
+    }
+
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn num(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn str_(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a bool.
+    pub fn bool_(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> JsonError {
+        JsonError {
+            at: self.pos,
+            msg: msg.to_string(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, lit: &str) -> Result<(), JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.eat("null").map(|()| JsonValue::Null),
+            Some(b't') => self.eat("true").map(|()| JsonValue::Bool(true)),
+            Some(b'f') => self.eat("false").map(|()| JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.pos += 1; // [
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.pos += 1; // {
+        let mut members: Vec<(String, JsonValue)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if members.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(&format!("duplicate key `{key}`")));
+            }
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(self.err("expected `:` after object key"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let v = self.value()?;
+            members.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(members));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        if self.peek() != Some(b'"') {
+            return Err(self.err("expected `\"`"));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogates are not expected in bench output;
+                            // map them to the replacement character.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-decode multi-byte UTF-8 starting at b.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    let s = self
+                        .bytes
+                        .get(start..end)
+                        .and_then(|chunk| std::str::from_utf8(chunk).ok())
+                        .ok_or_else(|| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| self.err(&format!("bad number `{text}`")))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// The schema version [`validate_bench`] accepts.
+pub const BENCH_SCHEMA_VERSION: f64 = 1.0;
+
+const SETUP_BUCKETS: &[&str] = &["strength_coarsen", "interp", "rap", "setup_etc", "total"];
+const SOLVE_BUCKETS: &[&str] = &["gs", "spmv", "blas1", "solve_etc", "total"];
+
+fn want_num(doc: &JsonValue, path: &str, obj: &str, key: &str) -> Result<f64, String> {
+    let v = doc
+        .get(obj)
+        .ok_or_else(|| format!("{path}: missing `{obj}`"))?
+        .get(key)
+        .ok_or_else(|| format!("{path}: missing `{obj}.{key}`"))?
+        .num()
+        .ok_or_else(|| format!("{path}: `{obj}.{key}` is not a number"))?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(format!(
+            "{path}: `{obj}.{key}` = {v} is not finite and >= 0"
+        ));
+    }
+    Ok(v)
+}
+
+/// Checks `doc` against BENCH schema v1. `path` labels error messages.
+pub fn validate_bench(doc: &JsonValue, path: &str) -> Result<(), String> {
+    let version = doc
+        .get("schema_version")
+        .and_then(JsonValue::num)
+        .ok_or_else(|| format!("{path}: missing numeric `schema_version`"))?;
+    if version != BENCH_SCHEMA_VERSION {
+        return Err(format!(
+            "{path}: schema_version {version} unsupported (expected {BENCH_SCHEMA_VERSION})"
+        ));
+    }
+    doc.get("bench")
+        .and_then(JsonValue::str_)
+        .ok_or_else(|| format!("{path}: missing string `bench`"))?;
+    let mode = doc
+        .get("mode")
+        .and_then(JsonValue::str_)
+        .ok_or_else(|| format!("{path}: missing string `mode`"))?;
+    if mode != "smoke" && mode != "full" {
+        return Err(format!("{path}: mode `{mode}` is not `smoke` or `full`"));
+    }
+    for key in ["threads", "ranks"] {
+        let v = doc
+            .get(key)
+            .and_then(JsonValue::num)
+            .ok_or_else(|| format!("{path}: missing numeric `{key}`"))?;
+        if v < 1.0 || v.fract() != 0.0 {
+            return Err(format!("{path}: `{key}` = {v} is not a positive integer"));
+        }
+    }
+    for key in ["n", "nnz"] {
+        want_num(doc, path, "problem", key)?;
+    }
+    for key in SETUP_BUCKETS {
+        want_num(doc, path, "setup_seconds", key)?;
+    }
+    for key in SOLVE_BUCKETS {
+        want_num(doc, path, "solve_seconds", key)?;
+    }
+    want_num(doc, path, "solve", "iterations")?;
+    want_num(doc, path, "solve", "final_relres")?;
+    doc.get("solve")
+        .and_then(|s| s.get("converged"))
+        .and_then(JsonValue::bool_)
+        .ok_or_else(|| format!("{path}: missing boolean `solve.converged`"))?;
+    for key in ["operator", "grid", "levels"] {
+        want_num(doc, path, "complexity", key)?;
+    }
+    for key in ["flops", "comm_bytes", "comm_messages"] {
+        want_num(doc, path, "counters", key)?;
+    }
+    match doc.get("extra") {
+        Some(JsonValue::Obj(_)) => {}
+        _ => return Err(format!("{path}: missing object `extra`")),
+    }
+    // Bucket sums must not exceed their recorded totals (self-time
+    // attribution can only lose clock to unattributed gaps, never invent
+    // it; small float slack for the JSON round-trip).
+    for (obj, buckets) in [
+        ("setup_seconds", SETUP_BUCKETS),
+        ("solve_seconds", SOLVE_BUCKETS),
+    ] {
+        let total = want_num(doc, path, obj, "total")?;
+        let sum: f64 = buckets[..buckets.len() - 1]
+            .iter()
+            .map(|k| want_num(doc, path, obj, k).unwrap_or(0.0))
+            .sum();
+        if sum > total + 1e-9 + total * 1e-9 {
+            return Err(format!(
+                "{path}: `{obj}` buckets sum to {sum} > total {total}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Fields gated by [`compare_bench`]: machine-independent measures where
+/// growth past the allowed ratio means the algorithm regressed, not the
+/// host. `(object, key, floor)` — differences below `floor` are ignored
+/// so tiny baselines don't produce giant ratios.
+const GATED: &[(&str, &str, f64)] = &[
+    ("solve", "iterations", 2.0),
+    ("complexity", "operator", 0.05),
+    ("complexity", "grid", 0.05),
+    ("complexity", "levels", 1.0),
+    ("counters", "flops", 10_000.0),
+    ("counters", "comm_bytes", 10_000.0),
+    ("counters", "comm_messages", 100.0),
+];
+
+/// Compares a fresh run against a committed baseline. Fails when any
+/// gated field grew beyond `max_ratio` × baseline (after the per-field
+/// absolute floor). Returns one description line per gated field.
+///
+/// Both documents must already pass [`validate_bench`], and must record
+/// the same `bench` name, mode, and problem shape — comparing different
+/// experiments is reported as an error, not a regression.
+pub fn compare_bench(
+    current: &JsonValue,
+    baseline: &JsonValue,
+    max_ratio: f64,
+) -> Result<Vec<String>, String> {
+    for key in ["bench", "mode"] {
+        let c = current.get(key).and_then(JsonValue::str_);
+        let b = baseline.get(key).and_then(JsonValue::str_);
+        if c != b {
+            return Err(format!("`{key}` differs: current {c:?} vs baseline {b:?}"));
+        }
+    }
+    for key in ["n", "nnz"] {
+        let c = want_num(current, "current", "problem", key)?;
+        let b = want_num(baseline, "baseline", "problem", key)?;
+        if c != b {
+            return Err(format!(
+                "problem shape differs: `problem.{key}` current {c} vs baseline {b}"
+            ));
+        }
+    }
+    let mut lines = Vec::new();
+    for &(obj, key, floor) in GATED {
+        let c = want_num(current, "current", obj, key)?;
+        let b = want_num(baseline, "baseline", obj, key)?;
+        let grew_past_floor = c > b + floor;
+        let ratio = if b > 0.0 { c / b } else { f64::INFINITY };
+        if grew_past_floor && ratio > max_ratio {
+            return Err(format!(
+                "`{obj}.{key}` regressed: {c} vs baseline {b} ({ratio:.2}x > {max_ratio}x)"
+            ));
+        }
+        lines.push(format!(
+            "{obj}.{key}: {c} vs baseline {b} ({})",
+            if b > 0.0 {
+                format!("{ratio:.2}x")
+            } else {
+                "no baseline signal".to_string()
+            }
+        ));
+    }
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(flops: u64, iterations: u64) -> String {
+        format!(
+            r#"{{
+  "schema_version": 1,
+  "bench": "thread_scaling",
+  "mode": "smoke",
+  "threads": 4,
+  "ranks": 1,
+  "problem": {{"n": 100, "nnz": 460}},
+  "setup_seconds": {{"strength_coarsen": 0.01, "interp": 0.02, "rap": 0.03, "setup_etc": 0.005, "total": 0.07}},
+  "solve_seconds": {{"gs": 0.04, "spmv": 0.02, "blas1": 0.001, "solve_etc": 0.002, "total": 0.063}},
+  "solve": {{"iterations": {iterations}, "final_relres": 1.5e-9, "converged": true}},
+  "complexity": {{"operator": 2.4, "grid": 1.5, "levels": 4}},
+  "counters": {{"flops": {flops}, "comm_bytes": 0, "comm_messages": 0}},
+  "extra": {{"note": "test é"}}
+}}"#
+        )
+    }
+
+    #[test]
+    fn parser_round_trips_scalars_and_nesting() {
+        let doc = JsonValue::parse(r#"{"a": [1, -2.5e3, "x\n", true, null], "b": {}}"#).unwrap();
+        assert_eq!(
+            doc.get("a").unwrap(),
+            &JsonValue::Arr(vec![
+                JsonValue::Num(1.0),
+                JsonValue::Num(-2500.0),
+                JsonValue::Str("x\n".to_string()),
+                JsonValue::Bool(true),
+                JsonValue::Null,
+            ])
+        );
+        assert_eq!(doc.get("b").unwrap(), &JsonValue::Obj(vec![]));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\": 1,}",
+            "{\"a\": 1} extra",
+            "{\"a\": 1, \"a\": 2}",
+            "\"unterminated",
+            "nul",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn parser_handles_unicode_strings() {
+        let doc = JsonValue::parse(r#""café – ünïcode""#).unwrap();
+        assert_eq!(doc.str_().unwrap(), "café – ünïcode");
+    }
+
+    #[test]
+    fn validate_accepts_schema_v1() {
+        let doc = JsonValue::parse(&sample(1000, 8)).unwrap();
+        validate_bench(&doc, "test").unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_missing_and_mistyped_fields() {
+        let good = sample(1000, 8);
+        for (from, to, want) in [
+            (
+                "\"schema_version\": 1",
+                "\"schema_version\": 2",
+                "schema_version",
+            ),
+            ("\"mode\": \"smoke\"", "\"mode\": \"quick\"", "mode"),
+            ("\"converged\": true", "\"converged\": 1", "converged"),
+            ("\"flops\": 1000", "\"flopz\": 1000", "flops"),
+            ("\"total\": 0.07", "\"total\": 0.0001", "sum"),
+        ] {
+            let bad = good.replace(from, to);
+            assert_ne!(bad, good, "replacement `{from}` did not apply");
+            let doc = JsonValue::parse(&bad).unwrap();
+            let err = validate_bench(&doc, "test").unwrap_err();
+            assert!(
+                err.contains(want),
+                "error `{err}` does not mention `{want}`"
+            );
+        }
+    }
+
+    #[test]
+    fn compare_passes_within_ratio_and_fails_past_it() {
+        let base = JsonValue::parse(&sample(1_000_000, 10)).unwrap();
+        let same = JsonValue::parse(&sample(1_100_000, 11)).unwrap();
+        let lines = compare_bench(&same, &base, 1.25).unwrap();
+        assert!(lines.iter().any(|l| l.contains("counters.flops")));
+
+        let blown = JsonValue::parse(&sample(1_400_000, 10)).unwrap();
+        let err = compare_bench(&blown, &base, 1.25).unwrap_err();
+        assert!(err.contains("counters.flops"), "got: {err}");
+
+        let its = JsonValue::parse(&sample(1_000_000, 16)).unwrap();
+        let err = compare_bench(&its, &base, 1.25).unwrap_err();
+        assert!(err.contains("solve.iterations"), "got: {err}");
+    }
+
+    #[test]
+    fn compare_ignores_sub_floor_noise_on_tiny_baselines() {
+        // 0 -> 60 messages is a huge ratio but below the absolute floor;
+        // serial benches legitimately record 0 comm.
+        let base = JsonValue::parse(&sample(1_000_000, 10)).unwrap();
+        let cur_src =
+            sample(1_000_000, 10).replace("\"comm_messages\": 0", "\"comm_messages\": 60");
+        let cur = JsonValue::parse(&cur_src).unwrap();
+        compare_bench(&cur, &base, 1.25).unwrap();
+    }
+
+    #[test]
+    fn compare_rejects_mismatched_experiments() {
+        let base = JsonValue::parse(&sample(1_000_000, 10)).unwrap();
+        let other_src = sample(1_000_000, 10).replace("\"n\": 100", "\"n\": 200");
+        let other = JsonValue::parse(&other_src).unwrap();
+        assert!(compare_bench(&other, &base, 1.25).is_err());
+    }
+}

@@ -1,0 +1,69 @@
+//! CI gate for the `BENCH_*.json` telemetry records (DESIGN.md §8).
+//!
+//! ```text
+//! famg-bench-check <current.json> [<baseline.json>] [--max-ratio 1.25]
+//! ```
+//!
+//! Validates `current.json` against BENCH schema v1; with a baseline,
+//! additionally fails if any machine-independent gated field (iteration
+//! count, complexities, flop/comm counters) regressed past the ratio.
+//! Exit status is the check result, so `scripts/check.sh` can chain it.
+
+use famg_check::benchjson::{compare_bench, validate_bench, JsonValue};
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<JsonValue, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = JsonValue::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    validate_bench(&doc, path)?;
+    Ok(doc)
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let max_ratio: f64 = args
+        .iter()
+        .position(|a| a == "--max-ratio")
+        .and_then(|i| args.get(i + 1))
+        .map_or(Ok(1.25), |v| {
+            v.parse().map_err(|_| format!("bad --max-ratio `{v}`"))
+        })?;
+    let files: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|&(i, a)| !a.starts_with("--") && (i == 0 || args[i - 1] != "--max-ratio"))
+        .map(|(_, a)| a)
+        .collect();
+    let (current_path, baseline_path) = match files.as_slice() {
+        [c] => (*c, None),
+        [c, b] => (*c, Some(*b)),
+        _ => {
+            return Err(
+                "usage: famg-bench-check <current.json> [<baseline.json>] [--max-ratio 1.25]"
+                    .to_string(),
+            )
+        }
+    };
+
+    let current = load(current_path)?;
+    println!("{current_path}: schema v1 ok");
+    if let Some(bpath) = baseline_path {
+        let baseline = load(bpath)?;
+        let lines = compare_bench(&current, &baseline, max_ratio)?;
+        for line in lines {
+            println!("  {line}");
+        }
+        println!("{current_path}: within {max_ratio}x of {bpath}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("famg-bench-check: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -22,6 +22,7 @@
 //! the feature compile the calls out entirely.
 
 pub mod amg;
+pub mod benchjson;
 pub mod lint;
 pub mod parcsr;
 pub mod structure;

@@ -12,11 +12,10 @@
 
 use crate::hierarchy::{Hierarchy, TransferOps};
 use crate::smoother::Workspace;
-use crate::stats::PhaseTimes;
+use famg_sparse::counters::flops;
 use famg_sparse::spmv::{interp_apply_add, restrict_apply, spmv};
 use famg_sparse::transpose::transpose_par;
 use famg_sparse::Csr;
-use std::time::Instant;
 
 /// Reusable per-level buffers for V-cycles.
 #[derive(Debug, Default)]
@@ -63,16 +62,12 @@ impl CycleWorkspace {
 /// Applies one V-cycle: `x <- Vcycle(b, x)` at the finest stored level.
 ///
 /// `x` and `b` are in the finest level's *stored* ordering (the solver
-/// wrapper handles the external permutation). `x_is_zero` enables the
-/// zero-guess smoothing skip on the way down.
-pub fn vcycle(
-    h: &Hierarchy,
-    b: &[f64],
-    x: &mut [f64],
-    ws: &mut CycleWorkspace,
-    times: &mut PhaseTimes,
-) {
-    cycle_level(h, 0, b, x, ws, times, false, h.config.cycle);
+/// wrapper handles the external permutation). Timing is recorded through
+/// `famg-prof` spans (one `"vcycle"` span per level visit, with
+/// smooth/residual/restrict/prolong/coarse sub-spans); the solver
+/// wrapper derives the Fig. 5 buckets from the captured tree.
+pub fn vcycle(h: &Hierarchy, b: &[f64], x: &mut [f64], ws: &mut CycleWorkspace) {
+    cycle_level(h, 0, b, x, ws, false, h.config.cycle);
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -82,43 +77,57 @@ fn cycle_level(
     b: &[f64],
     x: &mut [f64],
     ws: &mut CycleWorkspace,
-    times: &mut PhaseTimes,
     x_is_zero: bool,
     kind: crate::params::CycleKind,
 ) {
+    let _lvl_span = famg_prof::scope_at("vcycle", level);
     let lvl = &h.levels[level];
     let a = &lvl.a;
     let n = a.nrows();
     debug_assert_eq!(b.len(), n);
     debug_assert_eq!(x.len(), n);
 
-    // Coarsest level: direct solve or heavy smoothing.
-    if lvl.ops.is_none() {
-        let t0 = Instant::now();
+    // Coarsest level: direct solve or heavy smoothing. `ops == None` *is*
+    // the coarsest-level marker, so destructuring here leaves no unwrap
+    // on the non-coarsest path below — a malformed hierarchy (transfer
+    // ops missing mid-hierarchy) is rejected up front by
+    // `Hierarchy::check_shape` in the public solve entry points.
+    let Some(ops) = lvl.ops.as_ref() else {
+        let _s = famg_prof::scope_at("coarse_solve", level);
         if let Some(lu) = &h.coarse_lu {
+            famg_prof::counter("flops", flops::lu_solve(n));
             let sol = lu.solve(b);
             x.copy_from_slice(&sol);
         } else {
+            famg_prof::counter(
+                "flops",
+                flops::gs_sweep(a.nnz()) * (4 * h.config.num_sweeps) as u64,
+            );
             for s in 0..4 * h.config.num_sweeps {
                 lvl.smoother
                     .pre_smooth(a, b, x, &mut ws.smoother_ws, x_is_zero && s == 0);
             }
         }
-        times.solve_etc += t0.elapsed();
         return;
-    }
+    };
 
     // Pre-smoothing: C then F.
-    let t0 = Instant::now();
-    for s in 0..h.config.num_sweeps {
-        lvl.smoother
-            .pre_smooth(a, b, x, &mut ws.smoother_ws, x_is_zero && s == 0);
+    {
+        let _s = famg_prof::scope_at("smooth", level);
+        famg_prof::counter(
+            "flops",
+            flops::gs_sweep(a.nnz()) * h.config.num_sweeps as u64,
+        );
+        for s in 0..h.config.num_sweeps {
+            lvl.smoother
+                .pre_smooth(a, b, x, &mut ws.smoother_ws, x_is_zero && s == 0);
+        }
     }
-    times.gs += t0.elapsed();
 
     // Residual.
-    let t0 = Instant::now();
     {
+        let _s = famg_prof::scope_at("residual", level);
+        famg_prof::counter("flops", flops::spmv(a.nnz()) + n as u64);
         // Split borrows: take the residual buffer out to appease aliasing.
         let mut r = std::mem::take(&mut ws.r[level]);
         spmv(a, x, &mut r);
@@ -127,37 +136,38 @@ fn cycle_level(
         }
         ws.r[level] = r;
     }
-    times.spmv += t0.elapsed();
 
     // Restrict into the child's stored ordering.
     let nc = lvl.nc;
     let mut bc = std::mem::take(&mut ws.bc[level]);
-    let t0 = Instant::now();
-    match lvl.ops.as_ref().unwrap() {
-        TransferOps::CfBlock { pft, .. } => {
-            restrict_apply(pft, nc, &ws.r[level], &mut bc);
-        }
-        TransferOps::Full { p, r } => {
-            if let Some(rt) = r {
-                spmv(rt, &ws.r[level], &mut bc);
-            } else {
-                // Baseline: transpose P on every restriction.
-                let rt = transpose_par(p);
-                spmv(&rt, &ws.r[level], &mut bc);
+    {
+        let _s = famg_prof::scope_at("restrict", level);
+        match ops {
+            TransferOps::CfBlock { pft, .. } => {
+                famg_prof::counter("flops", flops::spmv(pft.nnz()));
+                restrict_apply(pft, nc, &ws.r[level], &mut bc);
+            }
+            TransferOps::Full { p, r } => {
+                famg_prof::counter("flops", flops::spmv(p.nnz()));
+                if let Some(rt) = r {
+                    spmv(rt, &ws.r[level], &mut bc);
+                } else {
+                    // Baseline: transpose P on every restriction.
+                    let rt = transpose_par(p);
+                    spmv(&rt, &ws.r[level], &mut bc);
+                }
             }
         }
     }
-    times.spmv += t0.elapsed();
     // Scatter through the child's permutation, if any.
     let child_perm = h.levels[level + 1].perm.as_ref();
     if let Some(q) = child_perm {
-        let t0 = Instant::now();
+        let _s = famg_prof::scope_at("permute", level);
         let scratch = &mut ws.scratch[level + 1];
         for (j, &v) in bc.iter().enumerate() {
             scratch[q.forward[j]] = v;
         }
         bc.copy_from_slice(&scratch[..nc]);
-        times.solve_etc += t0.elapsed();
     }
 
     // Recurse with zero guess; W/F cycles revisit the coarse level.
@@ -165,22 +175,21 @@ fn cycle_level(
     xc.fill(0.0);
     match kind {
         crate::params::CycleKind::V => {
-            cycle_level(h, level + 1, &bc, &mut xc, ws, times, true, kind);
+            cycle_level(h, level + 1, &bc, &mut xc, ws, true, kind);
         }
         crate::params::CycleKind::W => {
-            cycle_level(h, level + 1, &bc, &mut xc, ws, times, true, kind);
-            cycle_level(h, level + 1, &bc, &mut xc, ws, times, false, kind);
+            cycle_level(h, level + 1, &bc, &mut xc, ws, true, kind);
+            cycle_level(h, level + 1, &bc, &mut xc, ws, false, kind);
         }
         crate::params::CycleKind::F => {
             // F-cycle: an F-recursion followed by a V-recursion.
-            cycle_level(h, level + 1, &bc, &mut xc, ws, times, true, kind);
+            cycle_level(h, level + 1, &bc, &mut xc, ws, true, kind);
             cycle_level(
                 h,
                 level + 1,
                 &bc,
                 &mut xc,
                 ws,
-                times,
                 false,
                 crate::params::CycleKind::V,
             );
@@ -189,35 +198,42 @@ fn cycle_level(
 
     // Gather back out of the child's ordering.
     if let Some(q) = h.levels[level + 1].perm.as_ref() {
-        let t0 = Instant::now();
+        let _s = famg_prof::scope_at("permute", level);
         let scratch = &mut ws.scratch[level + 1];
         scratch[..nc].copy_from_slice(&xc);
         for (j, xj) in xc.iter_mut().enumerate() {
             *xj = scratch[q.forward[j]];
         }
-        times.solve_etc += t0.elapsed();
     }
 
     // Prolongate and correct.
-    let t0 = Instant::now();
-    match lvl.ops.as_ref().unwrap() {
-        TransferOps::CfBlock { pf, .. } => {
-            interp_apply_add(pf, nc, &xc, x);
-        }
-        TransferOps::Full { p, .. } => {
-            add_spmv(p, &xc, x);
+    {
+        let _s = famg_prof::scope_at("prolong", level);
+        match ops {
+            TransferOps::CfBlock { pf, .. } => {
+                famg_prof::counter("flops", flops::spmv(pf.nnz()));
+                interp_apply_add(pf, nc, &xc, x);
+            }
+            TransferOps::Full { p, .. } => {
+                famg_prof::counter("flops", flops::spmv(p.nnz()) + n as u64);
+                add_spmv(p, &xc, x);
+            }
         }
     }
-    times.spmv += t0.elapsed();
     ws.bc[level] = bc;
     ws.xc[level] = xc;
 
     // Post-smoothing: F then C.
-    let t0 = Instant::now();
-    for _ in 0..h.config.num_sweeps {
-        lvl.smoother.post_smooth(a, b, x, &mut ws.smoother_ws);
+    {
+        let _s = famg_prof::scope_at("smooth", level);
+        famg_prof::counter(
+            "flops",
+            flops::gs_sweep(a.nnz()) * h.config.num_sweeps as u64,
+        );
+        for _ in 0..h.config.num_sweeps {
+            lvl.smoother.post_smooth(a, b, x, &mut ws.smoother_ws);
+        }
     }
-    times.gs += t0.elapsed();
 }
 
 /// `x += P * xc` for the full-operator (baseline) representation.
@@ -249,10 +265,9 @@ mod tests {
         };
         let pa = &h.levels[0].a;
         let mut ws = CycleWorkspace::for_hierarchy(&h);
-        let mut t = PhaseTimes::default();
         let mut out = Vec::new();
         for _ in 0..cycles {
-            vcycle(&h, &pb, &mut px, &mut ws, &mut t);
+            vcycle(&h, &pb, &mut px, &mut ws);
             out.push(rel_residual(pa, &pb, &px));
         }
         out

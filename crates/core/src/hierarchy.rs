@@ -22,7 +22,6 @@ use famg_sparse::spgemm::SpgemmKernel;
 use famg_sparse::transpose::transpose_par;
 use famg_sparse::triple::{rap_cf_from_parts, rap_row_fused, rap_scalar_fused};
 use famg_sparse::Csr;
-use std::time::Instant;
 
 /// Grid-transfer operators between a level and the next coarser one.
 #[derive(Debug)]
@@ -77,8 +76,13 @@ pub struct Hierarchy {
     pub config: AmgConfig,
     /// Per-level size statistics.
     pub stats: SetupStats,
-    /// Setup-phase timing breakdown (Fig. 5 categories).
+    /// Setup-phase timing breakdown (Fig. 5 categories), derived from
+    /// `profile` — a rollup view, not independent bookkeeping.
     pub times: PhaseTimes,
+    /// Full span profile of the most recent setup (or refresh): per-level
+    /// strength/coarsen/interp/RAP sub-spans plus the raw event timeline
+    /// for chrome://tracing export. Empty when the `prof` feature is off.
+    pub profile: famg_prof::Profile,
 }
 
 pub(crate) fn build_smoother(
@@ -283,7 +287,9 @@ impl Hierarchy {
         assert_eq!(a.nrows(), a.ncols(), "AMG needs a square operator");
         #[cfg(feature = "validate")]
         enforce(0, "input structure", famg_check::check_csr(a));
-        let mut times = PhaseTimes::default();
+        // Root span for the whole setup; the Fig. 5 buckets are derived
+        // from the captured tree after it closes.
+        let root_span = famg_prof::scope("setup");
         let mut stats = SetupStats::default();
         let mut levels: Vec<Level> = Vec::new();
         let mut current: Csr = a.clone();
@@ -298,25 +304,28 @@ impl Hierarchy {
             }
 
             // --- Strength + coarsening. ---
-            let t0 = Instant::now();
+            let lvl_idx = levels.len();
+            let strength_span = famg_prof::scope_at("strength", lvl_idx);
             let s = strength(&current, cfg.strength_threshold, cfg.max_row_sum);
-            let (ckind, ikind) = cfg.level_scheme(levels.len());
+            drop(strength_span);
+            let coarsen_span = famg_prof::scope_at("coarsen", lvl_idx);
+            let (ckind, ikind) = cfg.level_scheme(lvl_idx);
             let (stage1, coarsening) = match ckind {
-                CoarsenKind::Pmis => (None, pmis(&s, cfg.seed.wrapping_add(levels.len() as u64))),
+                CoarsenKind::Pmis => (None, pmis(&s, cfg.seed.wrapping_add(lvl_idx as u64))),
                 CoarsenKind::AggressivePmis => {
                     let (first, fin) =
-                        aggressive_pmis_stages(&s, cfg.seed.wrapping_add(levels.len() as u64));
+                        aggressive_pmis_stages(&s, cfg.seed.wrapping_add(lvl_idx as u64));
                     (Some(first), fin)
                 }
             };
-            times.strength_coarsen += t0.elapsed();
+            drop(coarsen_span);
             if coarsening.ncoarse == 0 || coarsening.ncoarse == n {
                 break; // cannot coarsen further
             }
 
             if cfg.opt.cf_reorder {
                 // --- Optimized path: permute coarse-first. ---
-                let t0 = Instant::now();
+                let reorder_span = famg_prof::scope_at("cf_reorder", lvl_idx);
                 let (ap, ord) = cf_reorder(&current, &coarsening.is_coarse);
                 let sp = famg_sparse::permute::permute_symmetric(&s, &ord.perm);
                 // Permute the coarsening metadata into the new ordering.
@@ -333,25 +342,25 @@ impl Hierarchy {
                 };
                 let stage1_p = stage1.as_ref().map(&permute_stage);
                 let final_p = permute_stage(&coarsening);
-                times.setup_etc += t0.elapsed();
+                drop(reorder_span);
 
                 // --- Interpolation. ---
-                let t0 = Instant::now();
+                let interp_span = famg_prof::scope_at("interp", lvl_idx);
                 let cf = CfMap::new(is_coarse_p);
                 let p_full = build_interp(&ap, &sp, &cf, stage1_p.as_ref(), &final_p, ikind, cfg);
-                times.interp += t0.elapsed();
+                drop(interp_span);
 
                 // --- Split into [I; P_F] and keep the transpose. ---
-                let t0 = Instant::now();
+                let extract_span = famg_prof::scope_at("extract_p", lvl_idx);
                 let nc = ord.nc;
                 let pf = extract_fine_block(&p_full, nc);
                 let pft = transpose_par(&pf);
-                times.setup_etc += t0.elapsed();
+                drop(extract_span);
 
                 // --- RAP over the CF blocks. ---
-                let t0 = Instant::now();
+                let rap_span = famg_prof::scope_at("rap", lvl_idx);
                 let next = rap_cf_from_parts(&ap, nc, &pf);
-                times.rap += t0.elapsed();
+                drop(rap_span);
 
                 #[cfg(feature = "validate")]
                 validate_level(
@@ -367,6 +376,7 @@ impl Hierarchy {
                 );
 
                 if let Some(cap) = capture.as_deref_mut() {
+                    let _s = famg_prof::scope_at("capture", lvl_idx);
                     use crate::refresh::{index_valued, ValueMap};
                     let tape = matches!(ikind, InterpKind::ExtendedI)
                         .then(|| crate::interp::ExtITape::capture(&ap, &sp, &cf));
@@ -401,10 +411,10 @@ impl Hierarchy {
                 }
 
                 // --- Smoother (reorders rows of `ap` in place). ---
-                let t0 = Instant::now();
+                let smoother_span = famg_prof::scope_at("smoother_setup", lvl_idx);
                 let mut ap = ap;
                 let smoother = build_smoother(&mut ap, nc, None, cfg);
-                times.setup_etc += t0.elapsed();
+                drop(smoother_span);
 
                 levels.push(Level {
                     a: ap,
@@ -417,19 +427,19 @@ impl Hierarchy {
                 current = next;
             } else {
                 // --- Baseline path: original ordering throughout. ---
-                let t0 = Instant::now();
+                let interp_span = famg_prof::scope_at("interp", lvl_idx);
                 let cf = CfMap::new(coarsening.is_coarse.clone());
                 let p = build_interp(&current, &s, &cf, stage1.as_ref(), &coarsening, ikind, cfg);
-                times.interp += t0.elapsed();
+                drop(interp_span);
 
-                let t0 = Instant::now();
+                let rap_span = famg_prof::scope_at("rap", lvl_idx);
                 let r = transpose_par(&p);
                 let next = if cfg.opt.row_fused_rap {
                     rap_row_fused(&r, &current, &p)
                 } else {
                     rap_scalar_fused(&r, &current, &p)
                 };
-                times.rap += t0.elapsed();
+                drop(rap_span);
 
                 #[cfg(feature = "validate")]
                 validate_level(
@@ -445,6 +455,7 @@ impl Hierarchy {
                 );
 
                 if let Some(cap) = capture.as_deref_mut() {
+                    let _s = famg_prof::scope_at("capture", lvl_idx);
                     let tape = matches!(ikind, InterpKind::ExtendedI)
                         .then(|| crate::interp::ExtITape::capture(&current, &s, &cf));
                     cap.push(FrozenLevel {
@@ -461,7 +472,7 @@ impl Hierarchy {
                     });
                 }
 
-                let t0 = Instant::now();
+                let smoother_span = famg_prof::scope_at("smoother_setup", lvl_idx);
                 let mut cur = current;
                 let smoother = build_smoother(
                     &mut cur,
@@ -470,7 +481,7 @@ impl Hierarchy {
                     cfg,
                 );
                 let r_kept = cfg.opt.keep_transpose.then_some(r);
-                times.setup_etc += t0.elapsed();
+                drop(smoother_span);
 
                 stats.interp_nnz.push(p.nnz());
                 levels.push(Level {
@@ -485,7 +496,7 @@ impl Hierarchy {
         }
 
         // --- Coarsest level. ---
-        let t0 = Instant::now();
+        let coarse_span = famg_prof::scope_at("coarse", levels.len());
         let coarse_lu = if current.nrows() <= cfg.coarse_solve_size && current.nrows() > 0 {
             LuFactor::new(&DenseMatrix::from_csr(&current))
         } else {
@@ -500,7 +511,14 @@ impl Hierarchy {
             ops: None,
             smoother,
         });
-        times.setup_etc += t0.elapsed();
+        drop(coarse_span);
+
+        drop(root_span);
+        let profile = famg_prof::take();
+        let times = profile
+            .find_root("setup")
+            .map(PhaseTimes::from_span)
+            .unwrap_or_default();
 
         Hierarchy {
             levels,
@@ -508,7 +526,75 @@ impl Hierarchy {
             config: cfg.clone(),
             stats,
             times,
+            profile,
         }
+    }
+
+    /// Checks the structural invariants the cycle kernels rely on,
+    /// returning a typed error instead of letting a hand-built hierarchy
+    /// panic mid-cycle:
+    ///
+    /// * at least one level, square operators throughout;
+    /// * `ops == None` exactly at the last level (it is the coarsest
+    ///   marker the cycle recursion terminates on);
+    /// * transfer-operator dimensions consistent with `nc` and the next
+    ///   level's operator;
+    /// * stored permutations sized to their level.
+    pub fn check_shape(&self) -> Result<(), crate::solver::SolveError> {
+        use crate::solver::SolveError::MalformedHierarchy;
+        let fail = |level: usize, what: &'static str| Err(MalformedHierarchy { level, what });
+        if self.levels.is_empty() {
+            return fail(0, "hierarchy has no levels");
+        }
+        for (i, lvl) in self.levels.iter().enumerate() {
+            let n = lvl.a.nrows();
+            if lvl.a.ncols() != n {
+                return fail(i, "level operator is not square");
+            }
+            if let Some(q) = &lvl.perm {
+                if q.forward.len() != n {
+                    return fail(i, "permutation length differs from the level size");
+                }
+            }
+            let last = i + 1 == self.levels.len();
+            let Some(ops) = &lvl.ops else {
+                if last {
+                    continue;
+                }
+                return fail(i, "non-coarsest level is missing its transfer operators");
+            };
+            if last {
+                return fail(i, "coarsest level carries transfer operators");
+            }
+            let nc = lvl.nc;
+            if self.levels[i + 1].a.nrows() != nc {
+                return fail(i, "next level's row count differs from nc");
+            }
+            match ops {
+                TransferOps::Full { p, r } => {
+                    if p.nrows() != n || p.ncols() != nc {
+                        return fail(i, "interpolation operator has wrong dimensions");
+                    }
+                    if let Some(rt) = r {
+                        if rt.nrows() != nc || rt.ncols() != n {
+                            return fail(i, "cached restriction has wrong dimensions");
+                        }
+                    }
+                }
+                TransferOps::CfBlock { pf, pft } => {
+                    if nc > n {
+                        return fail(i, "nc exceeds the level size");
+                    }
+                    if pf.nrows() != n - nc || pf.ncols() != nc {
+                        return fail(i, "P_F block has wrong dimensions");
+                    }
+                    if pft.nrows() != nc || pft.ncols() != n - nc {
+                        return fail(i, "P_F transpose has wrong dimensions");
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Number of levels.

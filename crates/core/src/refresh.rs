@@ -50,7 +50,6 @@ use famg_sparse::triple::{
     rap_cf_numeric, rap_cf_numeric_from_parts, rap_row_fused_numeric, rap_scalar_fused_numeric,
 };
 use famg_sparse::Csr;
-use std::time::Instant;
 
 /// A frozen value-move: an output pattern plus, for every output
 /// nonzero, the source value-array position it copies from.
@@ -336,7 +335,45 @@ impl Hierarchy {
             });
         }
         let cfg = self.config.clone();
-        let mut times = PhaseTimes::default();
+        // Root span: the refresh is a (numeric-only) setup, so its tree
+        // reuses the setup span names and buckets into the same Fig. 5
+        // categories via `PhaseTimes::from_span`.
+        let root_span = famg_prof::scope("refresh");
+        let built = self.refresh_levels(a, frozen, &cfg);
+        // Close and capture the span tree unconditionally — also on the
+        // error path, so a failed refresh cannot leak completed spans
+        // into the next capture — and before validate_refresh, whose
+        // nested full build captures its own profile and must see a
+        // clean span stack.
+        drop(root_span);
+        let profile = famg_prof::take();
+        let (levels, coarse_lu) = built?;
+        let times = profile
+            .find_root("refresh")
+            .map(PhaseTimes::from_span)
+            .unwrap_or_default();
+
+        #[cfg(feature = "validate")]
+        validate_refresh(&levels, a, &cfg);
+
+        // Commit only now that every level succeeded.
+        self.levels = levels;
+        self.coarse_lu = coarse_lu;
+        self.times = times;
+        self.profile = profile;
+        Ok(())
+    }
+
+    /// The fallible middle of [`Hierarchy::refresh`]: rebuilds every
+    /// level's numeric content over the frozen structure. Split out so
+    /// the caller can close the root profiler span and drain the
+    /// collector on *both* the success and error paths.
+    fn refresh_levels(
+        &self,
+        a: &Csr,
+        frozen: &mut FrozenSetup,
+        cfg: &AmgConfig,
+    ) -> Result<(Vec<Level>, Option<LuFactor>), RefreshError> {
         let mut levels: Vec<Level> = Vec::with_capacity(self.levels.len());
         let mut current: Csr = a.clone();
 
@@ -344,7 +381,7 @@ impl Hierarchy {
             let nc = fl.cf.nc;
             if cfg.opt.cf_reorder {
                 // --- Optimized path: reuse the frozen permutation. ---
-                let t0 = Instant::now();
+                let reorder_span = famg_prof::scope_at("cf_reorder", idx);
                 let perm = self.levels[idx]
                     .perm
                     .clone()
@@ -353,22 +390,23 @@ impl Hierarchy {
                     Some(m) => m.apply(current.values()),
                     None => permute_symmetric(&current, &perm),
                 };
-                times.setup_etc += t0.elapsed();
+                drop(reorder_span);
 
-                let t0 = Instant::now();
-                let p_full = refresh_interp(&ap, fl, idx, &cfg)?;
-                times.interp += t0.elapsed();
+                let interp_span = famg_prof::scope_at("interp", idx);
+                let p_full = refresh_interp(&ap, fl, idx, cfg);
+                drop(interp_span);
+                let p_full = p_full?;
 
-                let t0 = Instant::now();
+                let extract_span = famg_prof::scope_at("extract_p", idx);
                 let pf = extract_fine_block(&p_full, nc);
                 let pft = match &fl.pft_map {
                     Some(m) => m.apply(pf.values()),
                     None => transpose_par(&pf),
                 };
-                times.setup_etc += t0.elapsed();
+                drop(extract_span);
 
                 // --- Numeric-only RAP into the frozen coarse pattern. ---
-                let t0 = Instant::now();
+                let rap_span = famg_prof::scope_at("rap", idx);
                 match &fl.cf_maps {
                     Some([mcc, mcf, mfc, mff]) => {
                         let av = ap.values();
@@ -378,13 +416,13 @@ impl Hierarchy {
                     }
                     None => rap_cf_numeric_from_parts(&ap, nc, &pf, &mut fl.rap),
                 }
-                times.rap += t0.elapsed();
+                drop(rap_span);
                 let next = fl.rap.clone();
 
-                let t0 = Instant::now();
+                let smoother_span = famg_prof::scope_at("smoother_setup", idx);
                 let mut ap = ap;
-                let smoother = build_smoother(&mut ap, nc, None, &cfg);
-                times.setup_etc += t0.elapsed();
+                let smoother = build_smoother(&mut ap, nc, None, cfg);
+                drop(smoother_span);
 
                 levels.push(Level {
                     a: ap,
@@ -396,25 +434,26 @@ impl Hierarchy {
                 current = next;
             } else {
                 // --- Baseline path: original ordering throughout. ---
-                let t0 = Instant::now();
-                let p = refresh_interp(&current, fl, idx, &cfg)?;
-                times.interp += t0.elapsed();
+                let interp_span = famg_prof::scope_at("interp", idx);
+                let p = refresh_interp(&current, fl, idx, cfg);
+                drop(interp_span);
+                let p = p?;
 
-                let t0 = Instant::now();
+                let rap_span = famg_prof::scope_at("rap", idx);
                 let r = transpose_par(&p);
                 if cfg.opt.row_fused_rap {
                     rap_row_fused_numeric(&r, &current, &p, &mut fl.rap);
                 } else {
                     rap_scalar_fused_numeric(&r, &current, &p, &mut fl.rap);
                 }
-                times.rap += t0.elapsed();
+                drop(rap_span);
                 let next = fl.rap.clone();
 
-                let t0 = Instant::now();
+                let smoother_span = famg_prof::scope_at("smoother_setup", idx);
                 let mut cur = current;
-                let smoother = build_smoother(&mut cur, nc, Some(&fl.final_c.is_coarse), &cfg);
+                let smoother = build_smoother(&mut cur, nc, Some(&fl.final_c.is_coarse), cfg);
                 let r_kept = cfg.opt.keep_transpose.then_some(r);
-                times.setup_etc += t0.elapsed();
+                drop(smoother_span);
 
                 levels.push(Level {
                     a: cur,
@@ -428,14 +467,14 @@ impl Hierarchy {
         }
 
         // --- Coarsest level: refactor LU over the new values. ---
-        let t0 = Instant::now();
+        let coarse_span = famg_prof::scope_at("coarse", frozen.levels.len());
         let coarse_lu = if current.nrows() <= cfg.coarse_solve_size && current.nrows() > 0 {
             LuFactor::new(&DenseMatrix::from_csr(&current))
         } else {
             None
         };
         let mut cur = current;
-        let smoother = build_smoother(&mut cur, 0, None, &cfg);
+        let smoother = build_smoother(&mut cur, 0, None, cfg);
         levels.push(Level {
             a: cur,
             perm: None,
@@ -443,16 +482,8 @@ impl Hierarchy {
             ops: None,
             smoother,
         });
-        times.setup_etc += t0.elapsed();
-
-        #[cfg(feature = "validate")]
-        validate_refresh(&levels, a, &cfg);
-
-        // Commit only now that every level succeeded.
-        self.levels = levels;
-        self.coarse_lu = coarse_lu;
-        self.times = times;
-        Ok(())
+        drop(coarse_span);
+        Ok((levels, coarse_lu))
     }
 }
 

@@ -12,17 +12,64 @@ use crate::hierarchy::Hierarchy;
 use crate::params::AmgConfig;
 use crate::refresh::{FrozenSetup, RefreshError};
 use crate::stats::PhaseTimes;
+use famg_sparse::counters::flops;
 use famg_sparse::spmv::{residual_norm_sq, residual_norm_sq_unfused};
 use famg_sparse::vecops;
 use famg_sparse::Csr;
 use parking_lot_free::Mutex;
-use std::time::Instant;
 
 /// Minimal internal mutex alias so the cycle workspace can be reused
 /// behind `&self` without taking a `parking_lot` dependency here.
 mod parking_lot_free {
     pub use std::sync::Mutex;
 }
+
+/// Typed failure of a public solve entry point.
+///
+/// Solver-built hierarchies ([`AmgSolver::setup`]) always satisfy the
+/// structural invariants, but [`Hierarchy`] has public fields, so a
+/// hand-built one can violate them; the `try_` entry points reject such
+/// hierarchies with [`SolveError::MalformedHierarchy`] instead of
+/// panicking mid-cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// A structural invariant of the multigrid hierarchy is violated
+    /// (see [`Hierarchy::check_shape`]).
+    MalformedHierarchy {
+        /// Level at which the violation was detected (finest = 0).
+        level: usize,
+        /// The invariant that failed.
+        what: &'static str,
+    },
+    /// A right-hand side or iterate has the wrong length.
+    DimensionMismatch {
+        /// Expected length (the finest-level row count).
+        expected: usize,
+        /// Actual length passed in.
+        got: usize,
+        /// Which vector was mis-sized.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::MalformedHierarchy { level, what } => {
+                write!(f, "malformed hierarchy at level {level}: {what}")
+            }
+            SolveError::DimensionMismatch {
+                expected,
+                got,
+                what,
+            } => {
+                write!(f, "{what} has length {got}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
 
 /// Outcome of [`AmgSolver::solve`].
 #[derive(Debug, Clone)]
@@ -35,8 +82,13 @@ pub struct SolveResult {
     pub converged: bool,
     /// Relative residual after every cycle.
     pub history: Vec<f64>,
-    /// Solve-phase timing breakdown.
+    /// Solve-phase timing breakdown (Fig. 5 categories), derived from
+    /// `profile` — a rollup view, not independent bookkeeping.
     pub times: PhaseTimes,
+    /// Full span profile of the solve: per-level V-cycle sub-spans plus
+    /// the raw event timeline for chrome://tracing export. Empty when
+    /// the `prof` feature is off.
+    pub profile: famg_prof::Profile,
 }
 
 /// A ready-to-solve AMG instance (setup already performed).
@@ -94,6 +146,18 @@ impl AmgSolver {
         // workspace stays valid as-is.
     }
 
+    /// Wraps an externally assembled hierarchy, rejecting one that
+    /// violates the structural invariants the cycle kernels rely on.
+    pub fn from_hierarchy(hierarchy: Hierarchy) -> Result<Self, SolveError> {
+        hierarchy.check_shape()?;
+        let ws = Mutex::new(CycleWorkspace::for_hierarchy(&hierarchy));
+        Ok(AmgSolver {
+            hierarchy,
+            frozen: None,
+            ws,
+        })
+    }
+
     /// The underlying hierarchy (level sizes, setup times, complexities).
     pub fn hierarchy(&self) -> &Hierarchy {
         &self.hierarchy
@@ -106,19 +170,44 @@ impl AmgSolver {
 
     /// Solves `A x = b` to the configured tolerance, starting from the
     /// initial guess already in `x`.
+    ///
+    /// The solve records a famg-prof span tree rooted at `"solve"` and
+    /// captures it via `famg_prof::take()` on return, so do not call
+    /// this inside an open profiler span of your own (the capture would
+    /// see the open span and back off, zeroing the returned timings).
     pub fn solve(&self, b: &[f64], x: &mut [f64]) -> SolveResult {
+        self.try_solve(b, x)
+            .unwrap_or_else(|e| panic!("famg solve: {e}"))
+    }
+
+    /// Like [`AmgSolver::solve`], but returns a typed error instead of
+    /// panicking on a malformed hierarchy or mis-sized vectors.
+    pub fn try_solve(&self, b: &[f64], x: &mut [f64]) -> Result<SolveResult, SolveError> {
         let h = &self.hierarchy;
         let cfg = &h.config;
+        h.check_shape()?;
         let n = h.n();
-        assert_eq!(b.len(), n);
-        assert_eq!(x.len(), n);
-        let mut times = PhaseTimes::default();
+        if b.len() != n {
+            return Err(SolveError::DimensionMismatch {
+                expected: n,
+                got: b.len(),
+                what: "right-hand side",
+            });
+        }
+        if x.len() != n {
+            return Err(SolveError::DimensionMismatch {
+                expected: n,
+                got: x.len(),
+                what: "initial guess",
+            });
+        }
         let mut ws = self.ws.lock().unwrap();
+        let root_span = famg_prof::scope("solve");
 
         // Move into the stored (possibly CF-permuted) ordering. The
         // buffers live in the workspace so repeated solves allocate
         // nothing here; they are taken out so `ws` stays borrowable.
-        let t0 = Instant::now();
+        let permute_span = famg_prof::scope("permute");
         let perm = h.levels[0].perm.as_ref();
         let mut pb = std::mem::take(&mut ws.fine_b);
         let mut px = std::mem::take(&mut ws.fine_x);
@@ -131,39 +220,36 @@ impl AmgSolver {
             Some(q) => q.apply_vec_into(x, &mut px),
             None => px.copy_from_slice(x),
         }
-        times.solve_etc += t0.elapsed();
+        drop(permute_span);
 
         let a = &h.levels[0].a;
-        let t0 = Instant::now();
-        let bnorm = vecops::norm2(&pb).max(f64::MIN_POSITIVE);
-        times.blas1 += t0.elapsed();
+        let bnorm = {
+            let _s = famg_prof::scope("blas1");
+            famg_prof::counter("flops", flops::dot(n));
+            vecops::norm2(&pb).max(f64::MIN_POSITIVE)
+        };
+
+        let norm_of = |px: &[f64], r: &mut [f64]| {
+            let _s = famg_prof::scope("blas1");
+            famg_prof::counter("flops", flops::spmv(a.nnz()) + flops::dot(n));
+            if cfg.opt.fused_residual_norm {
+                residual_norm_sq(a, px, &pb, r).sqrt() / bnorm
+            } else {
+                residual_norm_sq_unfused(a, px, &pb, r).sqrt() / bnorm
+            }
+        };
 
         let mut history = Vec::new();
-        let mut relres = {
-            let t0 = Instant::now();
-            let rr = if cfg.opt.fused_residual_norm {
-                residual_norm_sq(a, &px, &pb, &mut r).sqrt() / bnorm
-            } else {
-                residual_norm_sq_unfused(a, &px, &pb, &mut r).sqrt() / bnorm
-            };
-            times.blas1 += t0.elapsed();
-            rr
-        };
+        let mut relres = norm_of(&px, &mut r);
         let mut iterations = 0usize;
         while relres > cfg.tolerance && iterations < cfg.max_iterations {
-            vcycle(h, &pb, &mut px, &mut ws, &mut times);
+            vcycle(h, &pb, &mut px, &mut ws);
             iterations += 1;
-            let t0 = Instant::now();
-            relres = if cfg.opt.fused_residual_norm {
-                residual_norm_sq(a, &px, &pb, &mut r).sqrt() / bnorm
-            } else {
-                residual_norm_sq_unfused(a, &px, &pb, &mut r).sqrt() / bnorm
-            };
-            times.blas1 += t0.elapsed();
+            relres = norm_of(&px, &mut r);
             history.push(relres);
         }
 
-        let t0 = Instant::now();
+        let permute_span = famg_prof::scope("permute");
         match perm {
             Some(q) => q.unapply_vec_into(&px, x),
             None => x.copy_from_slice(&px),
@@ -171,15 +257,23 @@ impl AmgSolver {
         ws.fine_b = pb;
         ws.fine_x = px;
         ws.fine_r = r;
-        times.solve_etc += t0.elapsed();
+        drop(permute_span);
 
-        SolveResult {
+        drop(root_span);
+        let profile = famg_prof::take();
+        let times = profile
+            .find_root("solve")
+            .map(PhaseTimes::from_span)
+            .unwrap_or_default();
+
+        Ok(SolveResult {
             iterations,
             final_relres: relres,
             converged: relres <= cfg.tolerance,
             history,
             times,
-        }
+            profile,
+        })
     }
 
     /// Applies one V-cycle from a zero initial guess: `z ≈ A⁻¹ r`.
@@ -187,7 +281,6 @@ impl AmgSolver {
     pub fn apply(&self, rin: &[f64], z: &mut [f64]) {
         let h = &self.hierarchy;
         let mut ws = self.ws.lock().unwrap();
-        let mut times = PhaseTimes::default();
         let perm = h.levels[0].perm.as_ref();
         // Workspace-backed buffers: this is the FGMRES preconditioner hot
         // path, called once per Krylov iteration.
@@ -198,7 +291,7 @@ impl AmgSolver {
             None => pb.copy_from_slice(rin),
         }
         px.fill(0.0);
-        vcycle(h, &pb, &mut px, &mut ws, &mut times);
+        vcycle(h, &pb, &mut px, &mut ws);
         match perm {
             Some(q) => q.unapply_vec_into(&px, z),
             None => z.copy_from_slice(&px),
@@ -373,6 +466,66 @@ mod tests {
             let res = solver.solve(&b, &mut x);
             assert!(res.converged, "{sm:?} did not converge");
         }
+    }
+
+    #[test]
+    fn try_solve_rejects_mis_sized_vectors() {
+        let a = laplace2d(16, 16);
+        let solver = AmgSolver::setup(&a, &AmgConfig::single_node_paper());
+        let b = rhs::ones(a.nrows());
+        let mut x_short = vec![0.0; a.nrows() - 1];
+        let err = solver.try_solve(&b, &mut x_short).unwrap_err();
+        assert!(matches!(err, SolveError::DimensionMismatch { .. }), "{err}");
+        let b_short = vec![1.0; 3];
+        let mut x = vec![0.0; a.nrows()];
+        let err = solver.try_solve(&b_short, &mut x).unwrap_err();
+        assert_eq!(
+            err,
+            SolveError::DimensionMismatch {
+                expected: a.nrows(),
+                got: 3,
+                what: "right-hand side",
+            }
+        );
+    }
+
+    #[test]
+    fn from_hierarchy_rejects_hand_built_malformed_hierarchy() {
+        let a = laplace2d(16, 16);
+        // Knock the mid-hierarchy transfer operators out: the cycle would
+        // treat the finest level as coarsest and silently mis-solve (or
+        // panic), so the typed check must reject it up front.
+        let mut h = Hierarchy::build(&a, &AmgConfig::single_node_paper());
+        assert!(h.num_levels() >= 2, "need a multi-level hierarchy");
+        h.levels[0].ops = None;
+        let err = AmgSolver::from_hierarchy(h).unwrap_err();
+        assert_eq!(
+            err,
+            SolveError::MalformedHierarchy {
+                level: 0,
+                what: "non-coarsest level is missing its transfer operators",
+            }
+        );
+
+        // A solver-built hierarchy passes the same check and solves.
+        let h = Hierarchy::build(&a, &AmgConfig::single_node_paper());
+        let solver = AmgSolver::from_hierarchy(h).expect("well-formed hierarchy");
+        let b = rhs::ones(a.nrows());
+        let mut x = vec![0.0; a.nrows()];
+        assert!(solver.try_solve(&b, &mut x).unwrap().converged);
+    }
+
+    #[test]
+    fn check_shape_rejects_bad_transfer_dimensions() {
+        let a = laplace2d(16, 16);
+        let mut h = Hierarchy::build(&a, &AmgConfig::single_node_baseline());
+        // Corrupt the stated coarse size on the finest level.
+        h.levels[0].nc += 1;
+        let err = h.check_shape().unwrap_err();
+        assert!(
+            matches!(err, SolveError::MalformedHierarchy { level: 0, .. }),
+            "{err}"
+        );
     }
 
     #[test]

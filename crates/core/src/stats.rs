@@ -5,7 +5,15 @@
 //! `BLAS1`, `Solve_etc` for the solve phase. [`SetupStats`] reports the
 //! operator and grid complexities that the paper uses to argue the
 //! fairness of its comparisons (§5.1.1).
+//!
+//! Since the famg-prof integration the buckets are a *view* over the
+//! span tree recorded during setup/solve ([`PhaseTimes::from_span`]),
+//! not an independently maintained tally: each span's **self** time
+//! (wall minus children) is attributed to exactly one bucket, so the
+//! bucket sums reconstruct the root span's wall time and nested spans
+//! can never double-count.
 
+use famg_prof::SpanNode;
 use std::time::Duration;
 
 /// Wall-clock time per component, in the paper's Fig. 5 categories.
@@ -55,6 +63,94 @@ impl PhaseTimes {
         self.spmv += o.spmv;
         self.blas1 += o.blas1;
         self.solve_etc += o.solve_etc;
+    }
+
+    /// Derives the Fig. 5 buckets from a recorded span tree.
+    ///
+    /// Each span's *self* time (wall minus children, saturating) lands in
+    /// exactly one bucket, chosen by span name within the root's phase
+    /// (a root named `"solve"` is solve-phase; anything else — `"setup"`,
+    /// `"refresh"` — is setup-phase). Unrecognized names fall into the
+    /// phase's `etc` bucket, so the bucket totals reconstruct the root
+    /// span's wall time up to clock-read jitter and nesting can never
+    /// double-count.
+    pub fn from_span(root: &SpanNode) -> PhaseTimes {
+        let mut out = PhaseTimes::default();
+        let solve_phase = root.name == "solve";
+        let etc = if solve_phase {
+            Bucket::SolveEtc
+        } else {
+            Bucket::SetupEtc
+        };
+        attribute(root, solve_phase, etc, &mut out);
+        out
+    }
+}
+
+/// Fig. 5 bucket identifiers, used while walking the span tree so that
+/// transport-level spans can *inherit* the bucket of the phase they run
+/// inside (a halo exchange during smoothing is GS time, the same
+/// exchange during restriction is SpMV time).
+#[derive(Clone, Copy)]
+enum Bucket {
+    StrengthCoarsen,
+    Interp,
+    Rap,
+    SetupEtc,
+    Gs,
+    Spmv,
+    Blas1,
+    SolveEtc,
+}
+
+impl Bucket {
+    fn slot(self, out: &mut PhaseTimes) -> &mut Duration {
+        match self {
+            Bucket::StrengthCoarsen => &mut out.strength_coarsen,
+            Bucket::Interp => &mut out.interp,
+            Bucket::Rap => &mut out.rap,
+            Bucket::SetupEtc => &mut out.setup_etc,
+            Bucket::Gs => &mut out.gs,
+            Bucket::Spmv => &mut out.spmv,
+            Bucket::Blas1 => &mut out.blas1,
+            Bucket::SolveEtc => &mut out.solve_etc,
+        }
+    }
+}
+
+/// Span-name → Fig. 5 bucket. `None` means "inherit the enclosing span's
+/// bucket" — used by communication primitives that serve whatever kernel
+/// invoked them rather than being a phase of their own.
+fn classify(name: &str, solve_phase: bool) -> Option<Bucket> {
+    if matches!(name, "halo" | "spgemm" | "gather" | "scatter") {
+        return None;
+    }
+    Some(if solve_phase {
+        match name {
+            "smooth" => Bucket::Gs,
+            "residual" | "restrict" | "prolong" | "spmv" => Bucket::Spmv,
+            "blas1" | "dot" | "norm" => Bucket::Blas1,
+            // "solve", "vcycle", "coarse_solve", "permute", ...
+            _ => Bucket::SolveEtc,
+        }
+    } else {
+        match name {
+            "strength" | "coarsen" => Bucket::StrengthCoarsen,
+            "interp" => Bucket::Interp,
+            "rap" => Bucket::Rap,
+            // "setup", "refresh", "cf_reorder", "extract_p",
+            // "transpose", "smoother_setup", "coarse", "capture", ...
+            _ => Bucket::SetupEtc,
+        }
+    })
+}
+
+/// Attribution walk (see [`PhaseTimes::from_span`]).
+fn attribute(node: &SpanNode, solve_phase: bool, inherited: Bucket, out: &mut PhaseTimes) {
+    let bucket = classify(node.name, solve_phase).unwrap_or(inherited);
+    *bucket.slot(out) += node.self_time();
+    for c in &node.children {
+        attribute(c, solve_phase, bucket, out);
     }
 }
 
@@ -134,6 +230,105 @@ mod tests {
         let s = SetupStats::default();
         assert_eq!(s.operator_complexity(), 0.0);
         assert_eq!(s.grid_complexity(), 0.0);
+    }
+
+    fn span(name: &'static str, wall_ms: u64, children: Vec<SpanNode>) -> SpanNode {
+        SpanNode {
+            name,
+            wall: Duration::from_millis(wall_ms),
+            count: 1,
+            children,
+            ..SpanNode::default()
+        }
+    }
+
+    #[test]
+    fn from_span_buckets_setup_self_times() {
+        let root = span(
+            "setup",
+            100,
+            vec![
+                span("strength", 10, vec![]),
+                span("coarsen", 5, vec![]),
+                span("interp", 20, vec![]),
+                span("rap", 30, vec![]),
+                span("smoother_setup", 15, vec![]),
+            ],
+        );
+        let t = PhaseTimes::from_span(&root);
+        assert_eq!(t.strength_coarsen, Duration::from_millis(15));
+        assert_eq!(t.interp, Duration::from_millis(20));
+        assert_eq!(t.rap, Duration::from_millis(30));
+        // 15 ms smoother_setup + 20 ms of root self time.
+        assert_eq!(t.setup_etc, Duration::from_millis(35));
+        // Buckets reconstruct the root wall exactly.
+        assert_eq!(t.setup_total(), root.wall);
+        assert_eq!(t.solve_total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn from_span_buckets_solve_and_never_double_counts_nesting() {
+        // A nested vcycle tree: the "vcycle" wrapper's wall time includes
+        // its children, but only its *self* time lands in solve_etc.
+        let root = span(
+            "solve",
+            100,
+            vec![
+                span(
+                    "vcycle",
+                    80,
+                    vec![
+                        span("smooth", 40, vec![]),
+                        span("residual", 10, vec![]),
+                        span("restrict", 5, vec![]),
+                        span("vcycle", 10, vec![span("coarse_solve", 8, vec![])]),
+                        span("prolong", 5, vec![]),
+                    ],
+                ),
+                span("blas1", 12, vec![]),
+            ],
+        );
+        let t = PhaseTimes::from_span(&root);
+        assert_eq!(t.gs, Duration::from_millis(40));
+        assert_eq!(t.spmv, Duration::from_millis(20));
+        assert_eq!(t.blas1, Duration::from_millis(12));
+        // solve_etc = root self (8) + outer vcycle self (10)
+        //           + inner vcycle self (2) + coarse_solve (8).
+        assert_eq!(t.solve_etc, Duration::from_millis(28));
+        assert_eq!(t.solve_total(), root.wall);
+        assert_eq!(t.setup_total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn from_span_transport_spans_inherit_enclosing_bucket() {
+        // Halo exchange inside smoothing is GS time; the same primitive
+        // inside restriction is SpMV time. A top-level halo (no kernel
+        // parent) falls back to the phase's etc bucket.
+        let root = span(
+            "solve",
+            100,
+            vec![
+                span("smooth", 40, vec![span("halo", 15, vec![])]),
+                span("restrict", 20, vec![span("halo", 5, vec![])]),
+                span("halo", 10, vec![]),
+            ],
+        );
+        let t = PhaseTimes::from_span(&root);
+        assert_eq!(t.gs, Duration::from_millis(40));
+        assert_eq!(t.spmv, Duration::from_millis(20));
+        // root self (30) + orphan halo (10).
+        assert_eq!(t.solve_etc, Duration::from_millis(40));
+        assert_eq!(t.solve_total(), root.wall);
+
+        // Setup side: spgemm under rap stays RAP time.
+        let root = span(
+            "setup",
+            50,
+            vec![span("rap", 30, vec![span("spgemm", 12, vec![])])],
+        );
+        let t = PhaseTimes::from_span(&root);
+        assert_eq!(t.rap, Duration::from_millis(30));
+        assert_eq!(t.setup_etc, Duration::from_millis(20));
     }
 
     #[test]

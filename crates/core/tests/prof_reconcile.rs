@@ -1,0 +1,115 @@
+//! Timing reconciliation between the span profiler and the derived
+//! `PhaseTimes` view (DESIGN.md §8).
+//!
+//! `PhaseTimes` is no longer measured independently — it is a projection
+//! of the span tree — so these tests pin the projection's two contracts:
+//! the Fig. 5 buckets can never sum past the root span's wall clock, and
+//! the unattributed remainder ("lost" time between child spans) stays
+//! negligible. With the `prof` feature off, the same entry points must
+//! return zeroed times and an empty profile rather than diverge.
+
+use famg_core::params::AmgConfig;
+use famg_core::solver::AmgSolver;
+use famg_core::stats::PhaseTimes;
+use famg_matgen::{laplace2d, rhs};
+use std::time::Duration;
+
+/// Attribution may lose a little self-time to gaps between spans, but
+/// only a little: 1% of the root wall plus scheduling noise.
+fn assert_covers(total: Duration, wall: Duration, what: &str) {
+    assert!(
+        total <= wall,
+        "{what}: bucket total {total:?} exceeds root span wall {wall:?}"
+    );
+    let lost = wall.checked_sub(total).unwrap();
+    let budget = wall / 100 + Duration::from_micros(200);
+    assert!(
+        lost <= budget,
+        "{what}: {lost:?} of {wall:?} unattributed (budget {budget:?})"
+    );
+}
+
+#[test]
+fn setup_and_solve_times_are_projections_of_the_span_tree() {
+    let a = laplace2d(48, 48);
+    let cfg = AmgConfig::single_node_paper();
+    let solver = AmgSolver::setup(&a, &cfg);
+    let h = solver.hierarchy();
+    let b = rhs::ones(a.nrows());
+    let mut x = vec![0.0; a.nrows()];
+    let res = solver.solve(&b, &mut x);
+    assert!(res.converged);
+
+    if !famg_prof::enabled() {
+        // Feature off: the view and the profile are both empty, never
+        // partially populated.
+        assert_eq!(h.times.setup_total(), Duration::ZERO);
+        assert_eq!(res.times.solve_total(), Duration::ZERO);
+        assert!(h.profile.find_root("setup").is_none());
+        assert!(res.profile.find_root("solve").is_none());
+        return;
+    }
+
+    let setup_root = h.profile.find_root("setup").expect("setup span captured");
+    assert_covers(h.times.setup_total(), setup_root.wall, "setup");
+    // The view must be byte-for-byte re-derivable from the tree.
+    let rederived = PhaseTimes::from_span(setup_root);
+    assert_eq!(rederived.setup_total(), h.times.setup_total());
+
+    let solve_root = res.profile.find_root("solve").expect("solve span captured");
+    assert_covers(res.times.solve_total(), solve_root.wall, "solve");
+    assert_eq!(
+        PhaseTimes::from_span(solve_root).solve_total(),
+        res.times.solve_total()
+    );
+
+    // The solve flop counter must be populated and sit on the tree, not
+    // on some side channel.
+    assert!(res.profile.total_counter("flops") > 0);
+    assert_eq!(
+        res.profile.total_counter("flops"),
+        solve_root.total_counter("flops")
+    );
+}
+
+#[test]
+fn refresh_times_are_projections_of_the_refresh_span() {
+    let a = laplace2d(32, 32);
+    let cfg = AmgConfig::single_node_paper();
+    let mut solver = AmgSolver::setup_refreshable(&a, &cfg);
+    // Same-pattern numeric drift.
+    let drifted = {
+        let mut m = a.clone();
+        for v in m.values_mut() {
+            *v *= 1.0 + 1e-6;
+        }
+        m
+    };
+    solver.refresh(&drifted).expect("same-pattern refresh");
+    let h = solver.hierarchy();
+
+    if !famg_prof::enabled() {
+        assert_eq!(h.times.setup_total(), Duration::ZERO);
+        return;
+    }
+    let root = h
+        .profile
+        .find_root("refresh")
+        .expect("refresh span captured");
+    assert_covers(h.times.setup_total(), root.wall, "refresh");
+}
+
+#[cfg(not(feature = "prof"))]
+#[test]
+fn disabled_profiler_is_compiled_out() {
+    // The guard types are zero-sized and take() observes nothing, so the
+    // instrumented solve path carries no collection state at all.
+    assert!(!famg_prof::enabled());
+    assert_eq!(std::mem::size_of::<famg_prof::Scope>(), 0);
+    {
+        let _s = famg_prof::scope("anything");
+        famg_prof::counter("flops", 123);
+    }
+    let p = famg_prof::take();
+    assert!(p.find_root("anything").is_none());
+}

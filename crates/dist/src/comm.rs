@@ -192,6 +192,21 @@ impl Comm {
         self.comm_time.get()
     }
 
+    /// Communication time accumulated since an earlier [`Comm::comm_time`]
+    /// snapshot `t0`. The clock is monotone non-decreasing by
+    /// construction (only ever incremented), so a shortfall would mean a
+    /// stale snapshot from a *different* rank's `Comm`; saturate to zero
+    /// rather than panic, and flag it loudly in debug builds.
+    pub fn comm_time_since(&self, t0: Duration) -> Duration {
+        let now = self.comm_time.get();
+        debug_assert!(
+            now >= t0,
+            "comm clock went backwards (now {now:?} < snapshot {t0:?}); \
+             was the snapshot taken on a different rank's Comm?"
+        );
+        now.checked_sub(t0).unwrap_or(Duration::ZERO)
+    }
+
     /// Bytes this rank has sent so far.
     pub fn bytes_sent(&self) -> u64 {
         // ORDERING: Relaxed — telemetry snapshot of this rank's own counter;
@@ -229,6 +244,14 @@ impl Comm {
             let t = scoped.entry(self.scope.get()).or_default();
             t.bytes += bytes as u64;
             t.messages += 1;
+            drop(scoped);
+            // Attribute the same wire volume to the innermost open profiler
+            // span on this rank's thread. Doing it here — at the single
+            // point where bytes are accounted — means span counters can
+            // never double-count nested spans and always reconcile with
+            // the `CommReport` totals.
+            famg_prof::counter("comm_bytes", bytes as u64);
+            famg_prof::counter("comm_messages", 1);
         }
         self.senders[dst]
             .send(Envelope {
@@ -974,6 +997,35 @@ mod tests {
         // The table mentions every scope plus the total line.
         let table = report.scope_table();
         assert!(table.contains("setup") && table.contains("solve") && table.contains("total"));
+    }
+
+    #[test]
+    fn comm_time_since_measures_forward_windows() {
+        run_ranks(2, |c| {
+            let peer = 1 - c.rank();
+            // Warm the clock: a barrier and a blocking recv both add time.
+            c.barrier();
+            c.send(peer, 1, 1u8, 1);
+            c.recv::<u8>(peer, 1);
+            let t0 = c.comm_time();
+            assert_eq!(c.comm_time_since(t0), Duration::ZERO);
+            c.barrier();
+            let dt = c.comm_time_since(t0);
+            assert_eq!(dt, c.comm_time().checked_sub(t0).unwrap());
+        });
+    }
+
+    // The saturating fallback trips comm_time_since's debug_assert by
+    // design, so it is only observable in release builds.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn comm_time_since_saturates_on_foreign_snapshot() {
+        run_ranks(1, |c| {
+            assert_eq!(
+                c.comm_time_since(Duration::from_secs(1_000_000)),
+                Duration::ZERO
+            );
+        });
     }
 
     #[test]

@@ -82,6 +82,10 @@ impl VectorExchange {
     /// vector (parallel to its colmap). Posts exactly one message per
     /// neighbor with traffic.
     pub fn exchange(&self, comm: &Comm, x_local: &[f64]) -> Vec<f64> {
+        // "halo" spans inherit the enclosing kernel's Fig. 5 bucket in
+        // `PhaseTimes::from_span` — this span exists for the chrome trace
+        // and the comm-counter attribution, not as a bucket of its own.
+        let _span = famg_prof::scope("halo");
         let mut ext = vec![0.0f64; self.ext_len];
         for (peer, idx) in &self.send_peers {
             let vals: Vec<f64> = idx.iter().map(|&i| x_local[i]).collect();

@@ -17,9 +17,9 @@ use crate::spgemm::{dist_spgemm, dist_transpose, DistSpgemmPlan};
 use famg_core::interp::TruncParams;
 use famg_core::params::{AmgConfig, CoarsenKind, InterpKind};
 use famg_core::refresh::RefreshError;
+use famg_core::solver::SolveError;
 use famg_core::stats::{CommVolume, PhaseTimes, SetupStats};
 use famg_sparse::dense::{DenseMatrix, LuFactor};
-use std::time::Instant;
 
 /// Borrows one rank's ParCSR matrix as raw parts for `famg-check`.
 #[cfg(feature = "validate")]
@@ -247,6 +247,19 @@ pub struct DistLevel {
     pub is_coarse: Vec<bool>,
 }
 
+impl DistLevel {
+    /// The transfer operators and halo plans to the next coarser level:
+    /// `(P, plan_P, R, plan_R)`. `None` when *any* of the four is absent
+    /// — which a well-formed hierarchy only exhibits at the coarsest
+    /// level (enforced by [`DistHierarchy::check_shape`]).
+    pub fn transfers(&self) -> Option<(&ParCsr, &VectorExchange, &ParCsr, &VectorExchange)> {
+        match (&self.p, &self.plan_p, &self.r, &self.plan_r) {
+            (Some(p), Some(plan_p), Some(r), Some(plan_r)) => Some((p, plan_p, r, plan_r)),
+            _ => None,
+        }
+    }
+}
+
 /// The distributed hierarchy owned by one rank.
 pub struct DistHierarchy {
     /// Levels, finest first.
@@ -261,12 +274,14 @@ pub struct DistHierarchy {
     pub dist_opt: DistOptFlags,
     /// Per-level sizes (global).
     pub stats: SetupStats,
-    /// Setup timing (this rank).
+    /// Setup timing (this rank), derived from the span tree in `profile`.
     pub times: PhaseTimes,
     /// Wall time blocked in communication during setup (this rank).
     pub setup_comm_time: std::time::Duration,
     /// Bytes/messages this rank sent during setup.
     pub setup_comm: CommVolume,
+    /// Hierarchical span profile of the setup phase (this rank).
+    pub profile: famg_prof::Profile,
 }
 
 impl DistHierarchy {
@@ -297,10 +312,10 @@ impl DistHierarchy {
         mut capture: Option<&mut Vec<DistFrozenLevel>>,
     ) -> DistHierarchy {
         let rank = comm.rank();
-        let mut times = PhaseTimes::default();
         let mut stats = SetupStats::default();
         let comm_t0 = comm.comm_time();
         let comm_mark = (comm.bytes_sent(), comm.messages_sent());
+        let root_span = famg_prof::scope("setup");
         let mut levels: Vec<DistLevel> = Vec::new();
         let mut current = a;
 
@@ -318,10 +333,13 @@ impl DistHierarchy {
                 break;
             }
 
-            let t0 = Instant::now();
+            let lvl_idx = levels.len();
+            let strength_span = famg_prof::scope_at("strength", lvl_idx);
             let s = dist_strength(&current, cfg.strength_threshold, cfg.max_row_sum, rank);
-            let (ckind, ikind) = cfg.level_scheme(levels.len());
-            let seed = cfg.seed.wrapping_add(levels.len() as u64);
+            drop(strength_span);
+            let coarsen_span = famg_prof::scope_at("coarsen", lvl_idx);
+            let (ckind, ikind) = cfg.level_scheme(lvl_idx);
+            let seed = cfg.seed.wrapping_add(lvl_idx as u64);
             let (stage1, coarsening): (Option<DistCoarsening>, DistCoarsening) = match ckind {
                 CoarsenKind::Pmis => (None, dist_pmis(comm, &s, seed, None)),
                 CoarsenKind::AggressivePmis => {
@@ -329,7 +347,7 @@ impl DistHierarchy {
                     (Some(f), fin)
                 }
             };
-            times.strength_coarsen += t0.elapsed();
+            drop(coarsen_span);
             if coarsening.ncoarse_global == 0 || coarsening.ncoarse_global == n_global {
                 break;
             }
@@ -337,11 +355,11 @@ impl DistHierarchy {
             // The level's persistent halo plan, built up front so the
             // interpolation schemes reuse it for their C/F code exchange
             // instead of re-planning `current`'s colmap.
-            let t0 = Instant::now();
+            let plan_span = famg_prof::scope_at("halo_plan", lvl_idx);
             let plan_a = VectorExchange::plan(comm, &current.colmap, &current.col_starts);
-            times.setup_etc += t0.elapsed();
+            drop(plan_span);
 
-            let t0 = Instant::now();
+            let interp_span = famg_prof::scope_at("interp", lvl_idx);
             let p = build_dist_interp(
                 comm,
                 &current,
@@ -353,9 +371,9 @@ impl DistHierarchy {
                 cfg,
                 dopt,
             );
-            times.interp += t0.elapsed();
+            drop(interp_span);
 
-            let t0 = Instant::now();
+            let rap_span = famg_prof::scope_at("rap", lvl_idx);
             let r = dist_transpose(comm, &p);
             let (next, plans) = if capture.is_some() {
                 // Freeze the Galerkin product structure while computing
@@ -369,7 +387,7 @@ impl DistHierarchy {
                 let ra = dist_spgemm(comm, &r, &current, dopt.parallel_renumber);
                 (dist_spgemm(comm, &ra, &p, dopt.parallel_renumber), None)
             };
-            times.rap += t0.elapsed();
+            drop(rap_span);
 
             #[cfg(feature = "validate")]
             validate_dist_level(
@@ -382,11 +400,11 @@ impl DistHierarchy {
                 &coarsening.is_coarse,
             );
 
-            let t0 = Instant::now();
+            let plan_span = famg_prof::scope_at("halo_plan", lvl_idx);
             let plan_p = VectorExchange::plan(comm, &p.colmap, &p.col_starts);
             let plan_r = VectorExchange::plan(comm, &r.colmap, &r.col_starts);
             let dinv = local_dinv(&current, rank);
-            times.setup_etc += t0.elapsed();
+            drop(plan_span);
 
             if let Some(cap) = capture.as_deref_mut() {
                 let (plan_ra, plan_rap) = plans.expect("capture always builds plans");
@@ -422,7 +440,7 @@ impl DistHierarchy {
             "coarsest operator",
             famg_check::check_parcsr(&parcsr_parts(&current, rank)),
         );
-        let t0 = Instant::now();
+        let coarse_span = famg_prof::scope_at("coarse", levels.len());
         let coarse_starts = current.col_starts.clone();
         let coarse_lu = factor_coarsest(comm, &current, rank);
         let plan_a = VectorExchange::plan(comm, &current.colmap, &current.col_starts);
@@ -438,7 +456,14 @@ impl DistHierarchy {
             dinv,
             is_coarse: vec![false; nl],
         });
-        times.setup_etc += t0.elapsed();
+        drop(coarse_span);
+
+        drop(root_span);
+        let profile = famg_prof::take();
+        let times = profile
+            .find_root("setup")
+            .map(PhaseTimes::from_span)
+            .unwrap_or_default();
 
         DistHierarchy {
             levels,
@@ -448,17 +473,83 @@ impl DistHierarchy {
             dist_opt: dopt,
             stats,
             times,
-            setup_comm_time: comm.comm_time().checked_sub(comm_t0).unwrap(),
+            setup_comm_time: comm.comm_time_since(comm_t0),
             setup_comm: CommVolume {
                 bytes: comm.bytes_sent() - comm_mark.0,
                 messages: comm.messages_sent() - comm_mark.1,
             },
+            profile,
         }
     }
 
     /// Number of levels.
     pub fn num_levels(&self) -> usize {
         self.levels.len()
+    }
+
+    /// Validates the structural invariants this rank's solve path relies
+    /// on: transfer operators and halo plans present exactly below the
+    /// coarsest level, and per-level vector/operator sizes consistent.
+    /// `DistHierarchy::build` always satisfies these; the check exists so
+    /// the `try_*` solve entry points can reject a hand-assembled or
+    /// corrupted hierarchy with a typed error instead of panicking deep
+    /// inside a V-cycle.
+    pub fn check_shape(&self) -> Result<(), SolveError> {
+        if self.levels.is_empty() {
+            return Err(SolveError::MalformedHierarchy {
+                level: 0,
+                what: "hierarchy has no levels",
+            });
+        }
+        for (i, lvl) in self.levels.iter().enumerate() {
+            let coarsest = i + 1 == self.levels.len();
+            let n = lvl.a.local_rows();
+            if lvl.dinv.len() != n {
+                return Err(SolveError::MalformedHierarchy {
+                    level: i,
+                    what: "reciprocal-diagonal length differs from the local row count",
+                });
+            }
+            if lvl.is_coarse.len() != n {
+                return Err(SolveError::MalformedHierarchy {
+                    level: i,
+                    what: "C/F marker length differs from the local row count",
+                });
+            }
+            if coarsest {
+                if lvl.p.is_some()
+                    || lvl.r.is_some()
+                    || lvl.plan_p.is_some()
+                    || lvl.plan_r.is_some()
+                {
+                    return Err(SolveError::MalformedHierarchy {
+                        level: i,
+                        what: "coarsest level carries transfer operators",
+                    });
+                }
+            } else {
+                let Some((p, _, r, _)) = lvl.transfers() else {
+                    return Err(SolveError::MalformedHierarchy {
+                        level: i,
+                        what: "non-coarsest level is missing transfer operators or halo plans",
+                    });
+                };
+                let nc = self.levels[i + 1].a.local_rows();
+                if p.local_rows() != n {
+                    return Err(SolveError::MalformedHierarchy {
+                        level: i,
+                        what: "interpolation local row count differs from the level's",
+                    });
+                }
+                if r.local_rows() != nc {
+                    return Err(SolveError::MalformedHierarchy {
+                        level: i,
+                        what: "restriction local row count differs from the next coarser level's",
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Absorbs a same-pattern operator: re-runs only the value-derived
@@ -476,7 +567,6 @@ impl DistHierarchy {
         a: ParCsr,
         frozen: &mut DistFrozenSetup,
     ) -> Result<(), RefreshError> {
-        let rank = comm.rank();
         let agree = |ok: bool, tag: u64| comm.allreduce_sum_usize(usize::from(!ok), tag) == 0;
         if !agree(
             frozen.fine.same_pattern(&a) && frozen.levels.len() + 1 == self.levels.len(),
@@ -487,9 +577,38 @@ impl DistHierarchy {
                 what: "finest operator",
             });
         }
+        let root_span = famg_prof::scope("refresh");
+        let built = self.refresh_levels(comm, a, frozen);
+        // Close and capture the span tree on both the success and error
+        // paths, so a rejected refresh cannot leak completed spans into
+        // the next capture.
+        drop(root_span);
+        let profile = famg_prof::take();
+        let (levels, coarse_lu) = built?;
+
+        // Commit only now that every level succeeded.
+        self.levels = levels;
+        self.coarse_lu = coarse_lu;
+        self.times = profile
+            .find_root("refresh")
+            .map(PhaseTimes::from_span)
+            .unwrap_or_default();
+        self.profile = profile;
+        Ok(())
+    }
+
+    /// The fallible middle of [`DistHierarchy::refresh`], split out so
+    /// the caller can close the root profiler span on every exit path.
+    fn refresh_levels(
+        &self,
+        comm: &Comm,
+        a: ParCsr,
+        frozen: &mut DistFrozenSetup,
+    ) -> Result<(Vec<DistLevel>, Option<LuFactor>), RefreshError> {
+        let rank = comm.rank();
+        let agree = |ok: bool, tag: u64| comm.allreduce_sum_usize(usize::from(!ok), tag) == 0;
         let cfg = self.config.clone();
         let dopt = self.dist_opt;
-        let mut times = PhaseTimes::default();
         let mut levels: Vec<DistLevel> = Vec::with_capacity(self.levels.len());
         let mut current = a;
 
@@ -499,7 +618,7 @@ impl DistHierarchy {
             // The level's halo plan depends only on the frozen colmap.
             let plan_a = self.levels[idx].plan_a.clone();
 
-            let t0 = Instant::now();
+            let interp_span = famg_prof::scope_at("interp", idx);
             let p = build_dist_interp(
                 comm,
                 &current,
@@ -511,7 +630,7 @@ impl DistHierarchy {
                 &cfg,
                 dopt,
             );
-            times.interp += t0.elapsed();
+            drop(interp_span);
             if !agree(p.same_pattern(&fl.p), 0x91) {
                 return Err(RefreshError::PatternMismatch {
                     level: idx,
@@ -519,19 +638,19 @@ impl DistHierarchy {
                 });
             }
 
-            let t0 = Instant::now();
+            let rap_span = famg_prof::scope_at("rap", idx);
             let r = dist_transpose(comm, &p);
             fl.plan_ra.execute(comm, &r, &current);
             let (plan_ra, plan_rap) = (&mut fl.plan_ra, &mut fl.plan_rap);
             plan_rap.execute(comm, &plan_ra.c, &p);
             let next = plan_rap.c.clone();
-            times.rap += t0.elapsed();
+            drop(rap_span);
 
-            let t0 = Instant::now();
+            let plan_span = famg_prof::scope_at("halo_plan", idx);
             let plan_p = self.levels[idx].plan_p.clone();
             let plan_r = self.levels[idx].plan_r.clone();
             let dinv = local_dinv(&current, rank);
-            times.setup_etc += t0.elapsed();
+            drop(plan_span);
 
             levels.push(DistLevel {
                 a: current,
@@ -548,7 +667,7 @@ impl DistHierarchy {
 
         // Coarsest level: re-gather and re-factor over the new values.
         let _scope = comm.scoped(levels.len(), CommPhase::Setup);
-        let t0 = Instant::now();
+        let coarse_span = famg_prof::scope_at("coarse", levels.len());
         let coarse_lu = factor_coarsest(comm, &current, rank);
         let plan_a = self
             .levels
@@ -568,13 +687,8 @@ impl DistHierarchy {
             dinv,
             is_coarse: vec![false; nl],
         });
-        times.setup_etc += t0.elapsed();
-
-        // Commit only now that every level succeeded.
-        self.levels = levels;
-        self.coarse_lu = coarse_lu;
-        self.times = times;
-        Ok(())
+        drop(coarse_span);
+        Ok((levels, coarse_lu))
     }
 }
 

@@ -18,6 +18,9 @@ use famg_sparse::spa::Spa;
 /// `parallel_renumber` selects the Fig. 4 parallel renumbering (the
 /// optimized path) or the ordered-set sequential baseline.
 pub fn dist_spgemm(comm: &Comm, a: &ParCsr, b: &ParCsr, parallel_renumber: bool) -> ParCsr {
+    // "spgemm" spans inherit the enclosing phase's Fig. 5 bucket (RAP
+    // during setup) in `PhaseTimes::from_span`.
+    let _span = famg_prof::scope("spgemm");
     let rank = comm.rank();
     assert_eq!(
         a.col_starts,
@@ -206,6 +209,7 @@ impl DistSpgemmPlan {
     /// accumulation order matches [`dist_spgemm`]'s sparse accumulator, so
     /// the values are bitwise identical to a from-scratch product.
     pub fn execute(&mut self, comm: &Comm, a: &ParCsr, b: &ParCsr) {
+        let _span = famg_prof::scope("spgemm");
         let rank = comm.rank();
         debug_assert_eq!(a.local_rows(), self.c.local_rows());
         let ext_vals = self.gather.execute(comm, |li| {
@@ -262,6 +266,7 @@ fn b_row_starts(b: &ParCsr, comm: &Comm) -> Vec<usize> {
 /// Distributed transpose: `T = Aᵀ`, rows of `T` partitioned by `A`'s
 /// column partition. Entries are routed to the owner of their target row.
 pub fn dist_transpose(comm: &Comm, a: &ParCsr) -> ParCsr {
+    let _span = famg_prof::scope("spgemm");
     let rank = comm.rank();
     let nranks = comm.size();
     // A's global row partition (becomes T's column partition).

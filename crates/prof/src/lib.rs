@@ -1,0 +1,577 @@
+//! Hierarchical span profiler for famg.
+//!
+//! The paper's whole argument is component-level timing (Fig. 5/6 break
+//! setup and solve into Strength+Coarsen / Interp / RAP and GS / SpMV /
+//! BLAS1 buckets), so instrumentation is a first-class subsystem here
+//! rather than ad-hoc `Instant::now()` bookkeeping scattered through the
+//! solver. The model follows HPCToolkit-style hierarchical attribution:
+//!
+//! * [`scope`] / [`scope_at`] open an RAII span on a **thread-local**
+//!   span stack; dropping the guard closes it. Spans nest, and repeated
+//!   `(name, level)` pairs under the same parent merge into one node
+//!   accumulating wall time and an invocation count.
+//! * [`counter`] attaches an integer delta (flops, comm bytes, comm
+//!   messages, ...) to the innermost open span. Deltas are attributed
+//!   exactly once — to the span that was open when they were recorded —
+//!   so rollups never double-count nested scopes.
+//! * [`take`] drains everything the current thread recorded into a
+//!   [`Profile`]: the merged aggregate tree plus a bounded raw event
+//!   timeline for chrome://tracing export.
+//!
+//! Collection is gated behind the default-on `prof` feature. With the
+//! feature disabled, [`Scope`] is a zero-sized unit type, every entry
+//! point compiles to an empty body, and only the passive data model
+//! (`SpanNode` / `Profile` / [`json::Json`]) remains so downstream APIs
+//! keep their shape.
+//!
+//! Contract for embedders: a subsystem that wants its own profile (e.g.
+//! an AMG setup or a solve driver) opens a root span, closes it, and
+//! calls [`take`]. `take` refuses to drain while spans are still open
+//! (it returns an empty profile and debug-asserts), so do not call it
+//! from inside an open scope, and do not wrap such a subsystem call in
+//! your own open span if you expect the subsystem to capture its
+//! profile — the inner `take` would see your open span and back off.
+
+pub mod json;
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Sentinel meaning "no multigrid level attached to this span".
+pub const NO_LEVEL: usize = usize::MAX;
+
+// ---------------------------------------------------------------------------
+// Passive data model — always compiled, feature-independent.
+// ---------------------------------------------------------------------------
+
+/// One node of the merged span tree: a `(name, level)` pair aggregated
+/// over every invocation under the same parent.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Static span name (e.g. `"interp"`, `"smooth"`).
+    pub name: &'static str,
+    /// Multigrid level the span is attached to, [`NO_LEVEL`] if none.
+    pub level: usize,
+    /// Total wall time across all invocations.
+    pub wall: Duration,
+    /// Number of invocations merged into this node.
+    pub count: u64,
+    /// Counter deltas attributed to this span (not descendants).
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Child spans in first-open order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Wall time spent in this span but outside all child spans
+    /// (saturating: measurement jitter can make children sum past the
+    /// parent by nanoseconds).
+    pub fn self_time(&self) -> Duration {
+        let children: Duration = self.children.iter().map(|c| c.wall).sum();
+        self.wall.checked_sub(children).unwrap_or(Duration::ZERO)
+    }
+
+    /// First descendant (depth-first, including `self`) named `name`.
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Sum of counter `name` over this span and all descendants.
+    pub fn total_counter(&self, name: &str) -> u64 {
+        let own = self.counters.get(name).copied().unwrap_or(0);
+        own + self
+            .children
+            .iter()
+            .map(|c| c.total_counter(name))
+            .sum::<u64>()
+    }
+
+    /// Depth-first pre-order visit of this span and all descendants.
+    pub fn visit(&self, f: &mut impl FnMut(&SpanNode)) {
+        f(self);
+        for c in &self.children {
+            c.visit(f);
+        }
+    }
+}
+
+/// One closed span occurrence on the raw timeline (for trace export).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Span name.
+    pub name: &'static str,
+    /// Multigrid level, [`NO_LEVEL`] if none.
+    pub level: usize,
+    /// Start offset from the collector epoch (first span opened).
+    pub start: Duration,
+    /// Duration of this occurrence.
+    pub dur: Duration,
+    /// Nesting depth at open time (0 = top level).
+    pub depth: usize,
+}
+
+/// Cap on retained raw events per thread; past it, occurrences still
+/// merge into the aggregate tree but are dropped from the timeline.
+pub const EVENT_CAP: usize = 1 << 18;
+
+/// Everything one thread recorded between two [`take`] calls.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// Merged aggregate trees, one per top-level span, in open order.
+    pub roots: Vec<SpanNode>,
+    /// Raw closed-span timeline (bounded by [`EVENT_CAP`]).
+    pub events: Vec<Event>,
+    /// Occurrences dropped from `events` after the cap was hit.
+    pub dropped_events: u64,
+}
+
+impl Profile {
+    /// First top-level span named `name`, if any.
+    pub fn find_root(&self, name: &str) -> Option<&SpanNode> {
+        self.roots.iter().find(|r| r.name == name)
+    }
+
+    /// Total wall time across all top-level spans.
+    pub fn wall(&self) -> Duration {
+        self.roots.iter().map(|r| r.wall).sum()
+    }
+
+    /// Sum of counter `name` over every span in the profile.
+    pub fn total_counter(&self, name: &str) -> u64 {
+        self.roots.iter().map(|r| r.total_counter(name)).sum()
+    }
+
+    /// Renders the raw event timeline as a chrome://tracing JSON array
+    /// document (load via `chrome://tracing` or <https://ui.perfetto.dev>).
+    /// `pid` distinguishes processes (simulated MPI ranks); all events of
+    /// one profile share `tid` 0 because collection is per-thread.
+    pub fn to_chrome_trace(&self, pid: u64) -> String {
+        use json::Json;
+        let mut events = Vec::with_capacity(self.events.len());
+        for e in &self.events {
+            let mut obj = vec![
+                ("name".to_string(), Json::Str(e.name.to_string())),
+                ("cat".to_string(), Json::Str("famg".to_string())),
+                ("ph".to_string(), Json::Str("X".to_string())),
+                ("ts".to_string(), Json::Num(e.start.as_secs_f64() * 1e6)),
+                ("dur".to_string(), Json::Num(e.dur.as_secs_f64() * 1e6)),
+                ("pid".to_string(), Json::Num(pid as f64)),
+                ("tid".to_string(), Json::Num(0.0)),
+            ];
+            if e.level != NO_LEVEL {
+                obj.push((
+                    "args".to_string(),
+                    Json::Obj(vec![("level".to_string(), Json::Num(e.level as f64))]),
+                ));
+            }
+            events.push(Json::Obj(obj));
+        }
+        Json::Obj(vec![
+            ("traceEvents".to_string(), Json::Arr(events)),
+            ("displayTimeUnit".to_string(), Json::Str("ms".to_string())),
+        ])
+        .dump()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collection — real implementation behind the `prof` feature.
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "prof")]
+mod collect {
+    use super::{Event, Profile, SpanNode, EVENT_CAP, NO_LEVEL};
+    use std::cell::RefCell;
+    use std::collections::BTreeMap;
+    use std::time::{Duration, Instant};
+
+    struct Node {
+        name: &'static str,
+        level: usize,
+        wall: Duration,
+        count: u64,
+        counters: BTreeMap<&'static str, u64>,
+        children: Vec<usize>,
+    }
+
+    struct Collector {
+        /// Arena; index 0 is the virtual root whose children are the
+        /// profile's top-level spans.
+        arena: Vec<Node>,
+        /// Open spans: (arena id, open instant).
+        stack: Vec<(usize, Instant)>,
+        events: Vec<Event>,
+        dropped_events: u64,
+        /// Instant of the first span opened since the last drain.
+        epoch: Option<Instant>,
+    }
+
+    impl Collector {
+        fn new() -> Self {
+            Collector {
+                arena: vec![Node {
+                    name: "",
+                    level: NO_LEVEL,
+                    wall: Duration::ZERO,
+                    count: 0,
+                    counters: BTreeMap::new(),
+                    children: Vec::new(),
+                }],
+                stack: Vec::new(),
+                events: Vec::new(),
+                dropped_events: 0,
+                epoch: None,
+            }
+        }
+
+        fn open(&mut self, name: &'static str, level: usize) {
+            let now = Instant::now();
+            if self.epoch.is_none() {
+                self.epoch = Some(now);
+            }
+            let parent = self.stack.last().map_or(0, |&(id, _)| id);
+            // Merge by (name, level) under the same parent.
+            let id = self.arena[parent]
+                .children
+                .iter()
+                .copied()
+                .find(|&c| self.arena[c].name == name && self.arena[c].level == level)
+                .unwrap_or_else(|| {
+                    let id = self.arena.len();
+                    self.arena.push(Node {
+                        name,
+                        level,
+                        wall: Duration::ZERO,
+                        count: 0,
+                        counters: BTreeMap::new(),
+                        children: Vec::new(),
+                    });
+                    self.arena[parent].children.push(id);
+                    id
+                });
+            self.stack.push((id, now));
+        }
+
+        fn close(&mut self) {
+            let Some((id, t0)) = self.stack.pop() else {
+                debug_assert!(false, "famg-prof: span guard dropped with no open span");
+                return;
+            };
+            let dur = t0.elapsed();
+            let node = &mut self.arena[id];
+            node.wall += dur;
+            node.count += 1;
+            if self.events.len() < EVENT_CAP {
+                let epoch = self.epoch.expect("epoch set when first span opened");
+                self.events.push(Event {
+                    name: node.name,
+                    level: node.level,
+                    start: t0.duration_since(epoch),
+                    dur,
+                    depth: self.stack.len(),
+                });
+            } else {
+                self.dropped_events += 1;
+            }
+        }
+
+        fn counter(&mut self, name: &'static str, delta: u64) {
+            if let Some(&(id, _)) = self.stack.last() {
+                *self.arena[id].counters.entry(name).or_insert(0) += delta;
+            }
+        }
+
+        fn to_span(&self, id: usize) -> SpanNode {
+            let n = &self.arena[id];
+            SpanNode {
+                name: n.name,
+                level: n.level,
+                wall: n.wall,
+                count: n.count,
+                counters: n.counters.clone(),
+                children: n.children.iter().map(|&c| self.to_span(c)).collect(),
+            }
+        }
+
+        fn take(&mut self) -> Profile {
+            debug_assert!(
+                self.stack.is_empty(),
+                "famg-prof: take() called with {} span(s) still open",
+                self.stack.len()
+            );
+            if !self.stack.is_empty() {
+                // Refuse to drain mid-span: the caller would get a
+                // truncated tree and the open guards would pop into a
+                // reset arena. Keep recording; return nothing.
+                return Profile::default();
+            }
+            let roots = self.arena[0]
+                .children
+                .clone()
+                .iter()
+                .map(|&c| self.to_span(c))
+                .collect();
+            let profile = Profile {
+                roots,
+                events: std::mem::take(&mut self.events),
+                dropped_events: std::mem::take(&mut self.dropped_events),
+            };
+            self.arena.truncate(1);
+            self.arena[0].children.clear();
+            self.arena[0].counters.clear();
+            self.epoch = None;
+            profile
+        }
+    }
+
+    thread_local! {
+        static COLLECTOR: RefCell<Collector> = RefCell::new(Collector::new());
+    }
+
+    /// RAII span guard: the span closes when the guard drops. Guards are
+    /// zero-sized; the open instant lives on the thread-local stack, so
+    /// guards must drop in LIFO order (the borrow checker enforces this
+    /// for lexically scoped guards).
+    #[derive(Debug)]
+    pub struct Scope(());
+
+    impl Drop for Scope {
+        fn drop(&mut self) {
+            COLLECTOR.with(|c| c.borrow_mut().close());
+        }
+    }
+
+    /// Opens a span with no level attached.
+    #[must_use = "the span ends when the guard drops"]
+    pub fn scope(name: &'static str) -> Scope {
+        scope_at(name, NO_LEVEL)
+    }
+
+    /// Opens a span attached to multigrid level `level`.
+    #[must_use = "the span ends when the guard drops"]
+    pub fn scope_at(name: &'static str, level: usize) -> Scope {
+        COLLECTOR.with(|c| c.borrow_mut().open(name, level));
+        Scope(())
+    }
+
+    /// Adds `delta` to counter `name` on the innermost open span.
+    /// Dropped silently if no span is open.
+    pub fn counter(name: &'static str, delta: u64) {
+        if delta > 0 {
+            COLLECTOR.with(|c| c.borrow_mut().counter(name, delta));
+        }
+    }
+
+    /// Drains everything this thread recorded since the last `take` into
+    /// a [`Profile`]. Must be called with no spans open (debug-asserts
+    /// and returns an empty profile otherwise).
+    pub fn take() -> Profile {
+        COLLECTOR.with(|c| c.borrow_mut().take())
+    }
+
+    /// Whether span collection is compiled in.
+    pub const fn enabled() -> bool {
+        true
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collection — zero-cost stubs when the `prof` feature is off.
+// ---------------------------------------------------------------------------
+
+#[cfg(not(feature = "prof"))]
+mod collect {
+    use super::Profile;
+
+    /// Inert span guard: zero-sized, no `Drop` impl, no effect.
+    #[derive(Debug)]
+    pub struct Scope(pub(super) ());
+
+    /// No-op; collection is compiled out.
+    #[must_use = "the span ends when the guard drops"]
+    #[inline(always)]
+    pub fn scope(_name: &'static str) -> Scope {
+        Scope(())
+    }
+
+    /// No-op; collection is compiled out.
+    #[must_use = "the span ends when the guard drops"]
+    #[inline(always)]
+    pub fn scope_at(_name: &'static str, _level: usize) -> Scope {
+        Scope(())
+    }
+
+    /// No-op; collection is compiled out.
+    #[inline(always)]
+    pub fn counter(_name: &'static str, _delta: u64) {}
+
+    /// Always returns an empty profile; collection is compiled out.
+    #[inline(always)]
+    pub fn take() -> Profile {
+        Profile::default()
+    }
+
+    /// Whether span collection is compiled in.
+    pub const fn enabled() -> bool {
+        false
+    }
+}
+
+pub use collect::{counter, enabled, scope, scope_at, take, Scope};
+
+#[cfg(all(test, feature = "prof"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_merge_by_name_and_level() {
+        let _ = take();
+        for _ in 0..3 {
+            let _outer = scope("setup");
+            for lvl in 0..2 {
+                let _inner = scope_at("interp", lvl);
+            }
+        }
+        let p = take();
+        assert_eq!(p.roots.len(), 1);
+        let root = &p.roots[0];
+        assert_eq!(root.name, "setup");
+        assert_eq!(root.count, 3);
+        assert_eq!(root.children.len(), 2, "one merged child per level");
+        for (lvl, c) in root.children.iter().enumerate() {
+            assert_eq!(c.name, "interp");
+            assert_eq!(c.level, lvl);
+            assert_eq!(c.count, 3);
+        }
+        assert_eq!(p.events.len(), 3 + 6);
+        assert_eq!(p.dropped_events, 0);
+    }
+
+    #[test]
+    fn counters_attach_to_innermost_open_span_once() {
+        let _ = take();
+        {
+            let _outer = scope("solve");
+            {
+                let _inner = scope_at("smooth", 0);
+                counter("flops", 100);
+            }
+            counter("flops", 10);
+        }
+        let p = take();
+        let root = &p.roots[0];
+        assert_eq!(root.counters.get("flops"), Some(&10));
+        assert_eq!(root.children[0].counters.get("flops"), Some(&100));
+        // total_counter sums each delta exactly once despite nesting.
+        assert_eq!(root.total_counter("flops"), 110);
+        assert_eq!(p.total_counter("flops"), 110);
+    }
+
+    #[test]
+    fn self_time_excludes_children_and_saturates() {
+        let _ = take();
+        {
+            let _outer = scope("a");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            let _inner = scope("b");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let p = take();
+        let a = &p.roots[0];
+        let b = &a.children[0];
+        assert!(a.wall >= b.wall);
+        assert!(
+            a.self_time()
+                <= a.wall.checked_sub(b.wall).unwrap() + std::time::Duration::from_millis(1)
+        );
+        // Saturation: a fabricated child longer than its parent.
+        let fake = SpanNode {
+            wall: std::time::Duration::from_secs(1),
+            children: vec![SpanNode {
+                wall: std::time::Duration::from_secs(2),
+                ..SpanNode::default()
+            }],
+            ..SpanNode::default()
+        };
+        assert_eq!(fake.self_time(), std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn take_refuses_to_drain_with_open_spans() {
+        let _ = take();
+        let guard = scope("open");
+        // Snapshot attempt mid-span must not tear the tree down. The
+        // debug_assert fires under `cfg(debug_assertions)`, so exercise
+        // the fallback only in release tests.
+        if cfg!(not(debug_assertions)) {
+            let p = take();
+            assert!(p.roots.is_empty());
+        }
+        drop(guard);
+        let p = take();
+        assert_eq!(p.roots.len(), 1);
+    }
+
+    #[test]
+    fn find_and_visit_walk_the_tree() {
+        let _ = take();
+        {
+            let _a = scope("setup");
+            let _b = scope_at("rap", 1);
+        }
+        let p = take();
+        let root = p.find_root("setup").unwrap();
+        assert_eq!(root.find("rap").unwrap().level, 1);
+        assert!(root.find("absent").is_none());
+        let mut names = Vec::new();
+        root.visit(&mut |n| names.push(n.name));
+        assert_eq!(names, vec!["setup", "rap"]);
+    }
+
+    #[test]
+    fn chrome_trace_is_well_formed() {
+        let _ = take();
+        {
+            let _a = scope("setup");
+            let _b = scope_at("interp", 2);
+        }
+        let p = take();
+        let trace = p.to_chrome_trace(7);
+        assert!(trace.starts_with('{'));
+        assert!(trace.contains("\"traceEvents\""));
+        assert!(trace.contains("\"name\":\"interp\""));
+        assert!(trace.contains("\"pid\":7"));
+        assert!(trace.contains("\"level\":2"));
+        // Events close child-first: the inner span is recorded before
+        // the outer one.
+        assert_eq!(p.events[0].name, "interp");
+        assert_eq!(p.events[0].depth, 1);
+        assert_eq!(p.events[1].name, "setup");
+        assert_eq!(p.events[1].depth, 0);
+    }
+}
+
+#[cfg(all(test, not(feature = "prof")))]
+mod disabled_tests {
+    use super::*;
+
+    #[test]
+    fn disabled_scope_is_zero_sized() {
+        assert_eq!(std::mem::size_of::<Scope>(), 0);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn disabled_take_is_empty() {
+        let _g = scope("anything");
+        let _h = scope_at("else", 3);
+        counter("flops", 123);
+        let p = take();
+        assert!(p.roots.is_empty());
+        assert!(p.events.is_empty());
+        assert_eq!(p.total_counter("flops"), 0);
+    }
+}

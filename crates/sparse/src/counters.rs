@@ -40,6 +40,40 @@ impl std::ops::AddAssign for FlopCount {
     }
 }
 
+/// Analytic flop costs for the solve-phase kernels, used to attach
+/// `"flops"` counter deltas to profiler spans without instrumenting the
+/// hot loops themselves. These are the standard sparse-kernel operation
+/// counts (one multiply + one add per stored entry, etc.), so a span's
+/// flop tally is exact for the work the kernel was asked to do rather
+/// than a sampled estimate.
+pub mod flops {
+    /// `y = A x`: one multiply-add per stored entry.
+    pub fn spmv(nnz: usize) -> u64 {
+        2 * nnz as u64
+    }
+
+    /// One Gauss-Seidel (or Jacobi) sweep: a multiply-add per stored
+    /// off-diagonal entry plus the diagonal solve per row, ≈ `2·nnz`.
+    pub fn gs_sweep(nnz: usize) -> u64 {
+        2 * nnz as u64
+    }
+
+    /// Dot product or squared norm of length-`n` vectors.
+    pub fn dot(n: usize) -> u64 {
+        2 * n as u64
+    }
+
+    /// `y += alpha x` over length-`n` vectors.
+    pub fn axpy(n: usize) -> u64 {
+        2 * n as u64
+    }
+
+    /// Dense triangular solves of an `m × m` LU factorization.
+    pub fn lu_solve(m: usize) -> u64 {
+        2 * (m as u64) * (m as u64)
+    }
+}
+
 /// Thread-safe byte counter used by the simulated message-passing transport
 /// to reproduce the paper's communication-volume measurements (§4.3, §5.4).
 #[derive(Debug, Default)]

@@ -65,12 +65,30 @@ echo "==> comm-volume regression test (release)"
 cargo test -q --release --test comm_volume
 
 echo "==> comm-volume bench smoke (asserts vs dense-alltoall baseline)"
-cargo run -q --release -p famg-bench --bin comm_volume -- --smoke
+cargo run -q --release -p famg-bench --bin comm_volume -- --smoke --out target/bench
 
 echo "==> numeric-refresh regression test (release)"
 cargo test -q --release --test setup_refresh
 
 echo "==> numeric-refresh bench smoke (asserts refresh >= 2x full setup)"
-cargo run -q --release -p famg-bench --bin setup_refresh -- --smoke
+cargo run -q --release -p famg-bench --bin setup_refresh -- --smoke --out target/bench
+
+# Profiler off: every probe must compile to a unit type; the solve paths
+# still build and pass their suites with zero timing reads.
+echo "==> famg-prof disabled build (--no-default-features)"
+cargo build -q -p famg-core -p famg-dist --no-default-features
+RAYON_NUM_THREADS=4 cargo test -q -p famg-core --no-default-features
+
+# Telemetry: the smoke benches above (plus thread_scaling here) wrote
+# BENCH_*.json into target/bench; each must validate against schema v1
+# and stay within 1.25x of the committed baseline on the
+# machine-independent fields (iterations, complexity, flop/comm
+# counters — wall-clock is informational, see DESIGN.md §8).
+echo "==> famg-prof telemetry (schema + regression gate vs results/)"
+cargo run -q --release -p famg-bench --bin thread_scaling -- --smoke --out target/bench
+for name in thread_scaling comm_volume setup_refresh; do
+    cargo run -q -p famg-check --bin famg-bench-check -- \
+        "target/bench/BENCH_${name}.json" "results/BENCH_${name}.json"
+done
 
 echo "==> all checks passed"

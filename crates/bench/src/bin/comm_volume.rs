@@ -1,6 +1,11 @@
 //! §4.3/§5.4 communication-volume audit: per-level, per-phase bytes and
 //! messages for a distributed AMG setup + FGMRES solve, compared against
 //! the dense-alltoall baseline recorded before the neighbor-aware rewrite.
+//! Each rank count also re-runs the solve with `overlap_comm` off and
+//! compares the exposed halo wait against the fully synchronous path —
+//! overlap must leave a strictly smaller fraction of the halo wait
+//! exposed (uncovered by interior computation) than synchronous
+//! exchanges do.
 //!
 //! Usage: `cargo run --release -p famg-bench --bin comm_volume
 //!         [--ranks 2,4,8] [--per-rank 12] [--smoke] [--out <dir>]`
@@ -41,6 +46,12 @@ struct RankOut {
     solve_times: PhaseTimes,
     stats: SetupStats,
     flops: u64,
+    /// Halo wait left exposed during the solve (data still late when
+    /// `InFlightHalo::finish` was entered), and the wait hidden behind
+    /// the in-flight window. Exposed + hidden = the wait a fully
+    /// synchronous exchange would have cost.
+    exposed_ns: u64,
+    hidden_ns: u64,
 }
 
 fn main() {
@@ -57,6 +68,13 @@ fn main() {
 
     let mut report_out = BenchReport::new("comm_volume", smoke);
     let mut sweep = Vec::new();
+    // (exposed, hidden) halo-wait nanoseconds summed over the sweep, per
+    // halo mode. Exposed + hidden = what a synchronous exchange would
+    // block for, so exposed / (exposed + hidden) is the fraction of the
+    // halo wait each mode leaves uncovered — comparing fractions makes
+    // the overlap gate robust to run-to-run scheduler noise.
+    let mut overlap_ns: (u64, u64) = (0, 0);
+    let mut sync_ns: (u64, u64) = (0, 0);
     for &nranks in &ranks {
         let a = laplace3d_7pt(per_rank, per_rank, per_rank * nranks);
         let n = a.nrows();
@@ -83,8 +101,44 @@ fn main() {
                 solve_times: res.times.clone(),
                 stats: h.stats.clone(),
                 flops: h.profile.total_counter("flops") + res.profile.total_counter("flops"),
+                exposed_ns: res.profile.total_counter("halo_exposed_ns"),
+                hidden_ns: res.profile.total_counter("halo_hidden_ns"),
             }
         });
+        // Same solve with `overlap_comm` off: every halo wait is exposed.
+        // The results are bitwise identical (asserted below on iteration
+        // count; the full contract is tested in tests/halo_overlap.rs),
+        // only the exposed-wait telemetry differs.
+        let sync_flags = DistOptFlags {
+            overlap_comm: false,
+            ..DistOptFlags::all()
+        };
+        let (sync_parts, _) = run_ranks(nranks, |c| {
+            let r = c.rank();
+            let pa = ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
+            let h = DistHierarchy::build(c, pa, &cfg, sync_flags);
+            let bl = b[starts[r]..starts[r + 1]].to_vec();
+            let mut xl = vec![0.0; bl.len()];
+            let res = dist_fgmres_amg(c, &h, &bl, &mut xl, 1e-7, 200, 50);
+            assert!(res.converged, "rank {r}: sync solve did not converge");
+            (
+                res.iterations,
+                res.profile.total_counter("halo_exposed_ns"),
+                res.profile.total_counter("halo_hidden_ns"),
+            )
+        });
+        assert_eq!(
+            parts[0].iterations, sync_parts[0].0,
+            "{nranks} ranks: overlap and sync solves diverged"
+        );
+        let ov_exposed: u64 = parts.iter().map(|p| p.exposed_ns).sum();
+        let ov_hidden: u64 = parts.iter().map(|p| p.hidden_ns).sum();
+        let sy_exposed: u64 = sync_parts.iter().map(|p| p.1).sum();
+        let sy_hidden: u64 = sync_parts.iter().map(|p| p.2).sum();
+        overlap_ns.0 += ov_exposed;
+        overlap_ns.1 += ov_hidden;
+        sync_ns.0 += sy_exposed;
+        sync_ns.1 += sy_hidden;
         let msgs = report.total_messages();
         let bytes = report.total_bytes();
         println!(
@@ -110,12 +164,25 @@ fn main() {
                 "{nranks} ranks: comm volume regressed past the recorded baseline"
             );
         }
+        println!(
+            "halo wait (solve, summed over ranks): \
+             overlap {:.3} ms exposed / {:.3} ms hidden; \
+             sync {:.3} ms exposed / {:.3} ms hidden",
+            ov_exposed as f64 * 1e-6,
+            ov_hidden as f64 * 1e-6,
+            sy_exposed as f64 * 1e-6,
+            sy_hidden as f64 * 1e-6,
+        );
         println!();
 
         sweep.push(Json::Obj(vec![
             ("ranks".into(), Json::int(nranks as u64)),
             ("messages".into(), Json::int(msgs)),
             ("bytes".into(), Json::int(bytes)),
+            ("exposed_wait_overlap_ns".into(), Json::int(ov_exposed)),
+            ("hidden_wait_overlap_ns".into(), Json::int(ov_hidden)),
+            ("exposed_wait_sync_ns".into(), Json::int(sy_exposed)),
+            ("hidden_wait_sync_ns".into(), Json::int(sy_hidden)),
         ]));
         // The telemetry record captures the largest rank count of the
         // sweep; the full sweep rides along under "extra".
@@ -132,8 +199,38 @@ fn main() {
                 .counters(flops, bytes, msgs);
         }
     }
+    // The overlap gate: of the halo wait each mode would suffer
+    // synchronously (exposed + hidden), `overlap_comm` must leave a
+    // strictly smaller *fraction* exposed than the synchronous path,
+    // summed over the whole sweep. Fractions — not absolute wall times —
+    // because the two legs are separate runs with separate scheduler
+    // noise, while each fraction is a same-run ratio. Only meaningful
+    // when the profiler is compiled in (prof-off builds report 0/0 → 0).
+    let frac = |(exposed, hidden): (u64, u64)| {
+        let total = exposed + hidden;
+        if total == 0 {
+            0.0
+        } else {
+            exposed as f64 / total as f64
+        }
+    };
+    let (ov_frac, sy_frac) = (frac(overlap_ns), frac(sync_ns));
+    println!("exposed fraction of halo wait: overlap {ov_frac:.3} vs sync {sy_frac:.3}");
+    if famg_prof::enabled() {
+        assert!(
+            ov_frac < sy_frac,
+            "overlap_comm left {ov_frac:.3} of the halo wait exposed, \
+             not below the synchronous {sy_frac:.3}"
+        );
+    }
     report_out
         .extra_num("per_rank_side", per_rank as f64)
+        .extra_num("exposed_wait_overlap_seconds", overlap_ns.0 as f64 * 1e-9)
+        .extra_num("hidden_wait_overlap_seconds", overlap_ns.1 as f64 * 1e-9)
+        .extra_num("exposed_wait_sync_seconds", sync_ns.0 as f64 * 1e-9)
+        .extra_num("hidden_wait_sync_seconds", sync_ns.1 as f64 * 1e-9)
+        .extra_num("exposed_wait_overlap_fraction", ov_frac)
+        .extra_num("exposed_wait_sync_fraction", sy_frac)
         .extra_json("sweep", Json::Arr(sweep));
     report_out
         .write_if_requested()

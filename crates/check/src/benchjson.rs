@@ -324,9 +324,11 @@ pub fn validate_bench(doc: &JsonValue, path: &str) -> Result<(), String> {
             "{path}: schema_version {version} unsupported (expected {BENCH_SCHEMA_VERSION})"
         ));
     }
-    doc.get("bench")
+    let bench = doc
+        .get("bench")
         .and_then(JsonValue::str_)
-        .ok_or_else(|| format!("{path}: missing string `bench`"))?;
+        .ok_or_else(|| format!("{path}: missing string `bench`"))?
+        .to_string();
     let mode = doc
         .get("mode")
         .and_then(JsonValue::str_)
@@ -367,6 +369,30 @@ pub fn validate_bench(doc: &JsonValue, path: &str) -> Result<(), String> {
     match doc.get("extra") {
         Some(JsonValue::Obj(_)) => {}
         _ => return Err(format!("{path}: missing object `extra`")),
+    }
+    // Bench-specific contract: comm_volume records must carry the
+    // exposed-halo-wait telemetry, and communication overlap must leave a
+    // strictly smaller fraction of the halo wait exposed than the
+    // synchronous path (fractions are same-run ratios, robust to host
+    // scheduler noise; the absolute `*_seconds` fields are informational).
+    // Both fractions are 0 when the profiler is compiled out — accepted
+    // as "no signal".
+    if bench == "comm_volume" {
+        let overlap = want_num(doc, path, "extra", "exposed_wait_overlap_fraction")?;
+        let sync = want_num(doc, path, "extra", "exposed_wait_sync_fraction")?;
+        for (key, v) in [("overlap", overlap), ("sync", sync)] {
+            if v > 1.0 {
+                return Err(format!(
+                    "{path}: `extra.exposed_wait_{key}_fraction` = {v} is not a fraction"
+                ));
+            }
+        }
+        if !(overlap == 0.0 && sync == 0.0) && overlap >= sync {
+            return Err(format!(
+                "{path}: `extra.exposed_wait_overlap_fraction` = {overlap} is not \
+                 strictly below `extra.exposed_wait_sync_fraction` = {sync}"
+            ));
+        }
     }
     // Bucket sums must not exceed their recorded totals (self-time
     // attribution can only lose clock to unattributed gaps, never invent
@@ -517,6 +543,50 @@ mod tests {
 
     #[test]
     fn validate_accepts_schema_v1() {
+        let doc = JsonValue::parse(&sample(1000, 8)).unwrap();
+        validate_bench(&doc, "test").unwrap();
+    }
+
+    fn comm_volume_sample(overlap_frac: f64, sync_frac: f64) -> String {
+        sample(1000, 8)
+            .replace(
+                "\"bench\": \"thread_scaling\"",
+                "\"bench\": \"comm_volume\"",
+            )
+            .replace(
+                "\"extra\": {\"note\": \"test é\"}",
+                &format!(
+                    "\"extra\": {{\"exposed_wait_overlap_fraction\": {overlap_frac}, \
+                     \"exposed_wait_sync_fraction\": {sync_frac}}}"
+                ),
+            )
+    }
+
+    #[test]
+    fn validate_gates_comm_volume_exposed_wait() {
+        // Overlap strictly below sync: ok.
+        let doc = JsonValue::parse(&comm_volume_sample(0.2, 0.97)).unwrap();
+        validate_bench(&doc, "test").unwrap();
+        // Both zero (profiler compiled out): ok.
+        let doc = JsonValue::parse(&comm_volume_sample(0.0, 0.0)).unwrap();
+        validate_bench(&doc, "test").unwrap();
+        // Overlap not below sync: rejected.
+        let doc = JsonValue::parse(&comm_volume_sample(0.9, 0.9)).unwrap();
+        let err = validate_bench(&doc, "test").unwrap_err();
+        assert!(err.contains("exposed_wait_overlap_fraction"), "got: {err}");
+        // Not a fraction: rejected.
+        let doc = JsonValue::parse(&comm_volume_sample(0.2, 1.5)).unwrap();
+        let err = validate_bench(&doc, "test").unwrap_err();
+        assert!(err.contains("not a fraction"), "got: {err}");
+        // Missing the telemetry entirely: rejected for comm_volume...
+        let missing = sample(1000, 8).replace(
+            "\"bench\": \"thread_scaling\"",
+            "\"bench\": \"comm_volume\"",
+        );
+        let doc = JsonValue::parse(&missing).unwrap();
+        let err = validate_bench(&doc, "test").unwrap_err();
+        assert!(err.contains("exposed_wait_overlap_fraction"), "got: {err}");
+        // ...but other benches carry no such obligation.
         let doc = JsonValue::parse(&sample(1000, 8)).unwrap();
         validate_bench(&doc, "test").unwrap();
     }

@@ -122,7 +122,10 @@ impl Bucket {
 /// bucket" — used by communication primitives that serve whatever kernel
 /// invoked them rather than being a phase of their own.
 fn classify(name: &str, solve_phase: bool) -> Option<Bucket> {
-    if matches!(name, "halo" | "spgemm" | "gather" | "scatter") {
+    if matches!(
+        name,
+        "halo" | "halo_inflight" | "halo_post" | "halo_wait" | "spgemm" | "gather" | "scatter"
+    ) {
         return None;
     }
     Some(if solve_phase {

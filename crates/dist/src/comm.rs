@@ -33,7 +33,32 @@ struct Envelope {
     src: usize,
     tag: u64,
     bytes: usize,
+    /// When the sender posted this message. Ranks share one process, so
+    /// sender and receiver clocks are the same clock; with an in-process
+    /// channel the message is deliverable the instant `send` returns,
+    /// making this the arrival time for overlap telemetry.
+    sent_at: Instant,
     payload: Box<dyn Any + Send>,
+}
+
+/// An in-flight receive posted by [`Comm::irecv`]. If the message had
+/// already arrived when the handle was posted it is resolved eagerly;
+/// otherwise [`Comm::wait`] blocks for it. Dropping an unresolved handle
+/// leaves the message for a later `recv`/`irecv` of the same `(src, tag)`.
+#[must_use = "complete the receive with Comm::wait"]
+pub struct RecvHandle<T> {
+    src: usize,
+    tag: u64,
+    ready: Option<Envelope>,
+    _payload: std::marker::PhantomData<T>,
+}
+
+impl<T> RecvHandle<T> {
+    /// True if the message had already arrived when the handle was posted
+    /// (waiting on it will not block).
+    pub fn is_ready(&self) -> bool {
+        self.ready.is_some()
+    }
 }
 
 /// Which solver phase a message belongs to (telemetry attribution).
@@ -258,6 +283,7 @@ impl Comm {
                 src: self.rank,
                 tag,
                 bytes,
+                sent_at: Instant::now(),
                 payload: Box::new(payload),
             })
             .expect("rank hung up");
@@ -268,12 +294,62 @@ impl Comm {
     /// # Panics
     /// Panics on type mismatch or after `RECV_TIMEOUT` (120 s) (deadlock guard).
     pub fn recv<T: 'static>(&self, src: usize, tag: u64) -> T {
-        let key = (src, tag);
-        // Check the pending buffer first.
-        if let Some(q) = self.pending.borrow_mut().get_mut(&key) {
-            if let Some(env) = q.pop_front() {
-                return Self::unpack(env);
-            }
+        let handle = self.irecv(src, tag);
+        self.wait(handle)
+    }
+
+    /// Non-blocking receive: returns a handle that is already resolved if
+    /// the message from `(src, tag)` has arrived (in the pending buffer or
+    /// sitting in the channel), and otherwise must be completed later with
+    /// [`Comm::wait`]. Never blocks; only time spent in `wait` counts as
+    /// communication time, which is how the exposed (non-overlapped) halo
+    /// wait is measured.
+    pub fn irecv<T: 'static>(&self, src: usize, tag: u64) -> RecvHandle<T> {
+        let ready = self.take_pending(src, tag).or_else(|| {
+            self.drain_channel();
+            self.take_pending(src, tag)
+        });
+        RecvHandle {
+            src,
+            tag,
+            ready,
+            _payload: std::marker::PhantomData,
+        }
+    }
+
+    /// Completes a receive posted by [`Comm::irecv`], blocking if the
+    /// message has not arrived yet. The handle must come from this `Comm`
+    /// (i.e. the same rank that posted it).
+    ///
+    /// # Panics
+    /// Panics on type mismatch or after `RECV_TIMEOUT` (120 s) (deadlock guard).
+    pub fn wait<T: 'static>(&self, handle: RecvHandle<T>) -> T {
+        self.wait_timed(handle).0
+    }
+
+    /// [`Comm::wait`], additionally returning when the message was *sent*.
+    /// Ranks share one clock, and an in-process channel delivers the
+    /// moment `send` returns, so the send time is the arrival time — the
+    /// overlap telemetry in [`crate::halo`] compares it against the post
+    /// and finish marks to split halo wait into hidden and exposed parts.
+    ///
+    /// # Panics
+    /// Panics on type mismatch or after `RECV_TIMEOUT` (120 s) (deadlock guard).
+    pub fn wait_timed<T: 'static>(&self, handle: RecvHandle<T>) -> (T, Instant) {
+        if let Some(env) = handle.ready {
+            let sent_at = env.sent_at;
+            return (Self::unpack(env), sent_at);
+        }
+        // The message may have been buffered by another handle's drain, or
+        // be sitting in the channel already (delivered while this rank was
+        // computing). Either way, receive it without accruing blocked
+        // time: communication time measures genuine waiting for data that
+        // has not arrived — exactly the exposed halo wait the overlapped
+        // kernels are meant to hide.
+        self.drain_channel();
+        if let Some(env) = self.take_pending(handle.src, handle.tag) {
+            let sent_at = env.sent_at;
+            return (Self::unpack(env), sent_at);
         }
         let t0 = Instant::now();
         loop {
@@ -283,15 +359,44 @@ impl Comm {
                 .unwrap_or_else(|_| {
                     panic!(
                         "rank {} timed out waiting for (src {}, tag {})",
-                        self.rank, src, tag
+                        self.rank, handle.src, handle.tag
                     )
                 });
-            if env.src == src && env.tag == tag {
+            if env.src == handle.src && env.tag == handle.tag {
                 self.comm_time.set(self.comm_time.get() + t0.elapsed());
-                return Self::unpack(env);
+                let sent_at = env.sent_at;
+                return (Self::unpack(env), sent_at);
             }
             self.pending
                 .borrow_mut()
+                .entry((env.src, env.tag))
+                .or_default()
+                .push_back(env);
+        }
+    }
+
+    /// A mark on the runtime's clock, for overlap telemetry: the halo
+    /// `post`/`finish` protocol compares marks against the send times
+    /// reported by [`Comm::wait_timed`]. Kept here so wall-clock reads
+    /// stay confined to the communication layer.
+    pub fn clock_mark(&self) -> Instant {
+        Instant::now()
+    }
+
+    /// Pops the oldest buffered message for `(src, tag)`, if any.
+    fn take_pending(&self, src: usize, tag: u64) -> Option<Envelope> {
+        self.pending
+            .borrow_mut()
+            .get_mut(&(src, tag))
+            .and_then(VecDeque::pop_front)
+    }
+
+    /// Moves every message already sitting in the channel into the pending
+    /// buffer without blocking.
+    fn drain_channel(&self) {
+        let mut pending = self.pending.borrow_mut();
+        while let Ok(env) = self.receiver.try_recv() {
+            pending
                 .entry((env.src, env.tag))
                 .or_default()
                 .push_back(env);

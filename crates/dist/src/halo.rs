@@ -12,7 +12,7 @@
 //! caller-side filter — the §4.3 optimization that strips entries the
 //! interpolation will never read before they hit the wire.
 
-use crate::comm::{wire, Comm};
+use crate::comm::{wire, Comm, RecvHandle};
 use crate::parcsr::owner_of;
 
 /// Tags are namespaced per module to avoid collisions between concurrent
@@ -30,15 +30,42 @@ const TAG_FETCH_VAL: u64 = 0x31;
 /// Only true neighbors appear in the plan: `send_peers` lists the ranks
 /// that request data from this rank (with the local indices to ship),
 /// `recv_peers` the ranks owning parts of this rank's halo (with the
-/// destination range in the external buffer).
+/// destination range in the external buffer). Self-owned halo entries
+/// (possible under generic partitions) are resolved at plan time into
+/// `self_copy`, so execution never searches for — or fails to find — a
+/// matching self range.
 #[derive(Debug, Clone)]
 pub struct VectorExchange {
-    /// `(peer rank, local indices to send)`, sorted by rank.
+    /// `(peer rank, local indices to send)`, sorted by rank; never self.
     send_peers: Vec<(usize, Vec<usize>)>,
-    /// `(peer rank, ext start, ext end)`, sorted by rank.
+    /// `(peer rank, ext start, ext end)`, sorted by rank; never self.
     recv_peers: Vec<(usize, usize, usize)>,
+    /// Self-owned halo entries: `(local indices, ext start)`.
+    self_copy: Option<(Vec<usize>, usize)>,
     /// External buffer length (= colmap length).
     ext_len: usize,
+}
+
+/// A halo exchange whose sends are on the wire and whose receives are
+/// posted but not yet waited for. Produced by [`VectorExchange::post`];
+/// the external buffer becomes available through
+/// [`finish`](InFlightHalo::finish). While a halo is in flight the caller
+/// is free to compute anything that does not read the external buffer —
+/// the interior rows of an SpMV or smoother sweep — which is what hides
+/// the communication latency.
+pub struct InFlightHalo {
+    /// External buffer; self-owned entries already filled.
+    ext: Vec<f64>,
+    /// `(peer, ext start, ext end, handle)` per receive, in plan order.
+    waits: Vec<(usize, usize, usize, RecvHandle<Vec<f64>>)>,
+    /// When the sends went on the wire and the receives were posted — the
+    /// moment a synchronous exchange would start blocking. `finish`
+    /// compares message send times against this mark and its own entry
+    /// mark to split the halo wait into hidden and exposed parts.
+    posted_at: std::time::Instant,
+    /// Keeps the `halo_inflight` span open until `finish`, so the chrome
+    /// trace shows the window that interior computation can hide under.
+    window: famg_prof::Scope,
 }
 
 impl VectorExchange {
@@ -51,7 +78,7 @@ impl VectorExchange {
         // Group the (sorted) colmap by owner: each owner's slice is one
         // contiguous run.
         let mut requests: Vec<(usize, Vec<usize>)> = Vec::new();
-        let mut recv_peers: Vec<(usize, usize, usize)> = Vec::new();
+        let mut recv_runs: Vec<(usize, usize, usize)> = Vec::new();
         let mut k = 0usize;
         while k < colmap.len() {
             let owner = owner_of(starts, colmap[k]);
@@ -59,7 +86,7 @@ impl VectorExchange {
             while k < colmap.len() && colmap[k] < starts[owner + 1] {
                 k += 1;
             }
-            recv_peers.push((owner, start, k));
+            recv_runs.push((owner, start, k));
             requests.push((
                 owner,
                 colmap[start..k]
@@ -69,48 +96,89 @@ impl VectorExchange {
             ));
         }
         // Tell each owner which of its locals we need (neighbors only).
-        let send_peers = comm.alltoallv(requests, TAG_REQ, |r| wire::idxs(r.len()));
+        let incoming = comm.alltoallv(requests, TAG_REQ, |r| wire::idxs(r.len()));
+        // Split out the self entry (if any) on both sides: the request we
+        // made to ourselves comes straight back through the alltoallv, and
+        // its indices pair with the self run of the colmap. Resolving the
+        // pair here removes the per-exchange search (and its failure
+        // path) from execution.
+        let rank = comm.rank();
+        let mut self_idx: Option<Vec<usize>> = None;
+        let mut send_peers = Vec::with_capacity(incoming.len());
+        for (peer, idx) in incoming {
+            if peer == rank {
+                self_idx = Some(idx);
+            } else {
+                send_peers.push((peer, idx));
+            }
+        }
+        let mut self_copy: Option<(Vec<usize>, usize)> = None;
+        let mut recv_peers = Vec::with_capacity(recv_runs.len());
+        for (peer, s, e) in recv_runs {
+            if peer == rank {
+                let idx = self_idx
+                    .take()
+                    .expect("self halo run without matching self request");
+                debug_assert_eq!(idx.len(), e - s);
+                self_copy = Some((idx, s));
+            } else {
+                recv_peers.push((peer, s, e));
+            }
+        }
+        debug_assert!(self_idx.is_none(), "self request without matching halo run");
         VectorExchange {
             send_peers,
             recv_peers,
+            self_copy,
             ext_len: colmap.len(),
         }
     }
 
-    /// Executes the exchange: gathers owned values from `x_local` into
-    /// every requester's external buffer; returns this rank's external
-    /// vector (parallel to its colmap). Posts exactly one message per
-    /// neighbor with traffic.
+    /// Executes the exchange synchronously: gathers owned values from
+    /// `x_local` into every requester's external buffer; returns this
+    /// rank's external vector (parallel to its colmap). Posts exactly one
+    /// message per neighbor with traffic. Equivalent to
+    /// [`post`](Self::post) immediately followed by
+    /// [`finish`](InFlightHalo::finish) — the entire wait is exposed.
     pub fn exchange(&self, comm: &Comm, x_local: &[f64]) -> Vec<f64> {
-        // "halo" spans inherit the enclosing kernel's Fig. 5 bucket in
-        // `PhaseTimes::from_span` — this span exists for the chrome trace
-        // and the comm-counter attribution, not as a bucket of its own.
-        let _span = famg_prof::scope("halo");
+        self.post(comm, x_local).finish(comm)
+    }
+
+    /// Starts the exchange: fills self-owned entries, posts one send per
+    /// requesting neighbor, and posts (non-blocking) receives for every
+    /// owning neighbor. The caller may compute on local data while the
+    /// halo is in flight, then call [`InFlightHalo::finish`] for the
+    /// external buffer.
+    ///
+    /// All halo spans (`halo_inflight` / `halo_post` / `halo_wait`)
+    /// inherit the enclosing kernel's Fig. 5 bucket in
+    /// `PhaseTimes::from_span` — they exist for the chrome trace and the
+    /// comm-counter attribution, not as buckets of their own.
+    pub fn post(&self, comm: &Comm, x_local: &[f64]) -> InFlightHalo {
+        let window = famg_prof::scope("halo_inflight");
+        let _post = famg_prof::scope("halo_post");
         let mut ext = vec![0.0f64; self.ext_len];
+        if let Some((idx, s)) = &self.self_copy {
+            for (k, &i) in idx.iter().enumerate() {
+                ext[s + k] = x_local[i];
+            }
+        }
         for (peer, idx) in &self.send_peers {
             let vals: Vec<f64> = idx.iter().map(|&i| x_local[i]).collect();
-            if *peer == comm.rank() {
-                // Self-owned halo entries (generic partitions): local copy.
-                let &(_, s, e) = self
-                    .recv_peers
-                    .iter()
-                    .find(|p| p.0 == *peer)
-                    .expect("self send without matching recv range");
-                ext[s..e].copy_from_slice(&vals);
-            } else {
-                let b = wire::f64s(vals.len());
-                comm.send(*peer, TAG_VAL, vals, b);
-            }
+            let b = wire::f64s(vals.len());
+            comm.send(*peer, TAG_VAL, vals, b);
         }
-        for &(peer, s, e) in &self.recv_peers {
-            if peer == comm.rank() {
-                continue; // filled above
-            }
-            let vals: Vec<f64> = comm.recv(peer, TAG_VAL);
-            debug_assert_eq!(vals.len(), e - s);
-            ext[s..e].copy_from_slice(&vals);
+        let waits = self
+            .recv_peers
+            .iter()
+            .map(|&(peer, s, e)| (peer, s, e, comm.irecv(peer, TAG_VAL)))
+            .collect();
+        InFlightHalo {
+            ext,
+            waits,
+            posted_at: comm.clock_mark(),
+            window,
         }
-        ext
     }
 
     /// External buffer length.
@@ -123,10 +191,75 @@ impl VectorExchange {
         self.send_peers.iter().map(|(r, _)| *r).collect()
     }
 
-    /// Ranks this plan receives values from.
+    /// Ranks this plan receives values from (self excluded).
     pub fn recv_peer_ranks(&self) -> Vec<usize> {
         self.recv_peers.iter().map(|(r, _, _)| *r).collect()
     }
+}
+
+impl InFlightHalo {
+    /// Completes the exchange: waits for every posted receive and returns
+    /// the external vector (parallel to the plan's colmap).
+    ///
+    /// The wait the exchange would have cost synchronously is how late
+    /// the last message was relative to the post mark (rank skew; the
+    /// in-process channel delivers the instant the peer sends). The part
+    /// still outstanding when `finish` is entered is *exposed*; the part
+    /// that elapsed while the caller computed under the in-flight window
+    /// is *hidden*. Both go on profiler counters (`halo_exposed_ns` /
+    /// `halo_hidden_ns`) so the comm_volume bench can report how much of
+    /// the halo wait the overlap hid. A synchronous `exchange` enters
+    /// `finish` immediately, so its wait is (almost) entirely exposed.
+    ///
+    /// # Panics
+    /// Panics with peer/tag/length diagnostics if a wire payload does not
+    /// match the planned halo range (a malformed or mismatched plan).
+    pub fn finish(self, comm: &Comm) -> Vec<f64> {
+        let InFlightHalo {
+            mut ext,
+            waits,
+            posted_at,
+            window,
+        } = self;
+        let entered = comm.clock_mark();
+        let mut last_sent: Option<std::time::Instant> = None;
+        {
+            let _wait = famg_prof::scope("halo_wait");
+            for (peer, s, e, handle) in waits {
+                let (vals, sent_at): (Vec<f64>, _) = comm.wait_timed(handle);
+                check_halo_payload(comm.rank(), peer, TAG_VAL, e - s, vals.len());
+                ext[s..e].copy_from_slice(&vals);
+                last_sent = Some(last_sent.map_or(sent_at, |m| m.max(sent_at)));
+            }
+        }
+        if let Some(last) = last_sent {
+            // `entered >= posted_at`, so exposed <= would_be; saturation
+            // only papers over clock-resolution ties.
+            let would_be = last.saturating_duration_since(posted_at);
+            let exposed = last.saturating_duration_since(entered);
+            famg_prof::counter("halo_exposed_ns", nanos(exposed));
+            famg_prof::counter("halo_hidden_ns", nanos(would_be.saturating_sub(exposed)));
+        }
+        drop(window);
+        ext
+    }
+}
+
+fn nanos(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Validates a received halo payload length against the planned range.
+/// Unconditional (also in release): a short or long payload means the
+/// sender executed a different plan, and overwriting the external buffer
+/// with it would silently corrupt the solve — better to stop with the
+/// routing information than to panic deep inside `copy_from_slice`.
+fn check_halo_payload(rank: usize, peer: usize, tag: u64, expected: usize, got: usize) {
+    assert!(
+        expected == got,
+        "rank {rank}: halo payload from rank {peer} (tag {tag:#x}) has {got} values, \
+         expected {expected} — sender and receiver disagree on the exchange plan"
+    );
 }
 
 /// Ad-hoc exchange: plans and executes in one call — the baseline the
@@ -534,6 +667,63 @@ mod tests {
             let expect = usize::from(r > 0) + usize::from(r < 3);
             assert_eq!(peers, expect, "rank {r} neighbor count");
         }
+    }
+
+    #[test]
+    fn self_owned_halo_resolved_at_plan_time() {
+        // A colmap that includes globals this rank itself owns (generic
+        // partitions produce these): the self range must be paired at
+        // plan time and the exchange must fill it by local copy, with no
+        // message posted for it.
+        let starts = vec![0usize, 4, 8];
+        let (results, report) = run_ranks(2, |c| {
+            let r = c.rank();
+            // Rank 0 needs its own global 1 plus remote 4; rank 1 needs
+            // remote 0 plus its own global 5.
+            let colmap: Vec<usize> = if r == 0 { vec![1, 4] } else { vec![0, 5] };
+            let plan = VectorExchange::plan(c, &colmap, &starts);
+            // Self never appears as a wire peer.
+            assert!(!plan.send_peer_ranks().contains(&r));
+            assert!(!plan.recv_peer_ranks().contains(&r));
+            let x_local: Vec<f64> = (0..4).map(|i| (10 * r + i) as f64).collect();
+            plan.exchange(c, &x_local)
+        });
+        assert_eq!(results[0], vec![1.0, 10.0]); // own x[1], rank 1's x[0]
+        assert_eq!(results[1], vec![0.0, 11.0]); // rank 0's x[0], own x[1]
+                                                 // One wire message each way for the remote entry; self copies are
+                                                 // free.
+        assert_eq!(report.total_messages(), 2 + 2); // 2 halo + 2 plan requests
+    }
+
+    #[test]
+    fn post_finish_matches_exchange_bitwise() {
+        let a = laplace2d(8, 8);
+        let starts = default_partition(64, 4);
+        let (results, _) = run_ranks(4, |c| {
+            let r = c.rank();
+            let p = ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
+            let x: Vec<f64> = (starts[r]..starts[r + 1])
+                .map(|i| 1.0 / (i + 1) as f64)
+                .collect();
+            let plan = VectorExchange::plan(c, &p.colmap, &starts);
+            let sync = plan.exchange(c, &x);
+            let inflight = plan.post(c, &x);
+            // Arbitrary local work while the halo is in flight.
+            let _busy: f64 = x.iter().sum();
+            let over = inflight.finish(c);
+            (sync, over)
+        });
+        for (sync, over) in results {
+            let sb: Vec<u64> = sync.iter().map(|v| v.to_bits()).collect();
+            let ob: Vec<u64> = over.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(sb, ob);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on the exchange plan")]
+    fn payload_length_mismatch_reports_routing() {
+        check_halo_payload(0, 1, TAG_VAL, 3, 2);
     }
 
     #[test]

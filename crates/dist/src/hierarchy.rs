@@ -116,6 +116,12 @@ pub struct DistOptFlags {
     /// Plan halo exchanges once per operator (§4.4 persistent
     /// communication) instead of per application.
     pub persistent_comm: bool,
+    /// Overlap halo exchanges with interior computation in the solve
+    /// kernels (SpMV, residual, hybrid-GS half-sweeps): post the halo,
+    /// compute rows with an empty `offd` row while it is in flight,
+    /// finish for the boundary rows. Bitwise-neutral by construction —
+    /// both modes perform identical per-row arithmetic in the same order.
+    pub overlap_comm: bool,
 }
 
 impl DistOptFlags {
@@ -125,6 +131,7 @@ impl DistOptFlags {
             parallel_renumber: true,
             filter_interp: true,
             persistent_comm: true,
+            overlap_comm: true,
         }
     }
 
@@ -134,13 +141,29 @@ impl DistOptFlags {
             parallel_renumber: false,
             filter_interp: false,
             persistent_comm: false,
+            overlap_comm: false,
         }
     }
 }
 
 impl Default for DistOptFlags {
+    /// [`DistOptFlags::all`], except that `overlap_comm` honors the
+    /// `FAMG_OVERLAP_COMM` environment variable (`0`/`false`/`off`
+    /// disable it) — the CI hook that runs the dist suites in both halo
+    /// modes without touching every construction site.
     fn default() -> Self {
-        DistOptFlags::all()
+        DistOptFlags {
+            overlap_comm: overlap_comm_env_default(),
+            ..DistOptFlags::all()
+        }
+    }
+}
+
+/// Reads the `FAMG_OVERLAP_COMM` toggle (default: on).
+fn overlap_comm_env_default() -> bool {
+    match std::env::var("FAMG_OVERLAP_COMM") {
+        Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),
+        Err(_) => true,
     }
 }
 

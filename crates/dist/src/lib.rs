@@ -20,9 +20,11 @@
 //! * [`renumber`] — sequential and parallel column-index renumbering for
 //!   received rows (§4.2, Fig. 4),
 //! * [`halo`] — vector halo exchange (Fig. 3b), ad-hoc and persistent
-//!   (§4.4), and matrix-row gathering (Fig. 3c) with optional §4.3
-//!   filtering,
-//! * [`spmv`] — distributed SpMV and fused residual norms,
+//!   (§4.4), split into `post`/`finish` halves so kernels can overlap the
+//!   in-flight halo with interior computation, and matrix-row gathering
+//!   (Fig. 3c) with optional §4.3 filtering,
+//! * [`spmv`] — distributed SpMV and fused residual norms, synchronous
+//!   or communication-overlapped (bitwise-identical results),
 //! * [`spgemm`] — distributed SpGEMM and transpose,
 //! * [`coarsen`] — distributed PMIS (+ aggressive second pass),
 //! * [`interp`] — distributed direct / extended+i / multipass /
@@ -44,6 +46,7 @@ pub mod solve;
 pub mod spgemm;
 pub mod spmv;
 
-pub use comm::{run_ranks, Comm};
+pub use comm::{run_ranks, Comm, RecvHandle};
+pub use halo::{InFlightHalo, VectorExchange};
 pub use hierarchy::{DistFrozenSetup, DistHierarchy, DistOptFlags};
 pub use parcsr::ParCsr;

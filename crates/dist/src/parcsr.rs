@@ -27,6 +27,29 @@ pub struct ParCsr {
     pub offd: Csr,
     /// Sorted map from compressed off-diagonal column to global column.
     pub colmap: Vec<usize>,
+    /// Local rows whose `offd` row is empty (ascending). These depend only
+    /// on owned data, so kernels can process them while a halo exchange is
+    /// in flight. Computed once at construction; the pattern (and thus the
+    /// split) is frozen, so numeric refresh reuses it unchanged.
+    pub interior_rows: Vec<usize>,
+    /// Local rows with at least one `offd` entry (ascending) — the rows
+    /// that must wait for the halo.
+    pub boundary_rows: Vec<usize>,
+}
+
+/// Partitions `0..offd.nrows()` into (interior, boundary) by whether the
+/// `offd` row is empty, both ascending.
+fn interior_boundary_split(offd: &Csr) -> (Vec<usize>, Vec<usize>) {
+    let mut interior = Vec::new();
+    let mut boundary = Vec::new();
+    for i in 0..offd.nrows() {
+        if offd.row_nnz(i) == 0 {
+            interior.push(i);
+        } else {
+            boundary.push(i);
+        }
+    }
+    (interior, boundary)
 }
 
 impl ParCsr {
@@ -110,14 +133,18 @@ impl ParCsr {
             d_rp.push(d_ci.len());
             o_rp.push(o_ci.len());
         }
+        let offd = Csr::from_parts_unchecked(nl, colmap.len(), o_rp, o_ci, o_v);
+        let (interior_rows, boundary_rows) = interior_boundary_split(&offd);
         ParCsr {
             row_start,
             row_end,
             global_cols: a.ncols(),
             diag: Csr::from_parts_unchecked(nl, c1 - c0, d_rp, d_ci, d_v),
-            offd: Csr::from_parts_unchecked(nl, colmap.len(), o_rp, o_ci, o_v),
+            offd,
             colmap,
             col_starts,
+            interior_rows,
+            boundary_rows,
         }
     }
 
@@ -162,14 +189,18 @@ impl ParCsr {
             d_rp.push(d_ci.len());
             o_rp.push(o_ci.len());
         }
+        let offd = Csr::from_parts_unchecked(nl, colmap.len(), o_rp, o_ci, o_v);
+        let (interior_rows, boundary_rows) = interior_boundary_split(&offd);
         ParCsr {
             row_start,
             row_end,
             global_cols,
             diag: Csr::from_parts_unchecked(nl, c1 - c0, d_rp, d_ci, d_v),
-            offd: Csr::from_parts_unchecked(nl, colmap.len(), o_rp, o_ci, o_v),
+            offd,
             colmap,
             col_starts,
+            interior_rows,
+            boundary_rows,
         }
     }
 
@@ -202,8 +233,19 @@ impl ParCsr {
 /// The rank owning index `g` under partition `starts`. Handles empty
 /// ranks (duplicate boundaries): the owner is the rank whose non-empty
 /// range actually contains `g`.
+///
+/// # Panics
+/// Panics (also in release) if `g` lies outside the partition: a
+/// malformed colmap would otherwise index `starts` out of bounds with an
+/// uninformative slice error.
 pub fn owner_of(starts: &[usize], g: usize) -> usize {
-    debug_assert!(g < *starts.last().unwrap());
+    let extent = starts.last().copied().unwrap_or(0);
+    assert!(
+        g < extent,
+        "owner_of: global index {g} outside the partition extent {extent} \
+         ({} ranks) — malformed colmap or wrong `starts`",
+        starts.len().saturating_sub(1)
+    );
     let mut r = match starts.binary_search(&g) {
         Ok(r) => r,
         Err(r) => r - 1,

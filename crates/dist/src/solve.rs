@@ -4,13 +4,20 @@
 //!
 //! Hybrid GS here is GS within a rank and Jacobi across ranks: each
 //! half-sweep snapshots the halo (one exchange), then relaxes local rows
-//! in order, reading local columns live and external columns from the
-//! snapshot — the rank-level analogue of the Fig. 2 kernels.
+//! — interior rows (empty `offd` row) first, boundary rows second, each
+//! group in ascending order — reading local columns live and external
+//! columns from the snapshot, the rank-level analogue of the Fig. 2
+//! kernels. The interior-first ordering is what lets the overlapped mode
+//! (`DistOptFlags::overlap_comm`) relax interior rows while the halo is
+//! still in flight without changing a single floating-point operation:
+//! both modes sweep the same rows in the same order with the same reads.
 
 use crate::comm::{wire, Comm, CommPhase};
 use crate::hierarchy::DistHierarchy;
 use crate::parcsr::ParCsr;
-use crate::spmv::{dist_dot, dist_norm2, dist_residual, dist_residual_norm_sq, dist_spmv};
+use crate::spmv::{
+    dist_dot, dist_norm2, try_dist_residual, try_dist_residual_norm_sq, try_dist_spmv,
+};
 use famg_core::solver::SolveError;
 use famg_core::stats::{CommVolume, PhaseTimes};
 use famg_sparse::counters::flops;
@@ -62,7 +69,11 @@ enum Class {
     Fine,
 }
 
-/// One hybrid GS half-sweep on a level.
+/// One hybrid GS half-sweep on a level: interior rows of the selected
+/// class first (no halo reads), then boundary rows against the halo
+/// snapshot. With `overlap_comm` the interior pass runs while the halo is
+/// in flight; the per-row arithmetic and the sweep order are identical in
+/// both modes, so the result is bitwise mode-independent.
 fn half_sweep(
     comm: &Comm,
     h: &DistHierarchy,
@@ -73,24 +84,53 @@ fn half_sweep(
 ) {
     let lvl = &h.levels[level];
     let a = &lvl.a;
-    let x_ext = lvl.plan_a.exchange(comm, x);
     let my_c0 = a.col_starts[comm.rank()];
-    for i in 0..a.local_rows() {
-        let is_c = lvl.is_coarse[i];
-        if (class == Class::Coarse) != is_c {
-            continue;
-        }
-        let mut acc = b[i];
-        let li = a.row_start + i - my_c0;
-        for (c, v) in a.diag.row_iter(i) {
-            if c != li {
-                acc -= v * x[c];
+    let want = class == Class::Coarse;
+    let relax_interior = |x: &mut [f64]| {
+        for &i in &a.interior_rows {
+            if lvl.is_coarse[i] != want {
+                continue;
             }
+            let mut acc = b[i];
+            let li = a.row_start + i - my_c0;
+            for (c, v) in a.diag.row_iter(i) {
+                if c != li {
+                    acc -= v * x[c];
+                }
+            }
+            x[i] = acc * lvl.dinv[i];
         }
-        for (k, v) in a.offd.row_iter(i) {
-            acc -= v * x_ext[k];
+    };
+    let relax_boundary = |x: &mut [f64], x_ext: &[f64]| {
+        for &i in &a.boundary_rows {
+            if lvl.is_coarse[i] != want {
+                continue;
+            }
+            let mut acc = b[i];
+            let li = a.row_start + i - my_c0;
+            for (c, v) in a.diag.row_iter(i) {
+                if c != li {
+                    acc -= v * x[c];
+                }
+            }
+            for (k, v) in a.offd.row_iter(i) {
+                acc -= v * x_ext[k];
+            }
+            x[i] = acc * lvl.dinv[i];
         }
-        x[i] = acc * lvl.dinv[i];
+    };
+    if h.dist_opt.overlap_comm {
+        // The halo snapshot is taken at post time (sends carry the
+        // pre-sweep values), exactly as in the synchronous mode — the
+        // across-rank Jacobi coupling is unchanged.
+        let inflight = lvl.plan_a.post(comm, x);
+        relax_interior(x);
+        let x_ext = inflight.finish(comm);
+        relax_boundary(x, &x_ext);
+    } else {
+        let x_ext = lvl.plan_a.exchange(comm, x);
+        relax_interior(x);
+        relax_boundary(x, &x_ext);
     }
 }
 
@@ -106,16 +146,52 @@ fn smooth(comm: &Comm, h: &DistHierarchy, level: usize, b: &[f64], x: &mut [f64]
 }
 
 /// Applies one distributed V-cycle at `level`.
+///
+/// # Panics
+/// Panics on mis-sized vectors or a level whose operators and halo plans
+/// disagree; use [`try_dist_vcycle`] for a typed error.
 pub fn dist_vcycle(comm: &Comm, h: &DistHierarchy, level: usize, b: &[f64], x: &mut [f64]) {
+    try_dist_vcycle(comm, h, level, b, x)
+        .unwrap_or_else(|e| panic!("famg distributed V-cycle: {e}"));
+}
+
+/// [`dist_vcycle`] with typed shape errors: every kernel it invokes runs
+/// through its `try_` variant, so a mis-sized vector or a plan/operator
+/// mismatch on *any* level surfaces as a [`SolveError`] instead of a
+/// panic deep inside a kernel. The halo mode follows
+/// `h.dist_opt.overlap_comm`.
+pub fn try_dist_vcycle(
+    comm: &Comm,
+    h: &DistHierarchy,
+    level: usize,
+    b: &[f64],
+    x: &mut [f64],
+) -> Result<(), SolveError> {
     let _span = famg_prof::scope_at("vcycle", level);
     // Attribute this level's traffic (smoothing, transfers, residual).
     let _scope = comm.scoped(level, CommPhase::Solve);
     let lvl = &h.levels[level];
+    let nl = lvl.a.local_rows();
+    if b.len() != nl {
+        return Err(SolveError::DimensionMismatch {
+            expected: nl,
+            got: b.len(),
+            what: "level right-hand side",
+        });
+    }
+    if x.len() != nl {
+        return Err(SolveError::DimensionMismatch {
+            expected: nl,
+            got: x.len(),
+            what: "level iterate",
+        });
+    }
+    let overlap = h.dist_opt.overlap_comm;
     if lvl.p.is_none() {
         // Coarsest: gather to rank 0, dense solve, scatter back.
         let _s = famg_prof::scope_at("coarse_solve", level);
         coarse_solve(comm, h, b, x);
-        return;
+        return Ok(());
     }
     // Past the coarsest-level check a level must carry all four transfer
     // pieces; `DistHierarchy::check_shape` verifies this up front for
@@ -139,23 +215,23 @@ pub fn dist_vcycle(comm: &Comm, h: &DistHierarchy, level: usize, b: &[f64], x: &
     {
         let _s = famg_prof::scope_at("residual", level);
         // Residual only — the norm is unused here, so skip its allreduce.
-        dist_residual(comm, &lvl.a, &lvl.plan_a, x, b, &mut r);
+        try_dist_residual(comm, &lvl.a, &lvl.plan_a, x, b, &mut r, overlap)?;
         famg_prof::counter("flops", flops::spmv(local_nnz(&lvl.a)));
     }
     let mut bc = vec![0.0; rt.local_rows()];
     {
         let _s = famg_prof::scope_at("restrict", level);
-        dist_spmv(comm, rt, plan_r, &r, &mut bc);
+        try_dist_spmv(comm, rt, plan_r, &r, &mut bc, overlap)?;
         famg_prof::counter("flops", flops::spmv(local_nnz(rt)));
     }
 
     let mut xc = vec![0.0; bc.len()];
-    dist_vcycle(comm, h, level + 1, &bc, &mut xc);
+    try_dist_vcycle(comm, h, level + 1, &bc, &mut xc)?;
 
     {
         let _s = famg_prof::scope_at("prolong", level);
         let mut corr = vec![0.0; p.local_rows()];
-        dist_spmv(comm, p, plan_p, &xc, &mut corr);
+        try_dist_spmv(comm, p, plan_p, &xc, &mut corr, overlap)?;
         for (xi, ci) in x.iter_mut().zip(&corr) {
             *xi += ci;
         }
@@ -172,6 +248,7 @@ pub fn dist_vcycle(comm: &Comm, h: &DistHierarchy, level: usize, b: &[f64], x: &
             2 * h.config.num_sweeps as u64 * flops::gs_sweep(local_nnz(&lvl.a)),
         );
     }
+    Ok(())
 }
 
 fn coarse_solve(comm: &Comm, h: &DistHierarchy, b: &[f64], x: &mut [f64]) {
@@ -254,12 +331,14 @@ pub fn try_dist_amg_solve(
     let root_span = famg_prof::scope("solve");
     let scope = comm.scoped(0, CommPhase::Solve);
     let lvl0 = &h.levels[0];
+    let ov = h.dist_opt.overlap_comm;
     let mut r = vec![0.0; b.len()];
     let (bnorm, mut relres);
     {
         let _s = famg_prof::scope("blas1");
         bnorm = dist_norm2(comm, b).max(f64::MIN_POSITIVE);
-        relres = dist_residual_norm_sq(comm, &lvl0.a, &lvl0.plan_a, x, b, &mut r).sqrt() / bnorm;
+        relres = try_dist_residual_norm_sq(comm, &lvl0.a, &lvl0.plan_a, x, b, &mut r, ov)?.sqrt()
+            / bnorm;
         famg_prof::counter(
             "flops",
             flops::dot(b.len()) + flops::spmv(local_nnz(&lvl0.a)) + flops::dot(b.len()),
@@ -267,10 +346,11 @@ pub fn try_dist_amg_solve(
     }
     let mut iterations = 0usize;
     while relres > h.config.tolerance && iterations < h.config.max_iterations {
-        dist_vcycle(comm, h, 0, b, x);
+        try_dist_vcycle(comm, h, 0, b, x)?;
         iterations += 1;
         let _s = famg_prof::scope("blas1");
-        relres = dist_residual_norm_sq(comm, &lvl0.a, &lvl0.plan_a, x, b, &mut r).sqrt() / bnorm;
+        relres = try_dist_residual_norm_sq(comm, &lvl0.a, &lvl0.plan_a, x, b, &mut r, ov)?.sqrt()
+            / bnorm;
         famg_prof::counter(
             "flops",
             flops::spmv(local_nnz(&lvl0.a)) + flops::dot(b.len()),
@@ -327,6 +407,7 @@ pub fn try_dist_fgmres_amg(
     let scope = comm.scoped(0, CommPhase::Solve);
     let lvl0 = &h.levels[0];
     let a = &lvl0.a;
+    let ov = h.dist_opt.overlap_comm;
     let nl = a.local_rows();
     let m = restart.max(1);
     let bnorm = {
@@ -342,7 +423,7 @@ pub fn try_dist_fgmres_amg(
         let beta = {
             let _s = famg_prof::scope("spmv");
             famg_prof::counter("flops", flops::spmv(local_nnz(a)) + flops::dot(nl));
-            dist_residual_norm_sq(comm, a, &lvl0.plan_a, x, b, &mut r).sqrt()
+            try_dist_residual_norm_sq(comm, a, &lvl0.plan_a, x, b, &mut r, ov)?.sqrt()
         };
         relres = beta / bnorm;
         if relres <= tolerance || total_iters >= max_iterations {
@@ -363,11 +444,11 @@ pub fn try_dist_fgmres_amg(
         while inner < m && total_iters < max_iterations {
             // Precondition: one V-cycle from zero.
             let mut zj = vec![0.0; nl];
-            dist_vcycle(comm, h, 0, &v[inner], &mut zj);
+            try_dist_vcycle(comm, h, 0, &v[inner], &mut zj)?;
             let mut w = vec![0.0; nl];
             {
                 let _s = famg_prof::scope("spmv");
-                dist_spmv(comm, a, &lvl0.plan_a, &zj, &mut w);
+                try_dist_spmv(comm, a, &lvl0.plan_a, &zj, &mut w, ov)?;
                 famg_prof::counter("flops", flops::spmv(local_nnz(a)));
             }
             z.push(zj);
@@ -418,7 +499,8 @@ pub fn try_dist_fgmres_amg(
         if total_iters >= max_iterations {
             let _s = famg_prof::scope("spmv");
             let mut r = vec![0.0; nl];
-            relres = dist_residual_norm_sq(comm, a, &lvl0.plan_a, x, b, &mut r).sqrt() / bnorm;
+            relres =
+                try_dist_residual_norm_sq(comm, a, &lvl0.plan_a, x, b, &mut r, ov)?.sqrt() / bnorm;
             famg_prof::counter("flops", flops::spmv(local_nnz(a)) + flops::dot(nl));
             break;
         }
@@ -475,6 +557,7 @@ pub fn try_dist_pcg_amg(
     let scope = comm.scoped(0, CommPhase::Solve);
     let lvl0 = &h.levels[0];
     let a = &lvl0.a;
+    let ov = h.dist_opt.overlap_comm;
     let nl = a.local_rows();
 
     let mut r = vec![0.0; nl];
@@ -482,14 +565,14 @@ pub fn try_dist_pcg_amg(
     {
         let _s = famg_prof::scope("blas1");
         bnorm = dist_norm2(comm, b).max(f64::MIN_POSITIVE);
-        dist_residual_norm_sq(comm, a, &lvl0.plan_a, x, b, &mut r);
+        try_dist_residual_norm_sq(comm, a, &lvl0.plan_a, x, b, &mut r, ov)?;
         famg_prof::counter(
             "flops",
             flops::dot(nl) + flops::spmv(local_nnz(a)) + flops::dot(nl),
         );
     }
     let mut z = vec![0.0; nl];
-    dist_vcycle(comm, h, 0, &r, &mut z);
+    try_dist_vcycle(comm, h, 0, &r, &mut z)?;
     let mut p = z.clone();
     let (mut rz, mut relres);
     {
@@ -505,7 +588,7 @@ pub fn try_dist_pcg_amg(
         let pap;
         {
             let _s = famg_prof::scope("spmv");
-            dist_spmv(comm, a, &lvl0.plan_a, &p, &mut ap);
+            try_dist_spmv(comm, a, &lvl0.plan_a, &p, &mut ap, ov)?;
             pap = dist_dot(comm, &p, &ap);
             famg_prof::counter("flops", flops::spmv(local_nnz(a)) + flops::dot(nl));
         }
@@ -518,7 +601,7 @@ pub fn try_dist_pcg_amg(
             r[i] -= alpha * ap[i];
         }
         z.fill(0.0);
-        dist_vcycle(comm, h, 0, &r, &mut z);
+        try_dist_vcycle(comm, h, 0, &r, &mut z)?;
         {
             let _s = famg_prof::scope("blas1");
             let rz_new = dist_dot(comm, &r, &z);
@@ -632,7 +715,7 @@ mod tests {
         let a = laplace2d(24, 24);
         let cfg = AmgConfig::single_node_paper();
         for nranks in [1usize, 3] {
-            let (x, iters, conv) = solve_dist(&a, &cfg, nranks, DistOptFlags::all(), false);
+            let (x, iters, conv) = solve_dist(&a, &cfg, nranks, DistOptFlags::default(), false);
             assert!(conv, "nranks {nranks}");
             assert!(iters < 40);
             check(&a, &x, cfg.tolerance);
@@ -643,7 +726,7 @@ mod tests {
     fn dist_fgmres_amg_solves_jumpy_problem() {
         let a = amg2013_like(8, 8, 8, 2, 2.0, 3);
         let cfg = AmgConfig::multi_node_ei4();
-        let (x, iters, conv) = solve_dist(&a, &cfg, 2, DistOptFlags::all(), true);
+        let (x, iters, conv) = solve_dist(&a, &cfg, 2, DistOptFlags::default(), true);
         assert!(conv);
         assert!(iters < 60, "iters {iters}");
         check(&a, &x, cfg.tolerance);
@@ -657,7 +740,7 @@ mod tests {
             AmgConfig::multi_node_mp(),
             AmgConfig::multi_node_2s_ei444(),
         ] {
-            let (x, _, conv) = solve_dist(&a, &cfg, 2, DistOptFlags::all(), true);
+            let (x, _, conv) = solve_dist(&a, &cfg, 2, DistOptFlags::default(), true);
             assert!(conv, "{:?}", cfg.interp);
             check(&a, &x, cfg.tolerance);
         }
@@ -686,7 +769,7 @@ mod tests {
         let (parts, _) = run_ranks(3, |c| {
             let r = c.rank();
             let pa = ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
-            let h = DistHierarchy::build(c, pa, &cfg, DistOptFlags::all());
+            let h = DistHierarchy::build(c, pa, &cfg, DistOptFlags::default());
             let bl = b[starts[r]..starts[r + 1]].to_vec();
             let mut xl = vec![0.0; bl.len()];
             let res = dist_pcg_amg(c, &h, &bl, &mut xl, 1e-7, 100);
@@ -711,7 +794,7 @@ mod tests {
         run_ranks(3, |c| {
             let r = c.rank();
             let pa = ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
-            let h = DistHierarchy::build(c, pa, &cfg, DistOptFlags::all());
+            let h = DistHierarchy::build(c, pa, &cfg, DistOptFlags::default());
             // Pre-warm the clock past the hierarchy's own traffic.
             for _ in 0..3 {
                 c.barrier();
@@ -738,7 +821,7 @@ mod tests {
         run_ranks(2, |c| {
             let r = c.rank();
             let pa = ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
-            let h = DistHierarchy::build(c, pa, &cfg, DistOptFlags::all());
+            let h = DistHierarchy::build(c, pa, &cfg, DistOptFlags::default());
             let n = starts[r + 1] - starts[r];
             let bad_b = vec![1.0; n + 1];
             let mut x = vec![0.0; n];
@@ -771,7 +854,7 @@ mod tests {
         run_ranks(2, |c| {
             let r = c.rank();
             let pa = ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
-            let mut h = DistHierarchy::build(c, pa, &cfg, DistOptFlags::all());
+            let mut h = DistHierarchy::build(c, pa, &cfg, DistOptFlags::default());
             assert!(h.num_levels() > 1, "problem too small to be multilevel");
             // Knock out one transfer operator on a non-coarsest level.
             h.levels[0].plan_r = None;
@@ -798,7 +881,7 @@ mod tests {
         run_ranks(2, |c| {
             let r = c.rank();
             let pa = ParCsr::from_global_rows(&a, starts[r], starts[r + 1], starts.clone(), r);
-            let h = DistHierarchy::build(c, pa, &cfg, DistOptFlags::all());
+            let h = DistHierarchy::build(c, pa, &cfg, DistOptFlags::default());
             // Setup captured its own profile with a "setup" root.
             let setup_root = h.profile.find_root("setup").expect("setup profile");
             assert!(setup_root.wall > std::time::Duration::ZERO);
@@ -840,7 +923,7 @@ mod tests {
             coarse_solve_size: 8,
             ..AmgConfig::single_node_paper()
         };
-        let (x, _, conv) = solve_dist(&a, &cfg, 5, DistOptFlags::all(), false);
+        let (x, _, conv) = solve_dist(&a, &cfg, 5, DistOptFlags::default(), false);
         assert!(conv);
         check(&a, &x, cfg.tolerance);
     }
@@ -849,8 +932,8 @@ mod tests {
     fn rank_count_does_not_change_iterations_much() {
         let a = laplace2d(20, 20);
         let cfg = AmgConfig::single_node_paper();
-        let (_, i1, _) = solve_dist(&a, &cfg, 1, DistOptFlags::all(), false);
-        let (_, i4, _) = solve_dist(&a, &cfg, 4, DistOptFlags::all(), false);
+        let (_, i1, _) = solve_dist(&a, &cfg, 1, DistOptFlags::default(), false);
+        let (_, i4, _) = solve_dist(&a, &cfg, 4, DistOptFlags::default(), false);
         // Hybrid smoothing degrades slightly with rank count but stays
         // in the same class (the paper's weak-scaling premise).
         assert!(i4 <= i1 + 4, "iters {i1} -> {i4}");

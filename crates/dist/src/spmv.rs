@@ -4,27 +4,106 @@
 //! and the product of the off-diagonal part with the gathered external
 //! vector. The fused residual + norm kernel mirrors the single-node §3.3
 //! optimization, with the norm finished by one all-reduce.
+//!
+//! Every kernel runs in one of two modes selected by its `overlap` flag:
+//! *synchronous* (halo exchanged up front, then all rows) or *overlapped*
+//! (halo posted, interior rows computed while it is in flight, boundary
+//! rows after `finish`). Both modes perform the identical floating-point
+//! operations per row — interior rows never touch `offd`, boundary rows
+//! always accumulate diag before offd — so their results are bitwise
+//! equal; overlap only changes *when* the wait happens.
 
 use crate::comm::Comm;
 use crate::halo::VectorExchange;
 use crate::parcsr::ParCsr;
-use famg_sparse::spmv::spmv_seq;
+use famg_core::solver::SolveError;
+use famg_sparse::Csr;
 
-/// `y = A x` using a pre-planned halo exchange.
-pub fn dist_spmv(comm: &Comm, a: &ParCsr, plan: &VectorExchange, x_local: &[f64], y: &mut [f64]) {
-    assert_eq!(x_local.len(), a.diag.ncols());
-    assert_eq!(y.len(), a.local_rows());
-    let x_ext = plan.exchange(comm, x_local);
-    // Local block-diagonal product...
-    spmv_seq(&a.diag, x_local, y);
-    // ...plus the off-diagonal contribution.
-    for i in 0..a.local_rows() {
-        let mut acc = 0.0;
-        for (k, v) in a.offd.row_iter(i) {
-            acc += v * x_ext[k];
-        }
-        y[i] += acc;
+/// One row of the block-diagonal product, with the same accumulation
+/// order as `famg_sparse::spmv::spmv_seq` (ascending stored columns).
+#[inline]
+fn diag_row_dot(diag: &Csr, i: usize, x: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (c, v) in diag.row_iter(i) {
+        acc += v * x[c];
     }
+    acc
+}
+
+/// Returns a typed dimension-mismatch error unless `expected == got`.
+fn dim(expected: usize, got: usize, what: &'static str) -> Result<(), SolveError> {
+    if expected == got {
+        Ok(())
+    } else {
+        Err(SolveError::DimensionMismatch {
+            expected,
+            got,
+            what,
+        })
+    }
+}
+
+/// Validates the operator/plan/vector shapes shared by the kernels.
+fn check_kernel_dims(a: &ParCsr, plan: &VectorExchange, x_len: usize) -> Result<(), SolveError> {
+    dim(a.diag.ncols(), x_len, "local x (owned columns)")?;
+    dim(a.offd.ncols(), plan.ext_len(), "halo plan external length")
+}
+
+/// `y = A x` using a pre-planned halo exchange (synchronous halo).
+///
+/// # Panics
+/// Panics on mis-sized vectors or a plan that does not match `a`'s
+/// off-diagonal block; use [`try_dist_spmv`] for a typed error.
+pub fn dist_spmv(comm: &Comm, a: &ParCsr, plan: &VectorExchange, x_local: &[f64], y: &mut [f64]) {
+    try_dist_spmv(comm, a, plan, x_local, y, false)
+        .unwrap_or_else(|e| panic!("famg dist_spmv: {e}"));
+}
+
+/// [`dist_spmv`] with typed shape errors and a selectable halo mode:
+/// with `overlap` the interior rows are computed while the halo is in
+/// flight (bitwise-identical result, see module docs).
+pub fn try_dist_spmv(
+    comm: &Comm,
+    a: &ParCsr,
+    plan: &VectorExchange,
+    x_local: &[f64],
+    y: &mut [f64],
+    overlap: bool,
+) -> Result<(), SolveError> {
+    check_kernel_dims(a, plan, x_local.len())?;
+    dim(a.local_rows(), y.len(), "local y (owned rows)")?;
+    if overlap {
+        let inflight = plan.post(comm, x_local);
+        for &i in &a.interior_rows {
+            y[i] = diag_row_dot(&a.diag, i, x_local);
+        }
+        let x_ext = inflight.finish(comm);
+        for &i in &a.boundary_rows {
+            y[i] = diag_row_dot(&a.diag, i, x_local);
+            let mut acc = 0.0;
+            for (k, v) in a.offd.row_iter(i) {
+                acc += v * x_ext[k];
+            }
+            y[i] += acc;
+        }
+    } else {
+        let x_ext = plan.exchange(comm, x_local);
+        // Local block-diagonal product...
+        for i in 0..a.local_rows() {
+            y[i] = diag_row_dot(&a.diag, i, x_local);
+        }
+        // ...plus the off-diagonal contribution (boundary rows only —
+        // interior rows have no offd entries, and skipping their empty
+        // accumulator keeps the arithmetic identical to the overlap path).
+        for &i in &a.boundary_rows {
+            let mut acc = 0.0;
+            for (k, v) in a.offd.row_iter(i) {
+                acc += v * x_ext[k];
+            }
+            y[i] += acc;
+        }
+    }
+    Ok(())
 }
 
 /// Distributed residual only: `r = b - A x` with no norm and therefore
@@ -32,6 +111,10 @@ pub fn dist_spmv(comm: &Comm, a: &ParCsr, plan: &VectorExchange, x_local: &[f64]
 /// Use this on V-cycle levels where the norm is unused; it returns the
 /// *local* squared norm so callers that do want the global value can
 /// finish it with one all-reduce (see [`dist_residual_norm_sq`]).
+///
+/// # Panics
+/// Panics on mis-sized vectors or a mismatched plan; use
+/// [`try_dist_residual`] for a typed error.
 pub fn dist_residual(
     comm: &Comm,
     a: &ParCsr,
@@ -40,24 +123,73 @@ pub fn dist_residual(
     b_local: &[f64],
     r: &mut [f64],
 ) -> f64 {
-    let x_ext = plan.exchange(comm, x_local);
-    let mut acc_sq = 0.0;
-    for i in 0..a.local_rows() {
-        let mut acc = b_local[i];
-        for (c, v) in a.diag.row_iter(i) {
-            acc -= v * x_local[c];
+    try_dist_residual(comm, a, plan, x_local, b_local, r, false)
+        .unwrap_or_else(|e| panic!("famg dist_residual: {e}"))
+}
+
+/// [`dist_residual`] with typed shape errors and a selectable halo mode.
+/// The local squared norm is always accumulated over `r` in ascending row
+/// order, so synchronous and overlapped runs return bitwise-equal values.
+pub fn try_dist_residual(
+    comm: &Comm,
+    a: &ParCsr,
+    plan: &VectorExchange,
+    x_local: &[f64],
+    b_local: &[f64],
+    r: &mut [f64],
+    overlap: bool,
+) -> Result<f64, SolveError> {
+    check_kernel_dims(a, plan, x_local.len())?;
+    dim(a.local_rows(), b_local.len(), "local right-hand side")?;
+    dim(a.local_rows(), r.len(), "local residual")?;
+    if overlap {
+        let inflight = plan.post(comm, x_local);
+        for &i in &a.interior_rows {
+            let mut acc = b_local[i];
+            for (c, v) in a.diag.row_iter(i) {
+                acc -= v * x_local[c];
+            }
+            r[i] = acc;
         }
-        for (k, v) in a.offd.row_iter(i) {
-            acc -= v * x_ext[k];
+        let x_ext = inflight.finish(comm);
+        for &i in &a.boundary_rows {
+            let mut acc = b_local[i];
+            for (c, v) in a.diag.row_iter(i) {
+                acc -= v * x_local[c];
+            }
+            for (k, v) in a.offd.row_iter(i) {
+                acc -= v * x_ext[k];
+            }
+            r[i] = acc;
         }
-        r[i] = acc;
-        acc_sq += acc * acc;
+    } else {
+        let x_ext = plan.exchange(comm, x_local);
+        for i in 0..a.local_rows() {
+            let mut acc = b_local[i];
+            for (c, v) in a.diag.row_iter(i) {
+                acc -= v * x_local[c];
+            }
+            for (k, v) in a.offd.row_iter(i) {
+                acc -= v * x_ext[k];
+            }
+            r[i] = acc;
+        }
     }
-    acc_sq
+    // Norm pass in ascending row order regardless of the order the rows
+    // were produced in — keeps the sum bitwise mode-independent.
+    let mut acc_sq = 0.0;
+    for &ri in r.iter() {
+        acc_sq += ri * ri;
+    }
+    Ok(acc_sq)
 }
 
 /// Fused distributed residual: `r = b - A x` with `‖r‖²` reduced across
 /// ranks in a single collective. Returns the *global* squared norm.
+///
+/// # Panics
+/// Panics on mis-sized vectors or a mismatched plan; use
+/// [`try_dist_residual_norm_sq`] for a typed error.
 pub fn dist_residual_norm_sq(
     comm: &Comm,
     a: &ParCsr,
@@ -66,8 +198,23 @@ pub fn dist_residual_norm_sq(
     b_local: &[f64],
     r: &mut [f64],
 ) -> f64 {
-    let acc_sq = dist_residual(comm, a, plan, x_local, b_local, r);
-    comm.allreduce_sum(acc_sq, 0x40)
+    try_dist_residual_norm_sq(comm, a, plan, x_local, b_local, r, false)
+        .unwrap_or_else(|e| panic!("famg dist_residual_norm_sq: {e}"))
+}
+
+/// [`dist_residual_norm_sq`] with typed shape errors and a selectable
+/// halo mode.
+pub fn try_dist_residual_norm_sq(
+    comm: &Comm,
+    a: &ParCsr,
+    plan: &VectorExchange,
+    x_local: &[f64],
+    b_local: &[f64],
+    r: &mut [f64],
+    overlap: bool,
+) -> Result<f64, SolveError> {
+    let acc_sq = try_dist_residual(comm, a, plan, x_local, b_local, r, overlap)?;
+    Ok(comm.allreduce_sum(acc_sq, 0x40))
 }
 
 /// Distributed dot product (one all-reduce).

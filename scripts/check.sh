@@ -38,6 +38,14 @@ RAYON_NUM_THREADS=1 cargo test --workspace -q
 echo "==> cargo test (base, parallel pool: RAYON_NUM_THREADS=4)"
 RAYON_NUM_THREADS=4 cargo test --workspace -q
 
+# The distributed kernels run with halo overlap on by default
+# (DistOptFlags::default reads FAMG_OVERLAP_COMM); the workspace runs
+# above covered overlap on, this covers the synchronous path. Results
+# are bitwise identical by contract (tests/halo_overlap.rs).
+echo "==> dist suite with halo overlap disabled (FAMG_OVERLAP_COMM=0)"
+FAMG_OVERLAP_COMM=0 cargo test -q -p famg-dist
+FAMG_OVERLAP_COMM=0 cargo test -q --test halo_overlap
+
 if [[ "$FAST" == "1" ]]; then
     echo "==> fast mode: skipping validate matrix, famg-model, and release stages"
     echo "==> all fast checks passed"
@@ -64,7 +72,11 @@ cargo test -q -p famg-model
 echo "==> comm-volume regression test (release)"
 cargo test -q --release --test comm_volume
 
-echo "==> comm-volume bench smoke (asserts vs dense-alltoall baseline)"
+echo "==> halo overlap regression test (release, bitwise on-vs-off)"
+cargo test -q --release --test halo_overlap
+
+echo "==> comm-volume bench smoke (asserts vs dense-alltoall baseline,"
+echo "    and overlap exposed-wait fraction < synchronous)"
 cargo run -q --release -p famg-bench --bin comm_volume -- --smoke --out target/bench
 
 echo "==> numeric-refresh regression test (release)"

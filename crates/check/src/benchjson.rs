@@ -394,6 +394,29 @@ pub fn validate_bench(doc: &JsonValue, path: &str) -> Result<(), String> {
             ));
         }
     }
+    // Bench-specific contract: multi_rhs records must show the batched
+    // path actually amortizing work — per-RHS time at k = 8 strictly
+    // better than solo solves (a same-run ratio, robust to host speed) —
+    // and the halo message count must be *exactly* k-independent: a k=8
+    // solve driven to the same iteration count sends the same number of
+    // messages as k=1.
+    if bench == "multi_rhs" {
+        let speedup = want_num(doc, path, "extra", "per_rhs_speedup_k8")?;
+        if speedup <= 1.0 {
+            return Err(format!(
+                "{path}: `extra.per_rhs_speedup_k8` = {speedup} is not strictly above 1.0 \
+                 (batching must beat solo per-RHS)"
+            ));
+        }
+        let m1 = want_num(doc, path, "extra", "halo_messages_k1")?;
+        let m8 = want_num(doc, path, "extra", "halo_messages_k8")?;
+        if m1 != m8 {
+            return Err(format!(
+                "{path}: `extra.halo_messages_k8` = {m8} differs from \
+                 `extra.halo_messages_k1` = {m1} (message count must be k-independent)"
+            ));
+        }
+    }
     // Bucket sums must not exceed their recorded totals (self-time
     // attribution can only lose clock to unattributed gaps, never invent
     // it; small float slack for the JSON round-trip).
@@ -589,6 +612,39 @@ mod tests {
         // ...but other benches carry no such obligation.
         let doc = JsonValue::parse(&sample(1000, 8)).unwrap();
         validate_bench(&doc, "test").unwrap();
+    }
+
+    fn multi_rhs_sample(speedup: f64, m1: u64, m8: u64) -> String {
+        sample(1000, 8)
+            .replace("\"bench\": \"thread_scaling\"", "\"bench\": \"multi_rhs\"")
+            .replace(
+                "\"extra\": {\"note\": \"test é\"}",
+                &format!(
+                    "\"extra\": {{\"per_rhs_speedup_k8\": {speedup}, \
+                     \"halo_messages_k1\": {m1}, \"halo_messages_k8\": {m8}}}"
+                ),
+            )
+    }
+
+    #[test]
+    fn validate_gates_multi_rhs_speedup_and_messages() {
+        // Speedup above 1 and identical message counts: ok.
+        let doc = JsonValue::parse(&multi_rhs_sample(1.6, 840, 840)).unwrap();
+        validate_bench(&doc, "test").unwrap();
+        // Per-RHS speedup at or below 1: batching lost, rejected.
+        let doc = JsonValue::parse(&multi_rhs_sample(1.0, 840, 840)).unwrap();
+        let err = validate_bench(&doc, "test").unwrap_err();
+        assert!(err.contains("per_rhs_speedup_k8"), "got: {err}");
+        // Message count grew with k: amortization broken, rejected.
+        let doc = JsonValue::parse(&multi_rhs_sample(1.6, 840, 6720)).unwrap();
+        let err = validate_bench(&doc, "test").unwrap_err();
+        assert!(err.contains("halo_messages_k8"), "got: {err}");
+        // Missing the telemetry entirely: rejected for multi_rhs.
+        let missing =
+            sample(1000, 8).replace("\"bench\": \"thread_scaling\"", "\"bench\": \"multi_rhs\"");
+        let doc = JsonValue::parse(&missing).unwrap();
+        let err = validate_bench(&doc, "test").unwrap_err();
+        assert!(err.contains("per_rhs_speedup_k8"), "got: {err}");
     }
 
     #[test]

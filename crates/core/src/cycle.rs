@@ -13,9 +13,10 @@
 use crate::hierarchy::{Hierarchy, TransferOps};
 use crate::smoother::Workspace;
 use famg_sparse::counters::flops;
+use famg_sparse::spmm::{interp_apply_add_multi, restrict_apply_multi, spmm, spmm_axpby};
 use famg_sparse::spmv::{interp_apply_add, restrict_apply, spmv};
 use famg_sparse::transpose::transpose_par;
-use famg_sparse::Csr;
+use famg_sparse::{Csr, MultiVec};
 
 /// Reusable per-level buffers for V-cycles.
 #[derive(Debug, Default)]
@@ -239,6 +240,248 @@ fn cycle_level(
 /// `x += P * xc` for the full-operator (baseline) representation.
 fn add_spmv(p: &Csr, xc: &[f64], x: &mut [f64]) {
     famg_sparse::spmv::spmv_axpby(p, 1.0, xc, 1.0, x);
+}
+
+/// Reusable per-level block-vector buffers for batched V-cycles (the
+/// k-wide twin of [`CycleWorkspace`], sized for one batch width).
+#[derive(Debug)]
+pub struct BatchCycleWorkspace {
+    /// Batch width the buffers are sized for.
+    k: usize,
+    /// Residual per level.
+    r: Vec<MultiVec>,
+    /// Coarse right-hand side per level.
+    bc: Vec<MultiVec>,
+    /// Coarse correction per level.
+    xc: Vec<MultiVec>,
+    /// Scratch for permutation scatter/gather.
+    scratch: Vec<MultiVec>,
+    /// Finest-level permuted right-hand sides (solver wrapper scratch).
+    pub(crate) fine_b: MultiVec,
+    /// Finest-level permuted iterates (solver wrapper scratch).
+    pub(crate) fine_x: MultiVec,
+    /// Finest-level residuals for convergence checks (solver scratch).
+    pub(crate) fine_r: MultiVec,
+    /// Smoother workspace shared across levels.
+    pub smoother_ws: Workspace,
+}
+
+impl BatchCycleWorkspace {
+    /// Allocates buffers sized for `h` at batch width `k`.
+    pub fn for_hierarchy(h: &Hierarchy, k: usize) -> Self {
+        let mut ws = BatchCycleWorkspace {
+            k,
+            r: Vec::new(),
+            bc: Vec::new(),
+            xc: Vec::new(),
+            scratch: Vec::new(),
+            fine_b: MultiVec::new(h.n(), k),
+            fine_x: MultiVec::new(h.n(), k),
+            fine_r: MultiVec::new(h.n(), k),
+            smoother_ws: Workspace::new(),
+        };
+        for l in &h.levels {
+            let n = l.a.nrows();
+            let nc = l.nc;
+            ws.r.push(MultiVec::new(n, k));
+            ws.bc.push(MultiVec::new(nc, k));
+            ws.xc.push(MultiVec::new(nc, k));
+            ws.scratch.push(MultiVec::new(n.max(nc), k));
+        }
+        ws
+    }
+
+    /// Batch width the workspace was allocated for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+/// Applies one k-wide V-cycle: `X <- Vcycle(B, X)` at the finest stored
+/// level, advancing all `k` right-hand sides per kernel invocation.
+///
+/// Column `j` of the result is bitwise identical to [`vcycle`] on the
+/// extracted column: every batched kernel preserves the scalar kernel's
+/// per-row arithmetic order lane-wise. Spans use the batched kernel names
+/// (`"gs_batch"`, `"spmm"`) so profiles distinguish the two paths while
+/// the Fig. 5 rollup buckets them with their scalar twins.
+pub fn vcycle_batch(h: &Hierarchy, b: &MultiVec, x: &mut MultiVec, ws: &mut BatchCycleWorkspace) {
+    cycle_level_batch(h, 0, b, x, ws, false, h.config.cycle);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn cycle_level_batch(
+    h: &Hierarchy,
+    level: usize,
+    b: &MultiVec,
+    x: &mut MultiVec,
+    ws: &mut BatchCycleWorkspace,
+    x_is_zero: bool,
+    kind: crate::params::CycleKind,
+) {
+    let _lvl_span = famg_prof::scope_at("vcycle", level);
+    let lvl = &h.levels[level];
+    let a = &lvl.a;
+    let n = a.nrows();
+    let k = b.k();
+    debug_assert_eq!(b.n(), n);
+    debug_assert_eq!(x.n(), n);
+    debug_assert_eq!(x.k(), k);
+
+    // Coarsest level: direct solve per column or heavy smoothing.
+    let Some(ops) = lvl.ops.as_ref() else {
+        let _s = famg_prof::scope_at("coarse_solve", level);
+        if let Some(lu) = &h.coarse_lu {
+            famg_prof::counter("flops", flops::lu_solve(n) * k as u64);
+            for j in 0..k {
+                let sol = lu.solve(&b.col(j));
+                x.set_col(j, &sol);
+            }
+        } else {
+            famg_prof::counter(
+                "flops",
+                flops::gs_sweep_batch(a.nnz(), k) * (4 * h.config.num_sweeps) as u64,
+            );
+            for s in 0..4 * h.config.num_sweeps {
+                lvl.smoother
+                    .pre_smooth_batch(a, b, x, &mut ws.smoother_ws, x_is_zero && s == 0);
+            }
+        }
+        return;
+    };
+
+    // Pre-smoothing: C then F, k lanes per row traversal.
+    {
+        let _s = famg_prof::scope_at("gs_batch", level);
+        famg_prof::counter(
+            "flops",
+            flops::gs_sweep_batch(a.nnz(), k) * h.config.num_sweeps as u64,
+        );
+        for s in 0..h.config.num_sweeps {
+            lvl.smoother
+                .pre_smooth_batch(a, b, x, &mut ws.smoother_ws, x_is_zero && s == 0);
+        }
+    }
+
+    // Residual, all k columns per matrix traversal.
+    {
+        let _s = famg_prof::scope_at("spmm", level);
+        famg_prof::counter("flops", flops::spmm(a.nnz(), k) + (n * k) as u64);
+        let mut r = std::mem::take(&mut ws.r[level]);
+        spmm(a, x, &mut r);
+        for (ri, bi) in r.data_mut().iter_mut().zip(b.data()) {
+            *ri = bi - *ri;
+        }
+        ws.r[level] = r;
+    }
+
+    // Restrict into the child's stored ordering.
+    let nc = lvl.nc;
+    let mut bc = std::mem::take(&mut ws.bc[level]);
+    {
+        let _s = famg_prof::scope_at("restrict", level);
+        match ops {
+            TransferOps::CfBlock { pft, .. } => {
+                famg_prof::counter("flops", flops::spmm(pft.nnz(), k));
+                restrict_apply_multi(pft, nc, &ws.r[level], &mut bc);
+            }
+            TransferOps::Full { p, r } => {
+                famg_prof::counter("flops", flops::spmm(p.nnz(), k));
+                if let Some(rt) = r {
+                    spmm(rt, &ws.r[level], &mut bc);
+                } else {
+                    let rt = transpose_par(p);
+                    spmm(&rt, &ws.r[level], &mut bc);
+                }
+            }
+        }
+    }
+    // Scatter through the child's permutation, if any (whole rows move,
+    // so each column sees the scalar scatter exactly).
+    let child_perm = h.levels[level + 1].perm.as_ref();
+    if let Some(q) = child_perm {
+        let _s = famg_prof::scope_at("permute", level);
+        let scratch = std::mem::take(&mut ws.scratch[level + 1]);
+        let mut scratch = scratch;
+        {
+            let sd = scratch.data_mut();
+            let bd = bc.data();
+            for (j, &fwd) in q.forward.iter().enumerate() {
+                sd[fwd * k..(fwd + 1) * k].copy_from_slice(&bd[j * k..(j + 1) * k]);
+            }
+        }
+        bc.data_mut().copy_from_slice(&scratch.data()[..nc * k]);
+        ws.scratch[level + 1] = scratch;
+    }
+
+    // Recurse with zero guess; W/F cycles revisit the coarse level.
+    let mut xc = std::mem::take(&mut ws.xc[level]);
+    xc.fill(0.0);
+    match kind {
+        crate::params::CycleKind::V => {
+            cycle_level_batch(h, level + 1, &bc, &mut xc, ws, true, kind);
+        }
+        crate::params::CycleKind::W => {
+            cycle_level_batch(h, level + 1, &bc, &mut xc, ws, true, kind);
+            cycle_level_batch(h, level + 1, &bc, &mut xc, ws, false, kind);
+        }
+        crate::params::CycleKind::F => {
+            cycle_level_batch(h, level + 1, &bc, &mut xc, ws, true, kind);
+            cycle_level_batch(
+                h,
+                level + 1,
+                &bc,
+                &mut xc,
+                ws,
+                false,
+                crate::params::CycleKind::V,
+            );
+        }
+    }
+
+    // Gather back out of the child's ordering.
+    if let Some(q) = h.levels[level + 1].perm.as_ref() {
+        let _s = famg_prof::scope_at("permute", level);
+        let mut scratch = std::mem::take(&mut ws.scratch[level + 1]);
+        scratch.data_mut()[..nc * k].copy_from_slice(xc.data());
+        {
+            let sd = scratch.data();
+            let xd = xc.data_mut();
+            for (j, &fwd) in q.forward.iter().enumerate() {
+                xd[j * k..(j + 1) * k].copy_from_slice(&sd[fwd * k..(fwd + 1) * k]);
+            }
+        }
+        ws.scratch[level + 1] = scratch;
+    }
+
+    // Prolongate and correct.
+    {
+        let _s = famg_prof::scope_at("prolong", level);
+        match ops {
+            TransferOps::CfBlock { pf, .. } => {
+                famg_prof::counter("flops", flops::spmm(pf.nnz(), k));
+                interp_apply_add_multi(pf, nc, &xc, x);
+            }
+            TransferOps::Full { p, .. } => {
+                famg_prof::counter("flops", flops::spmm(p.nnz(), k) + (n * k) as u64);
+                spmm_axpby(p, 1.0, &xc, 1.0, x);
+            }
+        }
+    }
+    ws.bc[level] = bc;
+    ws.xc[level] = xc;
+
+    // Post-smoothing: F then C.
+    {
+        let _s = famg_prof::scope_at("gs_batch", level);
+        famg_prof::counter(
+            "flops",
+            flops::gs_sweep_batch(a.nnz(), k) * h.config.num_sweeps as u64,
+        );
+        for _ in 0..h.config.num_sweeps {
+            lvl.smoother.post_smooth_batch(a, b, x, &mut ws.smoother_ws);
+        }
+    }
 }
 
 #[cfg(test)]

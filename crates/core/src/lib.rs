@@ -51,5 +51,5 @@ pub mod strength;
 pub use hierarchy::Hierarchy;
 pub use params::{AmgConfig, CoarsenKind, InterpKind, OptFlags, SmootherKind};
 pub use refresh::{FrozenSetup, RefreshError};
-pub use solver::{AmgSolver, SolveError, SolveResult};
+pub use solver::{AmgSolver, BatchSolveResult, SolveError, SolveResult};
 pub use stats::{PhaseTimes, SetupStats};

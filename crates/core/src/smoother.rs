@@ -11,7 +11,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 use crate::reorder::{GsPartition, ThreadOwnership};
-use famg_sparse::Csr;
+use famg_sparse::{Csr, MultiVec};
 use rayon::prelude::*;
 use std::ops::Range;
 
@@ -19,6 +19,12 @@ use std::ops::Range;
 #[derive(Debug, Default)]
 pub struct Workspace {
     temp: Vec<f64>,
+    /// Snapshot buffer for the k-wide batched sweeps (`n * k` lanes).
+    temp_batch: Vec<f64>,
+    /// Column-extraction scratch for the batched fallback path.
+    col_b: Vec<f64>,
+    /// Column-extraction scratch for the batched fallback path.
+    col_x: Vec<f64>,
 }
 
 impl Workspace {
@@ -32,6 +38,13 @@ impl Workspace {
             self.temp.resize(n, 0.0);
         }
         &mut self.temp
+    }
+
+    fn temp_batch(&mut self, n: usize) -> &mut Vec<f64> {
+        if self.temp_batch.len() < n {
+            self.temp_batch.resize(n, 0.0);
+        }
+        &mut self.temp_batch
     }
 }
 
@@ -456,6 +469,252 @@ impl Smoother {
     }
 }
 
+/// Dispatches a k-wide row kernel with a monomorphized lane count for
+/// k ∈ {1, 2, 4, 8}; `K == 0` is the dynamic fallback (any k ≤ 8). The
+/// per-lane arithmetic order is identical in every arm.
+macro_rules! k_lanes {
+    ($k:expr, $func:ident ( $($arg:expr),* $(,)? )) => {
+        match $k {
+            1 => $func::<1>($($arg),*),
+            2 => $func::<2>($($arg),*),
+            4 => $func::<4>($($arg),*),
+            8 => $func::<8>($($arg),*),
+            _ => $func::<0>($($arg),*),
+        }
+    };
+}
+
+/// The k-wide twin of the optimized hybrid GS row loop (Fig. 2b): one
+/// traversal of the `[diag | own-lower | own-upper | ext]` row partition
+/// advances all `k` lanes. Per lane, the entry order and arithmetic match
+/// the scalar kernel exactly, so batch column `j` stays bitwise identical
+/// to a solo sweep of that column.
+#[allow(clippy::too_many_arguments)]
+fn hybrid_opt_rows_batch<const K: usize>(
+    part: &GsPartition,
+    nc: usize,
+    a: &Csr,
+    bd: &[f64],
+    p: &XPtr,
+    temp: &[f64],
+    k: usize,
+    x_is_zero: bool,
+    rows: Range<usize>,
+) {
+    let rowptr = a.rowptr();
+    let colidx = a.colidx();
+    let values = a.values();
+    let kk = if K != 0 { K } else { k };
+    debug_assert!(kk <= 8);
+    for i in rows {
+        let start = rowptr[i];
+        let end = rowptr[i + 1];
+        let up = part.up_start[i];
+        let ext = part.ext_start[i];
+        let mut acc = [0.0f64; 8];
+        acc[..kk].copy_from_slice(&bd[i * kk..i * kk + kk]);
+        // Own lower: always live x.
+        for e in start + 1..up {
+            let v = values[e];
+            let cb = colidx[e] * kk;
+            for j in 0..kk {
+                // SAFETY: own column, only this task writes its lanes.
+                acc[j] -= v * unsafe { *p.0.add(cb + j) };
+            }
+        }
+        if !(x_is_zero && i < nc) {
+            // Own upper: live x (still holds pre-sweep values for c > i).
+            for e in up..ext {
+                let v = values[e];
+                let cb = colidx[e] * kk;
+                for j in 0..kk {
+                    // SAFETY: own column, only this task writes its lanes.
+                    acc[j] -= v * unsafe { *p.0.add(cb + j) };
+                }
+            }
+            // External: snapshot.
+            for e in ext..end {
+                let v = values[e];
+                let cb = colidx[e] * kk;
+                for j in 0..kk {
+                    acc[j] -= v * temp[cb + j];
+                }
+            }
+        }
+        let d = part.dinv[i];
+        let xb = i * kk;
+        for j in 0..kk {
+            // SAFETY: row i is in this task's own range; no other task
+            // touches its lanes.
+            unsafe { *p.0.add(xb + j) = acc[j] * d };
+        }
+    }
+}
+
+/// The k-wide weighted-Jacobi row relaxation (same arithmetic order per
+/// lane as the scalar kernel).
+#[allow(clippy::too_many_arguments)]
+fn jacobi_row_batch<const K: usize>(
+    a: &Csr,
+    dinv: &[f64],
+    omega: f64,
+    bd: &[f64],
+    temp: &[f64],
+    k: usize,
+    i: usize,
+    xr: &mut [f64],
+) {
+    let kk = if K != 0 { K } else { k };
+    debug_assert!(kk <= 8);
+    let mut acc = [0.0f64; 8];
+    acc[..kk].copy_from_slice(&bd[i * kk..i * kk + kk]);
+    for (c, v) in a.row_iter(i) {
+        let cb = c * kk;
+        for j in 0..kk {
+            acc[j] -= v * temp[cb + j];
+        }
+    }
+    let w = omega * dinv[i];
+    let tb = i * kk;
+    for j in 0..kk {
+        xr[j] = temp[tb + j] + w * acc[j];
+    }
+}
+
+impl Smoother {
+    /// Batched pre-smoothing over `k` interleaved columns; the per-class
+    /// sweep sequence matches [`Smoother::pre_smooth`].
+    pub fn pre_smooth_batch(
+        &self,
+        a: &Csr,
+        b: &MultiVec,
+        x: &mut MultiVec,
+        ws: &mut Workspace,
+        x_is_zero: bool,
+    ) {
+        match self {
+            Smoother::HybridBase { .. } => {
+                self.sweep_batch(a, b, x, ws, Class::Coarse, false);
+                self.sweep_batch(a, b, x, ws, Class::Fine, false);
+            }
+            Smoother::HybridOpt { .. } => {
+                self.sweep_batch(a, b, x, ws, Class::Coarse, x_is_zero);
+                self.sweep_batch(a, b, x, ws, Class::Fine, false);
+            }
+            _ => self.sweep_batch(a, b, x, ws, Class::All, false),
+        }
+    }
+
+    /// Batched post-smoothing (F then C, matching
+    /// [`Smoother::post_smooth`]).
+    pub fn post_smooth_batch(&self, a: &Csr, b: &MultiVec, x: &mut MultiVec, ws: &mut Workspace) {
+        match self {
+            Smoother::HybridBase { .. } | Smoother::HybridOpt { .. } => {
+                self.sweep_batch(a, b, x, ws, Class::Fine, false);
+                self.sweep_batch(a, b, x, ws, Class::Coarse, false);
+            }
+            _ => self.sweep_batch(a, b, x, ws, Class::All, false),
+        }
+    }
+
+    /// One k-wide half-sweep. The optimized hybrid GS and Jacobi kernels
+    /// advance all lanes per matrix-row traversal (for k ≤ 8); every
+    /// other smoother — and any wider batch — falls back to extracting
+    /// each column and running the scalar sweep, which is trivially
+    /// bitwise identical to the solo path.
+    pub fn sweep_batch(
+        &self,
+        a: &Csr,
+        b: &MultiVec,
+        x: &mut MultiVec,
+        ws: &mut Workspace,
+        class: Class,
+        x_is_zero: bool,
+    ) {
+        let n = a.nrows();
+        let k = b.k();
+        assert_eq!(b.n(), n);
+        assert_eq!(x.n(), n);
+        assert_eq!(x.k(), k);
+        if k == 0 {
+            return;
+        }
+        match self {
+            Smoother::HybridOpt { part, nc } if k <= 8 => {
+                let nc = *nc;
+                // Zero-guess skip only applies to the coarse sweep, as in
+                // the scalar kernel.
+                let skip_zero = x_is_zero && class == Class::Coarse;
+                let temp = ws.temp_batch(n * k);
+                if !skip_zero {
+                    temp[..n * k].copy_from_slice(x.data());
+                }
+                let temp = &ws.temp_batch[..n * k];
+                let x_is_zero = skip_zero;
+                let bd = b.data();
+                let p = XPtr(x.data_mut().as_mut_ptr());
+                let nt = part.own.nthreads();
+                rayon::scope(|s| {
+                    for t in 0..nt {
+                        let (rows, extra) = match class {
+                            Class::Coarse => (part.own.coarse[t].clone(), None),
+                            Class::Fine => (part.own.fine[t].clone(), None),
+                            Class::All => {
+                                (part.own.coarse[t].clone(), Some(part.own.fine[t].clone()))
+                            }
+                        };
+                        let p = &p;
+                        s.spawn(move |_| {
+                            k_lanes!(
+                                k,
+                                hybrid_opt_rows_batch(part, nc, a, bd, p, temp, k, x_is_zero, rows)
+                            );
+                            if let Some(f) = extra {
+                                k_lanes!(
+                                    k,
+                                    hybrid_opt_rows_batch(
+                                        part, nc, a, bd, p, temp, k, x_is_zero, f
+                                    )
+                                );
+                            }
+                        });
+                    }
+                });
+            }
+            Smoother::Jacobi { dinv, omega } if k <= 8 => {
+                let temp = ws.temp_batch(n * k);
+                temp[..n * k].copy_from_slice(x.data());
+                let temp = &ws.temp_batch[..n * k];
+                let bd = b.data();
+                let omega = *omega;
+                x.data_mut()
+                    .par_chunks_mut(k)
+                    .enumerate()
+                    .with_min_len(512)
+                    .for_each(|(i, xr)| {
+                        k_lanes!(k, jacobi_row_batch(a, dinv, omega, bd, temp, k, i, xr));
+                    });
+            }
+            _ => {
+                // Extract-column fallback: run the scalar kernel per
+                // column (bitwise the solo path by construction).
+                let mut cb = std::mem::take(&mut ws.col_b);
+                let mut cx = std::mem::take(&mut ws.col_x);
+                cb.resize(n, 0.0);
+                cx.resize(n, 0.0);
+                for j in 0..k {
+                    b.copy_col_into(j, &mut cb[..n]);
+                    x.copy_col_into(j, &mut cx[..n]);
+                    self.sweep(a, &cb[..n], &mut cx[..n], ws, class, x_is_zero);
+                    x.set_col(j, &cx[..n]);
+                }
+                ws.col_b = cb;
+                ws.col_x = cx;
+            }
+        }
+    }
+}
+
 /// Sequential textbook Gauss-Seidel sweep (test oracle).
 pub fn gauss_seidel_seq(a: &Csr, b: &[f64], x: &mut [f64]) {
     for i in 0..a.nrows() {
@@ -633,6 +892,56 @@ mod tests {
             sm.sweep(&a, &b, &mut x, &mut ws, Class::All, false);
         }
         assert!(residual(&a, &b, &x) < 0.2 * r0);
+    }
+
+    #[test]
+    fn batched_sweeps_bitwise_match_solo_columns() {
+        // Genuine k-wide kernels (HybridOpt across several tasks, Jacobi)
+        // and the extract-column fallback (Multicolor) must all produce
+        // batch columns bitwise identical to scalar sweeps of those
+        // columns — including the zero-guess skip and a dynamic width.
+        let a0 = laplace2d(14, 11);
+        let n = a0.nrows();
+        let nc = 40;
+        let mut ap = a0.clone();
+        let smoothers = [
+            Smoother::hybrid_opt(&mut ap, nc, 3),
+            Smoother::jacobi(&a0, 2.0 / 3.0),
+            Smoother::multicolor(&a0),
+        ];
+        for (si, sm) in smoothers.iter().enumerate() {
+            let a = if si == 0 { &ap } else { &a0 };
+            for k in [1usize, 3, 4, 8] {
+                for zero_guess in [false, true] {
+                    let bc: Vec<Vec<f64>> = (0..k).map(|j| rhs::random(n, j as u64)).collect();
+                    let xc: Vec<Vec<f64>> = (0..k)
+                        .map(|j| {
+                            if zero_guess {
+                                vec![0.0; n]
+                            } else {
+                                rhs::random(n, 100 + j as u64)
+                            }
+                        })
+                        .collect();
+                    let b = MultiVec::from_columns(&bc);
+                    let mut x = MultiVec::from_columns(&xc);
+                    let mut ws = Workspace::new();
+                    sm.pre_smooth_batch(a, &b, &mut x, &mut ws, zero_guess);
+                    sm.post_smooth_batch(a, &b, &mut x, &mut ws);
+                    for j in 0..k {
+                        let mut solo = xc[j].clone();
+                        let mut ws2 = Workspace::new();
+                        sm.pre_smooth(a, &bc[j], &mut solo, &mut ws2, zero_guess);
+                        sm.post_smooth(a, &bc[j], &mut solo, &mut ws2);
+                        assert_eq!(
+                            x.col(j),
+                            solo,
+                            "smoother {si} k={k} zero={zero_guess} col {j}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -7,15 +7,17 @@
 //! guess, which is how the multi-node evaluation wraps AMG inside
 //! flexible GMRES (Table 4).
 
-use crate::cycle::{vcycle, CycleWorkspace};
+use crate::cycle::{vcycle, vcycle_batch, BatchCycleWorkspace, CycleWorkspace};
 use crate::hierarchy::Hierarchy;
 use crate::params::AmgConfig;
 use crate::refresh::{FrozenSetup, RefreshError};
 use crate::stats::PhaseTimes;
 use famg_sparse::counters::flops;
+use famg_sparse::multivec::{dot_batch, norm2_batch};
+use famg_sparse::spmm::{spmm, spmm_dots};
 use famg_sparse::spmv::{residual_norm_sq, residual_norm_sq_unfused};
 use famg_sparse::vecops;
-use famg_sparse::Csr;
+use famg_sparse::{Csr, MultiVec};
 use parking_lot_free::Mutex;
 
 /// Minimal internal mutex alias so the cycle workspace can be reused
@@ -91,6 +93,46 @@ pub struct SolveResult {
     pub profile: famg_prof::Profile,
 }
 
+/// Outcome of [`AmgSolver::solve_batch`]: the per-column view of a
+/// k-wide solve.
+///
+/// Column `j` is bitwise identical to [`AmgSolver::solve`] on that
+/// right-hand side alone: iterates of converged columns are snapshotted
+/// at their convergence iteration while the remaining columns keep
+/// cycling, so the extra cycles never leak into the reported solution.
+#[derive(Debug, Clone)]
+pub struct BatchSolveResult {
+    /// Number of V-cycles each column needed (capped at
+    /// `max_iterations` for non-converged columns).
+    pub iterations: Vec<usize>,
+    /// Final relative residual per column, sampled at each column's own
+    /// stopping iteration.
+    pub final_relres: Vec<f64>,
+    /// Whether each column reached the tolerance within the cap.
+    pub converged: Vec<bool>,
+    /// Relative residual after every cycle, per column (truncated at
+    /// the column's convergence iteration).
+    pub history: Vec<Vec<f64>>,
+    /// Solve-phase timing breakdown for the whole batch (Fig. 5
+    /// categories), derived from `profile`.
+    pub times: PhaseTimes,
+    /// Full span profile of the batched solve. Empty when the `prof`
+    /// feature is off.
+    pub profile: famg_prof::Profile,
+}
+
+impl BatchSolveResult {
+    /// Batch width.
+    pub fn k(&self) -> usize {
+        self.converged.len()
+    }
+
+    /// True when every column reached the tolerance.
+    pub fn all_converged(&self) -> bool {
+        self.converged.iter().all(|&c| c)
+    }
+}
+
 /// A ready-to-solve AMG instance (setup already performed).
 ///
 /// ```
@@ -108,6 +150,9 @@ pub struct AmgSolver {
     hierarchy: Hierarchy,
     frozen: Option<FrozenSetup>,
     ws: Mutex<CycleWorkspace>,
+    /// Lazily allocated k-wide workspace, rebuilt when the batch width
+    /// changes between [`AmgSolver::solve_batch`] calls.
+    batch_ws: Mutex<Option<BatchCycleWorkspace>>,
 }
 
 impl AmgSolver {
@@ -119,6 +164,7 @@ impl AmgSolver {
             hierarchy,
             frozen: None,
             ws,
+            batch_ws: Mutex::new(None),
         }
     }
 
@@ -132,6 +178,7 @@ impl AmgSolver {
             hierarchy,
             frozen: Some(frozen),
             ws,
+            batch_ws: Mutex::new(None),
         }
     }
 
@@ -155,6 +202,7 @@ impl AmgSolver {
             hierarchy,
             frozen: None,
             ws,
+            batch_ws: Mutex::new(None),
         })
     }
 
@@ -295,6 +343,229 @@ impl AmgSolver {
         match perm {
             Some(q) => q.unapply_vec_into(&px, z),
             None => z.copy_from_slice(&px),
+        }
+        ws.fine_b = pb;
+        ws.fine_x = px;
+    }
+
+    /// Solves `A X = B` for all `k` columns of `b` simultaneously,
+    /// starting from the initial guesses already in `x`.
+    ///
+    /// Every V-cycle advances all right-hand sides through each kernel
+    /// invocation (SpMM, k-wide smoother sweeps), amortizing matrix
+    /// traversals — and, on the distributed path, halo messages — over
+    /// the batch. Column `j` of the result is bitwise identical to
+    /// [`AmgSolver::solve`] on that column alone: columns that converge
+    /// early are snapshotted at their own stopping iteration while the
+    /// rest keep cycling.
+    ///
+    /// # Panics
+    /// Panics on a malformed hierarchy or mis-shaped block vectors; see
+    /// [`AmgSolver::try_solve_batch`] for the typed-error variant.
+    pub fn solve_batch(&self, b: &MultiVec, x: &mut MultiVec) -> BatchSolveResult {
+        self.try_solve_batch(b, x)
+            .unwrap_or_else(|e| panic!("famg solve_batch: {e}"))
+    }
+
+    /// Like [`AmgSolver::solve_batch`], but returns a typed error
+    /// instead of panicking on a malformed hierarchy or mis-shaped
+    /// block vectors.
+    pub fn try_solve_batch(
+        &self,
+        b: &MultiVec,
+        x: &mut MultiVec,
+    ) -> Result<BatchSolveResult, SolveError> {
+        let h = &self.hierarchy;
+        let cfg = &h.config;
+        h.check_shape()?;
+        let n = h.n();
+        if b.n() != n {
+            return Err(SolveError::DimensionMismatch {
+                expected: n,
+                got: b.n(),
+                what: "right-hand side block",
+            });
+        }
+        if x.n() != n {
+            return Err(SolveError::DimensionMismatch {
+                expected: n,
+                got: x.n(),
+                what: "initial guess block",
+            });
+        }
+        let k = b.k();
+        if x.k() != k {
+            return Err(SolveError::DimensionMismatch {
+                expected: k,
+                got: x.k(),
+                what: "initial guess block width",
+            });
+        }
+        if k == 0 {
+            return Ok(BatchSolveResult {
+                iterations: Vec::new(),
+                final_relres: Vec::new(),
+                converged: Vec::new(),
+                history: Vec::new(),
+                times: PhaseTimes::default(),
+                profile: famg_prof::Profile::default(),
+            });
+        }
+        let mut guard = self.batch_ws.lock().unwrap();
+        if guard.as_ref().is_none_or(|w| w.k() != k) {
+            *guard = Some(BatchCycleWorkspace::for_hierarchy(h, k));
+        }
+        let ws = guard.as_mut().unwrap();
+        let root_span = famg_prof::scope("solve");
+
+        // Move into the stored (possibly CF-permuted) ordering; buffers
+        // are taken out of the workspace so `ws` stays borrowable.
+        let permute_span = famg_prof::scope("permute");
+        let perm = h.levels[0].perm.as_ref();
+        let mut pb = std::mem::take(&mut ws.fine_b);
+        let mut px = std::mem::take(&mut ws.fine_x);
+        let mut r = std::mem::take(&mut ws.fine_r);
+        if let Some(q) = perm {
+            q.apply_multi_into(b, &mut pb);
+            q.apply_multi_into(x, &mut px);
+        } else {
+            pb.copy_from(b);
+            px.copy_from(x);
+        }
+        drop(permute_span);
+
+        let a = &h.levels[0].a;
+        let mut bnorms = vec![0.0; k];
+        {
+            let _s = famg_prof::scope("blas1");
+            famg_prof::counter("flops", flops::dot_batch(n, k));
+            norm2_batch(&pb, &mut bnorms);
+        }
+        for bn in &mut bnorms {
+            *bn = bn.max(f64::MIN_POSITIVE);
+        }
+
+        // Per-column relative residuals; each column's value is bitwise
+        // identical to the scalar `norm_of` closure in `try_solve`.
+        let norm_of = |px: &MultiVec, r: &mut MultiVec, out: &mut [f64]| {
+            let _s = famg_prof::scope("blas1");
+            famg_prof::counter("flops", flops::spmm(a.nnz(), k) + flops::dot_batch(n, k));
+            if cfg.opt.fused_residual_norm {
+                spmm_dots(a, px, &pb, r, out);
+            } else {
+                spmm(a, px, r);
+                for (ri, bi) in r.data_mut().iter_mut().zip(pb.data()) {
+                    *ri = bi - *ri;
+                }
+                dot_batch(r, r, out);
+            }
+            for (o, bn) in out.iter_mut().zip(&bnorms) {
+                *o = o.sqrt() / bn;
+            }
+        };
+
+        let mut history: Vec<Vec<f64>> = vec![Vec::new(); k];
+        let mut relres = vec![0.0; k];
+        norm_of(&px, &mut r, &mut relres);
+        let mut final_relres = relres.clone();
+        let mut col_iterations = vec![0usize; k];
+        // Columns that hit the tolerance freeze: their iterate is
+        // snapshotted at the convergence iteration (the state the solo
+        // solve would have exited with) while the rest keep cycling.
+        let mut frozen_cols: Vec<Option<Vec<f64>>> = vec![None; k];
+        let mut done: Vec<bool> = relres.iter().map(|&rr| rr <= cfg.tolerance).collect();
+        for j in 0..k {
+            if done[j] {
+                frozen_cols[j] = Some(px.col(j));
+            }
+        }
+        let mut iterations = 0usize;
+        while done.iter().any(|d| !d) && iterations < cfg.max_iterations {
+            vcycle_batch(h, &pb, &mut px, ws);
+            iterations += 1;
+            norm_of(&px, &mut r, &mut relres);
+            for j in 0..k {
+                if done[j] {
+                    continue;
+                }
+                history[j].push(relres[j]);
+                final_relres[j] = relres[j];
+                col_iterations[j] = iterations;
+                if relres[j] <= cfg.tolerance {
+                    done[j] = true;
+                    frozen_cols[j] = Some(px.col(j));
+                }
+            }
+        }
+        for (j, frozen) in frozen_cols.iter().enumerate() {
+            if let Some(col) = frozen {
+                px.set_col(j, col);
+            }
+        }
+
+        let permute_span = famg_prof::scope("permute");
+        match perm {
+            Some(q) => q.unapply_multi_into(&px, x),
+            None => x.copy_from(&px),
+        }
+        ws.fine_b = pb;
+        ws.fine_x = px;
+        ws.fine_r = r;
+        drop(permute_span);
+
+        drop(root_span);
+        let profile = famg_prof::take();
+        let times = profile
+            .find_root("solve")
+            .map(PhaseTimes::from_span)
+            .unwrap_or_default();
+
+        let converged = final_relres.iter().map(|&rr| rr <= cfg.tolerance).collect();
+        Ok(BatchSolveResult {
+            iterations: col_iterations,
+            final_relres,
+            converged,
+            history,
+            times,
+            profile,
+        })
+    }
+
+    /// Applies one V-cycle from a zero initial guess to all `k` columns:
+    /// `Z ≈ A⁻¹ R`. The batched twin of [`AmgSolver::apply`] for
+    /// preconditioning a block Krylov iteration; column `j` is bitwise
+    /// identical to `apply` on that column alone.
+    ///
+    /// # Panics
+    /// Panics when `rin` and `z` disagree in shape or do not match the
+    /// finest-level unknown count.
+    pub fn apply_batch(&self, rin: &MultiVec, z: &mut MultiVec) {
+        let h = &self.hierarchy;
+        let n = h.n();
+        let k = rin.k();
+        assert_eq!(rin.n(), n, "apply_batch: residual block has wrong n");
+        assert_eq!(z.n(), n, "apply_batch: output block has wrong n");
+        assert_eq!(z.k(), k, "apply_batch: output block has wrong width");
+        if k == 0 {
+            return;
+        }
+        let mut guard = self.batch_ws.lock().unwrap();
+        if guard.as_ref().is_none_or(|w| w.k() != k) {
+            *guard = Some(BatchCycleWorkspace::for_hierarchy(h, k));
+        }
+        let ws = guard.as_mut().unwrap();
+        let perm = h.levels[0].perm.as_ref();
+        let mut pb = std::mem::take(&mut ws.fine_b);
+        let mut px = std::mem::take(&mut ws.fine_x);
+        match perm {
+            Some(q) => q.apply_multi_into(rin, &mut pb),
+            None => pb.copy_from(rin),
+        }
+        px.fill(0.0);
+        vcycle_batch(h, &pb, &mut px, ws);
+        match perm {
+            Some(q) => q.unapply_multi_into(&px, z),
+            None => z.copy_from(&px),
         }
         ws.fine_b = pb;
         ws.fine_x = px;
@@ -526,6 +797,131 @@ mod tests {
             matches!(err, SolveError::MalformedHierarchy { level: 0, .. }),
             "{err}"
         );
+    }
+
+    /// Batched solve: every column bitwise identical to the solo solve
+    /// of that right-hand side, across widths and both residual-norm
+    /// paths (fused and unfused).
+    #[test]
+    fn solve_batch_bitwise_matches_solo_columns() {
+        let a = laplace2d(28, 28);
+        let n = a.nrows();
+        for fused in [true, false] {
+            let mut cfg = AmgConfig::single_node_paper();
+            cfg.opt.fused_residual_norm = fused;
+            let solver = AmgSolver::setup(&a, &cfg);
+            for k in [1usize, 3, 4, 8] {
+                let cols: Vec<Vec<f64>> = (0..k).map(|j| rhs::random(n, 100 + j as u64)).collect();
+                let b = MultiVec::from_columns(&cols);
+                let mut x = MultiVec::new(n, k);
+                let res = solver.solve_batch(&b, &mut x);
+                assert!(res.all_converged());
+                assert_eq!(res.k(), k);
+                for (j, col) in cols.iter().enumerate() {
+                    let mut xs = vec![0.0; n];
+                    let solo = solver.solve(col, &mut xs);
+                    assert_eq!(
+                        res.iterations[j], solo.iterations,
+                        "fused={fused} k={k} col {j} iteration count"
+                    );
+                    assert_eq!(
+                        res.final_relres[j].to_bits(),
+                        solo.final_relres.to_bits(),
+                        "fused={fused} k={k} col {j} final relres"
+                    );
+                    assert_eq!(res.history[j], solo.history);
+                    let xb = x.col(j);
+                    for (i, (bv, sv)) in xb.iter().zip(&xs).enumerate() {
+                        assert_eq!(
+                            bv.to_bits(),
+                            sv.to_bits(),
+                            "fused={fused} k={k} col {j} row {i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Early-converged columns are frozen at their own stopping
+    /// iteration while slower columns keep cycling to the cap.
+    #[test]
+    fn solve_batch_masks_converged_columns() {
+        let a = laplace2d(24, 24);
+        let n = a.nrows();
+        // Cap iterations so the rough random column cannot converge.
+        let cfg = AmgConfig {
+            max_iterations: 3,
+            ..AmgConfig::single_node_paper()
+        };
+        let solver = AmgSolver::setup(&a, &cfg);
+        // Column 0 starts converged (zero RHS, zero guess); column 1
+        // will not make the tolerance in 3 cycles.
+        let cols = vec![vec![0.0; n], rhs::random(n, 7)];
+        let b = MultiVec::from_columns(&cols);
+        let mut x = MultiVec::new(n, 2);
+        let res = solver.solve_batch(&b, &mut x);
+        assert!(res.converged[0]);
+        assert_eq!(res.iterations[0], 0);
+        assert!(res.history[0].is_empty());
+        assert!(x.col(0).iter().all(|&v| v == 0.0));
+        assert!(!res.converged[1]);
+        assert_eq!(res.iterations[1], 3);
+        let mut xs = vec![0.0; n];
+        let solo = solver.solve(&cols[1], &mut xs);
+        assert!(!solo.converged);
+        assert_eq!(res.final_relres[1].to_bits(), solo.final_relres.to_bits());
+        assert_eq!(x.col(1), xs);
+    }
+
+    /// Width-zero batches are a no-op, and mis-shaped blocks are
+    /// rejected with typed errors.
+    #[test]
+    fn solve_batch_edge_shapes() {
+        let a = laplace2d(16, 16);
+        let n = a.nrows();
+        let solver = AmgSolver::setup(&a, &AmgConfig::single_node_paper());
+        let b = MultiVec::new(n, 0);
+        let mut x = MultiVec::new(n, 0);
+        let res = solver.solve_batch(&b, &mut x);
+        assert_eq!(res.k(), 0);
+        assert!(res.all_converged());
+
+        let b = MultiVec::new(n, 2);
+        let mut x_short = MultiVec::new(n - 1, 2);
+        let err = solver.try_solve_batch(&b, &mut x_short).unwrap_err();
+        assert!(matches!(err, SolveError::DimensionMismatch { .. }), "{err}");
+        let mut x_narrow = MultiVec::new(n, 1);
+        let err = solver.try_solve_batch(&b, &mut x_narrow).unwrap_err();
+        assert_eq!(
+            err,
+            SolveError::DimensionMismatch {
+                expected: 2,
+                got: 1,
+                what: "initial guess block width",
+            }
+        );
+    }
+
+    /// The batched preconditioner application matches per-column
+    /// `apply` bitwise, including after a width change re-allocates the
+    /// cached workspace.
+    #[test]
+    fn apply_batch_bitwise_matches_solo_apply() {
+        let a = laplace2d(20, 20);
+        let n = a.nrows();
+        let solver = AmgSolver::setup(&a, &AmgConfig::single_node_paper());
+        for k in [4usize, 2] {
+            let cols: Vec<Vec<f64>> = (0..k).map(|j| rhs::random(n, 40 + j as u64)).collect();
+            let r = MultiVec::from_columns(&cols);
+            let mut z = MultiVec::new(n, k);
+            solver.apply_batch(&r, &mut z);
+            for (j, col) in cols.iter().enumerate() {
+                let mut zs = vec![0.0; n];
+                solver.apply(col, &mut zs);
+                assert_eq!(z.col(j), zs, "k={k} col {j}");
+            }
+        }
     }
 
     #[test]

@@ -124,14 +124,21 @@ impl Bucket {
 fn classify(name: &str, solve_phase: bool) -> Option<Bucket> {
     if matches!(
         name,
-        "halo" | "halo_inflight" | "halo_post" | "halo_wait" | "spgemm" | "gather" | "scatter"
+        "halo"
+            | "halo_inflight"
+            | "halo_post"
+            | "halo_wait"
+            | "halo_batch"
+            | "spgemm"
+            | "gather"
+            | "scatter"
     ) {
         return None;
     }
     Some(if solve_phase {
         match name {
-            "smooth" => Bucket::Gs,
-            "residual" | "restrict" | "prolong" | "spmv" => Bucket::Spmv,
+            "smooth" | "gs_batch" => Bucket::Gs,
+            "residual" | "restrict" | "prolong" | "spmv" | "spmm" => Bucket::Spmv,
             "blas1" | "dot" | "norm" => Bucket::Blas1,
             // "solve", "vcycle", "coarse_solve", "permute", ...
             _ => Bucket::SolveEtc,

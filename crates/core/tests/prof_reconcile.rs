@@ -73,6 +73,54 @@ fn setup_and_solve_times_are_projections_of_the_span_tree() {
 }
 
 #[test]
+fn solve_batch_times_are_projections_of_the_span_tree() {
+    let a = laplace2d(40, 40);
+    let n = a.nrows();
+    let cfg = AmgConfig::single_node_paper();
+    let solver = AmgSolver::setup(&a, &cfg);
+    let cols: Vec<Vec<f64>> = (0..4)
+        .map(|j| (0..n).map(|i| ((i + j) % 9) as f64 - 4.0).collect())
+        .collect();
+    let b = famg_sparse::MultiVec::from_columns(&cols);
+    let mut x = famg_sparse::MultiVec::new(n, 4);
+    let res = solver.solve_batch(&b, &mut x);
+    assert!(res.all_converged());
+
+    if !famg_prof::enabled() {
+        assert_eq!(res.times.solve_total(), Duration::ZERO);
+        assert!(res.profile.find_root("solve").is_none());
+        return;
+    }
+
+    let root = res.profile.find_root("solve").expect("solve span captured");
+    assert_covers(res.times.solve_total(), root.wall, "solve_batch");
+    assert_eq!(
+        PhaseTimes::from_span(root).solve_total(),
+        res.times.solve_total()
+    );
+    // Batched kernels report their k-scaled flops onto the same tree:
+    // a k=4 batch must count at least 4x one scalar V-cycle's work.
+    assert!(res.profile.total_counter("flops") > 0);
+    assert_eq!(
+        res.profile.total_counter("flops"),
+        root.total_counter("flops")
+    );
+    // The batched smoother and SpMM windows classify into the Fig. 5
+    // buckets (gs_batch -> smoothing, spmm -> SpMV) rather than
+    // vanishing into "other".
+    let mut solo_x = vec![0.0; n];
+    let solo = solver.solve(&cols[0], &mut solo_x);
+    let solo_root = solo.profile.find_root("solve").expect("solo span");
+    assert!(solo_root.total_counter("flops") > 0);
+    assert!(
+        res.profile.total_counter("flops") >= 4 * solo_root.total_counter("flops"),
+        "batch flops {} < 4x solo flops {}",
+        res.profile.total_counter("flops"),
+        solo_root.total_counter("flops")
+    );
+}
+
+#[test]
 fn refresh_times_are_projections_of_the_refresh_span() {
     let a = laplace2d(32, 32);
     let cfg = AmgConfig::single_node_paper();

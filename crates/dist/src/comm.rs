@@ -631,6 +631,27 @@ impl Comm {
         self.reduce_bcast(v, tag, 8, 8, |all| all.into_iter().sum())
     }
 
+    /// Global per-component sum of a vector. Component `j` is combined
+    /// in rank order with the same `0 + v₀ + v₁ + …` fold as
+    /// [`allreduce_sum`](Self::allreduce_sum), so it is bitwise
+    /// identical to a scalar all-reduce of that component alone — while
+    /// the whole vector rides one gather/broadcast round, keeping the
+    /// message count independent of the vector length. This is how the
+    /// batched solvers reduce `k` residual norms for the price of one.
+    pub fn allreduce_sum_vec(&self, v: Vec<f64>, tag: u64) -> Vec<f64> {
+        let b = wire::f64s(v.len());
+        self.reduce_bcast(v, tag, b, b, |all| {
+            let mut out = vec![0.0f64; all.first().map_or(0, Vec::len)];
+            for rank_v in all {
+                debug_assert_eq!(rank_v.len(), out.len());
+                for (o, x) in out.iter_mut().zip(&rank_v) {
+                    *o += x;
+                }
+            }
+            out
+        })
+    }
+
     /// Global max of a scalar.
     pub fn allreduce_max(&self, v: f64, tag: u64) -> f64 {
         self.reduce_bcast(v, tag, 8, 8, |all| {

@@ -16,11 +16,13 @@ use crate::comm::{wire, Comm, CommPhase};
 use crate::hierarchy::DistHierarchy;
 use crate::parcsr::ParCsr;
 use crate::spmv::{
-    dist_dot, dist_norm2, try_dist_residual, try_dist_residual_norm_sq, try_dist_spmv,
+    dist_dot, dist_norm2, dist_norm2_multi, try_dist_residual, try_dist_residual_multi,
+    try_dist_residual_norm_sq, try_dist_residual_norm_sq_multi, try_dist_spmv, try_dist_spmv_multi,
 };
 use famg_core::solver::SolveError;
 use famg_core::stats::{CommVolume, PhaseTimes};
 use famg_sparse::counters::flops;
+use famg_sparse::MultiVec;
 
 /// Snapshot of this rank's sent-traffic counters (for phase windows).
 fn comm_mark(comm: &Comm) -> (u64, u64) {
@@ -131,6 +133,104 @@ fn half_sweep(
         let x_ext = lvl.plan_a.exchange(comm, x);
         relax_interior(x);
         relax_boundary(x, &x_ext);
+    }
+}
+
+/// Batched hybrid GS half-sweep: one halo exchange (one envelope per
+/// neighbor, all `k` columns inside) per half-sweep regardless of the
+/// batch width. The per-row, per-lane arithmetic follows [`half_sweep`]
+/// exactly — interior rows of the selected class first, then boundary
+/// rows against the strided halo snapshot — so column `j` is bitwise
+/// identical to the scalar sweep on that column, in both halo modes.
+fn half_sweep_multi(
+    comm: &Comm,
+    h: &DistHierarchy,
+    level: usize,
+    b: &MultiVec,
+    x: &mut MultiVec,
+    class: Class,
+) {
+    let lvl = &h.levels[level];
+    let a = &lvl.a;
+    let k = b.k();
+    let my_c0 = a.col_starts[comm.rank()];
+    let want = class == Class::Coarse;
+    let bd = b.data();
+    let mut acc = vec![0.0f64; k];
+    let relax_interior = |x: &mut MultiVec, acc: &mut [f64]| {
+        let xd = x.data_mut();
+        for &i in &a.interior_rows {
+            if lvl.is_coarse[i] != want {
+                continue;
+            }
+            acc.copy_from_slice(&bd[i * k..(i + 1) * k]);
+            let li = a.row_start + i - my_c0;
+            for (c, v) in a.diag.row_iter(i) {
+                if c != li {
+                    for (aj, xj) in acc.iter_mut().zip(&xd[c * k..(c + 1) * k]) {
+                        *aj -= v * xj;
+                    }
+                }
+            }
+            let d = lvl.dinv[i];
+            for (xj, aj) in xd[i * k..(i + 1) * k].iter_mut().zip(acc.iter()) {
+                *xj = aj * d;
+            }
+        }
+    };
+    let relax_boundary = |x: &mut MultiVec, x_ext: &[f64], acc: &mut [f64]| {
+        let xd = x.data_mut();
+        for &i in &a.boundary_rows {
+            if lvl.is_coarse[i] != want {
+                continue;
+            }
+            acc.copy_from_slice(&bd[i * k..(i + 1) * k]);
+            let li = a.row_start + i - my_c0;
+            for (c, v) in a.diag.row_iter(i) {
+                if c != li {
+                    for (aj, xj) in acc.iter_mut().zip(&xd[c * k..(c + 1) * k]) {
+                        *aj -= v * xj;
+                    }
+                }
+            }
+            for (e, v) in a.offd.row_iter(i) {
+                for (aj, xj) in acc.iter_mut().zip(&x_ext[e * k..(e + 1) * k]) {
+                    *aj -= v * xj;
+                }
+            }
+            let d = lvl.dinv[i];
+            for (xj, aj) in xd[i * k..(i + 1) * k].iter_mut().zip(acc.iter()) {
+                *xj = aj * d;
+            }
+        }
+    };
+    if h.dist_opt.overlap_comm {
+        let inflight = lvl.plan_a.post_multi(comm, x);
+        relax_interior(x, &mut acc);
+        let x_ext = inflight.finish(comm);
+        relax_boundary(x, &x_ext, &mut acc);
+    } else {
+        let x_ext = lvl.plan_a.exchange_multi(comm, x);
+        relax_interior(x, &mut acc);
+        relax_boundary(x, &x_ext, &mut acc);
+    }
+}
+
+/// Batched C-F (pre) or F-C (post) smoothing.
+fn smooth_multi(
+    comm: &Comm,
+    h: &DistHierarchy,
+    level: usize,
+    b: &MultiVec,
+    x: &mut MultiVec,
+    pre: bool,
+) {
+    if pre {
+        half_sweep_multi(comm, h, level, b, x, Class::Coarse);
+        half_sweep_multi(comm, h, level, b, x, Class::Fine);
+    } else {
+        half_sweep_multi(comm, h, level, b, x, Class::Fine);
+        half_sweep_multi(comm, h, level, b, x, Class::Coarse);
     }
 }
 
@@ -251,6 +351,171 @@ pub fn try_dist_vcycle(
     Ok(())
 }
 
+/// Applies one distributed V-cycle at `level` to a block of `k`
+/// right-hand sides.
+///
+/// # Panics
+/// Panics on mis-sized blocks or a malformed level; use
+/// [`try_dist_vcycle_multi`] for a typed error.
+pub fn dist_vcycle_multi(
+    comm: &Comm,
+    h: &DistHierarchy,
+    level: usize,
+    b: &MultiVec,
+    x: &mut MultiVec,
+) {
+    try_dist_vcycle_multi(comm, h, level, b, x)
+        .unwrap_or_else(|e| panic!("famg distributed batched V-cycle: {e}"));
+}
+
+/// Batched [`try_dist_vcycle`]: one traversal advances all `k` columns,
+/// with every halo exchange sending one envelope per neighbor (the
+/// message count is independent of `k`). Span-for-span it mirrors the
+/// scalar cycle — smoothing windows are named `gs_batch` and transfer /
+/// residual windows run the `*_multi` kernels — and column `j` of the
+/// result is bitwise identical to the scalar V-cycle applied to column
+/// `j` alone, in both halo modes.
+pub fn try_dist_vcycle_multi(
+    comm: &Comm,
+    h: &DistHierarchy,
+    level: usize,
+    b: &MultiVec,
+    x: &mut MultiVec,
+) -> Result<(), SolveError> {
+    let _span = famg_prof::scope_at("vcycle", level);
+    let _scope = comm.scoped(level, CommPhase::Solve);
+    let lvl = &h.levels[level];
+    let nl = lvl.a.local_rows();
+    let k = b.k();
+    if b.n() != nl {
+        return Err(SolveError::DimensionMismatch {
+            expected: nl,
+            got: b.n(),
+            what: "level right-hand side block",
+        });
+    }
+    if x.n() != nl {
+        return Err(SolveError::DimensionMismatch {
+            expected: nl,
+            got: x.n(),
+            what: "level iterate block",
+        });
+    }
+    if x.k() != k {
+        return Err(SolveError::DimensionMismatch {
+            expected: k,
+            got: x.k(),
+            what: "level iterate block width",
+        });
+    }
+    let overlap = h.dist_opt.overlap_comm;
+    if lvl.p.is_none() {
+        let _s = famg_prof::scope_at("coarse_solve", level);
+        coarse_solve_multi(comm, h, b, x);
+        return Ok(());
+    }
+    let (p, plan_p, rt, plan_r) = lvl
+        .transfers()
+        .expect("hierarchy invariant: non-coarsest level is missing P/R or their halo plans");
+
+    {
+        let _s = famg_prof::scope_at("gs_batch", level);
+        for _ in 0..h.config.num_sweeps {
+            smooth_multi(comm, h, level, b, x, true);
+        }
+        famg_prof::counter(
+            "flops",
+            2 * h.config.num_sweeps as u64 * flops::gs_sweep_batch(local_nnz(&lvl.a), k),
+        );
+    }
+
+    let mut r = MultiVec::new(nl, k);
+    {
+        let _s = famg_prof::scope_at("residual", level);
+        try_dist_residual_multi(comm, &lvl.a, &lvl.plan_a, x, b, &mut r, overlap)?;
+        famg_prof::counter("flops", flops::spmm(local_nnz(&lvl.a), k));
+    }
+    let mut bc = MultiVec::new(rt.local_rows(), k);
+    {
+        let _s = famg_prof::scope_at("restrict", level);
+        try_dist_spmv_multi(comm, rt, plan_r, &r, &mut bc, overlap)?;
+        famg_prof::counter("flops", flops::spmm(local_nnz(rt), k));
+    }
+
+    let mut xc = MultiVec::new(bc.n(), k);
+    try_dist_vcycle_multi(comm, h, level + 1, &bc, &mut xc)?;
+
+    {
+        let _s = famg_prof::scope_at("prolong", level);
+        let mut corr = MultiVec::new(p.local_rows(), k);
+        try_dist_spmv_multi(comm, p, plan_p, &xc, &mut corr, overlap)?;
+        for (xi, ci) in x.data_mut().iter_mut().zip(corr.data()) {
+            *xi += ci;
+        }
+        famg_prof::counter(
+            "flops",
+            flops::spmm(local_nnz(p), k) + flops::axpy_batch(nl, k),
+        );
+    }
+
+    {
+        let _s = famg_prof::scope_at("gs_batch", level);
+        for _ in 0..h.config.num_sweeps {
+            smooth_multi(comm, h, level, b, x, false);
+        }
+        famg_prof::counter(
+            "flops",
+            2 * h.config.num_sweeps as u64 * flops::gs_sweep_batch(local_nnz(&lvl.a), k),
+        );
+    }
+    Ok(())
+}
+
+/// Batched coarsest-level solve: gather the `n_coarse × k` block to rank
+/// 0 (one message per rank, all columns inside), back-substitute each
+/// column through the same LU, scatter the solution block back. Column
+/// `j` sees exactly the scalar [`coarse_solve`] arithmetic.
+fn coarse_solve_multi(comm: &Comm, h: &DistHierarchy, b: &MultiVec, x: &mut MultiVec) {
+    let n_global = *h.coarse_starts.last().unwrap();
+    let k = b.k();
+    if n_global == 0 || k == 0 {
+        return;
+    }
+    let has_lu = comm.allreduce_or(h.coarse_lu.is_some(), 0x90);
+    if !has_lu {
+        let mut xl = x.clone();
+        for _ in 0..4 * h.config.num_sweeps {
+            smooth_multi(comm, h, h.levels.len() - 1, b, &mut xl, true);
+        }
+        x.copy_from(&xl);
+        return;
+    }
+    // Row-major blocks concatenate along rows directly: the gathered
+    // parts form the full n_global × k block in rank order.
+    let received = comm.gather_to(0, b.data().to_vec(), 0x91, |v| wire::f64s(v.len()));
+    let slices: Option<Vec<Vec<f64>>> = received.map(|parts| {
+        let full_b: Vec<f64> = parts.into_iter().flatten().collect();
+        debug_assert_eq!(full_b.len(), n_global * k);
+        let lu = h.coarse_lu.as_ref().unwrap();
+        let mut sol = vec![0.0f64; n_global * k];
+        let mut col = vec![0.0f64; n_global];
+        for j in 0..k {
+            for i in 0..n_global {
+                col[i] = full_b[i * k + j];
+            }
+            let solved = lu.solve(&col);
+            for i in 0..n_global {
+                sol[i * k + j] = solved[i];
+            }
+        }
+        (0..comm.size())
+            .map(|r| sol[h.coarse_starts[r] * k..h.coarse_starts[r + 1] * k].to_vec())
+            .collect()
+    });
+    let mine = comm.scatter_from(0, slices, 0x92, |v| wire::f64s(v.len()));
+    x.data_mut().copy_from_slice(&mine);
+}
+
 fn coarse_solve(comm: &Comm, h: &DistHierarchy, b: &[f64], x: &mut [f64]) {
     let lvl = h.levels.last().unwrap();
     let n_global = *h.coarse_starts.last().unwrap();
@@ -367,6 +632,204 @@ pub fn try_dist_amg_solve(
         iterations,
         final_relres: relres,
         converged: relres <= h.config.tolerance,
+        times,
+        solve_comm_time: comm.comm_time_since(comm_t0),
+        solve_comm: comm_since(comm, mark),
+        profile,
+    })
+}
+
+/// Result of a distributed batched (multi-RHS) solve. Global quantities
+/// (iterations, residuals, convergence flags) are identical on every
+/// rank; timings and traffic are per rank.
+#[derive(Debug, Clone)]
+pub struct DistBatchSolveResult {
+    /// V-cycles applied per column before that column stopped.
+    pub iterations: Vec<usize>,
+    /// Final global relative residual per column.
+    pub final_relres: Vec<f64>,
+    /// Whether each column met the tolerance.
+    pub converged: Vec<bool>,
+    /// Solve-phase timing (this rank, whole batch).
+    pub times: PhaseTimes,
+    /// Wall time blocked in communication during the solve (this rank).
+    pub solve_comm_time: std::time::Duration,
+    /// Bytes/messages this rank sent during the solve.
+    pub solve_comm: CommVolume,
+    /// Hierarchical span profile of the solve (this rank).
+    pub profile: famg_prof::Profile,
+}
+
+impl DistBatchSolveResult {
+    /// Batch width.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.iterations.len()
+    }
+
+    /// Whether every column met the tolerance.
+    #[must_use]
+    pub fn all_converged(&self) -> bool {
+        self.converged.iter().all(|&c| c)
+    }
+}
+
+/// Validates the hierarchy and the local block shapes.
+fn check_args_multi(h: &DistHierarchy, b: &MultiVec, x: &MultiVec) -> Result<(), SolveError> {
+    h.check_shape()?;
+    let n = h.levels[0].a.local_rows();
+    if b.n() != n {
+        return Err(SolveError::DimensionMismatch {
+            expected: n,
+            got: b.n(),
+            what: "local right-hand side block",
+        });
+    }
+    if x.n() != n {
+        return Err(SolveError::DimensionMismatch {
+            expected: n,
+            got: x.n(),
+            what: "local initial guess block",
+        });
+    }
+    if x.k() != b.k() {
+        return Err(SolveError::DimensionMismatch {
+            expected: b.k(),
+            got: x.k(),
+            what: "local initial guess block width",
+        });
+    }
+    Ok(())
+}
+
+/// Standalone distributed AMG iteration on a block of `k` right-hand
+/// sides.
+///
+/// # Panics
+/// Panics on a malformed hierarchy or mis-shaped blocks; use
+/// [`try_dist_amg_solve_multi`] for a typed error instead.
+pub fn dist_amg_solve_multi(
+    comm: &Comm,
+    h: &DistHierarchy,
+    b: &MultiVec,
+    x: &mut MultiVec,
+) -> DistBatchSolveResult {
+    try_dist_amg_solve_multi(comm, h, b, x)
+        .unwrap_or_else(|e| panic!("famg distributed batched solve: {e}"))
+}
+
+/// Batched [`try_dist_amg_solve`]: every V-cycle and every residual
+/// reduction advances all `k` columns at once, so the collective and
+/// halo message counts are those of a single scalar solve running for
+/// `max_j iterations(j)` cycles.
+///
+/// A column that reaches the tolerance (or starts converged) has its
+/// iterate snapshotted at that point and restored on exit; the kernels
+/// keep advancing the lane (lane arithmetic is independent, so a dead
+/// column cannot perturb live ones), but its reported history, residual
+/// and iteration count freeze. Column `j` of the result is bitwise
+/// identical to the scalar `try_dist_amg_solve` on `(b_j, x_j)` —
+/// every rank takes identical masking decisions because the reduced
+/// residuals are identical on every rank.
+pub fn try_dist_amg_solve_multi(
+    comm: &Comm,
+    h: &DistHierarchy,
+    b: &MultiVec,
+    x: &mut MultiVec,
+) -> Result<DistBatchSolveResult, SolveError> {
+    check_args_multi(h, b, x)?;
+    let k = b.k();
+    let comm_t0 = comm.comm_time();
+    let mark = comm_mark(comm);
+    if k == 0 {
+        return Ok(DistBatchSolveResult {
+            iterations: Vec::new(),
+            final_relres: Vec::new(),
+            converged: Vec::new(),
+            times: PhaseTimes::default(),
+            solve_comm_time: comm.comm_time_since(comm_t0),
+            solve_comm: comm_since(comm, mark),
+            profile: famg_prof::Profile::default(),
+        });
+    }
+    let root_span = famg_prof::scope("solve");
+    let scope = comm.scoped(0, CommPhase::Solve);
+    let lvl0 = &h.levels[0];
+    let ov = h.dist_opt.overlap_comm;
+    let nl = lvl0.a.local_rows();
+    let mut r = MultiVec::new(nl, k);
+    let mut bnorms;
+    let mut relres = vec![0.0f64; k];
+    {
+        let _s = famg_prof::scope("blas1");
+        bnorms = dist_norm2_multi(comm, b);
+        for bn in &mut bnorms {
+            *bn = bn.max(f64::MIN_POSITIVE);
+        }
+        let sq = try_dist_residual_norm_sq_multi(comm, &lvl0.a, &lvl0.plan_a, x, b, &mut r, ov)?;
+        for (o, (s, bn)) in relres.iter_mut().zip(sq.iter().zip(&bnorms)) {
+            *o = s.sqrt() / bn;
+        }
+        famg_prof::counter(
+            "flops",
+            flops::dot_batch(nl, k) + flops::spmm(local_nnz(&lvl0.a), k) + flops::dot_batch(nl, k),
+        );
+    }
+
+    let mut iterations = vec![0usize; k];
+    let mut final_relres = relres.clone();
+    let mut done: Vec<bool> = relres.iter().map(|&rr| rr <= h.config.tolerance).collect();
+    // A finished column's iterate is snapshotted at its own stopping
+    // point and restored on exit; the kernels keep advancing the lane.
+    let mut frozen_cols: Vec<Option<Vec<f64>>> = vec![None; k];
+    for (j, d) in done.iter().enumerate() {
+        if *d {
+            frozen_cols[j] = Some(x.col(j));
+        }
+    }
+    let mut cycles = 0usize;
+    while done.iter().any(|d| !d) && cycles < h.config.max_iterations {
+        try_dist_vcycle_multi(comm, h, 0, b, x)?;
+        cycles += 1;
+        let _s = famg_prof::scope("blas1");
+        let sq = try_dist_residual_norm_sq_multi(comm, &lvl0.a, &lvl0.plan_a, x, b, &mut r, ov)?;
+        famg_prof::counter(
+            "flops",
+            flops::spmm(local_nnz(&lvl0.a), k) + flops::dot_batch(nl, k),
+        );
+        for j in 0..k {
+            if done[j] {
+                continue;
+            }
+            let rr = sq[j].sqrt() / bnorms[j];
+            final_relres[j] = rr;
+            iterations[j] = cycles;
+            if rr <= h.config.tolerance {
+                done[j] = true;
+                frozen_cols[j] = Some(x.col(j));
+            }
+        }
+    }
+    for (j, frozen) in frozen_cols.into_iter().enumerate() {
+        if let Some(col) = frozen {
+            x.set_col(j, &col);
+        }
+    }
+    drop(scope);
+    drop(root_span);
+    let profile = famg_prof::take();
+    let times = profile
+        .find_root("solve")
+        .map(PhaseTimes::from_span)
+        .unwrap_or_default();
+    let converged = final_relres
+        .iter()
+        .map(|&rr| rr <= h.config.tolerance)
+        .collect();
+    Ok(DistBatchSolveResult {
+        iterations,
+        final_relres,
+        converged,
         times,
         solve_comm_time: comm.comm_time_since(comm_t0),
         solve_comm: comm_since(comm, mark),
@@ -926,6 +1389,167 @@ mod tests {
         let (x, _, conv) = solve_dist(&a, &cfg, 5, DistOptFlags::default(), false);
         assert!(conv);
         check(&a, &x, cfg.tolerance);
+    }
+
+    #[test]
+    fn batch_solve_bitwise_matches_solo_columns_across_ranks() {
+        // The determinism contract at the distributed level: column j of
+        // a k-wide solve is bitwise identical to the scalar solve of
+        // (b_j, 0), at every rank count and in both halo modes.
+        let a = laplace2d(16, 16);
+        let n = a.nrows();
+        let k = 3usize;
+        let cfg = AmgConfig::single_node_paper();
+        let cols: Vec<Vec<f64>> = (0..k)
+            .map(|j| {
+                (0..n)
+                    .map(|i| ((i * (j + 3) + j) % 13) as f64 / 13.0 - 0.3)
+                    .collect()
+            })
+            .collect();
+        for nranks in [1usize, 2, 4] {
+            for overlap in [false, true] {
+                let dopt = DistOptFlags {
+                    overlap_comm: overlap,
+                    ..DistOptFlags::default()
+                };
+                let starts = default_partition(n, nranks);
+                run_ranks(nranks, |c| {
+                    let r = c.rank();
+                    let (s, e) = (starts[r], starts[r + 1]);
+                    let pa = ParCsr::from_global_rows(&a, s, e, starts.clone(), r);
+                    let h = DistHierarchy::build(c, pa, &cfg, dopt);
+                    let local_cols: Vec<Vec<f64>> =
+                        cols.iter().map(|col| col[s..e].to_vec()).collect();
+                    let bb = famg_sparse::MultiVec::from_columns(&local_cols);
+                    let mut xb = famg_sparse::MultiVec::new(e - s, k);
+                    let res = dist_amg_solve_multi(c, &h, &bb, &mut xb);
+                    assert_eq!(res.k(), k);
+                    for (j, bl) in local_cols.iter().enumerate() {
+                        let mut xl = vec![0.0; e - s];
+                        let solo = dist_amg_solve(c, &h, bl, &mut xl);
+                        assert_eq!(
+                            res.iterations[j], solo.iterations,
+                            "iters col {j} ranks {nranks} overlap {overlap}"
+                        );
+                        assert_eq!(
+                            res.final_relres[j].to_bits(),
+                            solo.final_relres.to_bits(),
+                            "relres col {j} ranks {nranks} overlap {overlap}"
+                        );
+                        assert_eq!(res.converged[j], solo.converged);
+                        assert!(solo.converged);
+                        let bcol = xb.col(j);
+                        for (i, (bx, sx)) in bcol.iter().zip(&xl).enumerate() {
+                            assert_eq!(
+                                bx.to_bits(),
+                                sx.to_bits(),
+                                "x[{i}] col {j} ranks {nranks} overlap {overlap}"
+                            );
+                        }
+                    }
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn batch_solve_masks_converged_and_edge_widths() {
+        let a = laplace2d(12, 12);
+        let n = a.nrows();
+        let cfg = AmgConfig {
+            max_iterations: 3,
+            ..AmgConfig::single_node_paper()
+        };
+        let starts = default_partition(n, 2);
+        run_ranks(2, |c| {
+            let r = c.rank();
+            let (s, e) = (starts[r], starts[r + 1]);
+            let pa = ParCsr::from_global_rows(&a, s, e, starts.clone(), r);
+            let h = DistHierarchy::build(c, pa, &cfg, DistOptFlags::default());
+            let nl = e - s;
+            // k = 0 block: a no-op that must not communicate unevenly.
+            let b0 = famg_sparse::MultiVec::new(nl, 0);
+            let mut x0 = famg_sparse::MultiVec::new(nl, 0);
+            let res0 = dist_amg_solve_multi(c, &h, &b0, &mut x0);
+            assert_eq!(res0.k(), 0);
+            assert!(res0.all_converged());
+            // Column 0 starts converged (zero RHS); column 1 cannot
+            // converge in 3 cycles. The dead lane must stay pinned at
+            // its snapshot and not corrupt the live lane.
+            let bl: Vec<f64> = (0..nl).map(|i| ((s + i) % 7) as f64 - 3.0).collect();
+            let cols = vec![vec![0.0; nl], bl.clone()];
+            let bb = famg_sparse::MultiVec::from_columns(&cols);
+            let mut xb = famg_sparse::MultiVec::new(nl, 2);
+            let res = dist_amg_solve_multi(c, &h, &bb, &mut xb);
+            assert_eq!(res.iterations[0], 0);
+            assert!(res.converged[0]);
+            assert!(xb.col(0).iter().all(|&v| v == 0.0));
+            assert_eq!(res.iterations[1], 3);
+            assert!(!res.converged[1]);
+            let mut xl = vec![0.0; nl];
+            let solo = dist_amg_solve(c, &h, &bl, &mut xl);
+            assert_eq!(res.final_relres[1].to_bits(), solo.final_relres.to_bits());
+            for (bx, sx) in xb.col(1).iter().zip(&xl) {
+                assert_eq!(bx.to_bits(), sx.to_bits());
+            }
+            // Shape errors are typed.
+            let bad = famg_sparse::MultiVec::new(nl + 1, 2);
+            let mut xg = famg_sparse::MultiVec::new(nl, 2);
+            let err = try_dist_amg_solve_multi(c, &h, &bad, &mut xg).unwrap_err();
+            assert!(matches!(
+                err,
+                SolveError::DimensionMismatch {
+                    what: "local right-hand side block",
+                    ..
+                }
+            ));
+            let good = famg_sparse::MultiVec::new(nl, 2);
+            let mut wrong_k = famg_sparse::MultiVec::new(nl, 3);
+            let err = try_dist_amg_solve_multi(c, &h, &good, &mut wrong_k).unwrap_err();
+            assert!(matches!(
+                err,
+                SolveError::DimensionMismatch {
+                    what: "local initial guess block width",
+                    ..
+                }
+            ));
+        });
+    }
+
+    #[test]
+    fn batch_vcycle_amortizes_halo_messages() {
+        // The point of the batched path: the per-V-cycle message count
+        // is independent of k. Compare one batched cycle at k = 4
+        // against one scalar cycle — identical message counts.
+        let a = laplace2d(16, 16);
+        let n = a.nrows();
+        let cfg = AmgConfig::single_node_paper();
+        let starts = default_partition(n, 4);
+        run_ranks(4, |c| {
+            let r = c.rank();
+            let (s, e) = (starts[r], starts[r + 1]);
+            let pa = ParCsr::from_global_rows(&a, s, e, starts.clone(), r);
+            let h = DistHierarchy::build(c, pa, &cfg, DistOptFlags::default());
+            let nl = e - s;
+            let bl: Vec<f64> = (0..nl).map(|i| (s + i) as f64).collect();
+            c.barrier();
+            let m0 = c.messages_sent();
+            let mut xs = vec![0.0; nl];
+            dist_vcycle(c, &h, 0, &bl, &mut xs);
+            c.barrier();
+            let scalar_msgs = c.messages_sent() - m0;
+            let bb = famg_sparse::MultiVec::from_columns(&vec![bl.clone(); 4]);
+            let mut xb = famg_sparse::MultiVec::new(nl, 4);
+            let m1 = c.messages_sent();
+            dist_vcycle_multi(c, &h, 0, &bb, &mut xb);
+            c.barrier();
+            let batch_msgs = c.messages_sent() - m1;
+            assert_eq!(
+                batch_msgs, scalar_msgs,
+                "k=4 cycle must send exactly as many messages as k=1"
+            );
+        });
     }
 
     #[test]

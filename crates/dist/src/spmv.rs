@@ -17,7 +17,7 @@ use crate::comm::Comm;
 use crate::halo::VectorExchange;
 use crate::parcsr::ParCsr;
 use famg_core::solver::SolveError;
-use famg_sparse::Csr;
+use famg_sparse::{Csr, MultiVec};
 
 /// One row of the block-diagonal product, with the same accumulation
 /// order as `famg_sparse::spmv::spmv_seq` (ascending stored columns).
@@ -104,6 +104,206 @@ pub fn try_dist_spmv(
         }
     }
     Ok(())
+}
+
+/// Lane-wise twin of [`diag_row_dot`]: column `j` of `out` follows the
+/// exact scalar accumulation order (ascending stored columns from a
+/// zero accumulator), so each lane is bitwise identical to the scalar
+/// kernel on the extracted column.
+#[inline]
+fn diag_row_dot_multi(diag: &Csr, i: usize, xd: &[f64], k: usize, out: &mut [f64]) {
+    out.fill(0.0);
+    for (c, v) in diag.row_iter(i) {
+        for (o, xj) in out.iter_mut().zip(&xd[c * k..(c + 1) * k]) {
+            *o += v * xj;
+        }
+    }
+}
+
+/// Validates the operator/plan/block shapes shared by the batched
+/// kernels.
+fn check_kernel_dims_multi(
+    a: &ParCsr,
+    plan: &VectorExchange,
+    x: &MultiVec,
+) -> Result<(), SolveError> {
+    dim(a.diag.ncols(), x.n(), "local x block (owned columns)")?;
+    dim(a.offd.ncols(), plan.ext_len(), "halo plan external length")
+}
+
+/// Batched `Y = A X`: one halo exchange for all `k` columns (one
+/// envelope per neighbor regardless of width — see
+/// [`VectorExchange::post_multi`]) and one matrix traversal per row
+/// group. With `overlap` the interior rows are computed while the halo
+/// is in flight, exactly like [`try_dist_spmv`]; column `j` is bitwise
+/// identical to the scalar kernel in either mode.
+pub fn try_dist_spmv_multi(
+    comm: &Comm,
+    a: &ParCsr,
+    plan: &VectorExchange,
+    x: &MultiVec,
+    y: &mut MultiVec,
+    overlap: bool,
+) -> Result<(), SolveError> {
+    check_kernel_dims_multi(a, plan, x)?;
+    dim(a.local_rows(), y.n(), "local y block (owned rows)")?;
+    dim(x.k(), y.k(), "local y block width")?;
+    let k = x.k();
+    let xd = x.data();
+    let boundary = |yd: &mut [f64], x_ext: &[f64], acc: &mut [f64]| {
+        for &i in &a.boundary_rows {
+            acc.fill(0.0);
+            for (e, v) in a.offd.row_iter(i) {
+                for (aj, xj) in acc.iter_mut().zip(&x_ext[e * k..(e + 1) * k]) {
+                    *aj += v * xj;
+                }
+            }
+            for (yj, aj) in yd[i * k..(i + 1) * k].iter_mut().zip(acc.iter()) {
+                *yj += aj;
+            }
+        }
+    };
+    let mut acc = vec![0.0f64; k];
+    if overlap {
+        let inflight = plan.post_multi(comm, x);
+        let yd = y.data_mut();
+        for &i in &a.interior_rows {
+            let (lo, hi) = (i * k, (i + 1) * k);
+            diag_row_dot_multi(&a.diag, i, xd, k, &mut yd[lo..hi]);
+        }
+        let x_ext = inflight.finish(comm);
+        for &i in &a.boundary_rows {
+            let (lo, hi) = (i * k, (i + 1) * k);
+            diag_row_dot_multi(&a.diag, i, xd, k, &mut yd[lo..hi]);
+        }
+        boundary(yd, &x_ext, &mut acc);
+    } else {
+        let x_ext = plan.exchange_multi(comm, x);
+        let yd = y.data_mut();
+        for i in 0..a.local_rows() {
+            let (lo, hi) = (i * k, (i + 1) * k);
+            diag_row_dot_multi(&a.diag, i, xd, k, &mut yd[lo..hi]);
+        }
+        boundary(yd, &x_ext, &mut acc);
+    }
+    Ok(())
+}
+
+/// Batched distributed residual: `R = B - A X` with one halo exchange
+/// for all columns; returns the *local* squared norm per column,
+/// accumulated in ascending row order so synchronous and overlapped
+/// runs (and the scalar kernel, per column) are bitwise equal.
+pub fn try_dist_residual_multi(
+    comm: &Comm,
+    a: &ParCsr,
+    plan: &VectorExchange,
+    x: &MultiVec,
+    b: &MultiVec,
+    r: &mut MultiVec,
+    overlap: bool,
+) -> Result<Vec<f64>, SolveError> {
+    check_kernel_dims_multi(a, plan, x)?;
+    dim(a.local_rows(), b.n(), "local right-hand side block")?;
+    dim(a.local_rows(), r.n(), "local residual block")?;
+    dim(x.k(), b.k(), "local right-hand side block width")?;
+    dim(x.k(), r.k(), "local residual block width")?;
+    let k = x.k();
+    let xd = x.data();
+    let bd = b.data();
+    let diag_part = |i: usize, rd: &mut [f64]| {
+        let rr = &mut rd[i * k..(i + 1) * k];
+        rr.copy_from_slice(&bd[i * k..(i + 1) * k]);
+        for (c, v) in a.diag.row_iter(i) {
+            for (rj, xj) in rr.iter_mut().zip(&xd[c * k..(c + 1) * k]) {
+                *rj -= v * xj;
+            }
+        }
+    };
+    if overlap {
+        let inflight = plan.post_multi(comm, x);
+        let rd = r.data_mut();
+        for &i in &a.interior_rows {
+            diag_part(i, rd);
+        }
+        let x_ext = inflight.finish(comm);
+        for &i in &a.boundary_rows {
+            diag_part(i, rd);
+            let rr = &mut rd[i * k..(i + 1) * k];
+            for (e, v) in a.offd.row_iter(i) {
+                for (rj, xj) in rr.iter_mut().zip(&x_ext[e * k..(e + 1) * k]) {
+                    *rj -= v * xj;
+                }
+            }
+        }
+    } else {
+        let x_ext = plan.exchange_multi(comm, x);
+        let rd = r.data_mut();
+        for i in 0..a.local_rows() {
+            diag_part(i, rd);
+            let rr = &mut rd[i * k..(i + 1) * k];
+            for (e, v) in a.offd.row_iter(i) {
+                for (rj, xj) in rr.iter_mut().zip(&x_ext[e * k..(e + 1) * k]) {
+                    *rj -= v * xj;
+                }
+            }
+        }
+    }
+    // Norm pass in ascending row order, per lane — the same fold the
+    // scalar kernel performs on each extracted column.
+    let mut acc_sq = vec![0.0f64; k];
+    for row in r.data().chunks_exact(k.max(1)) {
+        for (aj, rj) in acc_sq.iter_mut().zip(row) {
+            *aj += rj * rj;
+        }
+    }
+    Ok(acc_sq)
+}
+
+/// Batched fused residual + norm: per-column *global* squared norms
+/// finished by a single vector all-reduce
+/// ([`Comm::allreduce_sum_vec`]), so the collective count is
+/// independent of the batch width. Column `j` is bitwise identical to
+/// [`try_dist_residual_norm_sq`] on that column alone.
+pub fn try_dist_residual_norm_sq_multi(
+    comm: &Comm,
+    a: &ParCsr,
+    plan: &VectorExchange,
+    x: &MultiVec,
+    b: &MultiVec,
+    r: &mut MultiVec,
+    overlap: bool,
+) -> Result<Vec<f64>, SolveError> {
+    let acc_sq = try_dist_residual_multi(comm, a, plan, x, b, r, overlap)?;
+    Ok(comm.allreduce_sum_vec(acc_sq, 0x40))
+}
+
+/// Batched distributed dot products (one vector all-reduce): `out[j] =
+/// x[:,j] · y[:,j]` globally, each column bitwise identical to
+/// [`dist_dot`].
+pub fn dist_dot_multi(comm: &Comm, x: &MultiVec, y: &MultiVec) -> Vec<f64> {
+    assert_eq!(x.n(), y.n());
+    assert_eq!(x.k(), y.k());
+    let k = x.k();
+    let mut acc = vec![0.0f64; k];
+    for (xr, yr) in x
+        .data()
+        .chunks_exact(k.max(1))
+        .zip(y.data().chunks_exact(k.max(1)))
+    {
+        for j in 0..k {
+            acc[j] += xr[j] * yr[j];
+        }
+    }
+    comm.allreduce_sum_vec(acc, 0x41)
+}
+
+/// Batched distributed 2-norms (one vector all-reduce).
+pub fn dist_norm2_multi(comm: &Comm, x: &MultiVec) -> Vec<f64> {
+    let mut out = dist_dot_multi(comm, x, x);
+    for o in &mut out {
+        *o = o.sqrt();
+    }
+    out
 }
 
 /// Distributed residual only: `r = b - A x` with no norm and therefore
@@ -284,6 +484,102 @@ mod tests {
         let r: Vec<f64> = results.into_iter().flat_map(|(_, r)| r).collect();
         for (u, v) in r.iter().zip(&r_ref) {
             assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    /// Batched distributed SpMV/residual: each column bitwise identical
+    /// to the scalar kernel, in both halo modes, with the message count
+    /// of a single scalar exchange.
+    #[test]
+    fn dist_multi_kernels_bitwise_match_scalar_columns() {
+        let a = laplace2d(10, 8);
+        let n = a.nrows();
+        let k = 3usize;
+        let cols_x: Vec<Vec<f64>> = (0..k).map(|j| rhs::random(n, 20 + j as u64)).collect();
+        let cols_b: Vec<Vec<f64>> = (0..k).map(|j| rhs::random(n, 30 + j as u64)).collect();
+        for nranks in [1usize, 2, 4] {
+            let starts = default_partition(n, nranks);
+            for overlap in [false, true] {
+                let (per_rank, _) = run_ranks(nranks, |c| {
+                    let rk = c.rank();
+                    let (s, e) = (starts[rk], starts[rk + 1]);
+                    let p = ParCsr::from_global_rows(&a, s, e, starts.clone(), rk);
+                    let plan = VectorExchange::plan(c, &p.colmap, &starts);
+                    let xl_cols: Vec<Vec<f64>> =
+                        cols_x.iter().map(|cx| cx[s..e].to_vec()).collect();
+                    let bl_cols: Vec<Vec<f64>> =
+                        cols_b.iter().map(|cb| cb[s..e].to_vec()).collect();
+                    let xm = MultiVec::from_columns(&xl_cols);
+                    let bm = MultiVec::from_columns(&bl_cols);
+                    let nl = p.local_rows();
+
+                    let before = c.messages_sent();
+                    let mut ym = MultiVec::new(nl, k);
+                    try_dist_spmv_multi(c, &p, &plan, &xm, &mut ym, overlap).unwrap();
+                    let multi_msgs = c.messages_sent() - before;
+                    let mut rm = MultiVec::new(nl, k);
+                    let norms =
+                        try_dist_residual_norm_sq_multi(c, &p, &plan, &xm, &bm, &mut rm, overlap)
+                            .unwrap();
+                    let dots = dist_dot_multi(c, &xm, &bm);
+
+                    let mut scalar_msgs = 0u64;
+                    let mut ys = Vec::new();
+                    let mut rs = Vec::new();
+                    let mut norms_s = Vec::new();
+                    let mut dots_s = Vec::new();
+                    for j in 0..k {
+                        let before = c.messages_sent();
+                        let mut y = vec![0.0; nl];
+                        try_dist_spmv(c, &p, &plan, &xl_cols[j], &mut y, overlap).unwrap();
+                        scalar_msgs += c.messages_sent() - before;
+                        let mut r = vec![0.0; nl];
+                        norms_s.push(
+                            try_dist_residual_norm_sq(
+                                c,
+                                &p,
+                                &plan,
+                                &xl_cols[j],
+                                &bl_cols[j],
+                                &mut r,
+                                overlap,
+                            )
+                            .unwrap(),
+                        );
+                        dots_s.push(dist_dot(c, &xl_cols[j], &bl_cols[j]));
+                        ys.push(y);
+                        rs.push(r);
+                    }
+                    scalar_msgs /= k as u64;
+                    (
+                        ym,
+                        rm,
+                        norms,
+                        dots,
+                        ys,
+                        rs,
+                        norms_s,
+                        dots_s,
+                        multi_msgs,
+                        scalar_msgs,
+                    )
+                });
+                for (rk, (ym, rm, norms, dots, ys, rs, norms_s, dots_s, mm, sm)) in
+                    per_rank.iter().enumerate()
+                {
+                    assert_eq!(mm, sm, "nranks {nranks} rank {rk} message count");
+                    for j in 0..k {
+                        assert_eq!(ym.col(j), ys[j], "spmv nranks {nranks} rank {rk} col {j}");
+                        assert_eq!(rm.col(j), rs[j], "resid nranks {nranks} rank {rk} col {j}");
+                        assert_eq!(
+                            norms[j].to_bits(),
+                            norms_s[j].to_bits(),
+                            "norm nranks {nranks} rank {rk} col {j} overlap {overlap}"
+                        );
+                        assert_eq!(dots[j].to_bits(), dots_s[j].to_bits());
+                    }
+                }
+            }
         }
     }
 

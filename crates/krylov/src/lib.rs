@@ -12,7 +12,7 @@ pub mod cg;
 pub mod fgmres;
 pub mod precond;
 
-pub use cg::{cg, CgOptions};
+pub use cg::{cg, cg_batch, CgOptions};
 pub use fgmres::{fgmres, FgmresOptions};
 pub use precond::{IdentityPrecond, Preconditioner, RefreshPrecond};
 
@@ -27,4 +27,31 @@ pub struct KrylovResult {
     pub converged: bool,
     /// Relative residual history, one entry per iteration.
     pub history: Vec<f64>,
+}
+
+/// Per-column convergence report for the batched Krylov solvers
+/// ([`cg_batch`]): column `j` is bitwise identical to the scalar solver
+/// on that right-hand side alone.
+#[derive(Debug, Clone)]
+pub struct BatchKrylovResult {
+    /// Iterations each column performed before its own stopping point.
+    pub iterations: Vec<usize>,
+    /// Final relative residual per column.
+    pub final_relres: Vec<f64>,
+    /// Whether each column met the tolerance.
+    pub converged: Vec<bool>,
+    /// Relative residual history per column.
+    pub history: Vec<Vec<f64>>,
+}
+
+impl BatchKrylovResult {
+    /// Batch width.
+    pub fn k(&self) -> usize {
+        self.converged.len()
+    }
+
+    /// True when every column met the tolerance.
+    pub fn all_converged(&self) -> bool {
+        self.converged.iter().all(|&c| c)
+    }
 }

@@ -1,7 +1,7 @@
 //! Preconditioner abstraction.
 
 use famg_core::{AmgSolver, RefreshError};
-use famg_sparse::Csr;
+use famg_sparse::{Csr, MultiVec};
 
 /// A (possibly nonlinear / iteration-varying) preconditioner:
 /// `apply` computes `z ≈ M⁻¹ r`.
@@ -17,11 +17,38 @@ use famg_sparse::Csr;
 pub trait Preconditioner {
     /// Computes `z ≈ M⁻¹ r`. `z` arrives zeroed.
     fn apply(&self, r: &[f64], z: &mut [f64]);
+
+    /// Batched application: `z[:,j] ≈ M⁻¹ r[:,j]` for every column.
+    ///
+    /// The default extracts each column and calls [`apply`], so column
+    /// `j` is bitwise identical to the scalar path by construction;
+    /// implementations with a genuinely batched kernel (one matrix
+    /// traversal for all `k` columns, like [`AmgSolver`]) override it
+    /// and must preserve that per-column bitwise contract.
+    ///
+    /// [`apply`]: Preconditioner::apply
+    fn apply_batch(&self, r: &MultiVec, z: &mut MultiVec) {
+        assert_eq!(r.n(), z.n());
+        assert_eq!(r.k(), z.k());
+        let n = r.n();
+        let mut rc = vec![0.0; n];
+        let mut zc = vec![0.0; n];
+        for j in 0..r.k() {
+            r.copy_col_into(j, &mut rc);
+            zc.fill(0.0);
+            self.apply(&rc, &mut zc);
+            z.set_col(j, &zc);
+        }
+    }
 }
 
 impl Preconditioner for AmgSolver {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
         AmgSolver::apply(self, r, z);
+    }
+
+    fn apply_batch(&self, r: &MultiVec, z: &mut MultiVec) {
+        AmgSolver::apply_batch(self, r, z);
     }
 }
 
@@ -57,6 +84,10 @@ pub struct IdentityPrecond;
 impl Preconditioner for IdentityPrecond {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
         z.copy_from_slice(r);
+    }
+
+    fn apply_batch(&self, r: &MultiVec, z: &mut MultiVec) {
+        z.copy_from(r);
     }
 }
 

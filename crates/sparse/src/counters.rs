@@ -72,6 +72,29 @@ pub mod flops {
     pub fn lu_solve(m: usize) -> u64 {
         2 * (m as u64) * (m as u64)
     }
+
+    /// `Y = A X` over `k` interleaved columns: one multiply-add per stored
+    /// entry *per lane* — the batched kernels do `k×` the arithmetic of a
+    /// single SpMV while reading the matrix once.
+    pub fn spmm(nnz: usize, k: usize) -> u64 {
+        2 * nnz as u64 * k as u64
+    }
+
+    /// One k-wide Gauss-Seidel (or Jacobi) sweep: `k×` the scalar sweep.
+    pub fn gs_sweep_batch(nnz: usize, k: usize) -> u64 {
+        2 * nnz as u64 * k as u64
+    }
+
+    /// Per-column dot products (or squared norms) over `k` length-`n`
+    /// columns.
+    pub fn dot_batch(n: usize, k: usize) -> u64 {
+        2 * n as u64 * k as u64
+    }
+
+    /// Per-column `y += alpha_j x` over `k` length-`n` columns.
+    pub fn axpy_batch(n: usize, k: usize) -> u64 {
+        2 * n as u64 * k as u64
+    }
 }
 
 /// Thread-safe byte counter used by the simulated message-passing transport

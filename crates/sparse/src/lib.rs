@@ -11,6 +11,11 @@
 //! * [`spmv`] — sparse matrix–vector products, including the fused
 //!   SpMV + inner-product kernel and identity-block-skipping products for
 //!   CF-permuted interpolation operators,
+//! * [`multivec`] / [`spmm`] — the batched multi-RHS substrate: a strided
+//!   row-major [`MultiVec`] block vector, k-wide SpMM twins of every
+//!   solve-phase SpMV kernel, and per-column deterministic vector
+//!   reductions (column `j` is bitwise identical to the single-vector
+//!   kernel on the extracted column),
 //! * [`spgemm`] — Gustavson sparse matrix–matrix multiplication in three
 //!   flavours: the classic two-pass (symbolic + numeric) baseline, the
 //!   paper's one-pass variant with per-thread pre-allocated output chunks,
@@ -39,10 +44,12 @@
 pub mod counters;
 pub mod csr;
 pub mod dense;
+pub mod multivec;
 pub mod partition;
 pub mod permute;
 pub mod spa;
 pub mod spgemm;
+pub mod spmm;
 pub mod spmv;
 pub mod traffic;
 pub mod transpose;
@@ -52,3 +59,4 @@ pub mod vecops;
 
 pub use csr::Csr;
 pub use dense::DenseMatrix;
+pub use multivec::MultiVec;

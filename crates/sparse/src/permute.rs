@@ -94,6 +94,32 @@ impl Permutation {
             out[old] = v[new];
         }
     }
+
+    /// Permutes a block vector row-wise: `out.row(perm[i]) = v.row(i)`.
+    /// Whole rows move, so column `j` sees exactly
+    /// [`Permutation::apply_vec_into`] on the extracted column.
+    pub fn apply_multi_into(&self, v: &crate::MultiVec, out: &mut crate::MultiVec) {
+        assert_eq!(v.n(), self.len());
+        assert_eq!(out.n(), self.len());
+        assert_eq!(v.k(), out.k());
+        let k = v.k();
+        let (vd, od) = (v.data(), out.data_mut());
+        for (old, &new) in self.forward.iter().enumerate() {
+            od[new * k..(new + 1) * k].copy_from_slice(&vd[old * k..(old + 1) * k]);
+        }
+    }
+
+    /// Un-permutes a block vector row-wise: `out.row(i) = v.row(perm[i])`.
+    pub fn unapply_multi_into(&self, v: &crate::MultiVec, out: &mut crate::MultiVec) {
+        assert_eq!(v.n(), self.len());
+        assert_eq!(out.n(), self.len());
+        assert_eq!(v.k(), out.k());
+        let k = v.k();
+        let (vd, od) = (v.data(), out.data_mut());
+        for (old, &new) in self.forward.iter().enumerate() {
+            od[old * k..(old + 1) * k].copy_from_slice(&vd[new * k..(new + 1) * k]);
+        }
+    }
 }
 
 /// Builds the coarse-first permutation from a CF marker array

@@ -16,18 +16,43 @@ pub fn dot_seq(x: &[f64], y: &[f64]) -> f64 {
     x.iter().zip(y).map(|(a, b)| a * b).sum()
 }
 
+/// Chunk partials per reduction super-block. Each super-block covers
+/// `PARTIAL_LANES * CHUNK` elements; partials land in a fixed stack array
+/// so the reduction never allocates.
+const PARTIAL_LANES: usize = 512;
+
 /// Deterministic parallel dot product (fixed-chunk tree reduction).
+///
+/// Allocation-free: per-chunk partials are written into a fixed-size stack
+/// array and folded sequentially in chunk order — the same fold shape (and
+/// therefore bitwise the same result) as the historical
+/// `par_chunks(CHUNK).map(dot_seq).collect::<Vec<_>>().sum()` reduction,
+/// which heap-allocated a partials vector on every call. Vectors longer
+/// than one super-block reuse the array: the running total keeps absorbing
+/// partials in ascending chunk order, so the linear fold is unchanged.
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len());
     if x.len() < 2 * CHUNK {
         return dot_seq(x, y);
     }
-    x.par_chunks(CHUNK)
-        .zip(y.par_chunks(CHUNK))
-        .map(|(cx, cy)| dot_seq(cx, cy))
-        .collect::<Vec<_>>()
-        .into_iter()
-        .sum()
+    let mut partials = [0.0f64; PARTIAL_LANES];
+    let mut total = 0.0;
+    let block = PARTIAL_LANES * CHUNK;
+    for (bx, by) in x.chunks(block).zip(y.chunks(block)) {
+        let nchunks = bx.len().div_ceil(CHUNK);
+        partials[..nchunks]
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(ci, p)| {
+                let s = ci * CHUNK;
+                let e = (s + CHUNK).min(bx.len());
+                *p = dot_seq(&bx[s..e], &by[s..e]);
+            });
+        for &p in &partials[..nchunks] {
+            total += p;
+        }
+    }
+    total
 }
 
 /// Euclidean norm.
@@ -121,6 +146,32 @@ pub fn norm_inf(x: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn dot_bitwise_matches_legacy_reduction_order() {
+        // The allocation-free stack-array fold must reproduce the
+        // historical `collect::<Vec<_>>().into_iter().sum()` reduction bit
+        // for bit: same chunk partials, same linear chunk-order fold.
+        // Cover one super-block, a ragged tail, and a second super-block.
+        for n in [
+            2 * CHUNK,
+            3 * CHUNK + 17,
+            PARTIAL_LANES * CHUNK + 5 * CHUNK + 3,
+        ] {
+            let x: Vec<f64> = (0..n)
+                .map(|i| ((i * 31) % 23) as f64 * 0.125 - 1.0)
+                .collect();
+            let y: Vec<f64> = (0..n).map(|i| ((i * 7) % 19) as f64 * 0.25 - 2.0).collect();
+            let legacy: f64 = x
+                .par_chunks(CHUNK)
+                .zip(y.par_chunks(CHUNK))
+                .map(|(cx, cy)| dot_seq(cx, cy))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .sum();
+            assert_eq!(dot(&x, &y).to_bits(), legacy.to_bits(), "n={n}");
+        }
+    }
 
     #[test]
     fn dot_matches_sequential_on_large_input() {

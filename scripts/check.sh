@@ -85,6 +85,13 @@ cargo test -q --release --test setup_refresh
 echo "==> numeric-refresh bench smoke (asserts refresh >= 2x full setup)"
 cargo run -q --release -p famg-bench --bin setup_refresh -- --smoke --out target/bench
 
+echo "==> multi-RHS regression test (release, batch-vs-solo bitwise)"
+cargo test -q --release --test multi_rhs
+
+echo "==> multi-RHS bench smoke (asserts k=8 per-RHS >= 1.3x solo and"
+echo "    k-independent message counts)"
+cargo run -q --release -p famg-bench --bin multi_rhs -- --smoke --out target/bench
+
 # Profiler off: every probe must compile to a unit type; the solve paths
 # still build and pass their suites with zero timing reads.
 echo "==> famg-prof disabled build (--no-default-features)"
@@ -98,7 +105,7 @@ RAYON_NUM_THREADS=4 cargo test -q -p famg-core --no-default-features
 # counters — wall-clock is informational, see DESIGN.md §8).
 echo "==> famg-prof telemetry (schema + regression gate vs results/)"
 cargo run -q --release -p famg-bench --bin thread_scaling -- --smoke --out target/bench
-for name in thread_scaling comm_volume setup_refresh; do
+for name in thread_scaling comm_volume setup_refresh multi_rhs; do
     cargo run -q -p famg-check --bin famg-bench-check -- \
         "target/bench/BENCH_${name}.json" "results/BENCH_${name}.json"
 done

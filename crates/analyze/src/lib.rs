@@ -1,0 +1,96 @@
+//! famg-analyze: call-graph-aware static analysis for the famg workspace.
+//!
+//! Where `famg-lint` (see `famg_check::lint`) audits individual source
+//! lines, this crate proves *flow* properties: it parses a pragmatic
+//! subset of Rust (items, fn signatures, bodies as token streams), builds
+//! a conservative name-resolved call graph across the kernel crates, and
+//! checks three solve-path invariants from the Park et al. (SC'15)
+//! reproduction:
+//!
+//! * **`alloc-in-solve-path`** — the V-cycle, Krylov, smoother, and
+//!   SpMV/SpMM hot paths never heap-allocate; buffers are hoisted into
+//!   cached workspaces at setup time (the paper's optimized solve phase
+//!   is allocation-free by design).
+//! * **`panic-in-try-path`** — public `try_*` entry points really are
+//!   fallible: everything reachable from them reports via `Result`
+//!   instead of panicking, unless a written invariant explains why the
+//!   panic is unreachable.
+//! * **`reduction-blessed`** — parallel floating-point reductions live
+//!   only in the fixed-chunk deterministic modules, preserving the
+//!   workspace's bitwise thread-count independence guarantee.
+//!
+//! The call graph is over-approximate (method and trait calls edge to
+//! every same-named function; see [`model`]), so every rule has a
+//! written escape hatch (`// ALLOC:`, `// PANIC-FREE:`,
+//! `// DETERMINISM:`) that demands a justification rather than silence.
+//!
+//! Scope: only the kernel crates listed in [`ANALYZED_ROOTS`] are
+//! scanned. Telemetry, verification, and generator crates (prof, check,
+//! model, bench, matgen) allocate and panic freely by design, and the
+//! rayon shim is the substrate *below* these invariants — its ordered
+//! reduce is exactly what makes the blessed modules deterministic.
+
+pub mod lex;
+pub mod model;
+pub mod parse;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use famg_check::diag::{to_json, Diagnostic};
+pub use model::Model;
+
+/// Source roots (relative to the workspace root) included in the model.
+pub const ANALYZED_ROOTS: &[&str] = &[
+    "crates/core/src",
+    "crates/sparse/src",
+    "crates/krylov/src",
+    "crates/dist/src",
+];
+
+/// Analyzes in-memory `(path, source)` pairs and returns sorted
+/// diagnostics. Paths are workspace-relative with forward slashes; they
+/// select rule scope (e.g. [`rules::REDUCTION_BLESSED`]), so fixtures
+/// should use realistic paths.
+#[must_use]
+pub fn analyze_sources(sources: &[(String, String)]) -> Vec<Diagnostic> {
+    rules::run_all(&Model::build(sources))
+}
+
+/// Walks [`ANALYZED_ROOTS`] under `root`, reads every `.rs` file, and
+/// analyzes them as one workspace. File order is sorted for deterministic
+/// diagnostics.
+pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    for sub in ANALYZED_ROOTS {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut sources = Vec::with_capacity(files.len());
+    for f in files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(&f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        sources.push((rel, fs::read_to_string(&f)?));
+    }
+    Ok(analyze_sources(&sources))
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

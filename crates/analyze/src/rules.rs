@@ -1,0 +1,279 @@
+//! The three solve-path rules: reachability BFS plus per-site reporting.
+//!
+//! * [`rule_alloc`] (`alloc-in-solve-path`) — no heap allocation in any
+//!   function reachable from a solve root. Setup/refresh-flavored callees
+//!   (see [`SETUP_PREFIXES`]) are traversal boundaries: hierarchy setup,
+//!   workspace construction, and plan building are allowed to allocate.
+//! * [`rule_panic`] (`panic-in-try-path`) — nothing reachable from a
+//!   public `try_*` entry point may panic. No name-based exemptions: a
+//!   panic inside lazy setup on a fallible path still breaks the
+//!   `try_` contract.
+//! * [`rule_reduction`] (`reduction-blessed`) — floating-point reductions
+//!   over parallel iterators only in the blessed fixed-chunk modules
+//!   ([`REDUCTION_BLESSED`]); everywhere else they are
+//!   schedule-dependent and need a `// DETERMINISM:` justification.
+//!
+//! Escape hatches: a `// ALLOC:` / `// PANIC-FREE:` / `// DETERMINISM:`
+//! comment on the flagged line (or the comment block directly above it)
+//! suppresses that site; the same marker above a function's signature
+//! vouches for the function and everything it calls — the BFS reports
+//! nothing inside the vouched subtree.
+
+use std::collections::VecDeque;
+
+use famg_check::diag::Diagnostic;
+
+use crate::model::{FnNode, Model};
+
+/// Rule id strings, stable across releases (used in `--format json`).
+pub mod id {
+    /// No heap allocation reachable from a solve root.
+    pub const ALLOC: &str = "alloc-in-solve-path";
+    /// No panic reachable from a public `try_*` entry.
+    pub const PANIC: &str = "panic-in-try-path";
+    /// Parallel FP reductions only in blessed modules.
+    pub const REDUCTION: &str = "reduction-blessed";
+}
+
+/// Function names that anchor the solve-path reachability set: cycle
+/// drivers, Krylov solvers, smoothers, and the SpMV/SpMM kernels.
+pub const SOLVE_ROOTS: &[&str] = &[
+    "vcycle",
+    "vcycle_batch",
+    "solve",
+    "solve_batch",
+    "try_solve",
+    "try_solve_batch",
+    "cg",
+    "cg_batch",
+    "cg_with",
+    "cg_batch_with",
+    "fgmres",
+    "try_dist_amg_solve",
+    "try_dist_amg_solve_multi",
+    "try_dist_vcycle",
+    "try_dist_vcycle_multi",
+    "try_dist_vcycle_with",
+    "try_dist_vcycle_multi_with",
+    "try_dist_fgmres_amg",
+    "try_dist_pcg_amg",
+    "sweep",
+    "sweep_batch",
+    "smooth",
+    "smooth_multi",
+    "spmv",
+    "spmm",
+    "dist_spmv",
+];
+
+/// Name prefixes the alloc-rule BFS does not descend into: setup,
+/// (re)construction, and validation are allowed to allocate. The panic
+/// rule has no such cut.
+pub const SETUP_PREFIXES: &[&str] = &[
+    "setup",
+    "build",
+    "from_",
+    "for_", // workspace constructors: for_hierarchy, for_problem, ...
+    "plan",
+    "refresh",
+    "freeze",
+    "check_",
+    "validate",
+    "galerkin",
+    "coarsen",
+    "factor",
+    "strength",
+    "interp",
+    "renumber",
+    "partition",
+];
+
+/// Files whose parallel reductions are deterministic by construction
+/// (fixed-chunk splits with an ordered sequential combine).
+pub const REDUCTION_BLESSED: &[&str] = &["crates/sparse/src/vecops.rs"];
+
+/// Marker suppressing `alloc-in-solve-path` findings.
+pub const ALLOC_MARKER: &str = "ALLOC:";
+/// Marker suppressing `panic-in-try-path` findings.
+pub const PANIC_MARKER: &str = "PANIC-FREE:";
+/// Marker suppressing `reduction-blessed` findings.
+pub const DETERMINISM_MARKER: &str = "DETERMINISM:";
+
+fn is_setup_named(name: &str) -> bool {
+    SETUP_PREFIXES.iter().any(|p| name.starts_with(p))
+}
+
+/// Reachability BFS from `roots`. Returns, for each visited function, the
+/// BFS parent (`usize::MAX` for roots) — only functions whose bodies were
+/// actually examined appear (function-level annotated nodes and cut names
+/// are absorbed silently).
+fn reach(
+    m: &Model,
+    roots: &[usize],
+    marker: &str,
+    cut: impl Fn(&FnNode) -> bool,
+) -> Vec<(usize, usize)> {
+    let n = m.fns.len();
+    let mut seen = vec![false; n];
+    let mut parent = vec![usize::MAX; n];
+    let mut out = Vec::new();
+    let mut q = VecDeque::new();
+    for &r in roots {
+        if seen[r] {
+            continue;
+        }
+        seen[r] = true;
+        if m.fn_annotated(&m.fns[r], marker) {
+            continue;
+        }
+        q.push_back(r);
+    }
+    while let Some(f) = q.pop_front() {
+        out.push((f, parent[f]));
+        for call in &m.fns[f].calls {
+            for c in m.resolve(call, &m.fns[f]) {
+                if seen[c] {
+                    continue;
+                }
+                seen[c] = true;
+                if cut(&m.fns[c]) || m.fn_annotated(&m.fns[c], marker) {
+                    continue;
+                }
+                parent[c] = f;
+                q.push_back(c);
+            }
+        }
+    }
+    out
+}
+
+/// Renders the BFS call path from a root down to `f` as `a → b → c`.
+fn chain(m: &Model, parents: &[(usize, usize)], f: usize) -> String {
+    let lookup = |i: usize| parents.iter().find(|&&(n, _)| n == i).map(|&(_, p)| p);
+    let mut names = vec![m.display_name(f)];
+    let mut cur = f;
+    while let Some(p) = lookup(cur) {
+        if p == usize::MAX {
+            break;
+        }
+        names.push(m.display_name(p));
+        cur = p;
+    }
+    names.reverse();
+    if names.len() > 6 {
+        let tail = names.split_off(names.len() - 3);
+        names.truncate(2);
+        names.push("…".to_string());
+        names.extend(tail);
+    }
+    names.join(" → ")
+}
+
+/// `alloc-in-solve-path`: flags heap-allocation sites in functions
+/// reachable from [`SOLVE_ROOTS`], excluding setup-named callees.
+#[must_use]
+pub fn rule_alloc(m: &Model) -> Vec<Diagnostic> {
+    let roots: Vec<usize> = (0..m.fns.len())
+        .filter(|&i| SOLVE_ROOTS.contains(&m.fns[i].item.name.as_str()))
+        .collect();
+    let visited = reach(m, &roots, ALLOC_MARKER, |f| is_setup_named(&f.item.name));
+    let mut out = Vec::new();
+    for &(f, _) in &visited {
+        let node = &m.fns[f];
+        for site in &node.allocs {
+            if m.justified_at(node.file, site.line, ALLOC_MARKER) {
+                continue;
+            }
+            out.push(Diagnostic {
+                path: m.files[node.file].path.clone(),
+                line: site.line,
+                rule: id::ALLOC,
+                message: format!(
+                    "{} allocates on the solve path ({}); hoist into a cached workspace or \
+                     justify with `// ALLOC: <why>`",
+                    site.what,
+                    chain(m, &visited, f)
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// `panic-in-try-path`: flags panic-capable sites in functions reachable
+/// from public `try_*` entry points.
+#[must_use]
+pub fn rule_panic(m: &Model) -> Vec<Diagnostic> {
+    let roots: Vec<usize> = (0..m.fns.len())
+        .filter(|&i| {
+            let it = &m.fns[i].item;
+            it.is_pub && it.name.starts_with("try_")
+        })
+        .collect();
+    let visited = reach(m, &roots, PANIC_MARKER, |_| false);
+    let mut out = Vec::new();
+    for &(f, _) in &visited {
+        let node = &m.fns[f];
+        for site in &node.panics {
+            if m.justified_at(node.file, site.line, PANIC_MARKER) {
+                continue;
+            }
+            out.push(Diagnostic {
+                path: m.files[node.file].path.clone(),
+                line: site.line,
+                rule: id::PANIC,
+                message: format!(
+                    "{} can panic but is reachable from a fallible `try_*` entry ({}); return \
+                     an error or justify with `// PANIC-FREE: <invariant>`",
+                    site.what,
+                    chain(m, &visited, f)
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// `reduction-blessed`: flags parallel FP reductions outside
+/// [`REDUCTION_BLESSED`]. Site-based, no reachability: a
+/// schedule-dependent reduction is a determinism hazard wherever it runs.
+#[must_use]
+pub fn rule_reduction(m: &Model) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for node in &m.fns {
+        let path = m.files[node.file].path.as_str();
+        if REDUCTION_BLESSED.iter().any(|b| path.ends_with(b)) {
+            continue;
+        }
+        if m.fn_annotated(node, DETERMINISM_MARKER) {
+            continue;
+        }
+        for site in &node.reductions {
+            if m.justified_at(node.file, site.line, DETERMINISM_MARKER) {
+                continue;
+            }
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line: site.line,
+                rule: id::REDUCTION,
+                message: format!(
+                    "{} outside the blessed fixed-chunk modules is schedule-dependent; route \
+                     through `famg_sparse::vecops` or justify with `// DETERMINISM: <why>`",
+                    site.what
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Runs all three rules and returns diagnostics sorted by
+/// `(path, line, rule)`.
+#[must_use]
+pub fn run_all(m: &Model) -> Vec<Diagnostic> {
+    let mut out = rule_alloc(m);
+    out.extend(rule_panic(m));
+    out.extend(rule_reduction(m));
+    out.sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    out
+}

@@ -1,0 +1,101 @@
+//! Mutation fixtures for the three famg-analyze rules.
+//!
+//! Each `tests/fixtures/*.rsfix` file is a small Rust-subset source with
+//! seeded violations. Expected findings are pinned in-file with trailing
+//! `//~ <rule-id>` markers on the exact line the diagnostic must land on;
+//! negative fixtures carry no markers and must produce zero diagnostics.
+//! The harness diffs `(line, rule)` pairs exactly in both directions, so
+//! a rule that drifts by even one line — or starts over-reporting — fails
+//! with the full diff.
+
+use std::fs;
+use std::path::Path;
+
+use famg_analyze::analyze_sources;
+
+/// Reads a fixture and returns `(source, expected (line, rule) pairs)`.
+fn load(name: &str) -> (String, Vec<(usize, String)>) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    let mut expected = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        if let Some(pos) = line.find("//~") {
+            for rule in line[pos + 3..].split_whitespace() {
+                expected.push((i + 1, rule.to_string()));
+            }
+        }
+    }
+    (src, expected)
+}
+
+/// Runs one fixture under `mapped_path` (paths select rule scope, e.g.
+/// the blessed-module list) and asserts the exact `(line, rule)` set.
+fn check(name: &str, mapped_path: &str) {
+    let (src, mut expected) = load(name);
+    let diags = analyze_sources(&[(mapped_path.to_string(), src)]);
+    let mut got: Vec<(usize, String)> =
+        diags.iter().map(|d| (d.line, d.rule.to_string())).collect();
+    expected.sort();
+    got.sort();
+    assert_eq!(
+        got,
+        expected,
+        "fixture {name} (as {mapped_path}) diverged; analyzer reported:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn alloc_positive_flags_every_seeded_site() {
+    check("alloc_positive.rsfix", "crates/core/src/fx_alloc.rs");
+}
+
+#[test]
+fn alloc_negative_is_quiet() {
+    check("alloc_negative.rsfix", "crates/core/src/fx_alloc.rs");
+}
+
+#[test]
+fn panic_positive_flags_every_seeded_site() {
+    check("panic_positive.rsfix", "crates/dist/src/fx_panic.rs");
+}
+
+#[test]
+fn panic_negative_is_quiet() {
+    check("panic_negative.rsfix", "crates/dist/src/fx_panic.rs");
+}
+
+#[test]
+fn reduction_positive_flags_every_seeded_site() {
+    check("reduction_positive.rsfix", "crates/core/src/fx_red.rs");
+}
+
+#[test]
+fn reduction_negative_is_quiet() {
+    check("reduction_negative.rsfix", "crates/core/src/fx_red.rs");
+}
+
+#[test]
+fn blessed_module_path_suppresses_reductions() {
+    // The *positive* reduction fixture goes quiet when the same source is
+    // mapped into the blessed fixed-chunk module list.
+    let (src, expected) = load("reduction_positive.rsfix");
+    assert!(!expected.is_empty(), "fixture lost its seeded violations");
+    let diags = analyze_sources(&[("crates/sparse/src/vecops.rs".to_string(), src)]);
+    assert!(
+        diags.is_empty(),
+        "blessed path still reported:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

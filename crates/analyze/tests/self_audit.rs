@@ -1,0 +1,64 @@
+//! The analyzer held to its own standard: its sources must parse under
+//! its own Rust subset and produce zero findings, and the workspace it
+//! ships with must be clean end to end.
+
+use std::path::Path;
+
+/// The analyzer's own crate, analyzed by itself. The crate is not in
+/// [`famg_analyze::ANALYZED_ROOTS`] (it is tooling, not a kernel crate),
+/// so this audit feeds the sources in manually — it proves the parser
+/// round-trips its own implementation and that no rule fires on it.
+#[test]
+fn analyzer_is_clean_on_itself() {
+    let sources: Vec<(String, String)> = [
+        ("crates/analyze/src/lib.rs", include_str!("../src/lib.rs")),
+        ("crates/analyze/src/lex.rs", include_str!("../src/lex.rs")),
+        (
+            "crates/analyze/src/model.rs",
+            include_str!("../src/model.rs"),
+        ),
+        (
+            "crates/analyze/src/parse.rs",
+            include_str!("../src/parse.rs"),
+        ),
+        (
+            "crates/analyze/src/rules.rs",
+            include_str!("../src/rules.rs"),
+        ),
+        (
+            "crates/analyze/src/bin/famg-analyze.rs",
+            include_str!("../src/bin/famg-analyze.rs"),
+        ),
+    ]
+    .into_iter()
+    .map(|(p, s)| (p.to_string(), s.to_string()))
+    .collect();
+    let diags = famg_analyze::analyze_sources(&sources);
+    assert!(
+        diags.is_empty(),
+        "self-audit findings:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// The shipped kernel crates stay clean: the same invariant the
+/// `==> famg-analyze` stage of `scripts/check.sh` enforces, kept in the
+/// test suite so `cargo test` alone catches regressions.
+#[test]
+fn workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let diags = famg_analyze::analyze_workspace(&root).expect("workspace scan failed");
+    assert!(
+        diags.is_empty(),
+        "workspace findings:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

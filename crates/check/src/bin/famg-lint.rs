@@ -1,15 +1,33 @@
 //! Workspace source auditor; see [`famg_check::lint`] for the rules.
 //!
-//! Usage: `cargo run -q -p famg-check --bin famg-lint [workspace-root]`
-//! (default root: the current directory). Prints one `path:line: [rule]
-//! message` diagnostic per finding and exits non-zero if there are any —
-//! wired into `scripts/check.sh` as the `==> famg-lint` stage.
+//! Usage: `cargo run -q -p famg-check --bin famg-lint [--format json|text]
+//! [workspace-root]` (default root: the current directory, default format:
+//! text). Text mode prints one `path:line: [rule] message` diagnostic per
+//! finding; `--format json` emits the shared `famg-diag-v1` document (see
+//! [`famg_check::diag::to_json`]) so findings are machine-readable
+//! alongside the `BENCH_*.json` telemetry. Exits non-zero if there are any
+//! findings — wired into `scripts/check.sh` as the `==> famg-lint` stage.
 
 use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let mut root = ".".to_string();
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    eprintln!("famg-lint: unknown format {other:?} (expected json|text)");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => root = arg,
+        }
+    }
     let diags = match famg_check::lint::lint_workspace(Path::new(&root)) {
         Ok(d) => d,
         Err(e) => {
@@ -17,6 +35,14 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if json {
+        print!("{}", famg_check::diag::to_json("famg-lint", &diags));
+        return if diags.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     if diags.is_empty() {
         eprintln!("famg-lint: clean");
         return ExitCode::SUCCESS;

@@ -1,0 +1,134 @@
+//! Shared diagnostic representation for the source auditors (`famg-lint`,
+//! `famg-analyze`).
+//!
+//! Both tools address findings as `path:line: [rule] message` so a CI log
+//! line is clickable, and both expose the same machine-readable JSON
+//! rendering (`--format json`) so findings can sit alongside the
+//! `BENCH_*.json` telemetry records in `target/` artifacts.
+
+use std::fmt;
+
+/// One finding, addressable as `path:line`.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Path as scanned (workspace-relative when produced by a workspace
+    /// walker).
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable rule id, printed in brackets (e.g. `unsafe-safety`,
+    /// `alloc-in-solve-path`).
+    pub rule: &'static str,
+    /// Human-readable explanation with the expected fix.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Escapes `s` for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders diagnostics as a versioned JSON document:
+///
+/// ```json
+/// {"schema": "famg-diag-v1", "tool": "famg-lint", "count": 1,
+///  "findings": [{"path": "...", "line": 3, "rule": "...", "message": "..."}]}
+/// ```
+///
+/// The format is stable (append-only) so downstream tooling can consume
+/// findings from either auditor uniformly.
+#[must_use]
+pub fn to_json(tool: &str, diags: &[Diagnostic]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"famg-diag-v1\",\n");
+    let _ = writeln!(out, "  \"tool\": \"{}\",", json_escape(tool));
+    let _ = writeln!(out, "  \"count\": {},", diags.len());
+    out.push_str("  \"findings\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"path\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&d.path),
+            d.line,
+            json_escape(d.rule),
+            json_escape(&d.message)
+        );
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchjson::JsonValue;
+
+    #[test]
+    fn renders_as_path_line_rule() {
+        let d = Diagnostic {
+            path: "crates/x/src/y.rs".into(),
+            line: 7,
+            rule: "some-rule",
+            message: "explain".into(),
+        };
+        assert_eq!(d.to_string(), "crates/x/src/y.rs:7: [some-rule] explain");
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let d = Diagnostic {
+            path: "a.rs".into(),
+            line: 1,
+            rule: "r",
+            message: "say \"hi\"\nback\\slash".into(),
+        };
+        let j = to_json("famg-test", &[d]);
+        assert!(j.contains("\"schema\": \"famg-diag-v1\""));
+        assert!(j.contains("\"tool\": \"famg-test\""));
+        assert!(j.contains("\"count\": 1"));
+        assert!(j.contains("say \\\"hi\\\"\\nback\\\\slash"));
+        // Must parse under the workspace's own JSON parser.
+        let v = crate::benchjson::JsonValue::parse(&j).expect("valid JSON");
+        assert_eq!(v.get("count").and_then(JsonValue::num), Some(1.0));
+    }
+
+    #[test]
+    fn empty_findings_is_valid_json() {
+        let j = to_json("t", &[]);
+        let v = crate::benchjson::JsonValue::parse(&j).expect("valid JSON");
+        assert_eq!(v.get("count").and_then(JsonValue::num), Some(0.0));
+    }
+}

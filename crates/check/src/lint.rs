@@ -28,8 +28,9 @@
 //! tests, benches, fixtures — the latter use a `.rsfix` extension so
 //! neither cargo nor this scanner picks them up).
 
-use std::fmt;
 use std::path::{Path, PathBuf};
+
+pub use crate::diag::Diagnostic;
 
 /// Which audit rule produced a diagnostic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,33 +54,6 @@ impl Rule {
             Rule::HashMapKernel => "hashmap-kernel",
             Rule::WallclockKernel => "wallclock-kernel",
         }
-    }
-}
-
-/// One finding, addressable as `path:line`.
-#[derive(Debug, Clone)]
-pub struct Diagnostic {
-    /// Path as scanned (workspace-relative when produced by
-    /// [`lint_workspace`]).
-    pub path: String,
-    /// 1-based line number.
-    pub line: usize,
-    /// The violated rule.
-    pub rule: Rule,
-    /// Human-readable explanation with the expected fix.
-    pub message: String,
-}
-
-impl fmt::Display for Diagnostic {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.path,
-            self.line,
-            self.rule.id(),
-            self.message
-        )
     }
 }
 
@@ -403,7 +377,7 @@ pub fn lint_file(path: &str, src: &str) -> Vec<Diagnostic> {
     let diag = |line: usize, rule: Rule, message: String| Diagnostic {
         path: path.to_string(),
         line: line + 1,
-        rule,
+        rule: rule.id(),
         message,
     };
 
@@ -569,7 +543,7 @@ mod tests {
         let src = "unsafe fn f() {}\nfn g() { unsafe { f() } }\n";
         let d = lint_file("crates/core/src/x.rs", src);
         assert_eq!(d.len(), 1, "{d:?}");
-        assert_eq!(d[0].rule, Rule::UnsafeSafety);
+        assert_eq!(d[0].rule, Rule::UnsafeSafety.id());
         assert_eq!(d[0].line, 2);
     }
 
@@ -593,7 +567,7 @@ mod tests {
         let src = "a.store(1, Ordering::SeqCst);\nb.store(1, Ordering::Relaxed);\n";
         let d = lint_file("crates/core/src/x.rs", src);
         assert_eq!(d.len(), 1, "{d:?}");
-        assert_eq!(d[0].rule, Rule::OrderingJustified);
+        assert_eq!(d[0].rule, Rule::OrderingJustified.id());
         assert_eq!(d[0].line, 2);
     }
 

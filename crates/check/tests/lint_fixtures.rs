@@ -17,7 +17,7 @@ fn fixture(name: &str) -> String {
 fn findings(path: &str, src: &str) -> Vec<(usize, &'static str)> {
     lint_file(path, src)
         .into_iter()
-        .map(|d| (d.line, d.rule.id()))
+        .map(|d| (d.line, d.rule))
         .collect()
 }
 

@@ -91,6 +91,10 @@ impl ValueMap {
     }
 
     /// Replays the move against a new source value array.
+    // ALLOC: refresh-path rebuild; the analyzer reaches this only through
+    // the name-based over-approximation of `apply` (`cg_with` calls
+    // `precond.apply`, which shares the method name). Kept as the
+    // documented false-positive example for DESIGN.md §10.
     pub(crate) fn apply(&self, source: &[f64]) -> Csr {
         let values: Vec<f64> = self.src.iter().map(|&k| source[k as usize]).collect();
         Csr::from_parts_unchecked(

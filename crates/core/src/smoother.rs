@@ -272,8 +272,8 @@ impl Smoother {
         x_is_zero: bool,
     ) {
         let n = a.nrows();
-        assert_eq!(b.len(), n);
-        assert_eq!(x.len(), n);
+        assert_eq!(b.len(), n); // PANIC-FREE: shape asserts guard caller contract violations at the public smoother boundary (checked once per sweep).
+        assert_eq!(x.len(), n); // PANIC-FREE: see above.
         match self {
             Smoother::Jacobi { dinv, omega } => {
                 let temp = ws.temp(n);
@@ -303,9 +303,10 @@ impl Smoother {
                 let p = XPtr(x.as_mut_ptr());
                 rayon::scope(|s| {
                     for r in ranges {
-                        let r = r.clone();
+                        let r = r.clone(); // ALLOC: `Range` clone is a stack copy, no heap
                         let p = &p;
                         s.spawn(move |_| {
+                            // ALLOC: `Range` clone is a stack copy, no heap
                             for i in r.clone() {
                                 let keep = match class {
                                     Class::All => true,
@@ -358,8 +359,8 @@ impl Smoother {
                 rayon::scope(|s| {
                     for t in 0..nt {
                         let rows = match class {
-                            Class::Coarse => part.own.coarse[t].clone(),
-                            Class::Fine => part.own.fine[t].clone(),
+                            Class::Coarse => part.own.coarse[t].clone(), // ALLOC: `Range` clone is a stack copy, no heap
+                            Class::Fine => part.own.fine[t].clone(), // ALLOC: `Range` clone is a stack copy, no heap
                             Class::All => {
                                 // All = both ranges; run as two loops.
                                 // Handled by the caller issuing two
@@ -368,7 +369,7 @@ impl Smoother {
                             }
                         };
                         let extra = if class == Class::All {
-                            Some(part.own.fine[t].clone())
+                            Some(part.own.fine[t].clone()) // ALLOC: `Range` clone is a stack copy, no heap
                         } else {
                             None
                         };
@@ -633,9 +634,9 @@ impl Smoother {
     ) {
         let n = a.nrows();
         let k = b.k();
-        assert_eq!(b.n(), n);
-        assert_eq!(x.n(), n);
-        assert_eq!(x.k(), k);
+        assert_eq!(b.n(), n); // PANIC-FREE: shape asserts guard caller contract violations at the public smoother boundary (checked once per sweep).
+        assert_eq!(x.n(), n); // PANIC-FREE: see above.
+        assert_eq!(x.k(), k); // PANIC-FREE: see above.
         if k == 0 {
             return;
         }
@@ -657,9 +658,10 @@ impl Smoother {
                 rayon::scope(|s| {
                     for t in 0..nt {
                         let (rows, extra) = match class {
-                            Class::Coarse => (part.own.coarse[t].clone(), None),
-                            Class::Fine => (part.own.fine[t].clone(), None),
+                            Class::Coarse => (part.own.coarse[t].clone(), None), // ALLOC: `Range` clone is a stack copy, no heap
+                            Class::Fine => (part.own.fine[t].clone(), None), // ALLOC: `Range` clone is a stack copy, no heap
                             Class::All => {
+                                // ALLOC: `Range` clone is a stack copy, no heap
                                 (part.own.coarse[t].clone(), Some(part.own.fine[t].clone()))
                             }
                         };

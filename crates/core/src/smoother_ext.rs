@@ -118,8 +118,9 @@ impl L1HybridGs {
         let p = &p;
         rayon::scope(|s| {
             for r in &self.ranges {
-                let r = r.clone();
+                let r = r.clone(); // ALLOC: `Range` clone is a stack copy, no heap
                 s.spawn(move |_| {
+                    // ALLOC: `Range` clone is a stack copy, no heap
                     for i in r.clone() {
                         let mut acc = b[i];
                         for (c, v) in a.row_iter(i) {
@@ -233,15 +234,17 @@ impl Chebyshev {
         let delta = 0.5 * (self.lambda_max - self.lambda_min);
         let sigma1 = theta / delta;
         // r = D⁻¹ (b - A x)
+        // ALLOC: Chebyshev recurrence scratch (r, d, Ad): the smoother is
+        // stateless by design, so its three O(n) vectors are per-sweep.
         let mut r = vec![0.0; n];
         spmv(a, x, &mut r);
         for i in 0..n {
             r[i] = (b[i] - r[i]) * self.dinv[i];
         }
         // d_1 = r / theta
-        let mut d: Vec<f64> = r.iter().map(|&v| v / theta).collect();
+        let mut d: Vec<f64> = r.iter().map(|&v| v / theta).collect(); // ALLOC: see above
         let mut rho_prev = 1.0 / sigma1;
-        let mut ad = vec![0.0; n];
+        let mut ad = vec![0.0; n]; // ALLOC: see above
         for k in 0..self.degree {
             for (xi, di) in x.iter_mut().zip(&d) {
                 *xi += di;

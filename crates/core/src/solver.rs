@@ -225,7 +225,7 @@ impl AmgSolver {
     /// see the open span and back off, zeroing the returned timings).
     pub fn solve(&self, b: &[f64], x: &mut [f64]) -> SolveResult {
         self.try_solve(b, x)
-            .unwrap_or_else(|e| panic!("famg solve: {e}"))
+            .unwrap_or_else(|e| panic!("famg solve: {e}")) // PANIC-FREE: panicking convenience wrapper; reached from `try_*` only via the name-based over-approximation of the coarse `solve` call in `cycle_level` (that callee is `LuFactor::solve`).
     }
 
     /// Like [`AmgSolver::solve`], but returns a typed error instead of
@@ -249,7 +249,10 @@ impl AmgSolver {
                 what: "initial guess",
             });
         }
-        let mut ws = self.ws.lock().unwrap();
+        let mut ws = self
+            .ws
+            .lock()
+            .expect("solver workspace mutex poisoned by a prior panic"); // PANIC-FREE: poisoning requires a prior panic on another thread.
         let root_span = famg_prof::scope("solve");
 
         // Move into the stored (possibly CF-permuted) ordering. The
@@ -287,7 +290,7 @@ impl AmgSolver {
             }
         };
 
-        let mut history = Vec::new();
+        let mut history = Vec::new(); // ALLOC: per-iteration history is part of the returned result.
         let mut relres = norm_of(&px, &mut r);
         let mut iterations = 0usize;
         while relres > cfg.tolerance && iterations < cfg.max_iterations {
@@ -403,19 +406,24 @@ impl AmgSolver {
         }
         if k == 0 {
             return Ok(BatchSolveResult {
-                iterations: Vec::new(),
-                final_relres: Vec::new(),
-                converged: Vec::new(),
-                history: Vec::new(),
+                iterations: Vec::new(),   // ALLOC: empty Vec, no heap
+                final_relres: Vec::new(), // ALLOC: empty Vec, no heap
+                converged: Vec::new(),    // ALLOC: empty Vec, no heap
+                history: Vec::new(),      // ALLOC: empty Vec, no heap
                 times: PhaseTimes::default(),
                 profile: famg_prof::Profile::default(),
             });
         }
-        let mut guard = self.batch_ws.lock().unwrap();
+        let mut guard = self
+            .batch_ws
+            .lock()
+            .expect("batch workspace mutex poisoned by a prior panic"); // PANIC-FREE: poisoning requires a prior panic on another thread.
         if guard.as_ref().is_none_or(|w| w.k() != k) {
             *guard = Some(BatchCycleWorkspace::for_hierarchy(h, k));
         }
-        let ws = guard.as_mut().unwrap();
+        let ws = guard
+            .as_mut()
+            .expect("batch workspace was populated just above"); // PANIC-FREE: the lazy rebuild above guarantees `Some`.
         let root_span = famg_prof::scope("solve");
 
         // Move into the stored (possibly CF-permuted) ordering; buffers
@@ -435,7 +443,7 @@ impl AmgSolver {
         drop(permute_span);
 
         let a = &h.levels[0].a;
-        let mut bnorms = vec![0.0; k];
+        let mut bnorms = vec![0.0; k]; // ALLOC: k-sized bookkeeping, not O(n)
         {
             let _s = famg_prof::scope("blas1");
             famg_prof::counter("flops", flops::dot_batch(n, k));
@@ -464,16 +472,16 @@ impl AmgSolver {
             }
         };
 
-        let mut history: Vec<Vec<f64>> = vec![Vec::new(); k];
-        let mut relres = vec![0.0; k];
+        let mut history: Vec<Vec<f64>> = vec![Vec::new(); k]; // ALLOC: result-owned per-column history
+        let mut relres = vec![0.0; k]; // ALLOC: k-sized bookkeeping, not O(n)
         norm_of(&px, &mut r, &mut relres);
-        let mut final_relres = relres.clone();
-        let mut col_iterations = vec![0usize; k];
-        // Columns that hit the tolerance freeze: their iterate is
-        // snapshotted at the convergence iteration (the state the solo
-        // solve would have exited with) while the rest keep cycling.
-        let mut frozen_cols: Vec<Option<Vec<f64>>> = vec![None; k];
-        let mut done: Vec<bool> = relres.iter().map(|&rr| rr <= cfg.tolerance).collect();
+        let mut final_relres = relres.clone(); // ALLOC: result-owned copy (k floats)
+        let mut col_iterations = vec![0usize; k]; // ALLOC: k-sized bookkeeping, not O(n)
+                                                  // Columns that hit the tolerance freeze: their iterate is
+                                                  // snapshotted at the convergence iteration (the state the solo
+                                                  // solve would have exited with) while the rest keep cycling.
+        let mut frozen_cols: Vec<Option<Vec<f64>>> = vec![None; k]; // ALLOC: k slots; cols snapshot only on freeze
+        let mut done: Vec<bool> = relres.iter().map(|&rr| rr <= cfg.tolerance).collect(); // ALLOC: k-sized bookkeeping, not O(n)
         for j in 0..k {
             if done[j] {
                 frozen_cols[j] = Some(px.col(j));
@@ -520,7 +528,7 @@ impl AmgSolver {
             .map(PhaseTimes::from_span)
             .unwrap_or_default();
 
-        let converged = final_relres.iter().map(|&rr| rr <= cfg.tolerance).collect();
+        let converged = final_relres.iter().map(|&rr| rr <= cfg.tolerance).collect(); // ALLOC: result-owned convergence flags (k bools)
         Ok(BatchSolveResult {
             iterations: col_iterations,
             final_relres,

@@ -265,7 +265,11 @@ impl Comm {
             // payload itself travels through the channel's own locking.
             c.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
             c.messages_sent.fetch_add(1, Ordering::Relaxed);
-            let mut scoped = self.scoped[self.rank].lock().unwrap();
+            let mut scoped = self.scoped[self.rank]
+                .lock()
+                // PANIC-FREE: poisoning requires a prior panic on another
+                // rank's thread; propagating the abort is correct.
+                .expect("comm telemetry mutex poisoned by a prior rank panic");
             let t = scoped.entry(self.scope.get()).or_default();
             t.bytes += bytes as u64;
             t.messages += 1;
@@ -284,8 +288,10 @@ impl Comm {
                 tag,
                 bytes,
                 sent_at: Instant::now(),
-                payload: Box::new(payload),
+                payload: Box::new(payload), // ALLOC: envelope boxing is the in-process wire format
             })
+            // PANIC-FREE: receivers live for the whole run_ranks scope; a
+            // hung-up channel means a peer rank already panicked.
             .expect("rank hung up");
     }
 
@@ -357,6 +363,8 @@ impl Comm {
                 .receiver
                 .recv_timeout(RECV_TIMEOUT)
                 .unwrap_or_else(|_| {
+                    // PANIC-FREE: 120 s deadlock guard — firing means the
+                    // exchange protocol is broken; aborting beats hanging.
                     panic!(
                         "rank {} timed out waiting for (src {}, tag {})",
                         self.rank, handle.src, handle.tag
@@ -407,6 +415,8 @@ impl Comm {
         let _ = env.bytes;
         *env.payload
             .downcast::<T>()
+            // PANIC-FREE: each (src, tag) pair carries exactly one payload
+            // type by protocol; a mismatch is a wiring bug, not data.
             .expect("message type mismatch for (src, tag)")
     }
 
@@ -442,6 +452,8 @@ impl Comm {
     /// Children of relative rank `v`, nearest first: `v + 2^k` for all
     /// `2^k` below `v`'s lowest set bit (every power below `size` for the
     /// root), clipped to `size`.
+    // ALLOC: O(log P) child list per collective round — inherent to the
+    // tree topology and negligible next to the message payloads.
     fn tree_children(&self, v: usize) -> Vec<usize> {
         let bound = if v == 0 {
             self.size
@@ -472,6 +484,8 @@ impl Comm {
     /// Gathers one value per rank to `root` over the binomial tree
     /// (O(log P) rounds, P−1 messages). Returns `Some(values)` indexed by
     /// rank on the root, `None` elsewhere.
+    // ALLOC: message payload assembly — gathers own (and forward) their
+    // subtree's values by value, as an MPI gather owns its send buffer.
     pub fn gather_to<T: Send + 'static>(
         &self,
         root: usize,
@@ -496,12 +510,20 @@ impl Comm {
             for (i, t) in buf.into_iter().enumerate() {
                 out[self.abs_rank(i, root)] = t;
             }
-            Some(out.into_iter().map(|o| o.unwrap()).collect())
+            let mut gathered = Vec::with_capacity(out.len());
+            for o in out {
+                // PANIC-FREE: every relative rank reports exactly once (the
+                // subtree spans partition 0..size), so no slot stays None.
+                gathered.push(o.expect("gather slot filled"));
+            }
+            Some(gathered)
         } else {
             let sub: Vec<(usize, T)> = buf
                 .into_iter()
                 .enumerate()
-                .map(|(i, t)| (me + i, t.unwrap()))
+                // PANIC-FREE: buf[0] is this rank's value and children
+                // filled the rest of the subtree span above.
+                .map(|(i, t)| (me + i, t.expect("gather subtree slot filled")))
                 .collect();
             let b: usize = sub.iter().map(|(_, t)| bytes(t)).sum();
             self.send(self.abs_rank(Self::tree_parent(me), root), tag, sub, b);
@@ -512,6 +534,8 @@ impl Comm {
     /// Scatters one value per rank from `root` over the binomial tree
     /// (O(log P) rounds, P−1 messages). The root passes `Some(values)`
     /// indexed by rank; every rank returns its own element.
+    // ALLOC: message payload assembly — each tree edge forwards its
+    // child-subtree block by value, as an MPI scatter owns its buffers.
     pub fn scatter_from<T: Send + 'static>(
         &self,
         root: usize,
@@ -522,8 +546,11 @@ impl Comm {
         let me = self.rel(self.rank, root);
         let span = self.subtree_size(me);
         let mut buf: Vec<Option<T>> = if me == 0 {
+            // PANIC-FREE: the root-only Some(values) contract is the API;
+            // both checks reject caller bugs before any message moves.
             let values = values.expect("root must provide the scatter values");
-            assert_eq!(values.len(), self.size);
+            assert_eq!(values.len(), self.size); // PANIC-FREE: same caller contract
+
             // Reorder absolute → relative.
             let mut tmp: Vec<Option<T>> = values.into_iter().map(Some).collect();
             (0..self.size)
@@ -536,11 +563,18 @@ impl Comm {
         };
         for child in self.tree_children(me) {
             let (c0, c1) = (child - me, child - me + self.subtree_size(child));
-            let block: Vec<T> = buf[c0..c1].iter_mut().map(|o| o.take().unwrap()).collect();
+            let block: Vec<T> = buf[c0..c1]
+                .iter_mut()
+                // PANIC-FREE: child subtrees are disjoint, so each slot is
+                // taken at most once after being filled above.
+                .map(|o| o.take().expect("scatter subtree slot filled"))
+                .collect();
             let b: usize = block.iter().map(&bytes).sum();
             self.send(self.abs_rank(child, root), tag, block, b);
         }
-        buf[0].take().unwrap()
+        // PANIC-FREE: buf[0] is this rank's own element; the child loop
+        // above only takes slots strictly past index 0.
+        buf[0].take().expect("scatter kept this rank's element")
     }
 
     /// Broadcasts `value` from `root` over the binomial tree (O(log P)
@@ -554,12 +588,15 @@ impl Comm {
     ) -> T {
         let me = self.rel(self.rank, root);
         let val: T = if me == 0 {
+            // PANIC-FREE: the root-only Some(value) contract is the API.
             value.expect("root must provide the broadcast value")
         } else {
             self.recv(self.abs_rank(Self::tree_parent(me), root), tag)
         };
         for child in self.tree_children(me) {
             let b = bytes(&val);
+            // ALLOC: one payload copy per tree child — inherent to a
+            // by-value broadcast fan-out.
             self.send(self.abs_rank(child, root), tag, val.clone(), b);
         }
         val
@@ -641,6 +678,8 @@ impl Comm {
     pub fn allreduce_sum_vec(&self, v: Vec<f64>, tag: u64) -> Vec<f64> {
         let b = wire::f64s(v.len());
         self.reduce_bcast(v, tag, b, b, |all| {
+            // ALLOC: k-sized combine output, once per vector all-reduce
+            // (the broadcast then owns it as the message payload).
             let mut out = vec![0.0f64; all.first().map_or(0, Vec::len)];
             for rank_v in all {
                 debug_assert_eq!(rank_v.len(), out.len());

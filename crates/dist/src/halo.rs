@@ -155,6 +155,10 @@ impl VectorExchange {
     /// inherit the enclosing kernel's Fig. 5 bucket in
     /// `PhaseTimes::from_span` — they exist for the chrome trace and the
     /// comm-counter attribution, not as buckets of their own.
+    // ALLOC: the external buffer is owned by the returned InFlightHalo
+    // and each neighbor's packed values become that message's payload —
+    // halo envelopes are allocated per exchange by design, mirroring
+    // MPI send buffers.
     pub fn post(&self, comm: &Comm, x_local: &[f64]) -> InFlightHalo {
         let window = famg_prof::scope("halo_inflight");
         let _post = famg_prof::scope("halo_post");
@@ -203,6 +207,9 @@ impl VectorExchange {
     /// The returned external buffer is strided like the input: entry
     /// `e` of column `j` lives at `ext[e * k + j]`, and column `j` is
     /// bitwise identical to a scalar exchange of that column.
+    // ALLOC: as in `post` — the strided external buffer belongs to the
+    // returned handle and each neighbor's packed block is the message
+    // payload; one envelope per neighbor regardless of k.
     pub fn post_multi(&self, comm: &Comm, x_local: &MultiVec) -> InFlightHaloMulti {
         let k = x_local.k();
         let window = famg_prof::scope("halo_batch");
@@ -368,6 +375,9 @@ fn nanos(d: std::time::Duration) -> u64 {
 /// with it would silently corrupt the solve — better to stop with the
 /// routing information than to panic deep inside `copy_from_slice`.
 fn check_halo_payload(rank: usize, peer: usize, tag: u64, expected: usize, got: usize) {
+    // PANIC-FREE: deliberate release-mode guard — a mis-sized payload
+    // means sender and receiver ran different plans; stopping with the
+    // routing information beats silently corrupting the solve.
     assert!(
         expected == got,
         "rank {rank}: halo payload from rank {peer} (tag {tag:#x}) has {got} values, \

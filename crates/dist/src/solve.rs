@@ -142,6 +142,8 @@ fn half_sweep(
 /// exactly — interior rows of the selected class first, then boundary
 /// rows against the strided halo snapshot — so column `j` is bitwise
 /// identical to the scalar sweep on that column, in both halo modes.
+/// `acc` is caller-owned `k`-sized lane scratch (see
+/// [`DistBatchCycleWorkspace`]).
 fn half_sweep_multi(
     comm: &Comm,
     h: &DistHierarchy,
@@ -149,6 +151,7 @@ fn half_sweep_multi(
     b: &MultiVec,
     x: &mut MultiVec,
     class: Class,
+    acc: &mut [f64],
 ) {
     let lvl = &h.levels[level];
     let a = &lvl.a;
@@ -156,7 +159,7 @@ fn half_sweep_multi(
     let my_c0 = a.col_starts[comm.rank()];
     let want = class == Class::Coarse;
     let bd = b.data();
-    let mut acc = vec![0.0f64; k];
+    debug_assert_eq!(acc.len(), k);
     let relax_interior = |x: &mut MultiVec, acc: &mut [f64]| {
         let xd = x.data_mut();
         for &i in &a.interior_rows {
@@ -206,17 +209,18 @@ fn half_sweep_multi(
     };
     if h.dist_opt.overlap_comm {
         let inflight = lvl.plan_a.post_multi(comm, x);
-        relax_interior(x, &mut acc);
+        relax_interior(x, &mut *acc);
         let x_ext = inflight.finish(comm);
-        relax_boundary(x, &x_ext, &mut acc);
+        relax_boundary(x, &x_ext, &mut *acc);
     } else {
         let x_ext = lvl.plan_a.exchange_multi(comm, x);
-        relax_interior(x, &mut acc);
-        relax_boundary(x, &x_ext, &mut acc);
+        relax_interior(x, &mut *acc);
+        relax_boundary(x, &x_ext, &mut *acc);
     }
 }
 
-/// Batched C-F (pre) or F-C (post) smoothing.
+/// Batched C-F (pre) or F-C (post) smoothing over caller-owned lane
+/// scratch.
 fn smooth_multi(
     comm: &Comm,
     h: &DistHierarchy,
@@ -224,13 +228,14 @@ fn smooth_multi(
     b: &MultiVec,
     x: &mut MultiVec,
     pre: bool,
+    acc: &mut [f64],
 ) {
     if pre {
-        half_sweep_multi(comm, h, level, b, x, Class::Coarse);
-        half_sweep_multi(comm, h, level, b, x, Class::Fine);
+        half_sweep_multi(comm, h, level, b, x, Class::Coarse, acc);
+        half_sweep_multi(comm, h, level, b, x, Class::Fine, acc);
     } else {
-        half_sweep_multi(comm, h, level, b, x, Class::Fine);
-        half_sweep_multi(comm, h, level, b, x, Class::Coarse);
+        half_sweep_multi(comm, h, level, b, x, Class::Fine, acc);
+        half_sweep_multi(comm, h, level, b, x, Class::Coarse, acc);
     }
 }
 
@@ -243,6 +248,71 @@ fn smooth(comm: &Comm, h: &DistHierarchy, level: usize, b: &[f64], x: &mut [f64]
         half_sweep(comm, h, level, b, x, Class::Fine);
         half_sweep(comm, h, level, b, x, Class::Coarse);
     }
+}
+
+/// Per-level scratch for one scalar V-cycle visit: residual and
+/// correction on the fine side, restricted RHS and coarse iterate on the
+/// coarse side.
+#[derive(Debug, Clone)]
+struct CycleBufs {
+    r: Vec<f64>,
+    corr: Vec<f64>,
+    bc: Vec<f64>,
+    xc: Vec<f64>,
+}
+
+/// Reusable scratch for [`try_dist_vcycle_with`]: one buffer set per
+/// non-coarsest level. Build it once per solve and reuse it across
+/// cycles — the recursive descent then performs no heap allocation.
+#[derive(Debug, Clone)]
+pub struct DistCycleWorkspace {
+    levels: Vec<CycleBufs>,
+}
+
+impl DistCycleWorkspace {
+    /// Scratch sized for every non-coarsest level of `h` (this rank's
+    /// local row counts).
+    #[must_use]
+    pub fn for_hierarchy(h: &DistHierarchy) -> Self {
+        let mut levels = Vec::new();
+        for (l, lvl) in h.levels.iter().enumerate() {
+            if lvl.p.is_none() || l + 1 >= h.levels.len() {
+                break;
+            }
+            let nf = lvl.a.local_rows();
+            let nc = h.levels[l + 1].a.local_rows();
+            levels.push(CycleBufs {
+                r: vec![0.0; nf],
+                corr: vec![0.0; nf],
+                bc: vec![0.0; nc],
+                xc: vec![0.0; nc],
+            });
+        }
+        DistCycleWorkspace { levels }
+    }
+
+    /// Rebuilds the buffers if they were sized for a different hierarchy.
+    fn fit(&mut self, h: &DistHierarchy) {
+        if !cycle_ws_fits(h, self.levels.len(), |l| {
+            (self.levels[l].r.len(), self.levels[l].bc.len())
+        }) {
+            *self = Self::for_hierarchy(h);
+        }
+    }
+}
+
+/// Whether `n_bufs` per-level buffer sets whose fine/coarse lengths are
+/// reported by `dims(l)` match the descent `h` will take.
+fn cycle_ws_fits(h: &DistHierarchy, n_bufs: usize, dims: impl Fn(usize) -> (usize, usize)) -> bool {
+    let cut = h
+        .levels
+        .iter()
+        .position(|l| l.p.is_none())
+        .unwrap_or(h.levels.len());
+    let expected = cut.min(h.levels.len().saturating_sub(1));
+    n_bufs == expected
+        && (0..expected)
+            .all(|l| dims(l) == (h.levels[l].a.local_rows(), h.levels[l + 1].a.local_rows()))
 }
 
 /// Applies one distributed V-cycle at `level`.
@@ -259,13 +329,43 @@ pub fn dist_vcycle(comm: &Comm, h: &DistHierarchy, level: usize, b: &[f64], x: &
 /// through its `try_` variant, so a mis-sized vector or a plan/operator
 /// mismatch on *any* level surfaces as a [`SolveError`] instead of a
 /// panic deep inside a kernel. The halo mode follows
-/// `h.dist_opt.overlap_comm`.
+/// `h.dist_opt.overlap_comm`. Allocates its own per-call scratch;
+/// repeated cycles over one hierarchy should hold a
+/// [`DistCycleWorkspace`] and call [`try_dist_vcycle_with`] directly.
 pub fn try_dist_vcycle(
     comm: &Comm,
     h: &DistHierarchy,
     level: usize,
     b: &[f64],
     x: &mut [f64],
+) -> Result<(), SolveError> {
+    let mut ws = DistCycleWorkspace::for_hierarchy(h);
+    try_dist_vcycle_with(comm, h, level, b, x, &mut ws)
+}
+
+/// [`try_dist_vcycle`] over caller-owned scratch: the descent reuses the
+/// workspace's per-level buffers and performs no heap allocation.
+pub fn try_dist_vcycle_with(
+    comm: &Comm,
+    h: &DistHierarchy,
+    level: usize,
+    b: &[f64],
+    x: &mut [f64],
+    ws: &mut DistCycleWorkspace,
+) -> Result<(), SolveError> {
+    ws.fit(h);
+    let start = level.min(ws.levels.len());
+    vcycle_level(comm, h, level, b, x, &mut ws.levels[start..])
+}
+
+/// Recursive scalar V-cycle body; `bufs[0]` is this level's scratch.
+fn vcycle_level(
+    comm: &Comm,
+    h: &DistHierarchy,
+    level: usize,
+    b: &[f64],
+    x: &mut [f64],
+    bufs: &mut [CycleBufs],
 ) -> Result<(), SolveError> {
     let _span = famg_prof::scope_at("vcycle", level);
     // Attribute this level's traffic (smoothing, transfers, residual).
@@ -298,7 +398,13 @@ pub fn try_dist_vcycle(
     // the `try_*` entry points.
     let (p, plan_p, rt, plan_r) = lvl
         .transfers()
+        // PANIC-FREE: check_shape (run by every try_* entry) rejects a
+        // non-coarsest level that is missing P/R or their halo plans.
         .expect("hierarchy invariant: non-coarsest level is missing P/R or their halo plans");
+    let (cur, rest) = bufs
+        .split_first_mut()
+        // PANIC-FREE: fit() sized one buffer set per non-coarsest level.
+        .expect("cycle workspace invariant: buffer set missing for a non-coarsest level");
 
     {
         let _s = famg_prof::scope_at("smooth", level);
@@ -311,28 +417,27 @@ pub fn try_dist_vcycle(
         );
     }
 
-    let mut r = vec![0.0; lvl.a.local_rows()];
     {
         let _s = famg_prof::scope_at("residual", level);
         // Residual only — the norm is unused here, so skip its allreduce.
-        try_dist_residual(comm, &lvl.a, &lvl.plan_a, x, b, &mut r, overlap)?;
+        try_dist_residual(comm, &lvl.a, &lvl.plan_a, x, b, &mut cur.r, overlap)?;
         famg_prof::counter("flops", flops::spmv(local_nnz(&lvl.a)));
     }
-    let mut bc = vec![0.0; rt.local_rows()];
     {
         let _s = famg_prof::scope_at("restrict", level);
-        try_dist_spmv(comm, rt, plan_r, &r, &mut bc, overlap)?;
+        try_dist_spmv(comm, rt, plan_r, &cur.r, &mut cur.bc, overlap)?;
         famg_prof::counter("flops", flops::spmv(local_nnz(rt)));
     }
 
-    let mut xc = vec![0.0; bc.len()];
-    try_dist_vcycle(comm, h, level + 1, &bc, &mut xc)?;
+    // The coarse cycle starts from a zero iterate, as the fresh
+    // allocation used to provide.
+    cur.xc.fill(0.0);
+    vcycle_level(comm, h, level + 1, &cur.bc, &mut cur.xc, rest)?;
 
     {
         let _s = famg_prof::scope_at("prolong", level);
-        let mut corr = vec![0.0; p.local_rows()];
-        try_dist_spmv(comm, p, plan_p, &xc, &mut corr, overlap)?;
-        for (xi, ci) in x.iter_mut().zip(&corr) {
+        try_dist_spmv(comm, p, plan_p, &cur.xc, &mut cur.corr, overlap)?;
+        for (xi, ci) in x.iter_mut().zip(&cur.corr) {
             *xi += ci;
         }
         famg_prof::counter("flops", flops::spmv(local_nnz(p)) + flops::axpy(x.len()));
@@ -368,19 +473,107 @@ pub fn dist_vcycle_multi(
         .unwrap_or_else(|e| panic!("famg distributed batched V-cycle: {e}"));
 }
 
+/// Per-level scratch for one batched V-cycle visit.
+#[derive(Debug, Clone)]
+struct BatchCycleBufs {
+    r: MultiVec,
+    corr: MultiVec,
+    bc: MultiVec,
+    xc: MultiVec,
+}
+
+/// Reusable scratch for [`try_dist_vcycle_multi_with`]: one `n x k`
+/// buffer set per non-coarsest level plus the `k`-sized lane accumulator
+/// the batched smoother threads through every half-sweep. Build it once
+/// per solve and reuse it across cycles.
+#[derive(Debug, Clone)]
+pub struct DistBatchCycleWorkspace {
+    levels: Vec<BatchCycleBufs>,
+    acc: Vec<f64>,
+}
+
+impl DistBatchCycleWorkspace {
+    /// Scratch sized for every non-coarsest level of `h` at batch width
+    /// `k`.
+    #[must_use]
+    pub fn for_hierarchy(h: &DistHierarchy, k: usize) -> Self {
+        let mut levels = Vec::new();
+        for (l, lvl) in h.levels.iter().enumerate() {
+            if lvl.p.is_none() || l + 1 >= h.levels.len() {
+                break;
+            }
+            let nf = lvl.a.local_rows();
+            let nc = h.levels[l + 1].a.local_rows();
+            levels.push(BatchCycleBufs {
+                r: MultiVec::new(nf, k),
+                corr: MultiVec::new(nf, k),
+                bc: MultiVec::new(nc, k),
+                xc: MultiVec::new(nc, k),
+            });
+        }
+        DistBatchCycleWorkspace {
+            levels,
+            acc: vec![0.0; k],
+        }
+    }
+
+    /// Rebuilds the buffers if sized for a different hierarchy or width.
+    fn fit(&mut self, h: &DistHierarchy, k: usize) {
+        let shapes_ok = cycle_ws_fits(h, self.levels.len(), |l| {
+            (self.levels[l].r.n(), self.levels[l].bc.n())
+        });
+        if !shapes_ok || self.acc.len() != k || self.levels.iter().any(|b| b.r.k() != k) {
+            *self = Self::for_hierarchy(h, k);
+        }
+    }
+}
+
 /// Batched [`try_dist_vcycle`]: one traversal advances all `k` columns,
 /// with every halo exchange sending one envelope per neighbor (the
 /// message count is independent of `k`). Span-for-span it mirrors the
 /// scalar cycle — smoothing windows are named `gs_batch` and transfer /
 /// residual windows run the `*_multi` kernels — and column `j` of the
 /// result is bitwise identical to the scalar V-cycle applied to column
-/// `j` alone, in both halo modes.
+/// `j` alone, in both halo modes. Allocates its own per-call scratch;
+/// repeated cycles should hold a [`DistBatchCycleWorkspace`] and call
+/// [`try_dist_vcycle_multi_with`] directly.
 pub fn try_dist_vcycle_multi(
     comm: &Comm,
     h: &DistHierarchy,
     level: usize,
     b: &MultiVec,
     x: &mut MultiVec,
+) -> Result<(), SolveError> {
+    let mut ws = DistBatchCycleWorkspace::for_hierarchy(h, b.k());
+    try_dist_vcycle_multi_with(comm, h, level, b, x, &mut ws)
+}
+
+/// [`try_dist_vcycle_multi`] over caller-owned scratch: the descent
+/// reuses the workspace's per-level blocks and lane accumulator and
+/// performs no heap allocation outside the coarsest-level gather.
+pub fn try_dist_vcycle_multi_with(
+    comm: &Comm,
+    h: &DistHierarchy,
+    level: usize,
+    b: &MultiVec,
+    x: &mut MultiVec,
+    ws: &mut DistBatchCycleWorkspace,
+) -> Result<(), SolveError> {
+    ws.fit(h, b.k());
+    let start = level.min(ws.levels.len());
+    let DistBatchCycleWorkspace { levels, acc } = ws;
+    vcycle_level_multi(comm, h, level, b, x, &mut levels[start..], acc)
+}
+
+/// Recursive batched V-cycle body; `bufs[0]` is this level's scratch.
+fn vcycle_level_multi(
+    comm: &Comm,
+    h: &DistHierarchy,
+    level: usize,
+    b: &MultiVec,
+    x: &mut MultiVec,
+    bufs: &mut [BatchCycleBufs],
+    acc: &mut [f64],
 ) -> Result<(), SolveError> {
     let _span = famg_prof::scope_at("vcycle", level);
     let _scope = comm.scoped(level, CommPhase::Solve);
@@ -411,17 +604,23 @@ pub fn try_dist_vcycle_multi(
     let overlap = h.dist_opt.overlap_comm;
     if lvl.p.is_none() {
         let _s = famg_prof::scope_at("coarse_solve", level);
-        coarse_solve_multi(comm, h, b, x);
+        coarse_solve_multi(comm, h, b, x, acc);
         return Ok(());
     }
     let (p, plan_p, rt, plan_r) = lvl
         .transfers()
+        // PANIC-FREE: check_shape (run by every try_* entry) rejects a
+        // non-coarsest level that is missing P/R or their halo plans.
         .expect("hierarchy invariant: non-coarsest level is missing P/R or their halo plans");
+    let (cur, rest) = bufs
+        .split_first_mut()
+        // PANIC-FREE: fit() sized one buffer set per non-coarsest level.
+        .expect("cycle workspace invariant: buffer set missing for a non-coarsest level");
 
     {
         let _s = famg_prof::scope_at("gs_batch", level);
         for _ in 0..h.config.num_sweeps {
-            smooth_multi(comm, h, level, b, x, true);
+            smooth_multi(comm, h, level, b, x, true, acc);
         }
         famg_prof::counter(
             "flops",
@@ -429,27 +628,26 @@ pub fn try_dist_vcycle_multi(
         );
     }
 
-    let mut r = MultiVec::new(nl, k);
     {
         let _s = famg_prof::scope_at("residual", level);
-        try_dist_residual_multi(comm, &lvl.a, &lvl.plan_a, x, b, &mut r, overlap)?;
+        try_dist_residual_multi(comm, &lvl.a, &lvl.plan_a, x, b, &mut cur.r, overlap)?;
         famg_prof::counter("flops", flops::spmm(local_nnz(&lvl.a), k));
     }
-    let mut bc = MultiVec::new(rt.local_rows(), k);
     {
         let _s = famg_prof::scope_at("restrict", level);
-        try_dist_spmv_multi(comm, rt, plan_r, &r, &mut bc, overlap)?;
+        try_dist_spmv_multi(comm, rt, plan_r, &cur.r, &mut cur.bc, overlap)?;
         famg_prof::counter("flops", flops::spmm(local_nnz(rt), k));
     }
 
-    let mut xc = MultiVec::new(bc.n(), k);
-    try_dist_vcycle_multi(comm, h, level + 1, &bc, &mut xc)?;
+    // The coarse cycle starts from a zero iterate, as the fresh
+    // allocation used to provide.
+    cur.xc.fill(0.0);
+    vcycle_level_multi(comm, h, level + 1, &cur.bc, &mut cur.xc, rest, acc)?;
 
     {
         let _s = famg_prof::scope_at("prolong", level);
-        let mut corr = MultiVec::new(p.local_rows(), k);
-        try_dist_spmv_multi(comm, p, plan_p, &xc, &mut corr, overlap)?;
-        for (xi, ci) in x.data_mut().iter_mut().zip(corr.data()) {
+        try_dist_spmv_multi(comm, p, plan_p, &cur.xc, &mut cur.corr, overlap)?;
+        for (xi, ci) in x.data_mut().iter_mut().zip(cur.corr.data()) {
             *xi += ci;
         }
         famg_prof::counter(
@@ -461,7 +659,7 @@ pub fn try_dist_vcycle_multi(
     {
         let _s = famg_prof::scope_at("gs_batch", level);
         for _ in 0..h.config.num_sweeps {
-            smooth_multi(comm, h, level, b, x, false);
+            smooth_multi(comm, h, level, b, x, false, acc);
         }
         famg_prof::counter(
             "flops",
@@ -475,8 +673,22 @@ pub fn try_dist_vcycle_multi(
 /// 0 (one message per rank, all columns inside), back-substitute each
 /// column through the same LU, scatter the solution block back. Column
 /// `j` sees exactly the scalar [`coarse_solve`] arithmetic.
-fn coarse_solve_multi(comm: &Comm, h: &DistHierarchy, b: &MultiVec, x: &mut MultiVec) {
-    let n_global = *h.coarse_starts.last().unwrap();
+// ALLOC: coarsest-level gather/solve/scatter — the message payloads and
+// the rank-0 dense back-substitution buffers are per-visit by nature
+// (one rank-0 round trip per cycle over O(n_coarse) data).
+fn coarse_solve_multi(
+    comm: &Comm,
+    h: &DistHierarchy,
+    b: &MultiVec,
+    x: &mut MultiVec,
+    acc: &mut [f64],
+) {
+    let n_global = *h
+        .coarse_starts
+        .last()
+        // PANIC-FREE: coarse_starts always has comm.size()+1 entries by
+        // construction (DistHierarchy::build), never zero.
+        .expect("hierarchy invariant: coarse_starts is never empty");
     let k = b.k();
     if n_global == 0 || k == 0 {
         return;
@@ -485,7 +697,7 @@ fn coarse_solve_multi(comm: &Comm, h: &DistHierarchy, b: &MultiVec, x: &mut Mult
     if !has_lu {
         let mut xl = x.clone();
         for _ in 0..4 * h.config.num_sweeps {
-            smooth_multi(comm, h, h.levels.len() - 1, b, &mut xl, true);
+            smooth_multi(comm, h, h.levels.len() - 1, b, &mut xl, true, acc);
         }
         x.copy_from(&xl);
         return;
@@ -496,7 +708,13 @@ fn coarse_solve_multi(comm: &Comm, h: &DistHierarchy, b: &MultiVec, x: &mut Mult
     let slices: Option<Vec<Vec<f64>>> = received.map(|parts| {
         let full_b: Vec<f64> = parts.into_iter().flatten().collect();
         debug_assert_eq!(full_b.len(), n_global * k);
-        let lu = h.coarse_lu.as_ref().unwrap();
+        let lu = h
+            .coarse_lu
+            .as_ref()
+            // PANIC-FREE: gather_to yields Some only on the gather root
+            // (rank 0), the one rank that owns the factorization when
+            // the allreduce above reported has_lu.
+            .expect("coarse-solve invariant: gather root holds the LU factorization");
         let mut sol = vec![0.0f64; n_global * k];
         let mut col = vec![0.0f64; n_global];
         for j in 0..k {
@@ -516,17 +734,22 @@ fn coarse_solve_multi(comm: &Comm, h: &DistHierarchy, b: &MultiVec, x: &mut Mult
     x.data_mut().copy_from_slice(&mine);
 }
 
+// ALLOC: coarsest-level gather/solve/scatter — the message payloads and
+// the rank-0 dense back-substitution buffers are per-visit by nature
+// (one rank-0 round trip per cycle over O(n_coarse) data).
 fn coarse_solve(comm: &Comm, h: &DistHierarchy, b: &[f64], x: &mut [f64]) {
-    let lvl = h.levels.last().unwrap();
-    let n_global = *h.coarse_starts.last().unwrap();
+    let n_global = *h
+        .coarse_starts
+        .last()
+        // PANIC-FREE: coarse_starts always has comm.size()+1 entries by
+        // construction (DistHierarchy::build), never zero.
+        .expect("hierarchy invariant: coarse_starts is never empty");
     if n_global == 0 {
         return;
     }
-    if h.coarse_lu.is_none() && comm.rank() == 0 {
-        // No factorization (level too big for LU): smooth instead.
-        // All ranks take this path together (coarse_lu is Some only on
-        // rank 0, so use a flag broadcast).
-    }
+    // No factorization (level too big for LU) means every rank smooths
+    // instead; coarse_lu is Some only on rank 0, so agree via a
+    // flag-OR allreduce rather than local inspection.
     let has_lu = comm.allreduce_or(h.coarse_lu.is_some(), 0x90);
     if !has_lu {
         let mut xl = x.to_vec();
@@ -542,14 +765,20 @@ fn coarse_solve(comm: &Comm, h: &DistHierarchy, b: &[f64], x: &mut [f64]) {
     let slices: Option<Vec<Vec<f64>>> = received.map(|parts| {
         let full_b: Vec<f64> = parts.into_iter().flatten().collect();
         debug_assert_eq!(full_b.len(), n_global);
-        let sol0 = h.coarse_lu.as_ref().unwrap().solve(&full_b);
+        let sol0 = h
+            .coarse_lu
+            .as_ref()
+            // PANIC-FREE: gather_to yields Some only on the gather root
+            // (rank 0), the one rank that owns the factorization when
+            // the allreduce above reported has_lu.
+            .expect("coarse-solve invariant: gather root holds the LU factorization")
+            .solve(&full_b);
         (0..comm.size())
             .map(|r| sol0[h.coarse_starts[r]..h.coarse_starts[r + 1]].to_vec())
             .collect()
     });
     let mine = comm.scatter_from(0, slices, 0x92, |v| wire::f64s(v.len()));
     x.copy_from_slice(&mine);
-    let _ = lvl;
 }
 
 /// Result of a distributed solve (per rank; global quantities identical
@@ -597,7 +826,10 @@ pub fn try_dist_amg_solve(
     let scope = comm.scoped(0, CommPhase::Solve);
     let lvl0 = &h.levels[0];
     let ov = h.dist_opt.overlap_comm;
+    // ALLOC: per-solve residual buffer and cycle workspace, allocated
+    // once here and reused across every V-cycle of the iteration.
     let mut r = vec![0.0; b.len()];
+    let mut ws = DistCycleWorkspace::for_hierarchy(h);
     let (bnorm, mut relres);
     {
         let _s = famg_prof::scope("blas1");
@@ -611,7 +843,7 @@ pub fn try_dist_amg_solve(
     }
     let mut iterations = 0usize;
     while relres > h.config.tolerance && iterations < h.config.max_iterations {
-        try_dist_vcycle(comm, h, 0, b, x)?;
+        try_dist_vcycle_with(comm, h, 0, b, x, &mut ws)?;
         iterations += 1;
         let _s = famg_prof::scope("blas1");
         relres = try_dist_residual_norm_sq(comm, &lvl0.a, &lvl0.plan_a, x, b, &mut r, ov)?.sqrt()
@@ -743,9 +975,9 @@ pub fn try_dist_amg_solve_multi(
     let mark = comm_mark(comm);
     if k == 0 {
         return Ok(DistBatchSolveResult {
-            iterations: Vec::new(),
-            final_relres: Vec::new(),
-            converged: Vec::new(),
+            iterations: Vec::new(),   // ALLOC: empty Vec, no heap
+            final_relres: Vec::new(), // ALLOC: empty Vec, no heap
+            converged: Vec::new(),    // ALLOC: empty Vec, no heap
             times: PhaseTimes::default(),
             solve_comm_time: comm.comm_time_since(comm_t0),
             solve_comm: comm_since(comm, mark),
@@ -757,9 +989,12 @@ pub fn try_dist_amg_solve_multi(
     let lvl0 = &h.levels[0];
     let ov = h.dist_opt.overlap_comm;
     let nl = lvl0.a.local_rows();
+    // ALLOC: per-solve residual block, cycle workspace and k-sized
+    // reporting lanes, allocated once here and reused across cycles.
     let mut r = MultiVec::new(nl, k);
+    let mut ws = DistBatchCycleWorkspace::for_hierarchy(h, k);
     let mut bnorms;
-    let mut relres = vec![0.0f64; k];
+    let mut relres = vec![0.0f64; k]; // ALLOC: k-sized reporting lanes (once per solve)
     {
         let _s = famg_prof::scope("blas1");
         bnorms = dist_norm2_multi(comm, b);
@@ -776,11 +1011,14 @@ pub fn try_dist_amg_solve_multi(
         );
     }
 
+    // ALLOC: per-solve result assembly (k-sized counters, masks and
+    // per-column snapshots) — owned by the returned result.
     let mut iterations = vec![0usize; k];
-    let mut final_relres = relres.clone();
-    let mut done: Vec<bool> = relres.iter().map(|&rr| rr <= h.config.tolerance).collect();
-    // A finished column's iterate is snapshotted at its own stopping
-    // point and restored on exit; the kernels keep advancing the lane.
+    let mut final_relres = relres.clone(); // ALLOC: result-owned copy (k elements)
+    let mut done: Vec<bool> = relres.iter().map(|&rr| rr <= h.config.tolerance).collect(); // ALLOC: k bools
+                                                                                           // A finished column's iterate is snapshotted at its own stopping
+                                                                                           // point and restored on exit; the kernels keep advancing the lane.
+                                                                                           // ALLOC: one snapshot slot per column, filled on convergence events.
     let mut frozen_cols: Vec<Option<Vec<f64>>> = vec![None; k];
     for (j, d) in done.iter().enumerate() {
         if *d {
@@ -789,7 +1027,7 @@ pub fn try_dist_amg_solve_multi(
     }
     let mut cycles = 0usize;
     while done.iter().any(|d| !d) && cycles < h.config.max_iterations {
-        try_dist_vcycle_multi(comm, h, 0, b, x)?;
+        try_dist_vcycle_multi_with(comm, h, 0, b, x, &mut ws)?;
         cycles += 1;
         let _s = famg_prof::scope("blas1");
         let sq = try_dist_residual_norm_sq_multi(comm, &lvl0.a, &lvl0.plan_a, x, b, &mut r, ov)?;
@@ -825,7 +1063,7 @@ pub fn try_dist_amg_solve_multi(
     let converged = final_relres
         .iter()
         .map(|&rr| rr <= h.config.tolerance)
-        .collect();
+        .collect(); // ALLOC: result-owned convergence flags (k bools)
     Ok(DistBatchSolveResult {
         iterations,
         final_relres,
@@ -880,8 +1118,13 @@ pub fn try_dist_fgmres_amg(
     };
     let mut total_iters = 0usize;
     let mut relres;
+    // ALLOC: per-solve cycle workspace, reused by every preconditioner
+    // application across all restarts.
+    let mut ws = DistCycleWorkspace::for_hierarchy(h);
 
     'outer: loop {
+        // ALLOC: per-restart residual seed; becomes the first basis
+        // vector (moved into `v`), so it cannot be a reused buffer.
         let mut r = vec![0.0; nl];
         let beta = {
             let _s = famg_prof::scope("spmv");
@@ -895,20 +1138,26 @@ pub fn try_dist_fgmres_amg(
         for ri in &mut r {
             *ri /= beta;
         }
+        // ALLOC: FGMRES basis growth — V, Z, the Hessenberg columns and
+        // the Givens coefficients grow with the inner iteration count;
+        // storing the basis is inherent to the algorithm (flexible
+        // preconditioning forbids recomputing Z).
         let mut v: Vec<Vec<f64>> = vec![r];
-        let mut z: Vec<Vec<f64>> = Vec::new();
-        let mut hcols: Vec<Vec<f64>> = Vec::new();
-        let mut cs: Vec<f64> = Vec::new();
-        let mut sn: Vec<f64> = Vec::new();
-        let mut g = vec![0.0f64; m + 1];
+        let mut z: Vec<Vec<f64>> = Vec::new(); // ALLOC: retained basis (see above)
+        let mut hcols: Vec<Vec<f64>> = Vec::new(); // ALLOC: retained basis (see above)
+        let mut cs: Vec<f64> = Vec::new(); // ALLOC: retained basis (see above)
+        let mut sn: Vec<f64> = Vec::new(); // ALLOC: retained basis (see above)
+        let mut g = vec![0.0f64; m + 1]; // ALLOC: per-restart RHS of the least-squares system
         g[0] = beta;
         let mut inner = 0usize;
 
         while inner < m && total_iters < max_iterations {
             // Precondition: one V-cycle from zero.
+            // ALLOC: zj is pushed into the retained basis Z below; wj
+            // likewise becomes the next basis vector.
             let mut zj = vec![0.0; nl];
-            try_dist_vcycle(comm, h, 0, &v[inner], &mut zj)?;
-            let mut w = vec![0.0; nl];
+            try_dist_vcycle_with(comm, h, 0, &v[inner], &mut zj, &mut ws)?;
+            let mut w = vec![0.0; nl]; // ALLOC: becomes the next basis vector
             {
                 let _s = famg_prof::scope("spmv");
                 try_dist_spmv(comm, a, &lvl0.plan_a, &zj, &mut w, ov)?;
@@ -916,6 +1165,7 @@ pub fn try_dist_fgmres_amg(
             }
             z.push(zj);
             let blas1_span = famg_prof::scope("blas1");
+            // ALLOC: one retained Hessenberg column per inner iteration.
             let mut hj = vec![0.0f64; inner + 2];
             for (i, vi) in v.iter().enumerate() {
                 let hij = dist_dot(comm, &w, vi);
@@ -961,6 +1211,7 @@ pub fn try_dist_fgmres_amg(
         update(x, &hcols, &g, &z, inner);
         if total_iters >= max_iterations {
             let _s = famg_prof::scope("spmv");
+            // ALLOC: one exit-path residual buffer for the final report.
             let mut r = vec![0.0; nl];
             relres =
                 try_dist_residual_norm_sq(comm, a, &lvl0.plan_a, x, b, &mut r, ov)?.sqrt() / bnorm;
@@ -1023,7 +1274,10 @@ pub fn try_dist_pcg_amg(
     let ov = h.dist_opt.overlap_comm;
     let nl = a.local_rows();
 
+    // ALLOC: per-solve PCG vectors (r, z, p, ap) and cycle workspace,
+    // allocated once here and reused by every iteration.
     let mut r = vec![0.0; nl];
+    let mut ws = DistCycleWorkspace::for_hierarchy(h);
     let bnorm;
     {
         let _s = famg_prof::scope("blas1");
@@ -1034,9 +1288,9 @@ pub fn try_dist_pcg_amg(
             flops::dot(nl) + flops::spmv(local_nnz(a)) + flops::dot(nl),
         );
     }
-    let mut z = vec![0.0; nl];
-    try_dist_vcycle(comm, h, 0, &r, &mut z)?;
-    let mut p = z.clone();
+    let mut z = vec![0.0; nl]; // ALLOC: per-solve preconditioned residual
+    try_dist_vcycle_with(comm, h, 0, &r, &mut z, &mut ws)?;
+    let mut p = z.clone(); // ALLOC: per-solve search direction
     let (mut rz, mut relres);
     {
         let _s = famg_prof::scope("blas1");
@@ -1045,7 +1299,7 @@ pub fn try_dist_pcg_amg(
         famg_prof::counter("flops", 2 * flops::dot(nl));
     }
     let mut iterations = 0usize;
-    let mut ap = vec![0.0; nl];
+    let mut ap = vec![0.0; nl]; // ALLOC: per-solve A·p buffer
 
     while relres > tolerance && iterations < max_iterations {
         let pap;
@@ -1064,7 +1318,7 @@ pub fn try_dist_pcg_amg(
             r[i] -= alpha * ap[i];
         }
         z.fill(0.0);
-        try_dist_vcycle(comm, h, 0, &r, &mut z)?;
+        try_dist_vcycle_with(comm, h, 0, &r, &mut z, &mut ws)?;
         {
             let _s = famg_prof::scope("blas1");
             let rz_new = dist_dot(comm, &r, &z);
@@ -1100,6 +1354,7 @@ fn update(x: &mut [f64], h: &[Vec<f64>], g: &[f64], z: &[Vec<f64>], k: usize) {
     if k == 0 {
         return;
     }
+    // ALLOC: k-sized triangular-solve scratch, once per restart exit.
     let mut y = vec![0.0f64; k];
     for i in (0..k).rev() {
         let mut acc = g[i];

@@ -163,6 +163,8 @@ pub fn try_dist_spmv_multi(
             }
         }
     };
+    // ALLOC: k-sized lane accumulator — O(k) per kernel call, not per
+    // row; threading it from every caller is not worth the coupling.
     let mut acc = vec![0.0f64; k];
     if overlap {
         let inflight = plan.post_multi(comm, x);
@@ -250,6 +252,8 @@ pub fn try_dist_residual_multi(
     }
     // Norm pass in ascending row order, per lane — the same fold the
     // scalar kernel performs on each extracted column.
+    // ALLOC: k-sized result vector, returned to (and reduced by) the
+    // caller — it is the kernel's output, not scratch.
     let mut acc_sq = vec![0.0f64; k];
     for row in r.data().chunks_exact(k.max(1)) {
         for (aj, rj) in acc_sq.iter_mut().zip(row) {
@@ -281,9 +285,13 @@ pub fn try_dist_residual_norm_sq_multi(
 /// x[:,j] · y[:,j]` globally, each column bitwise identical to
 /// [`dist_dot`].
 pub fn dist_dot_multi(comm: &Comm, x: &MultiVec, y: &MultiVec) -> Vec<f64> {
+    // PANIC-FREE: shape asserts guard the caller contract at the kernel
+    // boundary; the try_* drivers validate block shapes before calling.
     assert_eq!(x.n(), y.n());
-    assert_eq!(x.k(), y.k());
+    assert_eq!(x.k(), y.k()); // PANIC-FREE: same caller contract
     let k = x.k();
+    // ALLOC: k-sized result vector — the all-reduce then owns it as the
+    // message payload.
     let mut acc = vec![0.0f64; k];
     for (xr, yr) in x
         .data()

@@ -31,7 +31,41 @@ impl Default for CgOptions {
     }
 }
 
-/// Solves SPD `A x = b` with preconditioned CG.
+/// Reusable buffers for [`cg_with`]: the four length-`n` vectors every CG
+/// iteration touches. Constructing one per solve (what [`cg`] does) is
+/// fine for one-shot use; time-stepping drivers construct it once and
+/// keep the steady-state iteration allocation-free.
+#[derive(Debug, Clone)]
+pub struct CgWorkspace {
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    ap: Vec<f64>,
+}
+
+impl CgWorkspace {
+    /// Workspace for an `n`-row system.
+    #[must_use]
+    pub fn for_problem(n: usize) -> Self {
+        CgWorkspace {
+            r: vec![0.0; n],
+            z: vec![0.0; n],
+            p: vec![0.0; n],
+            ap: vec![0.0; n],
+        }
+    }
+
+    /// Rebuilds the buffers if sized for a different problem.
+    fn fit(&mut self, n: usize) {
+        if self.r.len() != n {
+            *self = Self::for_problem(n);
+        }
+    }
+}
+
+/// Solves SPD `A x = b` with preconditioned CG, constructing a fresh
+/// [`CgWorkspace`] for the call. Repeated solves over same-sized systems
+/// should hold a workspace and call [`cg_with`] directly.
 pub fn cg(
     a: &Csr,
     b: &[f64],
@@ -39,42 +73,58 @@ pub fn cg(
     precond: &impl Preconditioner,
     opts: &CgOptions,
 ) -> KrylovResult {
+    let mut ws = CgWorkspace::for_problem(a.nrows());
+    cg_with(a, b, x, precond, opts, &mut ws)
+}
+
+/// Solves SPD `A x = b` with preconditioned CG using caller-owned
+/// buffers; the per-iteration hot loop performs no heap allocation.
+pub fn cg_with(
+    a: &Csr,
+    b: &[f64],
+    x: &mut [f64],
+    precond: &impl Preconditioner,
+    opts: &CgOptions,
+    ws: &mut CgWorkspace,
+) -> KrylovResult {
     let n = a.nrows();
     assert_eq!(b.len(), n);
     assert_eq!(x.len(), n);
     let bnorm = vecops::norm2(b).max(f64::MIN_POSITIVE);
 
-    let mut r = vec![0.0; n];
-    spmv(a, x, &mut r);
+    ws.fit(n);
+    let CgWorkspace { r, z, p, ap } = ws;
+    spmv(a, x, r);
     for (ri, bi) in r.iter_mut().zip(b) {
         *ri = bi - *ri;
     }
-    let mut z = vec![0.0; n];
-    precond.apply(&r, &mut z);
-    let mut p = z.clone();
-    let mut rz = vecops::dot(&r, &z);
-    let mut relres = vecops::norm2(&r) / bnorm;
+    z.fill(0.0);
+    precond.apply(r, z);
+    p.copy_from_slice(z);
+    let mut rz = vecops::dot(r, z);
+    let mut relres = vecops::norm2(r) / bnorm;
+    // ALLOC: convergence history is owned by the returned result and
+    // grows with the iteration count by definition.
     let mut history = Vec::new();
     let mut iterations = 0usize;
-    let mut ap = vec![0.0; n];
 
     while relres > opts.tolerance && iterations < opts.max_iterations {
-        spmv(a, &p, &mut ap);
-        let pap = vecops::dot(&p, &ap);
+        spmv(a, p, ap);
+        let pap = vecops::dot(p, ap);
         if pap <= 0.0 {
             break; // not SPD (or breakdown): report what we have
         }
         let alpha = rz / pap;
-        vecops::axpy(alpha, &p, x);
-        vecops::axpy(-alpha, &ap, &mut r);
+        vecops::axpy(alpha, p, x);
+        vecops::axpy(-alpha, ap, r);
         z.fill(0.0);
-        precond.apply(&r, &mut z);
-        let rz_new = vecops::dot(&r, &z);
+        precond.apply(r, z);
+        let rz_new = vecops::dot(r, z);
         let beta = rz_new / rz;
         rz = rz_new;
-        vecops::xpby(&z, beta, &mut p);
+        vecops::xpby(z, beta, p);
         iterations += 1;
-        relres = vecops::norm2(&r) / bnorm;
+        relres = vecops::norm2(r) / bnorm;
         history.push(relres);
     }
 
@@ -105,6 +155,68 @@ pub fn cg_batch(
     precond: &impl Preconditioner,
     opts: &CgOptions,
 ) -> BatchKrylovResult {
+    let mut ws = CgBatchWorkspace::for_problem(a.nrows(), b.k());
+    cg_batch_with(a, b, x, precond, opts, &mut ws)
+}
+
+/// Reusable buffers for [`cg_batch_with`]: the four `n x k` multivectors
+/// and the eight per-column scalar lanes the batched recurrence uses.
+#[derive(Debug, Clone)]
+pub struct CgBatchWorkspace {
+    r: MultiVec,
+    z: MultiVec,
+    p: MultiVec,
+    ap: MultiVec,
+    bnorms: Vec<f64>,
+    rz: Vec<f64>,
+    relres: Vec<f64>,
+    pap: Vec<f64>,
+    rz_new: Vec<f64>,
+    alpha: Vec<f64>,
+    neg_alpha: Vec<f64>,
+    beta: Vec<f64>,
+}
+
+impl CgBatchWorkspace {
+    /// Workspace for an `n`-row system with `k` right-hand sides.
+    #[must_use]
+    pub fn for_problem(n: usize, k: usize) -> Self {
+        CgBatchWorkspace {
+            r: MultiVec::new(n, k),
+            z: MultiVec::new(n, k),
+            p: MultiVec::new(n, k),
+            ap: MultiVec::new(n, k),
+            bnorms: vec![0.0; k],
+            rz: vec![0.0; k],
+            relres: vec![0.0; k],
+            pap: vec![0.0; k],
+            rz_new: vec![0.0; k],
+            alpha: vec![0.0; k],
+            neg_alpha: vec![0.0; k],
+            beta: vec![0.0; k],
+        }
+    }
+
+    /// Rebuilds the buffers if sized for a different problem or width.
+    fn fit(&mut self, n: usize, k: usize) {
+        if self.r.n() != n || self.r.k() != k {
+            *self = Self::for_problem(n, k);
+        }
+    }
+}
+
+/// Batched CG over caller-owned buffers; see [`cg_batch`] for the
+/// column-wise bitwise-identity contract. The per-iteration hot loop
+/// performs no heap allocation — only per-solve result assembly
+/// (histories, frozen-column snapshots) does.
+pub fn cg_batch_with(
+    a: &Csr,
+    b: &MultiVec,
+    x: &mut MultiVec,
+    precond: &impl Preconditioner,
+    opts: &CgOptions,
+    ws: &mut CgBatchWorkspace,
+) -> BatchKrylovResult {
     let n = a.nrows();
     let k = b.k();
     assert_eq!(b.n(), n);
@@ -112,42 +224,61 @@ pub fn cg_batch(
     assert_eq!(x.k(), k);
     if k == 0 {
         return BatchKrylovResult {
-            iterations: Vec::new(),
-            final_relres: Vec::new(),
-            converged: Vec::new(),
-            history: Vec::new(),
+            iterations: Vec::new(),   // ALLOC: empty Vec, no heap
+            final_relres: Vec::new(), // ALLOC: empty Vec, no heap
+            converged: Vec::new(),    // ALLOC: empty Vec, no heap
+            history: Vec::new(),      // ALLOC: empty Vec, no heap
         };
     }
-    let mut bnorms = vec![0.0; k];
-    norm2_batch(b, &mut bnorms);
-    for bn in &mut bnorms {
+    ws.fit(n, k);
+    let CgBatchWorkspace {
+        r,
+        z,
+        p,
+        ap,
+        bnorms,
+        rz,
+        relres,
+        pap,
+        rz_new,
+        alpha,
+        neg_alpha,
+        beta,
+    } = ws;
+    norm2_batch(b, bnorms);
+    for bn in bnorms.iter_mut() {
         *bn = bn.max(f64::MIN_POSITIVE);
     }
 
-    let mut r = MultiVec::new(n, k);
-    spmm(a, x, &mut r);
+    spmm(a, x, r);
     for (ri, bi) in r.data_mut().iter_mut().zip(b.data()) {
         *ri = bi - *ri;
     }
-    let mut z = MultiVec::new(n, k);
-    precond.apply_batch(&r, &mut z);
-    let mut p = z.clone();
-    let mut rz = vec![0.0; k];
-    dot_batch(&r, &z, &mut rz);
-    let mut relres = vec![0.0; k];
-    norm2_batch(&r, &mut relres);
-    for (rr, bn) in relres.iter_mut().zip(&bnorms) {
+    z.fill(0.0);
+    precond.apply_batch(r, z);
+    p.data_mut().copy_from_slice(z.data());
+    dot_batch(r, z, rz);
+    norm2_batch(r, relres);
+    for (rr, bn) in relres.iter_mut().zip(bnorms.iter()) {
         *rr /= bn;
     }
 
+    // Per-solve result assembly: these are owned by (or snapshotted
+    // into) the returned BatchKrylovResult, so they cannot live in the
+    // reused workspace.
+    // ALLOC: per-column history vectors are part of the returned result.
     let mut history: Vec<Vec<f64>> = vec![Vec::new(); k];
+    // ALLOC: result-owned copy of the entry residuals (k elements).
     let mut final_relres = relres.clone();
+    // ALLOC: result-owned iteration counters (k elements).
     let mut col_iterations = vec![0usize; k];
     // A frozen column stops reporting (its lanes keep being advanced —
     // the arithmetic is lane-independent, so whatever happens there,
     // including NaN after a breakdown, never crosses into live lanes)
     // and its iterate is snapshotted at the solo solver's exit state.
+    // ALLOC: one snapshot slot per column, filled on convergence events.
     let mut frozen_cols: Vec<Option<Vec<f64>>> = vec![None; k];
+    // ALLOC: per-solve convergence mask (k bools).
     let mut done: Vec<bool> = relres.iter().map(|&rr| rr <= opts.tolerance).collect();
     for j in 0..k {
         if done[j] {
@@ -155,16 +286,10 @@ pub fn cg_batch(
         }
     }
 
-    let mut ap = MultiVec::new(n, k);
-    let mut pap = vec![0.0; k];
-    let mut rz_new = vec![0.0; k];
-    let mut alpha = vec![0.0; k];
-    let mut neg_alpha = vec![0.0; k];
-    let mut beta = vec![0.0; k];
     let mut iterations = 0usize;
     while done.iter().any(|d| !d) && iterations < opts.max_iterations {
-        spmm(a, &p, &mut ap);
-        dot_batch(&p, &ap, &mut pap);
+        spmm(a, p, ap);
+        dot_batch(p, ap, pap);
         // The solo solver exits *before* the update when p·Ap <= 0, so
         // freeze such columns at their pre-update iterate.
         for j in 0..k {
@@ -180,18 +305,18 @@ pub fn cg_batch(
             alpha[j] = rz[j] / pap[j];
             neg_alpha[j] = -alpha[j];
         }
-        axpy_batch(&alpha, &p, x);
-        axpy_batch(&neg_alpha, &ap, &mut r);
+        axpy_batch(alpha, p, x);
+        axpy_batch(neg_alpha, ap, r);
         z.fill(0.0);
-        precond.apply_batch(&r, &mut z);
-        dot_batch(&r, &z, &mut rz_new);
+        precond.apply_batch(r, z);
+        dot_batch(r, z, rz_new);
         for j in 0..k {
             beta[j] = rz_new[j] / rz[j];
         }
-        rz.copy_from_slice(&rz_new);
-        xpby_batch(&z, &beta, &mut p);
+        rz.copy_from_slice(rz_new);
+        xpby_batch(z, beta, p);
         iterations += 1;
-        norm2_batch(&r, &mut relres);
+        norm2_batch(r, relres);
         for j in 0..k {
             relres[j] /= bnorms[j];
             if done[j] {
@@ -215,7 +340,7 @@ pub fn cg_batch(
     let converged = final_relres
         .iter()
         .map(|&rr| rr <= opts.tolerance)
-        .collect();
+        .collect(); // ALLOC: result-owned convergence flags (k bools)
     BatchKrylovResult {
         iterations: col_iterations,
         final_relres,

@@ -55,17 +55,21 @@ pub fn fgmres(
     let m = opts.restart.max(1);
     let bnorm = vecops::norm2(b).max(f64::MIN_POSITIVE);
 
-    let mut history = Vec::new();
+    let mut history = Vec::new(); // ALLOC: result-owned residual history
     let mut total_iters = 0usize;
     let mut relres;
 
     // Krylov basis V, preconditioned basis Z, Hessenberg H (column major:
     // h[j] has j+2 entries), Givens rotations.
+    // ALLOC: FGMRES basis storage — retaining V and Z is inherent to the
+    // algorithm (flexible preconditioning forbids recomputing Z).
     let mut v: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
-    let mut z: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut z: Vec<Vec<f64>> = Vec::with_capacity(m); // ALLOC: see above
 
     'outer: loop {
         // r = b - A x
+        // ALLOC: per-restart residual seed; becomes the first basis
+        // vector (moved into `v`), so it cannot be a reused buffer.
         let mut r = vec![0.0; n];
         spmv(a, x, &mut r);
         for (ri, bi) in r.iter_mut().zip(b) {
@@ -80,21 +84,24 @@ pub fn fgmres(
         z.clear();
         vecops::scale(1.0 / beta, &mut r);
         v.push(r);
-        let mut g = vec![0.0f64; m + 1];
+        let mut g = vec![0.0f64; m + 1]; // ALLOC: per-restart least-squares RHS
         g[0] = beta;
-        let mut h: Vec<Vec<f64>> = Vec::with_capacity(m);
-        let mut cs: Vec<f64> = Vec::with_capacity(m);
-        let mut sn: Vec<f64> = Vec::with_capacity(m);
+        let mut h: Vec<Vec<f64>> = Vec::with_capacity(m); // ALLOC: retained Hessenberg columns
+        let mut cs: Vec<f64> = Vec::with_capacity(m); // ALLOC: retained Givens coefficients
+        let mut sn: Vec<f64> = Vec::with_capacity(m); // ALLOC: retained Givens coefficients
         let mut inner = 0usize;
 
         while inner < m && total_iters < opts.max_iterations {
             // z_j = M⁻¹ v_j ; w = A z_j
+            // ALLOC: zj joins the retained basis Z below; w likewise
+            // becomes the next basis vector after normalization.
             let mut zj = vec![0.0; n];
             precond.apply(&v[inner], &mut zj);
-            let mut w = vec![0.0; n];
+            let mut w = vec![0.0; n]; // ALLOC: becomes the next basis vector
             spmv(a, &zj, &mut w);
             z.push(zj);
             // Modified Gram-Schmidt.
+            // ALLOC: one retained Hessenberg column per inner iteration.
             let mut hj = vec![0.0f64; inner + 2];
             for (i, vi) in v.iter().enumerate() {
                 let hij = vecops::dot(&w, vi);
@@ -141,6 +148,7 @@ pub fn fgmres(
         update_solution(x, &h, &g, &z, inner);
         if total_iters >= opts.max_iterations {
             // Recompute the exact residual for the report.
+            // ALLOC: one exit-path residual buffer for the final report.
             let mut r = vec![0.0; n];
             spmv(a, x, &mut r);
             for (ri, bi) in r.iter_mut().zip(b) {
@@ -164,6 +172,7 @@ fn update_solution(x: &mut [f64], h: &[Vec<f64>], g: &[f64], z: &[Vec<f64>], k: 
     if k == 0 {
         return;
     }
+    // ALLOC: k-sized triangular-solve scratch, once per restart exit.
     let mut y = vec![0.0f64; k];
     for i in (0..k).rev() {
         let mut acc = g[i];

@@ -31,8 +31,12 @@ pub trait Preconditioner {
         assert_eq!(r.n(), z.n());
         assert_eq!(r.k(), z.k());
         let n = r.n();
+        // ALLOC: default column-at-a-time fallback for preconditioners
+        // without a batched kernel; the production path (AmgSolver)
+        // overrides this with a workspace-backed implementation.
         let mut rc = vec![0.0; n];
-        let mut zc = vec![0.0; n];
+        let mut zc = vec![0.0; n]; // ALLOC: see above
+
         for j in 0..r.k() {
             r.copy_col_into(j, &mut rc);
             zc.fill(0.0);

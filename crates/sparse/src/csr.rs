@@ -31,6 +31,10 @@ impl Csr {
     /// # Panics
     /// Panics if `rowptr` has the wrong length, is not monotone, does not
     /// span `colidx`/`values`, or any column index is out of bounds.
+    // PANIC-FREE: CSR structural validation. Solve-path callers
+    // (`RowBuilder::finish`) emit rowptr/colidx/values that satisfy
+    // these invariants by construction; the asserts guard external
+    // constructors feeding malformed parts.
     pub fn from_parts(
         nrows: usize,
         ncols: usize,

@@ -125,10 +125,10 @@ impl LuFactor {
 
     /// Solves `A x = b` using the stored factors.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
-        assert_eq!(b.len(), self.n);
+        assert_eq!(b.len(), self.n); // PANIC-FREE: coarse RHS length is fixed by the hierarchy at setup.
         let n = self.n;
-        let mut x = b.to_vec();
-        // Apply row pivots.
+        let mut x = b.to_vec(); // ALLOC: O(n_coarse) solution copy; the coarsest grid is tiny by construction.
+                                // Apply row pivots.
         for k in 0..n {
             x.swap(k, self.piv[k]);
         }

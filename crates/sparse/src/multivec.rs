@@ -34,6 +34,8 @@ pub struct MultiVec {
 
 impl MultiVec {
     /// A zero-filled `n × k` block vector.
+    // ALLOC: constructor — allocation is the point; each solve-path
+    // call site carries its own justification.
     pub fn new(n: usize, k: usize) -> Self {
         MultiVec {
             data: vec![0.0; n * k],
@@ -88,6 +90,8 @@ impl MultiVec {
     }
 
     /// Extracts column `j` into a fresh vector.
+    // ALLOC: returns an owned column; the solve-path use is the
+    // convergence-freeze snapshot, justified at its call site.
     pub fn col(&self, j: usize) -> Vec<f64> {
         let mut out = vec![0.0; self.n];
         self.copy_col_into(j, &mut out);
@@ -96,8 +100,8 @@ impl MultiVec {
 
     /// Extracts column `j` into `out` (length `n`).
     pub fn copy_col_into(&self, j: usize, out: &mut [f64]) {
-        assert!(j < self.k);
-        assert_eq!(out.len(), self.n);
+        assert!(j < self.k); // PANIC-FREE: shape guard; solve buffers are sized at setup.
+        assert_eq!(out.len(), self.n); // PANIC-FREE: see above.
         for (i, o) in out.iter_mut().enumerate() {
             *o = self.data[i * self.k + j];
         }
@@ -105,8 +109,8 @@ impl MultiVec {
 
     /// Overwrites column `j` from `src` (length `n`).
     pub fn set_col(&mut self, j: usize, src: &[f64]) {
-        assert!(j < self.k);
-        assert_eq!(src.len(), self.n);
+        assert!(j < self.k); // PANIC-FREE: shape guard; solve buffers are sized at setup.
+        assert_eq!(src.len(), self.n); // PANIC-FREE: see above.
         for (i, s) in src.iter().enumerate() {
             self.data[i * self.k + j] = *s;
         }
@@ -124,8 +128,8 @@ impl MultiVec {
 
     /// Copies `src` into `self` (shapes must match).
     pub fn copy_from(&mut self, src: &MultiVec) {
-        assert_eq!(self.n, src.n);
-        assert_eq!(self.k, src.k);
+        assert_eq!(self.n, src.n); // PANIC-FREE: shape guard; solve buffers are sized at setup.
+        assert_eq!(self.k, src.k); // PANIC-FREE: see above.
         crate::vecops::copy(&src.data, &mut self.data);
     }
 }
@@ -185,9 +189,9 @@ fn dot_rows<const K: usize>(
 /// extracted columns: the same sequential cutover, the same 4096-row
 /// chunk partials, and the same linear chunk-order fold.
 pub fn dot_batch(x: &MultiVec, y: &MultiVec, out: &mut [f64]) {
-    assert_eq!(x.n, y.n);
-    assert_eq!(x.k, y.k);
-    assert_eq!(out.len(), x.k);
+    assert_eq!(x.n, y.n); // PANIC-FREE: shape guard; solve buffers are sized at setup.
+    assert_eq!(x.k, y.k); // PANIC-FREE: see above.
+    assert_eq!(out.len(), x.k); // PANIC-FREE: see above.
     let (n, k) = (x.n, x.k);
     out.fill(0.0);
     if k == 0 {
@@ -198,7 +202,7 @@ pub fn dot_batch(x: &MultiVec, y: &MultiVec, out: &mut [f64]) {
         return;
     }
     let nchunks = n.div_ceil(CHUNK);
-    let mut partials = vec![0.0f64; nchunks * k];
+    let mut partials = vec![0.0f64; nchunks * k]; // ALLOC: per-chunk partials for the ordered combine, O(k·n/CHUNK)
     partials.par_chunks_mut(k).enumerate().for_each(|(ci, p)| {
         let s = ci * CHUNK;
         let e = (s + CHUNK).min(n);
@@ -213,7 +217,7 @@ pub fn dot_batch(x: &MultiVec, y: &MultiVec, out: &mut [f64]) {
 
 /// Per-column Euclidean norms: `out[j] = ||x[:,j]||`.
 pub fn norm2_batch(x: &MultiVec, out: &mut [f64]) {
-    let mut sq = vec![0.0; x.k];
+    let mut sq = vec![0.0; x.k]; // ALLOC: k-sized scratch, not O(n)
     dot_batch(x, x, &mut sq);
     for (o, s) in out.iter_mut().zip(&sq) {
         *o = s.sqrt();

@@ -79,8 +79,8 @@ impl Permutation {
     /// (the allocation-free twin of [`Permutation::apply_vec`], used by
     /// solve-phase hot loops).
     pub fn apply_vec_into(&self, v: &[f64], out: &mut [f64]) {
-        assert_eq!(v.len(), self.len());
-        assert_eq!(out.len(), self.len());
+        assert_eq!(v.len(), self.len()); // PANIC-FREE: shape guard; solve buffers are sized at setup.
+        assert_eq!(out.len(), self.len()); // PANIC-FREE: see above.
         for (old, &new) in self.forward.iter().enumerate() {
             out[new] = v[old];
         }
@@ -88,8 +88,8 @@ impl Permutation {
 
     /// Un-permutes into a caller-provided buffer: `out[i] = v[perm[i]]`.
     pub fn unapply_vec_into(&self, v: &[f64], out: &mut [f64]) {
-        assert_eq!(v.len(), self.len());
-        assert_eq!(out.len(), self.len());
+        assert_eq!(v.len(), self.len()); // PANIC-FREE: shape guard; solve buffers are sized at setup.
+        assert_eq!(out.len(), self.len()); // PANIC-FREE: see above.
         for (old, &new) in self.forward.iter().enumerate() {
             out[old] = v[new];
         }
@@ -99,9 +99,9 @@ impl Permutation {
     /// Whole rows move, so column `j` sees exactly
     /// [`Permutation::apply_vec_into`] on the extracted column.
     pub fn apply_multi_into(&self, v: &crate::MultiVec, out: &mut crate::MultiVec) {
-        assert_eq!(v.n(), self.len());
-        assert_eq!(out.n(), self.len());
-        assert_eq!(v.k(), out.k());
+        assert_eq!(v.n(), self.len()); // PANIC-FREE: shape guard; solve buffers are sized at setup.
+        assert_eq!(out.n(), self.len()); // PANIC-FREE: see above.
+        assert_eq!(v.k(), out.k()); // PANIC-FREE: see above.
         let k = v.k();
         let (vd, od) = (v.data(), out.data_mut());
         for (old, &new) in self.forward.iter().enumerate() {
@@ -111,9 +111,9 @@ impl Permutation {
 
     /// Un-permutes a block vector row-wise: `out.row(i) = v.row(perm[i])`.
     pub fn unapply_multi_into(&self, v: &crate::MultiVec, out: &mut crate::MultiVec) {
-        assert_eq!(v.n(), self.len());
-        assert_eq!(out.n(), self.len());
-        assert_eq!(v.k(), out.k());
+        assert_eq!(v.n(), self.len()); // PANIC-FREE: shape guard; solve buffers are sized at setup.
+        assert_eq!(out.n(), self.len()); // PANIC-FREE: see above.
+        assert_eq!(v.k(), out.k()); // PANIC-FREE: see above.
         let k = v.k();
         let (vd, od) = (v.data(), out.data_mut());
         for (old, &new) in self.forward.iter().enumerate() {

@@ -54,9 +54,9 @@ fn row_dots<const K: usize>(a: &Csr, i: usize, xd: &[f64], k: usize, out: &mut [
 }
 
 fn check_dims(a: &Csr, x: &MultiVec, y: &MultiVec) {
-    assert_eq!(x.n(), a.ncols());
-    assert_eq!(y.n(), a.nrows());
-    assert_eq!(x.k(), y.k());
+    assert_eq!(x.n(), a.ncols()); // PANIC-FREE: shape guard; solve buffers are sized at setup.
+    assert_eq!(y.n(), a.nrows()); // PANIC-FREE: see above.
+    assert_eq!(x.k(), y.k()); // PANIC-FREE: see above.
 }
 
 /// `Y = A * X` over interleaved block vectors.
@@ -69,8 +69,8 @@ pub fn spmm(a: &Csr, x: &MultiVec, y: &mut MultiVec) {
 /// `Y = A * X` on raw interleaved slices (`k` lanes per row); used by the
 /// identity-block variants to address sub-blocks of a fine-level vector.
 pub fn spmm_rows(a: &Csr, xd: &[f64], k: usize, yd: &mut [f64]) {
-    assert_eq!(xd.len(), a.ncols() * k);
-    assert_eq!(yd.len(), a.nrows() * k);
+    assert_eq!(xd.len(), a.ncols() * k); // PANIC-FREE: shape guard; solve buffers are sized at setup.
+    assert_eq!(yd.len(), a.nrows() * k); // PANIC-FREE: see above.
     if k == 0 {
         return;
     }
@@ -95,8 +95,8 @@ pub fn spmm_axpby(a: &Csr, alpha: f64, x: &MultiVec, beta: f64, y: &mut MultiVec
 
 /// `spmm_axpby` on raw interleaved slices.
 pub fn spmm_axpby_rows(a: &Csr, alpha: f64, xd: &[f64], beta: f64, k: usize, yd: &mut [f64]) {
-    assert_eq!(xd.len(), a.ncols() * k);
-    assert_eq!(yd.len(), a.nrows() * k);
+    assert_eq!(xd.len(), a.ncols() * k); // PANIC-FREE: shape guard; solve buffers are sized at setup.
+    assert_eq!(yd.len(), a.nrows() * k); // PANIC-FREE: see above.
     if k == 0 {
         return;
     }
@@ -141,9 +141,9 @@ pub fn spmm_axpby_rows(a: &Csr, alpha: f64, xd: &[f64], beta: f64, k: usize, yd:
 /// (same row chunking, same chunk-order fold).
 pub fn spmm_dots(a: &Csr, x: &MultiVec, b: &MultiVec, r: &mut MultiVec, norms_sq: &mut [f64]) {
     check_dims(a, x, r);
-    assert_eq!(b.n(), a.nrows());
-    assert_eq!(b.k(), x.k());
-    assert_eq!(norms_sq.len(), x.k());
+    assert_eq!(b.n(), a.nrows()); // PANIC-FREE: shape guard; solve buffers are sized at setup.
+    assert_eq!(b.k(), x.k()); // PANIC-FREE: see above.
+    assert_eq!(norms_sq.len(), x.k()); // PANIC-FREE: see above.
     let k = x.k();
     norms_sq.fill(0.0);
     if k == 0 {
@@ -173,13 +173,13 @@ pub fn spmm_dots(a: &Csr, x: &MultiVec, b: &MultiVec, r: &mut MultiVec, norms_sq
         .enumerate()
         .map(|(ci, rc)| {
             let base = ci * CHUNK;
-            let mut acc = vec![0.0f64; k];
+            let mut acc = vec![0.0f64; k]; // ALLOC: k-sized lane accumulator per chunk, not O(n)
             for (o, rr) in rc.chunks_exact_mut(k).enumerate() {
                 row_body(base + o, rr, &mut acc);
             }
             acc
         })
-        .collect();
+        .collect(); // ALLOC: per-chunk partials for the ordered combine
     for p in partials {
         for (o, pj) in norms_sq.iter_mut().zip(&p) {
             *o += pj;
@@ -204,10 +204,10 @@ pub fn interp_apply_multi(pf: &Csr, nc: usize, xc: &MultiVec, xf: &mut MultiVec)
 /// Prolongation-and-correct, k-wide: `XF += [I; P_F] * XC`.
 pub fn interp_apply_add_multi(pf: &Csr, nc: usize, xc: &MultiVec, xf: &mut MultiVec) {
     let k = xc.k();
-    assert_eq!(xc.n(), nc);
-    assert_eq!(pf.ncols(), nc);
-    assert_eq!(xf.n(), nc + pf.nrows());
-    assert_eq!(xf.k(), k);
+    assert_eq!(xc.n(), nc); // PANIC-FREE: shape guard; solve buffers are sized at setup.
+    assert_eq!(pf.ncols(), nc); // PANIC-FREE: see above.
+    assert_eq!(xf.n(), nc + pf.nrows()); // PANIC-FREE: see above.
+    assert_eq!(xf.k(), k); // PANIC-FREE: see above.
     let xfd = xf.data_mut();
     for (o, c) in xfd[..nc * k].iter_mut().zip(xc.data()) {
         *o += c;
@@ -220,10 +220,10 @@ pub fn interp_apply_add_multi(pf: &Csr, nc: usize, xc: &MultiVec, xf: &mut Multi
 /// `XC = XF[0..nc] + P_Fᵀ * XF[nc..]`.
 pub fn restrict_apply_multi(rf: &Csr, nc: usize, xf: &MultiVec, xc: &mut MultiVec) {
     let k = xf.k();
-    assert_eq!(rf.nrows(), nc);
-    assert_eq!(xf.n(), nc + rf.ncols());
-    assert_eq!(xc.n(), nc);
-    assert_eq!(xc.k(), k);
+    assert_eq!(rf.nrows(), nc); // PANIC-FREE: shape guard; solve buffers are sized at setup.
+    assert_eq!(xf.n(), nc + rf.ncols()); // PANIC-FREE: see above.
+    assert_eq!(xc.n(), nc); // PANIC-FREE: see above.
+    assert_eq!(xc.k(), k); // PANIC-FREE: see above.
     xc.data_mut().copy_from_slice(&xf.data()[..nc * k]);
     let fine = &xf.data()[nc * k..];
     spmm_axpby_rows(rf, 1.0, fine, 1.0, k, xc.data_mut());

@@ -29,8 +29,8 @@ fn row_dot(a: &Csr, i: usize, x: &[f64]) -> f64 {
 
 /// `y = A * x`, sequential.
 pub fn spmv_seq(a: &Csr, x: &[f64], y: &mut [f64]) {
-    assert_eq!(x.len(), a.ncols());
-    assert_eq!(y.len(), a.nrows());
+    assert_eq!(x.len(), a.ncols()); // PANIC-FREE: shape guard; solve buffers are sized at setup.
+    assert_eq!(y.len(), a.nrows()); // PANIC-FREE: see above.
     for i in 0..a.nrows() {
         y[i] = row_dot(a, i, x);
     }
@@ -38,8 +38,8 @@ pub fn spmv_seq(a: &Csr, x: &[f64], y: &mut [f64]) {
 
 /// `y = A * x`, parallel over row blocks.
 pub fn spmv(a: &Csr, x: &[f64], y: &mut [f64]) {
-    assert_eq!(x.len(), a.ncols());
-    assert_eq!(y.len(), a.nrows());
+    assert_eq!(x.len(), a.ncols()); // PANIC-FREE: shape guard; solve buffers are sized at setup.
+    assert_eq!(y.len(), a.nrows()); // PANIC-FREE: see above.
     if a.nrows() < PAR_THRESHOLD {
         return spmv_seq(a, x, y);
     }
@@ -53,8 +53,8 @@ pub fn spmv(a: &Csr, x: &[f64], y: &mut [f64]) {
 
 /// `y = alpha * A * x + beta * y`.
 pub fn spmv_axpby(a: &Csr, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
-    assert_eq!(x.len(), a.ncols());
-    assert_eq!(y.len(), a.nrows());
+    assert_eq!(x.len(), a.ncols()); // PANIC-FREE: shape guard; solve buffers are sized at setup.
+    assert_eq!(y.len(), a.nrows()); // PANIC-FREE: see above.
     let body = |i: usize, yi: &mut f64| {
         let v = row_dot(a, i, x);
         *yi = alpha * v + beta * *yi;
@@ -105,14 +105,14 @@ pub fn spmv_dot(a: &Csr, x: &[f64], y: &mut [f64], z: &[f64]) -> f64 {
         })
         .collect::<Vec<_>>()
         .into_iter()
-        .sum()
+        .sum() // DETERMINISM: fixed-size chunks combined by an ordered sequential sum.
 }
 
 /// Fused residual `r = b - A*x` with `||r||^2` returned in one sweep.
 pub fn residual_norm_sq(a: &Csr, x: &[f64], b: &[f64], r: &mut [f64]) -> f64 {
-    assert_eq!(x.len(), a.ncols());
-    assert_eq!(b.len(), a.nrows());
-    assert_eq!(r.len(), a.nrows());
+    assert_eq!(x.len(), a.ncols()); // PANIC-FREE: shape guard; solve buffers are sized at setup.
+    assert_eq!(b.len(), a.nrows()); // PANIC-FREE: see above.
+    assert_eq!(r.len(), a.nrows()); // PANIC-FREE: see above.
     if a.nrows() < PAR_THRESHOLD {
         let mut acc = 0.0;
         for i in 0..a.nrows() {
@@ -136,9 +136,9 @@ pub fn residual_norm_sq(a: &Csr, x: &[f64], b: &[f64], r: &mut [f64]) -> f64 {
             }
             acc
         })
-        .collect::<Vec<_>>()
+        .collect::<Vec<_>>() // ALLOC: per-chunk partials for the ordered combine, O(n/4096)
         .into_iter()
-        .sum()
+        .sum() // DETERMINISM: fixed-size chunks combined by an ordered sequential sum.
 }
 
 /// Unfused reference: computes `r = b - A*x` then `||r||^2` in two sweeps.
@@ -207,9 +207,9 @@ pub fn interp_apply(pf: &Csr, nc: usize, xc: &[f64], xf: &mut [f64]) {
 
 /// Prolongation-and-correct: `xf += [I; P_F] * xc` (the V-cycle update).
 pub fn interp_apply_add(pf: &Csr, nc: usize, xc: &[f64], xf: &mut [f64]) {
-    assert_eq!(xc.len(), nc);
-    assert_eq!(pf.ncols(), nc);
-    assert_eq!(xf.len(), nc + pf.nrows());
+    assert_eq!(xc.len(), nc); // PANIC-FREE: shape guard; solve buffers are sized at setup.
+    assert_eq!(pf.ncols(), nc); // PANIC-FREE: see above.
+    assert_eq!(xf.len(), nc + pf.nrows()); // PANIC-FREE: see above.
     for (o, c) in xf[..nc].iter_mut().zip(xc) {
         *o += c;
     }
@@ -223,9 +223,9 @@ pub fn interp_apply_add(pf: &Csr, nc: usize, xc: &[f64], xf: &mut [f64]) {
 /// paper's "keep the transpose" optimization); the result is
 /// `xc = xf[0..nc] + P_Fᵀ * xf[nc..]`.
 pub fn restrict_apply(rf: &Csr, nc: usize, xf: &[f64], xc: &mut [f64]) {
-    assert_eq!(rf.nrows(), nc);
-    assert_eq!(xf.len(), nc + rf.ncols());
-    assert_eq!(xc.len(), nc);
+    assert_eq!(rf.nrows(), nc); // PANIC-FREE: shape guard; solve buffers are sized at setup.
+    assert_eq!(xf.len(), nc + rf.ncols()); // PANIC-FREE: see above.
+    assert_eq!(xc.len(), nc); // PANIC-FREE: see above.
     xc.copy_from_slice(&xf[..nc]);
     let fine = &xf[nc..];
     spmv_axpby(rf, 1.0, fine, 1.0, xc);

@@ -12,7 +12,7 @@ const CHUNK: usize = 4096;
 
 /// Sequential dot product.
 pub fn dot_seq(x: &[f64], y: &[f64]) -> f64 {
-    assert_eq!(x.len(), y.len());
+    assert_eq!(x.len(), y.len()); // PANIC-FREE: shape guard; solve buffers are sized at setup.
     x.iter().zip(y).map(|(a, b)| a * b).sum()
 }
 
@@ -31,7 +31,7 @@ const PARTIAL_LANES: usize = 512;
 /// than one super-block reuse the array: the running total keeps absorbing
 /// partials in ascending chunk order, so the linear fold is unchanged.
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
-    assert_eq!(x.len(), y.len());
+    assert_eq!(x.len(), y.len()); // PANIC-FREE: shape guard; solve buffers are sized at setup.
     if x.len() < 2 * CHUNK {
         return dot_seq(x, y);
     }
@@ -113,7 +113,7 @@ pub fn scale(alpha: f64, x: &mut [f64]) {
 
 /// Copies `src` into `dst` (parallel memcpy for large vectors).
 pub fn copy(src: &[f64], dst: &mut [f64]) {
-    assert_eq!(src.len(), dst.len());
+    assert_eq!(src.len(), dst.len()); // PANIC-FREE: shape guard; solve buffers are sized at setup.
     if src.len() < 4 * CHUNK {
         dst.copy_from_slice(src);
     } else {

@@ -32,6 +32,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> famg-lint (unsafe/ordering/hashmap/wallclock audit)"
 cargo run -q -p famg-check --bin famg-lint
 
+echo "==> famg-analyze (solve-path invariants: no-alloc, no-panic, blessed reductions)"
+cargo run -q -p famg-analyze --bin famg-analyze
+
 echo "==> cargo test (base, serial pool: RAYON_NUM_THREADS=1)"
 RAYON_NUM_THREADS=1 cargo test --workspace -q
 
@@ -109,5 +112,12 @@ for name in thread_scaling comm_volume setup_refresh multi_rhs; do
     cargo run -q -p famg-check --bin famg-bench-check -- \
         "target/bench/BENCH_${name}.json" "results/BENCH_${name}.json"
 done
+
+# Machine-readable audit artifacts (famg-diag-v1, same schema for both
+# tools) land next to the bench telemetry for CI log collection.
+echo "==> audit artifacts (famg-diag-v1 JSON -> target/bench)"
+mkdir -p target/bench
+cargo run -q -p famg-check --bin famg-lint -- --format json >target/bench/DIAG_famg-lint.json
+cargo run -q -p famg-analyze --bin famg-analyze -- --format json >target/bench/DIAG_famg-analyze.json
 
 echo "==> all checks passed"
